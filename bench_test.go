@@ -1,0 +1,354 @@
+package ccsim
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design decisions listed in
+// DESIGN.md §4. Each benchmark runs a scaled-down version of the
+// corresponding experiment and reports its headline quantity as a
+// benchmark metric (ReportMetric), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a compact summary of the whole evaluation. cmd/experiments
+// produces the full tables at larger scales.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// benchScale is deliberately small: benchmarks exist to regenerate the
+// result shape quickly and repeatedly.
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.Mixes = 2
+	s.SweepMixes = 1
+	return s
+}
+
+func reportPct(b *testing.B, name string, v float64) {
+	b.Helper()
+	b.ReportMetric(100*v, name)
+}
+
+// BenchmarkFig3RLTLSingleCore regenerates Figure 3a: average 8ms-RLTL
+// vs the fraction of activations within 8ms of a refresh (single-core).
+func BenchmarkFig3RLTLSingleCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig3(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rltl, refresh float64
+		idx8 := len(rows[0].IntervalsMs) - 2 // 8ms is second to last
+		for _, r := range rows {
+			rltl += r.Fractions[idx8]
+			refresh += r.RefreshFraction
+		}
+		reportPct(b, "rltl8ms%", rltl/float64(len(rows)))
+		reportPct(b, "refresh8ms%", refresh/float64(len(rows)))
+	}
+}
+
+// BenchmarkFig3RLTLEightCore regenerates Figure 3b (eight-core mixes).
+func BenchmarkFig3RLTLEightCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig3(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rltl, refresh float64
+		idx8 := len(rows[0].IntervalsMs) - 2
+		for _, r := range rows {
+			rltl += r.Fractions[idx8]
+			refresh += r.RefreshFraction
+		}
+		reportPct(b, "rltl8ms%", rltl/float64(len(rows)))
+		reportPct(b, "refresh8ms%", refresh/float64(len(rows)))
+	}
+}
+
+// BenchmarkFig4RLTLIntervals regenerates Figure 4: the average RLTL at
+// the shortest (0.125ms) and longest (32ms) tracked intervals under the
+// open-row policy.
+func BenchmarkFig4RLTLIntervals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig4(false, memctrl.OpenRow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lo, hi float64
+		for _, r := range rows {
+			lo += r.Fractions[0]
+			hi += r.Fractions[len(r.Fractions)-1]
+		}
+		reportPct(b, "rltl0.125ms%", lo/float64(len(rows)))
+		reportPct(b, "rltl32ms%", hi/float64(len(rows)))
+	}
+}
+
+// BenchmarkFig6Bitline regenerates Figure 6: the tRCD/tRAS reductions a
+// fully-charged cell allows versus the worst case.
+func BenchmarkFig6Bitline(b *testing.B) {
+	model, err := NewBitlineModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rcdF, rasF := model.ActivateLatency(0.001)
+		rcdW, rasW := model.ActivateLatency(64)
+		b.ReportMetric(rcdW-rcdF, "tRCDred_ns")
+		b.ReportMetric(rasW-rasF, "tRASred_ns")
+	}
+}
+
+// BenchmarkTable2Timings regenerates Table 2: the 1ms caching-duration
+// timings in nanoseconds.
+func BenchmarkTable2Timings(b *testing.B) {
+	model, err := NewBitlineModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := DDR31600(1)
+	for i := 0; i < b.N; i++ {
+		row, err := model.TimingsFor(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.TRCDNs, "tRCD1ms_ns")
+		b.ReportMetric(row.TRASNs, "tRAS1ms_ns")
+	}
+}
+
+// BenchmarkFig7SingleCore regenerates Figure 7a: average single-core
+// speedups of each mechanism over the DDR3 baseline.
+func BenchmarkFig7SingleCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig7Single()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := map[sim.MechanismKind]float64{}
+		for _, r := range rows {
+			for k, v := range r.Speedup {
+				avg[k] += v
+			}
+		}
+		n := float64(len(rows))
+		reportPct(b, "nuat%", avg[sim.NUAT]/n)
+		reportPct(b, "cc%", avg[sim.ChargeCache]/n)
+		reportPct(b, "ccnuat%", avg[sim.ChargeCacheNUAT]/n)
+		reportPct(b, "lldram%", avg[sim.LLDRAM]/n)
+	}
+}
+
+// BenchmarkFig7EightCore regenerates Figure 7b: average weighted-speedup
+// gains on the multiprogrammed mixes (the paper's headline result).
+func BenchmarkFig7EightCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig7Eight()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := map[sim.MechanismKind]float64{}
+		for _, r := range rows {
+			for k, v := range r.Speedup {
+				avg[k] += v
+			}
+		}
+		n := float64(len(rows))
+		reportPct(b, "nuat%", avg[sim.NUAT]/n)
+		reportPct(b, "cc%", avg[sim.ChargeCache]/n)
+		reportPct(b, "ccnuat%", avg[sim.ChargeCacheNUAT]/n)
+		reportPct(b, "lldram%", avg[sim.LLDRAM]/n)
+	}
+}
+
+// BenchmarkFig8Energy regenerates Figure 8: average and maximum DRAM
+// energy reduction of ChargeCache on the eight-core mixes.
+func BenchmarkFig8Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig7Eight()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := experiments.Fig8(rows)
+		reportPct(b, "ccavg%", sum.AvgReduction[sim.ChargeCache])
+		reportPct(b, "ccmax%", sum.MaxReduction[sim.ChargeCache])
+	}
+}
+
+// BenchmarkFig9HitRate regenerates Figure 9: HCRAC hit rate at 128
+// entries/core versus unlimited capacity (eight-core).
+func BenchmarkFig9HitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig9And10(true, []int{128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Entries == 128 {
+				reportPct(b, "hit128%", r.HitRate)
+			}
+			if r.Entries == 0 {
+				reportPct(b, "hitUnltd%", r.HitRate)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Capacity regenerates Figure 10: speedup at 128 vs 1024
+// entries/core (eight-core).
+func BenchmarkFig10Capacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig9And10(true, []int{128, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Entries {
+			case 128:
+				reportPct(b, "sp128%", r.Speedup)
+			case 1024:
+				reportPct(b, "sp1024%", r.Speedup)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11Duration regenerates Figure 11: speedup at 1ms vs 16ms
+// caching durations (eight-core); the paper's argument for 1ms.
+func BenchmarkFig11Duration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchScale().Fig11(true, []float64{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.DurationMs {
+			case 1:
+				reportPct(b, "sp1ms%", r.Speedup)
+			case 16:
+				reportPct(b, "sp16ms%", r.Speedup)
+			}
+		}
+	}
+}
+
+// BenchmarkOverheadArea regenerates the Section 6.3 hardware-cost
+// numbers.
+func BenchmarkOverheadArea(b *testing.B) {
+	spec := DDR31600(2)
+	for i := 0; i < b.N; i++ {
+		ov, err := HCRACOverhead(spec, 128, 8, 4<<20, 60e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ov.StorageBytes), "bytes")
+		b.ReportMetric(ov.AreaMM2*1000, "area_um2x1e3")
+		b.ReportMetric(ov.PowerMW*1000, "power_uW")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// ablationRun measures ChargeCache speedup on one workload under a
+// config mutation.
+func ablationRun(b *testing.B, workloadName string, mutate func(*sim.Config)) float64 {
+	b.Helper()
+	mk := func(mech sim.MechanismKind) sim.Config {
+		cfg := sim.DefaultConfig(workloadName)
+		cfg.WarmupInstructions = 400_000
+		cfg.RunInstructions = 200_000
+		cfg.Mechanism = mech
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return cfg
+	}
+	run := func(cfg sim.Config) float64 {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.PerCore[0].IPC
+	}
+	base := run(mk(sim.Baseline))
+	cc := run(mk(sim.ChargeCache))
+	return cc/base - 1
+}
+
+// BenchmarkAblationInvalidation compares the paper's cheap IIC/EC
+// periodic invalidation against exact per-entry expiry timestamps
+// (DESIGN.md ablation 2: the loss from premature invalidation).
+func BenchmarkAblationInvalidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		iicec := ablationRun(b, "lbm", nil)
+		exact := ablationRun(b, "lbm", func(cfg *sim.Config) {
+			cfg.CCInvalidation = core.ExactExpiry
+		})
+		reportPct(b, "iicec%", iicec)
+		reportPct(b, "exact%", exact)
+	}
+}
+
+// BenchmarkAblationAssociativity compares 2-way against 8-way HCRAC
+// (DESIGN.md ablation 3: the paper reports ~2% hit-rate difference to
+// full associativity).
+func BenchmarkAblationAssociativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		way2 := ablationRun(b, "tpch17", nil)
+		way8 := ablationRun(b, "tpch17", func(cfg *sim.Config) {
+			cfg.CCAssoc = 8
+		})
+		reportPct(b, "assoc2%", way2)
+		reportPct(b, "assoc8%", way8)
+	}
+}
+
+// BenchmarkAblationFixedRC compares the restore-bounded tRC derivation
+// (default) against keeping the spec tRC for fast activations (DESIGN.md
+// ablation: brackets the paper's unstated nRC choice).
+func BenchmarkAblationFixedRC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		derived := ablationRun(b, "lbm", nil)
+		fixed := ablationRun(b, "lbm", func(cfg *sim.Config) {
+			cfg.FixedRC = true
+		})
+		reportPct(b, "derivedRC%", derived)
+		reportPct(b, "fixedRC%", fixed)
+	}
+}
+
+// BenchmarkAblationRowPolicy compares ChargeCache gains under open-row
+// vs closed-row management on the same workload (DESIGN.md ablation 4).
+func BenchmarkAblationRowPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		open := ablationRun(b, "lbm", func(cfg *sim.Config) {
+			cfg.RowPolicy = memctrl.OpenRow
+		})
+		closed := ablationRun(b, "lbm", func(cfg *sim.Config) {
+			cfg.RowPolicy = memctrl.ClosedRow
+		})
+		reportPct(b, "open%", open)
+		reportPct(b, "closed%", closed)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed, the
+// engineering metric for the simulator substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig("tpch17")
+		cfg.WarmupInstructions = 0
+		cfg.RunInstructions = 200_000
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CPUCycles), "cpu_cycles")
+	}
+}

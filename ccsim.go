@@ -1,0 +1,189 @@
+// Package ccsim is a from-scratch Go reproduction of ChargeCache (Hassan
+// et al., HPCA 2016): a memory-controller mechanism that lowers DRAM
+// activation timings (tRCD/tRAS) for rows that were precharged recently
+// and are therefore still highly charged.
+//
+// The package bundles the full evaluation stack behind a small facade:
+//
+//   - a cycle-accurate DDR3-1600 device timing model,
+//   - per-channel memory controllers (FR-FCFS, open/closed row policies,
+//     refresh) hosting a latency Mechanism,
+//   - the ChargeCache mechanism itself plus the NUAT and LL-DRAM
+//     comparison points,
+//   - trace-driven cores, a shared LLC, and synthetic workloads standing
+//     in for the paper's SPEC/TPC/STREAM traces,
+//   - a circuit-level bitline model (the SPICE substitute) and a
+//     DRAMPower-style energy model.
+//
+// Quick start:
+//
+//	cfg := ccsim.DefaultConfig("lbm")
+//	cfg.Mechanism = ccsim.ChargeCache
+//	res, err := ccsim.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.PerCore[0].IPC, res.HitRate())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every figure and table.
+package ccsim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one simulation (Table 1 defaults via
+	// DefaultConfig).
+	Config = sim.Config
+	// Result is the outcome of one simulation run.
+	Result = sim.Result
+	// CoreResult is one core's measured performance.
+	CoreResult = sim.CoreResult
+	// RLTLResult summarizes the row-level temporal locality measurement.
+	RLTLResult = sim.RLTLResult
+	// MechanismKind selects the activation-latency mechanism under test.
+	MechanismKind = sim.MechanismKind
+	// RowPolicy selects the row-buffer management policy.
+	RowPolicy = memctrl.RowPolicy
+	// WorkloadProfile describes one synthetic workload.
+	WorkloadProfile = workload.Profile
+	// TimingClass is the (tRCD, tRAS) pair applied to one activation.
+	TimingClass = dram.TimingClass
+	// Spec bundles DRAM geometry, timing and clock.
+	Spec = dram.Spec
+	// BitlineModel is the circuit-level sense-amplifier model.
+	BitlineModel = circuit.Model
+	// DRAMEnergy is the per-run DRAM energy breakdown in picojoules.
+	DRAMEnergy = power.DRAMEnergy
+	// Overhead summarizes ChargeCache hardware cost (Section 6.3).
+	Overhead = power.Overhead
+	// MechanismStats counts mechanism lookups/hits/inserts.
+	MechanismStats = core.Stats
+	// Mechanism is the per-channel activation-latency decision interface;
+	// implement it and set Config.Mechanism = Custom to plug in your own
+	// policy (see examples/custommech).
+	Mechanism = core.Mechanism
+	// RowKey identifies a DRAM row within one channel.
+	RowKey = core.RowKey
+	// Cycle is a point in time in DRAM bus cycles.
+	Cycle = dram.Cycle
+	// ChargeCacheConfig parameterizes a standalone ChargeCache instance.
+	ChargeCacheConfig = core.ChargeCacheConfig
+	// ChargeCacheMechanism is the concrete ChargeCache implementation,
+	// usable as a building block inside custom mechanisms.
+	ChargeCacheMechanism = core.ChargeCache
+)
+
+// Mechanisms under evaluation.
+const (
+	// Baseline is commodity DDR3.
+	Baseline = sim.Baseline
+	// ChargeCache is the paper's proposal.
+	ChargeCache = sim.ChargeCache
+	// NUAT is the refresh-based comparison point (HPCA 2014).
+	NUAT = sim.NUAT
+	// ChargeCacheNUAT combines ChargeCache and NUAT.
+	ChargeCacheNUAT = sim.ChargeCacheNUAT
+	// LLDRAM is the idealized 100%-hit-rate bound.
+	LLDRAM = sim.LLDRAM
+	// Custom delegates to Config.CustomMechanism.
+	Custom = sim.Custom
+)
+
+// NewChargeCache builds a standalone ChargeCache mechanism instance, the
+// building block for custom combinations (Config.Mechanism = Custom).
+func NewChargeCache(cfg ChargeCacheConfig) (*core.ChargeCache, error) {
+	return core.NewChargeCache(cfg)
+}
+
+// Row-buffer policies.
+const (
+	// OpenRow keeps rows open until a conflict (single-core default).
+	OpenRow = memctrl.OpenRow
+	// ClosedRow closes rows once no queued request needs them
+	// (multi-core default).
+	ClosedRow = memctrl.ClosedRow
+)
+
+// DefaultConfig returns the paper's Table 1 system for the given
+// per-core workloads: 4 GHz 3-wide cores, 4 MB LLC, DDR3-1600 with one
+// channel + open-row for a single core, two channels + closed-row
+// otherwise, and a 128-entry/core, 1 ms ChargeCache.
+func DefaultConfig(workloads ...string) Config {
+	return sim.DefaultConfig(workloads...)
+}
+
+// Run builds the system described by cfg and simulates it (warm-up
+// followed by the measured window).
+func Run(cfg Config) (Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// Workloads returns the names of the 22 built-in synthetic workloads
+// (the paper's SPEC CPU2006 / TPC / STREAM set).
+func Workloads() []string { return workload.Names() }
+
+// WorkloadByName returns the named workload's profile.
+func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// EightCoreMixes returns n multiprogrammed 8-workload mixes composed
+// deterministically from seed, as in the paper's Section 5.
+func EightCoreMixes(seed uint64, n int) [][]string { return workload.EightCoreMixes(seed, n) }
+
+// DDR31600 returns the evaluated DDR3-1600 specification (Table 1).
+func DDR31600(channels int) Spec { return dram.DDR31600(channels) }
+
+// LPDDR31600 returns an LPDDR3-1600 style specification (Section 7.2:
+// ChargeCache applies to DDR-derived standards unchanged; select it with
+// Config.Standard = "lpddr3").
+func LPDDR31600(channels int) Spec { return dram.LPDDR31600(channels) }
+
+// DDR31600LowVoltage returns a DDR3L-1600 style specification
+// (Config.Standard = "ddr3l").
+func DDR31600LowVoltage(channels int) Spec { return dram.DDR31600LowVoltage(channels) }
+
+// NewBitlineModel returns the calibrated circuit model used to derive
+// Table 2 and Figure 6.
+func NewBitlineModel() (*BitlineModel, error) {
+	return circuit.NewModel(circuit.DefaultParams())
+}
+
+// TimingsForDuration returns the lowered (tRCD, tRAS) class that is safe
+// for rows precharged at most durationMs ago, on spec (Table 2).
+func TimingsForDuration(spec Spec, durationMs float64) (TimingClass, error) {
+	m, err := NewBitlineModel()
+	if err != nil {
+		return TimingClass{}, err
+	}
+	row, err := m.TimingsFor(spec, durationMs)
+	if err != nil {
+		return TimingClass{}, err
+	}
+	return row.Class, nil
+}
+
+// HCRACOverhead evaluates the Section 6.3 hardware cost of a
+// ChargeCache with entriesPerCore entries on a system with the given
+// core count and LLC size. accessesPerSec is the expected lookup+insert
+// rate (the ACT+PRE rate).
+func HCRACOverhead(spec Spec, entriesPerCore, cores, llcBytes int, accessesPerSec float64) (Overhead, error) {
+	return power.HCRACOverhead(spec, entriesPerCore, cores, llcBytes, accessesPerSec)
+}
+
+// WeightedSpeedup computes the multiprogrammed performance metric used
+// for the 8-core results.
+func WeightedSpeedup(shared, alone []float64) (float64, error) {
+	return stats.WeightedSpeedup(shared, alone)
+}

@@ -1,0 +1,120 @@
+package ccsim
+
+import "testing"
+
+func TestFacadeQuickRun(t *testing.T) {
+	cfg := DefaultConfig("tpch17")
+	cfg.WarmupInstructions = 20_000
+	cfg.RunInstructions = 50_000
+	cfg.Mechanism = ChargeCache
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerCore[0].IPC <= 0 {
+		t.Errorf("IPC = %g", res.PerCore[0].IPC)
+	}
+	if res.Config.Mechanism != ChargeCache {
+		t.Error("config not echoed in result")
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultConfig("nonesuch")
+	cfg.RunInstructions = 1000
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := Workloads()
+	if len(names) != 22 {
+		t.Fatalf("workloads = %d, want 22", len(names))
+	}
+	p, err := WorkloadByName(names[0])
+	if err != nil || p.Name != names[0] {
+		t.Errorf("WorkloadByName(%s) = %+v, %v", names[0], p, err)
+	}
+	mixes := EightCoreMixes(1, 3)
+	if len(mixes) != 3 || len(mixes[0]) != 8 {
+		t.Errorf("mixes shape wrong: %v", mixes)
+	}
+}
+
+func TestFacadeSpecAndTimings(t *testing.T) {
+	spec := DDR31600(2)
+	if spec.Geometry.Channels != 2 {
+		t.Errorf("channels = %d", spec.Geometry.Channels)
+	}
+	cls, err := TimingsForDuration(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.RCD >= spec.Timing.RCD || cls.RAS >= spec.Timing.RAS {
+		t.Errorf("1ms class %+v not lowered vs spec %d/%d", cls, spec.Timing.RCD, spec.Timing.RAS)
+	}
+	if _, err := TimingsForDuration(spec, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestFacadeOverhead(t *testing.T) {
+	ov, err := HCRACOverhead(DDR31600(2), 128, 8, 4<<20, 60e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.StorageBytes != 5376 {
+		t.Errorf("storage = %d", ov.StorageBytes)
+	}
+}
+
+func TestFacadeWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 1}, []float64{2, 2})
+	if err != nil || ws != 1 {
+		t.Errorf("WeightedSpeedup = %g, %v", ws, err)
+	}
+}
+
+func TestFacadeCustomMechanism(t *testing.T) {
+	cfg := DefaultConfig("lbm")
+	cfg.WarmupInstructions = 50_000
+	cfg.RunInstructions = 50_000
+	cfg.Mechanism = Custom
+	cfg.CustomMechanism = func(channel int, spec Spec, fast, def TimingClass) (Mechanism, error) {
+		return NewChargeCache(ChargeCacheConfig{
+			Entries:  64,
+			Assoc:    2,
+			Duration: spec.MillisecondsToCycles(1),
+			Fast:     fast,
+			Default:  def,
+		})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mechanism.Lookups == 0 {
+		t.Error("custom mechanism saw no lookups")
+	}
+	// Custom without a factory must be rejected.
+	bad := DefaultConfig("lbm")
+	bad.Mechanism = Custom
+	if _, err := Run(bad); err == nil {
+		t.Error("Custom without factory accepted")
+	}
+}
+
+func TestFacadeBitlineModel(t *testing.T) {
+	m, err := NewBitlineModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcd, ras := m.ActivateLatency(1)
+	if rcd <= 0 || ras <= rcd {
+		t.Errorf("latencies = %g, %g", rcd, ras)
+	}
+}

@@ -1,0 +1,110 @@
+// Command bitline runs the circuit-level sense-amplifier model (the
+// paper's SPICE substitute): it prints the Figure 6 bitline-voltage
+// series as an ASCII plot and the Table 2 caching-duration timings.
+//
+// Usage:
+//
+//	bitline [-table2] [-durations 1,4,16] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	ccsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bitline: ")
+
+	durations := flag.String("durations", "1,4,16", "caching durations (ms) for the Table 2 view")
+	plot := flag.Bool("plot", true, "render the Figure 6 ASCII plot")
+	flag.Parse()
+
+	model, err := ccsim.NewBitlineModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := ccsim.DDR31600(1)
+
+	var durs []float64
+	for _, tok := range strings.Split(*durations, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			log.Fatalf("bad duration %q: %v", tok, err)
+		}
+		durs = append(durs, d)
+	}
+
+	rows, err := model.Table2(spec, durs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 2: activation timings by caching duration")
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "duration", "tRCD(ns)", "tRAS(ns)", "tRCD(cyc)", "tRAS(cyc)")
+	for _, r := range rows {
+		name := fmt.Sprintf("%g ms", r.DurationMs)
+		if r.DurationMs == 0 {
+			name = "baseline"
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %10d %10d\n", name, r.TRCDNs, r.TRASNs, r.Class.RCD, r.Class.RAS)
+	}
+
+	if !*plot {
+		return
+	}
+	fmt.Println("\nFigure 6: bitline voltage during activation ('#' fresh cell, 'o' worst-case cell, '-' ready level)")
+	const (
+		width  = 61 // samples across 30 ns
+		height = 20 // voltage rows
+		maxNs  = 30.0
+	)
+	fresh := model.BitlineSeries(0.001, maxNs/(width-1), maxNs)
+	worst := model.BitlineSeries(64, maxNs/(width-1), maxNs)
+	vdd := model.Params().Vdd
+	ready := 0.75 * vdd
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	yOf := func(v float64) int {
+		frac := (v - vdd/2) / (vdd / 2)
+		y := height - 1 - int(frac*float64(height-1)+0.5)
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+	for x := 0; x < width; x++ {
+		grid[yOf(ready)][x] = '-'
+	}
+	for x := 0; x < width && x < len(fresh); x++ {
+		grid[yOf(worst[x].Volts)][x] = 'o'
+		grid[yOf(fresh[x].Volts)][x] = '#'
+	}
+	for y, row := range grid {
+		label := "        "
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%5.2fV  ", vdd)
+		case yOf(ready):
+			label = fmt.Sprintf("%5.2fV  ", ready)
+		case height - 1:
+			label = fmt.Sprintf("%5.2fV  ", vdd/2)
+		}
+		fmt.Printf("%s%s\n", label, row)
+	}
+	fmt.Printf("        0ns%sns\n", strings.Repeat(" ", width-6)+fmt.Sprintf("%.0f", maxNs))
+
+	rcdF, rasF := model.ActivateLatency(0.001)
+	rcdW, rasW := model.ActivateLatency(64)
+	fmt.Printf("\nready-to-access: fresh %.1f ns, worst-case %.1f ns (tRCD reduction %.1f ns)\n", rcdF, rcdW, rcdW-rcdF)
+	fmt.Printf("fully restored:  fresh %.1f ns, worst-case %.1f ns (tRAS reduction %.1f ns)\n", rasF, rasW, rasW-rasF)
+}

@@ -1,0 +1,126 @@
+// Command ccsim runs one simulation of the evaluated system and prints
+// its measurements: IPC, RMPKC, row-buffer behaviour, ChargeCache hit
+// rate and DRAM energy.
+//
+// Examples:
+//
+//	ccsim -workloads lbm -mechanism chargecache
+//	ccsim -workloads "libquantum,mcf,lbm,sjeng" -mechanism chargecache+nuat -instructions 2000000
+//	ccsim -workloads tpch17 -mechanism chargecache -entries 1024 -duration 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	ccsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccsim: ")
+
+	workloads := flag.String("workloads", "lbm", "comma-separated workload names (one per core); see -list")
+	mechanism := flag.String("mechanism", "chargecache", "baseline, chargecache, nuat, chargecache+nuat or lldram")
+	instructions := flag.Uint64("instructions", 1_000_000, "instructions to simulate per core")
+	warmup := flag.Uint64("warmup", 1_000_000, "warm-up instructions per core")
+	entries := flag.Int("entries", 128, "ChargeCache entries per core")
+	duration := flag.Float64("duration", 1, "caching duration in milliseconds")
+	unlimited := flag.Bool("unlimited", false, "unbounded ChargeCache")
+	seed := flag.Uint64("seed", 1, "workload generator seed")
+	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range ccsim.Workloads() {
+			p, _ := ccsim.WorkloadByName(n)
+			fmt.Printf("%-12s %-12v bubbles=%-4d footprint=%dMB\n", n, p.Pattern, p.Bubbles, p.FootprintMB)
+		}
+		return
+	}
+
+	names := strings.Split(*workloads, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	cfg := ccsim.DefaultConfig(names...)
+	cfg.RunInstructions = *instructions
+	cfg.WarmupInstructions = *warmup
+	cfg.CCEntriesPerCore = *entries
+	cfg.CCDurationMs = *duration
+	cfg.CCUnlimited = *unlimited
+	cfg.Seed = *seed
+	cfg.TrackRLTL = *rltl
+
+	switch strings.ToLower(*mechanism) {
+	case "baseline":
+		cfg.Mechanism = ccsim.Baseline
+	case "chargecache", "cc":
+		cfg.Mechanism = ccsim.ChargeCache
+	case "nuat":
+		cfg.Mechanism = ccsim.NUAT
+	case "chargecache+nuat", "cc+nuat":
+		cfg.Mechanism = ccsim.ChargeCacheNUAT
+	case "lldram", "ll-dram":
+		cfg.Mechanism = ccsim.LLDRAM
+	default:
+		log.Fatalf("unknown mechanism %q", *mechanism)
+	}
+
+	res, err := ccsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+}
+
+func report(res ccsim.Result) {
+	fmt.Printf("mechanism:    %v\n", res.Config.Mechanism)
+	fmt.Printf("row policy:   %v, %d channel(s)\n", res.Config.RowPolicy, res.Config.Channels)
+	for _, pc := range res.PerCore {
+		fmt.Printf("core %-12s IPC %.3f  (%d instructions, %d cycles)\n",
+			pc.Workload, pc.IPC, pc.Instructions, pc.Cycles)
+	}
+	fmt.Printf("window:       %d CPU cycles%s\n", res.CPUCycles, saturated(res))
+	c := res.Controller
+	fmt.Printf("memory:       %d reads, %d writes, avg read latency %.1f bus cycles\n",
+		c.ReadsServed, c.WritesServed, c.AvgReadLatency())
+	fmt.Printf("row buffer:   %d hits / %d misses / %d conflicts (hit rate %.1f%%)\n",
+		c.RowHits, c.RowMisses, c.RowConflicts, 100*c.RowHitRate())
+	fmt.Printf("activations:  %d (%d fast, %.1f%%), RMPKC %.2f\n",
+		c.Activations, c.FastActivations,
+		percent(c.FastActivations, c.Activations), res.RMPKC())
+	m := res.Mechanism
+	fmt.Printf("mechanism:    %d lookups, %d hits (%.1f%%), %d inserts, %d evictions, %d invalidations\n",
+		m.Lookups, m.Hits, 100*m.HitRate(), m.Inserts, m.Evictions, m.Invalidations)
+	fmt.Printf("LLC:          %d hits, %d misses, %d writebacks\n",
+		res.LLC.Hits, res.LLC.Misses, res.LLC.Writebacks)
+	e := res.Energy
+	fmt.Printf("DRAM energy:  %.3f mJ (act/pre %.1f%%, rd %.1f%%, wr %.1f%%, ref %.1f%%, background %.1f%%)\n",
+		e.TotalMJ(), 100*e.ActPre/e.Total(), 100*e.Read/e.Total(),
+		100*e.Write/e.Total(), 100*e.Refresh/e.Total(), 100*e.Background/e.Total())
+	if res.RLTL != nil {
+		fmt.Printf("RLTL:         ")
+		for i, ms := range res.RLTL.IntervalsMs {
+			fmt.Printf("%gms=%.1f%% ", ms, 100*res.RLTL.Fractions[i])
+		}
+		fmt.Printf("| after-refresh(8ms)=%.1f%%\n", 100*res.RLTL.RefreshFraction)
+	}
+}
+
+func percent(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+func saturated(res ccsim.Result) string {
+	if res.Saturated {
+		return " (SATURATED: hit cycle cap)"
+	}
+	return ""
+}

@@ -1,0 +1,317 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table of Section 6 (plus the Section 3 motivation figures and the
+// Section 4.3 circuit results), printed as text tables.
+//
+// Usage:
+//
+//	experiments [-scale quick|default|long] [-fig all|3|4|6|7a|7b|8|9|10|11|table2|overhead]
+//
+// Absolute numbers depend on the synthetic workload substitution (see
+// DESIGN.md); the shapes — who wins, by what rough factor, where
+// crossovers fall — are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/memctrl"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+var mechOrder = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	scaleFlag := flag.String("scale", "default", "simulation budget: quick, default or long")
+	figFlag := flag.String("fig", "all", "which experiment: all, 3, 4, 6, 7a, 7b, 8, 9, 10, 11, table2, overhead")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick()
+	case "default":
+		scale = experiments.Default()
+	case "long":
+		scale = experiments.Long()
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	start := time.Now()
+	if err := run(scale, *figFlag); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Second))
+}
+
+func run(scale experiments.Scale, fig string) error {
+	all := fig == "all"
+	type step struct {
+		name string
+		fn   func(experiments.Scale) error
+	}
+	steps := []step{
+		{"table2", func(experiments.Scale) error { return table2() }},
+		{"6", func(experiments.Scale) error { return fig6() }},
+		{"3", fig3},
+		{"4", fig4},
+		{"7a", fig7a},
+		{"7b", fig7b8},
+		{"9", fig9and10},
+		{"10", nil}, // rendered together with 9
+		{"11", fig11},
+		{"overhead", func(experiments.Scale) error { return overhead() }},
+	}
+	matched := false
+	for _, st := range steps {
+		if st.fn == nil {
+			continue
+		}
+		if all || fig == st.name || (st.name == "7b" && fig == "8") || (st.name == "9" && fig == "10") {
+			matched = true
+			if err := st.fn(scale); err != nil {
+				return err
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// table2 prints the circuit-derived caching-duration timings (Table 2).
+func table2() error {
+	model, err := circuit.NewModel(circuit.DefaultParams())
+	if err != nil {
+		return err
+	}
+	spec := dram.DDR31600(1)
+	rows, err := model.Table2(spec, []float64{1, 4, 16})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 2: tRCD and tRAS for caching durations (SPICE substitute) ==")
+	fmt.Printf("%-14s %10s %10s %8s %8s\n", "duration", "tRCD(ns)", "tRAS(ns)", "tRCD(c)", "tRAS(c)")
+	for _, r := range rows {
+		name := fmt.Sprintf("%g ms", r.DurationMs)
+		if r.DurationMs == 0 {
+			name = "baseline"
+		}
+		fmt.Printf("%-14s %10.2f %10.2f %8d %8d\n", name, r.TRCDNs, r.TRASNs, r.Class.RCD, r.Class.RAS)
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig6 prints the bitline voltage curves and the headline reductions.
+func fig6() error {
+	model, err := circuit.NewModel(circuit.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 6: bitline voltage during activation ==")
+	full := model.BitlineSeries(0.001, 2.0, 30)
+	worst := model.BitlineSeries(64, 2.0, 30)
+	fmt.Printf("%8s %14s %14s\n", "t(ns)", "fresh cell(V)", "worst case(V)")
+	for i := range full {
+		fmt.Printf("%8.1f %14.3f %14.3f\n", full[i].TimeNs, full[i].Volts, worst[i].Volts)
+	}
+	rcdF, rasF := model.ActivateLatency(0.001)
+	rcdW, rasW := model.ActivateLatency(64)
+	fmt.Printf("ready-to-access: fresh %.1f ns vs worst %.1f ns -> tRCD reduction %.1f ns\n", rcdF, rcdW, rcdW-rcdF)
+	fmt.Printf("fully restored:  fresh %.1f ns vs worst %.1f ns -> tRAS reduction %.1f ns\n\n", rasF, rasW, rasW-rasF)
+	return nil
+}
+
+// fig3 prints the 8ms-RLTL vs accessed-8ms-after-refresh comparison.
+func fig3(scale experiments.Scale) error {
+	for _, eight := range []bool{false, true} {
+		rows, err := scale.Fig3(eight)
+		if err != nil {
+			return err
+		}
+		label := "3a (single-core)"
+		if eight {
+			label = "3b (eight-core)"
+		}
+		fmt.Printf("== Figure %s: activations within 8ms of precharge vs refresh ==\n", label)
+		fmt.Printf("%-12s %12s %14s\n", "workload", "8ms-RLTL", "after-refresh")
+		idx8 := indexOf(rows[0].IntervalsMs, 8)
+		var rl, rf []float64
+		for _, r := range rows {
+			fmt.Printf("%-12s %11.1f%% %13.1f%%\n", r.Name, 100*r.Fractions[idx8], 100*r.RefreshFraction)
+			rl = append(rl, r.Fractions[idx8])
+			rf = append(rf, r.RefreshFraction)
+		}
+		fmt.Printf("%-12s %11.1f%% %13.1f%%\n\n", "AVG", 100*stats.Mean(rl), 100*stats.Mean(rf))
+	}
+	return nil
+}
+
+// fig4 prints the RLTL interval stacks for both row policies.
+func fig4(scale experiments.Scale) error {
+	for _, eight := range []bool{false, true} {
+		label := "4a (single-core)"
+		if eight {
+			label = "4b (eight-core)"
+		}
+		fmt.Printf("== Figure %s: RLTL per interval, open-row vs closed-row ==\n", label)
+		for _, policy := range []memctrl.RowPolicy{memctrl.OpenRow, memctrl.ClosedRow} {
+			rows, err := scale.Fig4(eight, policy)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- %v --\n", policy)
+			header := fmt.Sprintf("%-12s", "workload")
+			for _, ms := range rows[0].IntervalsMs {
+				header += fmt.Sprintf(" %8.3gms", ms)
+			}
+			fmt.Println(header)
+			avg := make([]float64, len(rows[0].Fractions))
+			for _, r := range rows {
+				line := fmt.Sprintf("%-12s", r.Name)
+				for i, f := range r.Fractions {
+					line += fmt.Sprintf(" %9.1f%%", 100*f)
+					avg[i] += f
+				}
+				fmt.Println(line)
+			}
+			line := fmt.Sprintf("%-12s", "AVG")
+			for _, a := range avg {
+				line += fmt.Sprintf(" %9.1f%%", 100*a/float64(len(rows)))
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func speedupTable(title string, rows []experiments.SpeedupRow) {
+	fmt.Println(title)
+	fmt.Printf("%-12s %7s %8s %8s %8s %8s %6s\n",
+		"workload", "rmpkc", "NUAT", "CC", "CC+NUAT", "LL-DRAM", "hit")
+	avg := map[sim.MechanismKind]float64{}
+	for _, r := range rows {
+		fmt.Printf("%-12s %7.2f %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%% %6.2f\n",
+			r.Name, r.RMPKC,
+			100*r.Speedup[sim.NUAT], 100*r.Speedup[sim.ChargeCache],
+			100*r.Speedup[sim.ChargeCacheNUAT], 100*r.Speedup[sim.LLDRAM], r.HitRate)
+		for _, m := range mechOrder {
+			avg[m] += r.Speedup[m]
+		}
+	}
+	n := float64(len(rows))
+	fmt.Printf("%-12s %7s %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%%\n\n", "AVG", "",
+		100*avg[sim.NUAT]/n, 100*avg[sim.ChargeCache]/n,
+		100*avg[sim.ChargeCacheNUAT]/n, 100*avg[sim.LLDRAM]/n)
+}
+
+func fig7a(scale experiments.Scale) error {
+	rows, err := scale.Fig7Single()
+	if err != nil {
+		return err
+	}
+	speedupTable("== Figure 7a: single-core speedup (sorted by RMPKC) ==", rows)
+	printEnergy("== Figure 8 (single-core): DRAM energy reduction ==", rows)
+	return nil
+}
+
+func fig7b8(scale experiments.Scale) error {
+	rows, err := scale.Fig7Eight()
+	if err != nil {
+		return err
+	}
+	speedupTable("== Figure 7b: eight-core weighted speedup (sorted by RMPKC) ==", rows)
+	printEnergy("== Figure 8 (eight-core): DRAM energy reduction ==", rows)
+	return nil
+}
+
+func printEnergy(title string, rows []experiments.SpeedupRow) {
+	sum := experiments.Fig8(rows)
+	fmt.Println(title)
+	fmt.Printf("%-18s %9s %9s\n", "mechanism", "average", "maximum")
+	for _, m := range mechOrder {
+		fmt.Printf("%-18s %8.1f%% %8.1f%%\n", m, 100*sum.AvgReduction[m], 100*sum.MaxReduction[m])
+	}
+	fmt.Println()
+}
+
+func fig9and10(scale experiments.Scale) error {
+	for _, eight := range []bool{false, true} {
+		rows, err := scale.Fig9And10(eight, experiments.DefaultCapacitySweep)
+		if err != nil {
+			return err
+		}
+		label := "single-core"
+		if eight {
+			label = "eight-core"
+		}
+		fmt.Printf("== Figures 9 and 10 (%s): hit rate and speedup vs capacity ==\n", label)
+		fmt.Printf("%-12s %10s %10s\n", "entries/core", "hit rate", "speedup")
+		for _, r := range rows {
+			name := fmt.Sprintf("%d", r.Entries)
+			if r.Entries == 0 {
+				name = "unlimited"
+			}
+			fmt.Printf("%-12s %9.1f%% %+9.2f%%\n", name, 100*r.HitRate, 100*r.Speedup)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig11(scale experiments.Scale) error {
+	for _, eight := range []bool{false, true} {
+		rows, err := scale.Fig11(eight, experiments.DefaultDurationSweepMs)
+		if err != nil {
+			return err
+		}
+		label := "single-core"
+		if eight {
+			label = "eight-core"
+		}
+		fmt.Printf("== Figure 11 (%s): speedup and hit rate vs caching duration ==\n", label)
+		fmt.Printf("%-10s %10s %10s\n", "duration", "hit rate", "speedup")
+		for _, r := range rows {
+			fmt.Printf("%-10s %9.1f%% %+9.2f%%\n", fmt.Sprintf("%gms", r.DurationMs), 100*r.HitRate, 100*r.Speedup)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// overhead prints the Section 6.3 hardware-cost numbers.
+func overhead() error {
+	spec := dram.DDR31600(2)
+	ov, err := power.HCRACOverhead(spec, 128, 8, 4<<20, 60e6)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Section 6.3: ChargeCache hardware overhead (128 entries/core, 8 cores, 2 channels) ==")
+	fmt.Printf("storage:        %d bytes (%d per core)\n", ov.StorageBytes, ov.StorageBytes/8)
+	fmt.Printf("area:           %.4f mm^2 (%.2f%% of a 4MB LLC)\n", ov.AreaMM2, 100*ov.FractionOfLLCArea)
+	fmt.Printf("average power:  %.3f mW\n\n", ov.PowerMW)
+	return nil
+}
+
+func indexOf(xs []float64, v float64) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return len(xs) - 1
+}

@@ -1,0 +1,65 @@
+// Command rltl measures Row-Level Temporal Locality (Section 3 of the
+// paper): for each workload, the fraction of row activations that occur
+// within t after the same row's previous precharge, for the paper's
+// interval set, against the fraction occurring within 8 ms of a refresh.
+//
+// Usage:
+//
+//	rltl [-workloads all|name,name,...] [-instructions N] [-policy open|closed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	ccsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rltl: ")
+
+	workloads := flag.String("workloads", "all", "comma-separated workload names, or 'all'")
+	instructions := flag.Uint64("instructions", 500_000, "instructions per run")
+	warmup := flag.Uint64("warmup", 1_000_000, "warm-up instructions")
+	policy := flag.String("policy", "open", "row policy: open or closed")
+	flag.Parse()
+
+	names := ccsim.Workloads()
+	if *workloads != "all" {
+		names = strings.Split(*workloads, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+
+	header := fmt.Sprintf("%-12s", "workload")
+	cfg0 := ccsim.DefaultConfig(names[0])
+	for _, ms := range cfg0.RLTLIntervalsMs {
+		header += fmt.Sprintf(" %8.3gms", ms)
+	}
+	header += fmt.Sprintf(" %10s", "refresh8ms")
+	fmt.Println(header)
+
+	for _, name := range names {
+		cfg := ccsim.DefaultConfig(name)
+		cfg.RunInstructions = *instructions
+		cfg.WarmupInstructions = *warmup
+		cfg.TrackRLTL = true
+		if *policy == "closed" {
+			cfg.RowPolicy = ccsim.ClosedRow
+		}
+		res, err := ccsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-12s", name)
+		for _, f := range res.RLTL.Fractions {
+			line += fmt.Sprintf(" %9.1f%%", 100*f)
+		}
+		line += fmt.Sprintf(" %9.1f%%", 100*res.RLTL.RefreshFraction)
+		fmt.Println(line)
+	}
+}

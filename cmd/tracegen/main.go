@@ -1,0 +1,51 @@
+// Command tracegen dumps a synthetic workload's trace in Ramulator's
+// cpu-trace text format, so the streams this reproduction evaluates can
+// be replayed by other simulators (or fed back via ccsim's TraceFiles).
+//
+// Usage:
+//
+//	tracegen -workload lbm -records 100000 > lbm.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	ccsim "repro"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	name := flag.String("workload", "lbm", "workload name; see 'ccsim -list'")
+	records := flag.Int("records", 100_000, "number of trace records to emit")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	region := flag.Uint64("region", 4<<30, "address region size in bytes")
+	base := flag.Uint64("base", 0, "address region base")
+	flag.Parse()
+
+	prof, err := workload.ByName(*name)
+	if err != nil {
+		names := ccsim.Workloads()
+		log.Fatalf("%v (available: %v)", err, names)
+	}
+	gen, err := workload.NewGenerator(prof, *seed, *base, *region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := trace.NewWriter(os.Stdout)
+	for i := 0; i < *records; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records of %s\n", w.Records(), *name)
+}

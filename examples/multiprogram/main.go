@@ -1,0 +1,77 @@
+// Multiprogram: reproduce the paper's headline experiment shape on one
+// 8-core multiprogrammed mix — weighted speedup of NUAT, ChargeCache,
+// their combination and the LL-DRAM bound over the DDR3 baseline
+// (Figure 7b), plus the DRAM energy effect (Figure 8).
+//
+//	go run ./examples/multiprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ccsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mix := ccsim.EightCoreMixes(42, 1)[0]
+	fmt.Printf("mix: %v\n\n", mix)
+
+	const (
+		warmup = 400_000
+		run    = 300_000
+	)
+
+	// Weighted speedup needs each application's IPC when run alone on
+	// the same memory system.
+	alone := make([]float64, len(mix))
+	aloneByName := map[string]float64{}
+	for i, name := range mix {
+		if ipc, ok := aloneByName[name]; ok {
+			alone[i] = ipc
+			continue
+		}
+		cfg := ccsim.DefaultConfig(name)
+		cfg.Channels = 2
+		cfg.RowPolicy = ccsim.ClosedRow
+		cfg.WarmupInstructions = warmup
+		cfg.RunInstructions = run
+		res, err := ccsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aloneByName[name] = res.PerCore[0].IPC
+		alone[i] = res.PerCore[0].IPC
+	}
+
+	runMix := func(mech ccsim.MechanismKind) ccsim.Result {
+		cfg := ccsim.DefaultConfig(mix...)
+		cfg.Mechanism = mech
+		cfg.WarmupInstructions = warmup
+		cfg.RunInstructions = run
+		res, err := ccsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := runMix(ccsim.Baseline)
+	wsBase, err := ccsim.WeightedSpeedup(base.IPCs(), alone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %16s %10s %12s %12s\n", "mechanism", "weighted speedup", "gain", "hit rate", "DRAM energy")
+	fmt.Printf("%-18s %16.3f %10s %12s %11.3fmJ\n", "Baseline", wsBase, "-", "-", base.Energy.TotalMJ())
+	for _, mech := range []ccsim.MechanismKind{ccsim.NUAT, ccsim.ChargeCache, ccsim.ChargeCacheNUAT, ccsim.LLDRAM} {
+		res := runMix(mech)
+		ws, err := ccsim.WeightedSpeedup(res.IPCs(), alone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %16.3f %+9.2f%% %11.1f%% %11.3fmJ\n",
+			mech, ws, 100*(ws/wsBase-1), 100*res.HitRate(), res.Energy.TotalMJ())
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate one workload on commodity DDR3 and again with
+// ChargeCache in the memory controller, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ccsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const workload = "lbm" // interleaved-stream workload with high RLTL
+
+	base := ccsim.DefaultConfig(workload)
+	base.WarmupInstructions = 1_000_000
+	base.RunInstructions = 500_000
+
+	baseline, err := ccsim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cc := base
+	cc.Mechanism = ccsim.ChargeCache
+	withCC, err := ccsim.Run(cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:           %s\n", workload)
+	fmt.Printf("baseline IPC:       %.3f\n", baseline.PerCore[0].IPC)
+	fmt.Printf("ChargeCache IPC:    %.3f (%+.2f%%)\n",
+		withCC.PerCore[0].IPC,
+		100*(withCC.PerCore[0].IPC/baseline.PerCore[0].IPC-1))
+	fmt.Printf("HCRAC hit rate:     %.1f%% (%d of %d activations served fast)\n",
+		100*withCC.HitRate(), withCC.Controller.FastActivations, withCC.Controller.Activations)
+	fmt.Printf("DRAM energy:        %.3f mJ -> %.3f mJ (%.1f%% saved)\n",
+		baseline.Energy.TotalMJ(), withCC.Energy.TotalMJ(),
+		100*(1-withCC.Energy.Total()/baseline.Energy.Total()))
+}

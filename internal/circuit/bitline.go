@@ -1,0 +1,186 @@
+// Package circuit is the SPICE substitute: a numerical model of the DRAM
+// cell / bitline / sense-amplifier system that the paper simulates with
+// 55 nm DDR3 models (Section 4.3). It produces the two artifacts the
+// paper consumes from SPICE:
+//
+//   - Figure 6: bitline voltage vs. time during activation, for cells
+//     with different initial charge, and the resulting tRCD/tRAS
+//     reductions.
+//   - Table 2: the lowered (tRCD, tRAS) pairs safe for each ChargeCache
+//     caching duration.
+//
+// The model has three stages. (1) Cell leakage: between a precharge and
+// the next activation the cell voltage decays from Vdd toward Vdd/2
+// following a stretched exponential exp(-(t/tau)^beta) — the standard
+// shape for DRAM retention. (2) Charge sharing: when the wordline rises,
+// the bitline deviates from Vdd/2 by the coupling ratio times the
+// remaining cell overdrive. (3) Regenerative sensing and restore: the
+// sense amplifier amplifies the deviation exponentially; the bitline is
+// ready to access at Vdd/4 overdrive (3/4 Vdd absolute, the
+// ready-to-access level in Figure 6) and the cell is restored at 0.475
+// Vdd overdrive, plus a fixed wordline-lowering margin.
+//
+// Default parameters are calibrated so the integrated crossing times
+// match the paper's Table 2 within ~0.3 ns (see circuit_test.go).
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the model's physical constants. Voltages are normalized to
+// Vdd = 1; times are nanoseconds unless noted.
+type Params struct {
+	// Coupling is Cc/(Cc+Cb): the fraction of the cell's overdrive that
+	// appears on the bitline after charge sharing.
+	Coupling float64
+
+	// ChargeShareDelay is the wordline-rise plus charge-sharing time.
+	ChargeShareDelay float64
+
+	// TauSense is the sense amplifier's regenerative time constant.
+	TauSense float64
+
+	// TauRestore is the (slower) cell-restore time constant.
+	TauRestore float64
+
+	// RestoreMargin is the fixed tail after full restore (wordline
+	// lowering margin) included in tRAS.
+	RestoreMargin float64
+
+	// LeakTauMs and LeakBeta parameterize the stretched-exponential
+	// retention decay, with time in milliseconds.
+	LeakTauMs float64
+	LeakBeta  float64
+
+	// ReadyDelta is the bitline overdrive (fraction of Vdd) at which a
+	// column access may begin (0.25: bitline at 3/4 Vdd).
+	ReadyDelta float64
+
+	// RestoreDelta is the overdrive at which the cell counts as fully
+	// restored (0.475: bitline at 97.5% of Vdd).
+	RestoreDelta float64
+
+	// Vdd in volts, used only to scale reported voltages.
+	Vdd float64
+
+	// StepNs is the Euler integration step.
+	StepNs float64
+}
+
+// DefaultParams returns constants calibrated against the paper's SPICE
+// results (Table 2 and Figure 6; see the package comment).
+func DefaultParams() Params {
+	return Params{
+		Coupling:         0.0527,
+		ChargeShareDelay: 2.0,
+		TauSense:         2.0,
+		TauRestore:       4.53,
+		RestoreMargin:    3.30,
+		LeakTauMs:        2.1322,
+		LeakBeta:         0.38,
+		ReadyDelta:       0.25,
+		RestoreDelta:     0.475,
+		Vdd:              1.5,
+		StepNs:           0.0005,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Coupling <= 0 || p.Coupling >= 1:
+		return fmt.Errorf("circuit: coupling %g out of (0,1)", p.Coupling)
+	case p.TauSense <= 0 || p.TauRestore <= 0 || p.StepNs <= 0:
+		return fmt.Errorf("circuit: time constants must be positive")
+	case p.ChargeShareDelay < 0 || p.RestoreMargin < 0:
+		return fmt.Errorf("circuit: delays must be non-negative")
+	case p.LeakTauMs <= 0 || p.LeakBeta <= 0 || p.LeakBeta > 1:
+		return fmt.Errorf("circuit: leak tau %g / beta %g invalid", p.LeakTauMs, p.LeakBeta)
+	case p.ReadyDelta <= 0 || p.RestoreDelta <= p.ReadyDelta || p.RestoreDelta >= 0.5:
+		return fmt.Errorf("circuit: deltas ready=%g restore=%g invalid", p.ReadyDelta, p.RestoreDelta)
+	case p.Vdd <= 0:
+		return fmt.Errorf("circuit: Vdd must be positive")
+	}
+	return nil
+}
+
+// Model evaluates the bitline dynamics.
+type Model struct {
+	p Params
+}
+
+// NewModel builds a model; params must validate.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// CellVoltage returns the normalized cell voltage (0.5 .. 1.0) after the
+// cell has leaked for afterMs milliseconds since its last full restore.
+func (m *Model) CellVoltage(afterMs float64) float64 {
+	if afterMs <= 0 {
+		return 1.0
+	}
+	decay := math.Exp(-math.Pow(afterMs/m.p.LeakTauMs, m.p.LeakBeta))
+	return 0.5 + 0.5*decay
+}
+
+// ActivateLatency integrates an activation of a cell that has leaked for
+// afterMs and returns the analog latency to the ready-to-access level
+// (tRCD) and to full restoration (tRAS), in nanoseconds.
+func (m *Model) ActivateLatency(afterMs float64) (tRCD, tRAS float64) {
+	dv0 := m.p.Coupling * (m.CellVoltage(afterMs) - 0.5)
+	sense, restore := dv0, dv0
+	t := m.p.ChargeShareDelay
+	dt := m.p.StepNs
+	var readyAt, restoredAt float64
+	for readyAt == 0 || restoredAt == 0 {
+		if readyAt == 0 && sense >= m.p.ReadyDelta {
+			readyAt = t
+		}
+		if restoredAt == 0 && restore >= m.p.RestoreDelta {
+			restoredAt = t
+		}
+		sense += sense * dt / m.p.TauSense
+		restore += restore * dt / m.p.TauRestore
+		t += dt
+	}
+	return readyAt, restoredAt + m.p.RestoreMargin
+}
+
+// Point is one sample of the Figure 6 bitline-voltage series.
+type Point struct {
+	TimeNs  float64
+	Volts   float64 // absolute bitline voltage
+	Overdrv float64 // normalized overdrive above Vdd/2
+}
+
+// BitlineSeries returns the bitline voltage over time for a cell that
+// has leaked for afterMs, sampled every sampleNs up to maxNs (the raw
+// material of Figure 6).
+func (m *Model) BitlineSeries(afterMs, sampleNs, maxNs float64) []Point {
+	dv0 := m.p.Coupling * (m.CellVoltage(afterMs) - 0.5)
+	var pts []Point
+	for t := 0.0; t <= maxNs; t += sampleNs {
+		var dv float64
+		if t >= m.p.ChargeShareDelay {
+			dv = dv0 * math.Exp((t-m.p.ChargeShareDelay)/m.p.TauSense)
+		}
+		if dv > 0.5 {
+			dv = 0.5
+		}
+		pts = append(pts, Point{
+			TimeNs:  t,
+			Volts:   (0.5 + dv) * m.p.Vdd,
+			Overdrv: dv,
+		})
+	}
+	return pts
+}

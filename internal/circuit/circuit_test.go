@@ -1,0 +1,251 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func mustModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Coupling = 0 },
+		func(p *Params) { p.Coupling = 1 },
+		func(p *Params) { p.TauSense = 0 },
+		func(p *Params) { p.StepNs = 0 },
+		func(p *Params) { p.ChargeShareDelay = -1 },
+		func(p *Params) { p.LeakBeta = 0 },
+		func(p *Params) { p.LeakBeta = 1.5 },
+		func(p *Params) { p.ReadyDelta = 0 },
+		func(p *Params) { p.RestoreDelta = 0.2 }, // <= ReadyDelta
+		func(p *Params) { p.RestoreDelta = 0.6 },
+		func(p *Params) { p.Vdd = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if _, err := NewModel(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewModel(DefaultParams()); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+}
+
+func TestCellVoltageDecaysMonotonically(t *testing.T) {
+	m := mustModel(t)
+	if v := m.CellVoltage(0); v != 1.0 {
+		t.Errorf("fresh cell voltage = %g, want 1", v)
+	}
+	prev := 1.0
+	for _, d := range []float64{0.1, 1, 4, 16, 64, 256} {
+		v := m.CellVoltage(d)
+		if v >= prev {
+			t.Errorf("voltage not decreasing at %g ms: %g >= %g", d, v, prev)
+		}
+		if v <= 0.5 {
+			t.Errorf("voltage at %g ms fell to %g (<= Vdd/2)", d, v)
+		}
+		prev = v
+	}
+}
+
+// TestTable2Timings checks the paper's Table 2 in nanoseconds:
+//
+//	duration  tRCD  tRAS
+//	baseline  13.75 35
+//	1 ms       8    22
+//	4 ms       9    24
+//	16 ms     11    28
+func TestTable2Timings(t *testing.T) {
+	m := mustModel(t)
+	cases := []struct {
+		durMs      float64
+		rcd, ras   float64
+		toleranceN float64
+	}{
+		{1, 8, 22, 0.5},
+		{4, 9, 24, 0.5},
+		{16, 11, 28, 0.5},
+		{64, 13.75, 35, 0.5}, // worst case must match the DDR3 spec
+	}
+	for _, c := range cases {
+		rcd, ras := m.ActivateLatency(c.durMs)
+		if math.Abs(rcd-c.rcd) > c.toleranceN {
+			t.Errorf("%g ms: tRCD = %.2f ns, paper says %.2f", c.durMs, rcd, c.rcd)
+		}
+		if math.Abs(ras-c.ras) > c.toleranceN {
+			t.Errorf("%g ms: tRAS = %.2f ns, paper says %.2f", c.durMs, ras, c.ras)
+		}
+	}
+}
+
+// TestFigure6Reductions checks the headline Figure 6 numbers: a
+// fully-charged cell reaches ready-to-access and full restoration several
+// ns before the worst-case cell.
+func TestFigure6Reductions(t *testing.T) {
+	m := mustModel(t)
+	rcdFull, rasFull := m.ActivateLatency(0.001) // effectively fresh
+	rcdWorst, rasWorst := m.ActivateLatency(64)
+	rcdRed := rcdWorst - rcdFull
+	rasRed := rasWorst - rasFull
+	// The paper reports 4.5 ns / 9.6 ns vs its Figure 6 calibration; our
+	// model is calibrated to Table 2, which implies somewhat larger
+	// full-charge reductions. Require the right order of magnitude and
+	// ordering.
+	if rcdRed < 3 || rcdRed > 9 {
+		t.Errorf("full-charge tRCD reduction = %.2f ns, want 3-9", rcdRed)
+	}
+	if rasRed < 7 || rasRed > 18 {
+		t.Errorf("full-charge tRAS reduction = %.2f ns, want 7-18", rasRed)
+	}
+	if rasRed <= rcdRed {
+		t.Errorf("tRAS reduction (%.2f) should exceed tRCD reduction (%.2f)", rasRed, rcdRed)
+	}
+}
+
+func TestActivateLatencyMonotonicInAge(t *testing.T) {
+	m := mustModel(t)
+	prevRCD, prevRAS := 0.0, 0.0
+	for _, d := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64} {
+		rcd, ras := m.ActivateLatency(d)
+		if rcd < prevRCD || ras < prevRAS {
+			t.Errorf("latency not monotone at %g ms: rcd %g ras %g", d, rcd, ras)
+		}
+		if ras <= rcd {
+			t.Errorf("tRAS (%g) <= tRCD (%g) at %g ms", ras, rcd, d)
+		}
+		prevRCD, prevRAS = rcd, ras
+	}
+}
+
+func TestTimingsForConversion(t *testing.T) {
+	m := mustModel(t)
+	spec := dram.DDR31600(1)
+	row, err := m.TimingsFor(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 ns / 22 ns at 1.25 ns per cycle -> 7 / 18 cycles. The paper uses
+	// a slightly conservative 4/8-cycle reduction (7/20); accept 7 and
+	// 17-20 for tRAS.
+	if row.Class.RCD != 7 {
+		t.Errorf("1ms tRCD = %d cycles, want 7", row.Class.RCD)
+	}
+	if row.Class.RAS < 17 || row.Class.RAS > 20 {
+		t.Errorf("1ms tRAS = %d cycles, want 17-20", row.Class.RAS)
+	}
+	if _, err := m.TimingsFor(spec, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	// Very long durations clamp to the spec class.
+	long, err := m.TimingsFor(spec, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Class != spec.Timing.DefaultClass() {
+		t.Errorf("500ms class = %+v, want clamped to spec", long.Class)
+	}
+}
+
+func TestTable2Builder(t *testing.T) {
+	m := mustModel(t)
+	spec := dram.DDR31600(1)
+	rows, err := m.Table2(spec, []float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want baseline + 3", len(rows))
+	}
+	if rows[0].Class != spec.Timing.DefaultClass() {
+		t.Error("baseline row wrong")
+	}
+	for i := 2; i < len(rows); i++ {
+		if rows[i].TRCDNs < rows[i-1].TRCDNs || rows[i].TRASNs < rows[i-1].TRASNs {
+			t.Errorf("Table 2 not monotone at row %d", i)
+		}
+	}
+	if _, err := m.Table2(spec, []float64{-1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestNUATBins(t *testing.T) {
+	m := mustModel(t)
+	spec := dram.DDR31600(1)
+	bins, err := m.NUATBins(spec, DefaultNUATBoundsMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d, want 5", len(bins))
+	}
+	// The last bin (64 ms) must be the spec class; earlier bins must be
+	// at least as fast, and ages ascending.
+	last := bins[len(bins)-1]
+	if last.Class != spec.Timing.DefaultClass() {
+		t.Errorf("oldest bin class = %+v, want spec", last.Class)
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i].MaxAge <= bins[i-1].MaxAge {
+			t.Error("bins not ascending")
+		}
+		if bins[i].Class.RCD < bins[i-1].Class.RCD || bins[i].Class.RAS < bins[i-1].Class.RAS {
+			t.Error("older bin faster than younger")
+		}
+	}
+	if _, err := m.NUATBins(spec, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestBitlineSeriesShape(t *testing.T) {
+	m := mustModel(t)
+	full := m.BitlineSeries(0.001, 0.5, 40)
+	worst := m.BitlineSeries(64, 0.5, 40)
+	if len(full) != len(worst) || len(full) == 0 {
+		t.Fatal("series lengths differ or empty")
+	}
+	vdd := m.Params().Vdd
+	// Both start at Vdd/2 and end at Vdd; the fresh cell stays ahead.
+	if math.Abs(full[0].Volts-vdd/2) > 1e-9 {
+		t.Errorf("series starts at %g, want Vdd/2", full[0].Volts)
+	}
+	lastFull := full[len(full)-1]
+	if math.Abs(lastFull.Volts-vdd) > 0.01*vdd {
+		t.Errorf("series ends at %g, want ~Vdd", lastFull.Volts)
+	}
+	crossed := false
+	for i := range full {
+		if full[i].Volts+1e-12 < worst[i].Volts {
+			t.Fatalf("worst-case cell ahead of fresh cell at %g ns", full[i].TimeNs)
+		}
+		if full[i].Volts > worst[i].Volts+1e-9 {
+			crossed = true
+		}
+		if full[i].Volts > vdd+1e-9 {
+			t.Fatalf("voltage exceeded Vdd at %g ns", full[i].TimeNs)
+		}
+	}
+	if !crossed {
+		t.Error("fresh and worst-case curves identical")
+	}
+}
+
+func TestModelParamsAccessor(t *testing.T) {
+	m := mustModel(t)
+	if m.Params().Vdd != 1.5 {
+		t.Errorf("Vdd = %g", m.Params().Vdd)
+	}
+}

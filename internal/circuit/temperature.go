@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Temperature handling (Section 7.1 of the paper).
+//
+// DRAM charge leakage approximately doubles for every 10°C increase.
+// Mechanisms like AL-DRAM exploit *low* temperature to lower timings;
+// ChargeCache instead relies on the charge put into the row by its own
+// recent activation, which holds at the worst-case temperature. The
+// functions here let the harness demonstrate exactly that: the timings
+// TimingsFor derives at the worst-case temperature are what ChargeCache
+// ships with, and AtTemperature shows how retention (and hence
+// refresh-based mechanisms) degrade as temperature rises.
+
+// WorstCaseTempC is the DDR3 operating ceiling the spec timings assume.
+const WorstCaseTempC = 85.0
+
+// leakDoublingC is the temperature increase that doubles leakage.
+const leakDoublingC = 10.0
+
+// AtTemperature returns a model whose leakage is rescaled from the
+// worst-case calibration point to tempC: cooler cells leak slower (the
+// effective retention time constant grows), hotter cells leak faster.
+// The default model is calibrated at the worst case, so
+// AtTemperature(WorstCaseTempC) is an identity.
+func (m *Model) AtTemperature(tempC float64) (*Model, error) {
+	if tempC < -40 || tempC > 125 {
+		return nil, fmt.Errorf("circuit: temperature %g°C outside device range", tempC)
+	}
+	factor := math.Pow(2, (WorstCaseTempC-tempC)/leakDoublingC)
+	p := m.p
+	// "Leakage doubles per 10°C" is a time-axis scaling: a cell at a
+	// temperature with leak factor f reaches in t the state a worst-case
+	// cell reaches in t*f. Scaling the stretched-exponential time
+	// constant by 1/f implements exactly that.
+	p.LeakTauMs *= factor
+	return NewModel(p)
+}
+
+// RetentionAt returns the time (ms) until a cell decays to the voltage a
+// worst-case cell reaches at the retention limit — i.e. the effective
+// retention time at tempC. At the worst case this is the spec's 64 ms;
+// at lower temperatures it is exponentially longer.
+func (m *Model) RetentionAt(tempC float64, specRetentionMs float64) (float64, error) {
+	cooled, err := m.AtTemperature(tempC)
+	if err != nil {
+		return 0, err
+	}
+	target := m.CellVoltage(specRetentionMs)
+	// Invert the stretched exponential of the cooled model.
+	// v = 0.5 + 0.5 exp(-(t/tau)^beta)  =>  t = tau * (-ln(2v-1))^(1/beta)
+	x := 2*target - 1
+	if x <= 0 || x >= 1 {
+		return 0, fmt.Errorf("circuit: target voltage %g out of range", target)
+	}
+	t := cooled.p.LeakTauMs * math.Pow(-math.Log(x), 1/cooled.p.LeakBeta)
+	return t, nil
+}

@@ -1,0 +1,84 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtTemperatureIdentityAtWorstCase(t *testing.T) {
+	m := mustModel(t)
+	same, err := m.AtTemperature(WorstCaseTempC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, a1 := m.ActivateLatency(1)
+	r2, a2 := same.ActivateLatency(1)
+	if math.Abs(r1-r2) > 1e-9 || math.Abs(a1-a2) > 1e-9 {
+		t.Errorf("worst-case temperature changed timings: %g/%g vs %g/%g", r1, a1, r2, a2)
+	}
+}
+
+func TestCoolerCellsLeakSlower(t *testing.T) {
+	m := mustModel(t)
+	cool, err := m.AtTemperature(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the same decay time a cooler cell holds more charge.
+	if cool.CellVoltage(16) <= m.CellVoltage(16) {
+		t.Errorf("45°C cell voltage %g not above 85°C %g", cool.CellVoltage(16), m.CellVoltage(16))
+	}
+	// And activates faster.
+	rcdCool, _ := cool.ActivateLatency(16)
+	rcdHot, _ := m.ActivateLatency(16)
+	if rcdCool >= rcdHot {
+		t.Errorf("45°C tRCD %g not below 85°C %g", rcdCool, rcdHot)
+	}
+}
+
+func TestChargeCacheTimingsHoldAtWorstCase(t *testing.T) {
+	// Section 7.1: the ChargeCache hit timings are derived at the
+	// worst-case temperature, so they are valid at any temperature —
+	// unlike AL-DRAM-style scaling, which needs low temperature.
+	m := mustModel(t)
+	rcdWorst, rasWorst := m.ActivateLatency(1)
+	for _, temp := range []float64{25, 45, 65, WorstCaseTempC} {
+		cooled, err := m.AtTemperature(temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcd, ras := cooled.ActivateLatency(1)
+		if rcd > rcdWorst+1e-9 || ras > rasWorst+1e-9 {
+			t.Errorf("%g°C: %g/%g exceeds worst-case derivation %g/%g", temp, rcd, ras, rcdWorst, rasWorst)
+		}
+	}
+}
+
+func TestRetentionGrowsExponentiallyWhenCooled(t *testing.T) {
+	m := mustModel(t)
+	r85, err := m.RetentionAt(WorstCaseTempC, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r85-64) > 1 {
+		t.Errorf("worst-case retention = %g ms, want ~64", r85)
+	}
+	r75, err := m.RetentionAt(75, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10°C cooler: leakage halves, retention roughly doubles.
+	if r75 < 1.8*r85 || r75 > 2.2*r85 {
+		t.Errorf("75°C retention = %g ms, want ~2x %g", r75, r85)
+	}
+}
+
+func TestAtTemperatureRejectsOutOfRange(t *testing.T) {
+	m := mustModel(t)
+	if _, err := m.AtTemperature(-100); err == nil {
+		t.Error("accepted -100°C")
+	}
+	if _, err := m.AtTemperature(200); err == nil {
+		t.Error("accepted 200°C")
+	}
+}

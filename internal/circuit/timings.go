@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// TimingRow is one row of Table 2: the activation timings that are safe
+// when every hit row is at most DurationMs old.
+type TimingRow struct {
+	DurationMs float64
+	TRCDNs     float64
+	TRASNs     float64
+
+	// Class is the timing pair converted to bus cycles for spec, clamped
+	// to the specification values.
+	Class dram.TimingClass
+}
+
+// TimingsFor returns the lowered timing class safe for rows that were
+// precharged at most durationMs ago, converted to bus cycles of spec.
+// The result never exceeds the specification timings.
+func (m *Model) TimingsFor(spec dram.Spec, durationMs float64) (TimingRow, error) {
+	if durationMs <= 0 {
+		return TimingRow{}, fmt.Errorf("circuit: duration %g ms must be positive", durationMs)
+	}
+	rcdNs, rasNs := m.ActivateLatency(durationMs)
+	row := TimingRow{
+		DurationMs: durationMs,
+		TRCDNs:     rcdNs,
+		TRASNs:     rasNs,
+		Class: dram.TimingClass{
+			RCD: spec.CyclesFromNanos(rcdNs),
+			RAS: spec.CyclesFromNanos(rasNs),
+		},
+	}
+	if row.Class.RCD > spec.Timing.RCD {
+		row.Class.RCD = spec.Timing.RCD
+	}
+	if row.Class.RAS > spec.Timing.RAS {
+		row.Class.RAS = spec.Timing.RAS
+	}
+	return row, nil
+}
+
+// Table2 reproduces the paper's Table 2: the baseline timings plus the
+// lowered timings for the given caching durations (the paper lists 1, 4
+// and 16 ms).
+func (m *Model) Table2(spec dram.Spec, durationsMs []float64) ([]TimingRow, error) {
+	rows := []TimingRow{{
+		DurationMs: 0, // baseline marker
+		TRCDNs:     spec.NanosFromCycles(dram.Cycle(spec.Timing.RCD)),
+		TRASNs:     spec.NanosFromCycles(dram.Cycle(spec.Timing.RAS)),
+		Class:      spec.Timing.DefaultClass(),
+	}}
+	for _, d := range durationsMs {
+		row, err := m.TimingsFor(spec, d)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NUATBins derives the refresh-age bins used by the NUAT comparison
+// point: rows refreshed within each age bound get the timing class that
+// is safe at that bound. The paper's "5PB" configuration is modeled as
+// five bins up to the retention window.
+func (m *Model) NUATBins(spec dram.Spec, boundsMs []float64) ([]core.NUATBin, error) {
+	if len(boundsMs) == 0 {
+		return nil, fmt.Errorf("circuit: need at least one NUAT bound")
+	}
+	var bins []core.NUATBin
+	for _, b := range boundsMs {
+		row, err := m.TimingsFor(spec, b)
+		if err != nil {
+			return nil, err
+		}
+		bins = append(bins, core.NUATBin{
+			MaxAge: spec.MillisecondsToCycles(b),
+			Class:  row.Class,
+		})
+	}
+	return bins, nil
+}
+
+// DefaultNUATBoundsMs are the five refresh-age bins used for NUAT.
+var DefaultNUATBoundsMs = []float64{4, 8, 16, 32, 64}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// InvalidationPolicy selects how ChargeCache expires stale entries.
+type InvalidationPolicy uint8
+
+const (
+	// PeriodicIICEC is the paper's scheme (Section 4.2.3): an
+	// Invalidation Interval Counter (IIC) counts up to C/k cycles, and on
+	// each rollover an Entry Counter (EC) invalidates one entry, so every
+	// entry is cleared once per caching duration C. Cheap (two counters)
+	// but may invalidate an entry prematurely.
+	PeriodicIICEC InvalidationPolicy = iota
+
+	// ExactExpiry stores a per-entry insertion time and treats entries
+	// older than the caching duration as misses. More storage (a
+	// timestamp per entry); used as the ablation comparison point.
+	ExactExpiry
+)
+
+// String implements fmt.Stringer.
+func (p InvalidationPolicy) String() string {
+	if p == ExactExpiry {
+		return "exact-expiry"
+	}
+	return "iic-ec"
+}
+
+// ChargeCacheConfig parameterizes a per-channel ChargeCache.
+type ChargeCacheConfig struct {
+	// Entries is the total HCRAC capacity for this channel instance. The
+	// paper sizes it at 128 entries per core (672 B per core for two
+	// channels); a channel shared by N cores uses N*128.
+	Entries int
+
+	// Assoc is the set associativity (paper: 2-way, LRU).
+	Assoc int
+
+	// Duration is the caching duration in controller cycles: how long a
+	// precharged row is considered highly charged (paper default: 1 ms).
+	Duration dram.Cycle
+
+	// Fast is the lowered timing class applied on a hit (paper default
+	// for 1 ms: tRCD/tRAS reduced by 4/8 bus cycles at 800 MHz).
+	Fast dram.TimingClass
+
+	// Default is the specification timing class applied on a miss.
+	Default dram.TimingClass
+
+	// Unlimited, if true, replaces the HCRAC with an unbounded table
+	// with exact expiry — the "unlimited size" upper-bound configuration
+	// of Figure 9. Entries/Assoc are ignored.
+	Unlimited bool
+
+	// Invalidation selects the expiry scheme (default PeriodicIICEC).
+	Invalidation InvalidationPolicy
+}
+
+// Validate reports configuration errors.
+func (c ChargeCacheConfig) Validate() error {
+	if !c.Unlimited {
+		if c.Entries <= 0 || c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+			return fmt.Errorf("core: bad HCRAC shape: entries=%d assoc=%d", c.Entries, c.Assoc)
+		}
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: caching duration must be positive, got %d", c.Duration)
+	}
+	if c.Fast.RCD <= 0 || c.Fast.RAS <= 0 || c.Fast.RCD > c.Default.RCD || c.Fast.RAS > c.Default.RAS {
+		return fmt.Errorf("core: fast class %+v must be positive and <= default %+v", c.Fast, c.Default)
+	}
+	return nil
+}
+
+// ChargeCache is the paper's mechanism: it tracks recently-precharged
+// (highly-charged) rows in the HCRAC and serves activations that hit in
+// it with the lowered timing class.
+type ChargeCache struct {
+	cfg   ChargeCacheConfig
+	table *hcrac
+
+	// IIC/EC invalidation state (PeriodicIICEC).
+	iic      dram.Cycle // cycles since last entry invalidation
+	interval dram.Cycle // C/k
+	ec       int        // next entry index to invalidate
+	lastTick dram.Cycle
+
+	// Exact-expiry state: insertion time per entry (ExactExpiry), or per
+	// key (Unlimited).
+	insertedAt []dram.Cycle
+	unlimited  map[RowKey]dram.Cycle
+
+	stats Stats
+}
+
+// NewChargeCache builds a ChargeCache; the config must validate.
+func NewChargeCache(cfg ChargeCacheConfig) (*ChargeCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cc := &ChargeCache{cfg: cfg}
+	if cfg.Unlimited {
+		cc.unlimited = make(map[RowKey]dram.Cycle)
+		return cc, nil
+	}
+	t, err := newHCRAC(cfg.Entries, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	cc.table = t
+	switch cfg.Invalidation {
+	case PeriodicIICEC:
+		cc.interval = cfg.Duration / dram.Cycle(cfg.Entries)
+		if cc.interval < 1 {
+			cc.interval = 1
+		}
+	case ExactExpiry:
+		cc.insertedAt = make([]dram.Cycle, cfg.Entries)
+	}
+	return cc, nil
+}
+
+// Name implements Mechanism.
+func (cc *ChargeCache) Name() string { return "ChargeCache" }
+
+// Config returns the configuration the cache was built with.
+func (cc *ChargeCache) Config() ChargeCacheConfig { return cc.cfg }
+
+// OnActivate implements Mechanism: HCRAC lookup; a hit returns the
+// lowered timing class.
+func (cc *ChargeCache) OnActivate(key RowKey, now, _ dram.Cycle) dram.TimingClass {
+	cc.stats.Lookups++
+	if cc.cfg.Unlimited {
+		t, ok := cc.unlimited[key]
+		if ok && now-t <= cc.cfg.Duration {
+			cc.stats.Hits++
+			return cc.cfg.Fast
+		}
+		if ok {
+			delete(cc.unlimited, key)
+			cc.stats.Invalidations++
+		}
+		return cc.cfg.Default
+	}
+
+	base := cc.table.setIndex(key) * cc.cfg.Assoc
+	for w := 0; w < cc.cfg.Assoc; w++ {
+		i := base + w
+		if !cc.table.valid[i] || cc.table.keys[i] != key {
+			continue
+		}
+		if cc.cfg.Invalidation == ExactExpiry && now-cc.insertedAt[i] > cc.cfg.Duration {
+			cc.table.valid[i] = false
+			cc.stats.Invalidations++
+			return cc.cfg.Default
+		}
+		cc.table.tick++
+		cc.table.used[i] = cc.table.tick
+		cc.stats.Hits++
+		return cc.cfg.Fast
+	}
+	return cc.cfg.Default
+}
+
+// OnPrecharge implements Mechanism: the just-closed row is highly charged
+// (the activation restored it), so insert its address.
+func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
+	cc.stats.Inserts++
+	if cc.cfg.Unlimited {
+		cc.unlimited[key] = now
+		return
+	}
+	if cc.cfg.Invalidation == ExactExpiry {
+		// Record the insertion time in the slot the key lands in.
+		if cc.table.insert(key) {
+			cc.stats.Evictions++
+		}
+		base := cc.table.setIndex(key) * cc.cfg.Assoc
+		for w := 0; w < cc.cfg.Assoc; w++ {
+			i := base + w
+			if cc.table.valid[i] && cc.table.keys[i] == key {
+				cc.insertedAt[i] = now
+				break
+			}
+		}
+		return
+	}
+	if cc.table.insert(key) {
+		cc.stats.Evictions++
+	}
+}
+
+// Tick implements Mechanism: advances the IIC and performs the EC walk.
+// The controller calls it once per controller cycle; gaps (e.g. after
+// fast-forward) are handled by catching up on elapsed cycles.
+func (cc *ChargeCache) Tick(now dram.Cycle) {
+	if cc.cfg.Unlimited || cc.cfg.Invalidation != PeriodicIICEC {
+		cc.lastTick = now
+		return
+	}
+	elapsed := now - cc.lastTick
+	if elapsed <= 0 {
+		return
+	}
+	cc.lastTick = now
+	cc.iic += elapsed
+	for cc.iic >= cc.interval {
+		cc.iic -= cc.interval
+		if cc.table.invalidateIndex(cc.ec) {
+			cc.stats.Invalidations++
+		}
+		cc.ec++
+		if cc.ec >= cc.cfg.Entries {
+			cc.ec = 0
+		}
+	}
+}
+
+// Stats implements Mechanism.
+func (cc *ChargeCache) Stats() Stats { return cc.stats }
+
+// ResetStats implements Mechanism.
+func (cc *ChargeCache) ResetStats() { cc.stats = Stats{} }
+
+// Occupancy returns the number of currently valid entries (for tests and
+// introspection).
+func (cc *ChargeCache) Occupancy() int {
+	if cc.cfg.Unlimited {
+		return len(cc.unlimited)
+	}
+	return cc.table.countValid()
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+var (
+	defaultClass = dram.TimingClass{RCD: 11, RAS: 28}
+	fastClass    = dram.TimingClass{RCD: 7, RAS: 20}
+)
+
+func ccConfig() ChargeCacheConfig {
+	return ChargeCacheConfig{
+		Entries:  128,
+		Assoc:    2,
+		Duration: 800_000, // 1 ms at 800 MHz
+		Fast:     fastClass,
+		Default:  defaultClass,
+	}
+}
+
+func mustCC(t *testing.T, cfg ChargeCacheConfig) *ChargeCache {
+	t.Helper()
+	cc, err := NewChargeCache(cfg)
+	if err != nil {
+		t.Fatalf("NewChargeCache: %v", err)
+	}
+	return cc
+}
+
+func TestChargeCacheConfigValidate(t *testing.T) {
+	bad := ccConfig()
+	bad.Entries = 0
+	if _, err := NewChargeCache(bad); err == nil {
+		t.Error("accepted zero entries")
+	}
+	bad = ccConfig()
+	bad.Duration = 0
+	if _, err := NewChargeCache(bad); err == nil {
+		t.Error("accepted zero duration")
+	}
+	bad = ccConfig()
+	bad.Fast = dram.TimingClass{RCD: 12, RAS: 20} // slower than default RCD
+	if _, err := NewChargeCache(bad); err == nil {
+		t.Error("accepted fast class slower than default")
+	}
+	good := ccConfig()
+	good.Unlimited = true
+	good.Entries = 0 // ignored
+	if _, err := NewChargeCache(good); err != nil {
+		t.Errorf("rejected unlimited config: %v", err)
+	}
+}
+
+func TestChargeCacheMissThenHit(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	k := MakeRowKey(0, 2, 100)
+
+	// First activation: miss, default timings.
+	if got := cc.OnActivate(k, 0, 0); got != defaultClass {
+		t.Errorf("first ACT class = %+v, want default", got)
+	}
+	// Row closes: inserted.
+	cc.OnPrecharge(k, 50)
+	// Re-activation shortly after: hit, fast timings.
+	if got := cc.OnActivate(k, 100, 0); got != fastClass {
+		t.Errorf("second ACT class = %+v, want fast", got)
+	}
+	s := cc.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Inserts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestChargeCacheRowNotInsertedBeforePrecharge(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	k := MakeRowKey(0, 0, 1)
+	cc.OnActivate(k, 0, 0)
+	// Second ACT without an intervening PRE (e.g. another bank's row):
+	// still a miss, the row address is only inserted on PRE.
+	if got := cc.OnActivate(k, 10, 0); got != defaultClass {
+		t.Errorf("ACT before any PRE hit: %+v", got)
+	}
+}
+
+func TestChargeCacheIICECInvalidation(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Entries = 4
+	cfg.Assoc = 2
+	cfg.Duration = 400 // C/k = 100 cycles per entry
+	cc := mustCC(t, cfg)
+
+	k := MakeRowKey(0, 1, 9)
+	cc.OnPrecharge(k, 0)
+	if cc.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", cc.Occupancy())
+	}
+	// After a full caching duration of ticks, every entry has been
+	// walked once by EC, so the entry must be gone.
+	for now := dram.Cycle(1); now <= 400; now++ {
+		cc.Tick(now)
+	}
+	if cc.Occupancy() != 0 {
+		t.Errorf("occupancy = %d after full invalidation walk, want 0", cc.Occupancy())
+	}
+	if got := cc.OnActivate(k, 401, 0); got != defaultClass {
+		t.Errorf("ACT after expiry returned %+v, want default", got)
+	}
+	if cc.Stats().Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+}
+
+func TestChargeCacheTickCatchUp(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Entries = 4
+	cfg.Duration = 400
+	cc := mustCC(t, cfg)
+	cc.OnPrecharge(MakeRowKey(0, 0, 1), 0)
+	// One big jump (e.g. after fast-forward) must behave like many
+	// small ticks.
+	cc.Tick(400)
+	if cc.Occupancy() != 0 {
+		t.Errorf("occupancy = %d after catch-up tick, want 0", cc.Occupancy())
+	}
+}
+
+func TestChargeCacheExactExpiry(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Invalidation = ExactExpiry
+	cfg.Duration = 1000
+	cc := mustCC(t, cfg)
+	k := MakeRowKey(0, 0, 3)
+	cc.OnPrecharge(k, 100)
+	if got := cc.OnActivate(k, 1100, 0); got != fastClass {
+		t.Errorf("hit within duration returned %+v", got)
+	}
+	cc.OnPrecharge(k, 1100)
+	if got := cc.OnActivate(k, 2101, 0); got != defaultClass {
+		t.Errorf("stale entry (age 1001) returned %+v, want default", got)
+	}
+	if cc.Stats().Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", cc.Stats().Invalidations)
+	}
+}
+
+func TestChargeCacheUnlimited(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Unlimited = true
+	cc := mustCC(t, cfg)
+	// Insert far more rows than any bounded table would hold.
+	for i := 0; i < 100_000; i++ {
+		cc.OnPrecharge(MakeRowKey(0, i%8, i), dram.Cycle(i))
+	}
+	hits := 0
+	for i := 0; i < 100_000; i++ {
+		if cc.OnActivate(MakeRowKey(0, i%8, i), 150_000, 0) == fastClass {
+			hits++
+		}
+	}
+	// Entries inserted at cycle >= 150000-Duration never expired.
+	if hits != 100_000 {
+		t.Errorf("unlimited hits = %d, want all 100000", hits)
+	}
+	// Expired entries miss and are dropped.
+	cfg2 := ccConfig()
+	cfg2.Unlimited = true
+	cfg2.Duration = 10
+	cc2 := mustCC(t, cfg2)
+	cc2.OnPrecharge(MakeRowKey(0, 0, 1), 0)
+	if cc2.OnActivate(MakeRowKey(0, 0, 1), 11, 0) != defaultClass {
+		t.Error("expired unlimited entry still hit")
+	}
+	if cc2.Occupancy() != 0 {
+		t.Error("expired unlimited entry not removed")
+	}
+}
+
+func TestChargeCacheEvictionsCounted(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Entries = 2
+	cfg.Assoc = 2
+	cc := mustCC(t, cfg)
+	for i := 0; i < 10; i++ {
+		cc.OnPrecharge(MakeRowKey(0, 0, i), dram.Cycle(i))
+	}
+	if cc.Stats().Evictions != 8 {
+		t.Errorf("evictions = %d, want 8", cc.Stats().Evictions)
+	}
+}
+
+func TestChargeCacheResetStatsKeepsContents(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	k := MakeRowKey(0, 0, 1)
+	cc.OnPrecharge(k, 0)
+	cc.ResetStats()
+	if got := cc.Stats(); got != (Stats{}) {
+		t.Errorf("stats after reset = %+v", got)
+	}
+	if cc.OnActivate(k, 10, 0) != fastClass {
+		t.Error("entry lost by ResetStats")
+	}
+}
+
+// Property: ChargeCache never returns a class slower than the default or
+// faster than the fast class, regardless of the operation sequence.
+func TestChargeCacheClassBounds(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	now := dram.Cycle(0)
+	f := func(row uint16, pre bool, gap uint16) bool {
+		now += dram.Cycle(gap)
+		k := MakeRowKey(0, int(row)%8, int(row))
+		if pre {
+			cc.OnPrecharge(k, now)
+			return true
+		}
+		got := cc.OnActivate(k, now, 0)
+		return got == fastClass || got == defaultClass
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with IIC/EC, no entry survives longer than 2x the caching
+// duration (the walk guarantees every entry is cleared once per C; an
+// entry inserted right after its slot was walked lives at most ~C more).
+func TestChargeCacheNoEntryOutlivesTwoDurations(t *testing.T) {
+	cfg := ccConfig()
+	cfg.Entries = 8
+	cfg.Assoc = 2
+	cfg.Duration = 80
+	cc := mustCC(t, cfg)
+	k := MakeRowKey(0, 0, 42)
+	cc.OnPrecharge(k, 0)
+	for now := dram.Cycle(1); now <= 2*cfg.Duration; now++ {
+		cc.Tick(now)
+	}
+	if cc.OnActivate(k, 2*cfg.Duration+1, 0) == fastClass {
+		t.Error("entry survived two caching durations")
+	}
+}
+
+func TestInvalidationPolicyString(t *testing.T) {
+	if PeriodicIICEC.String() != "iic-ec" || ExactExpiry.String() != "exact-expiry" {
+		t.Error("InvalidationPolicy.String misbehaves")
+	}
+}
+
+func TestChargeCacheName(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	if cc.Name() != "ChargeCache" {
+		t.Errorf("Name = %q", cc.Name())
+	}
+	if cc.Config().Entries != 128 {
+		t.Errorf("Config().Entries = %d", cc.Config().Entries)
+	}
+}

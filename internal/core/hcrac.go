@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// hcrac is the Highly-Charged Row Address Cache: a tag-only,
+// set-associative cache of row addresses with LRU replacement (Section
+// 4.2 of the paper). It stores no data — presence of a key means "this
+// row was recently precharged and is still highly charged".
+type hcrac struct {
+	sets  int
+	assoc int
+
+	// Entry storage, indexed by set*assoc+way.
+	keys  []RowKey
+	valid []bool
+	used  []uint64 // LRU timestamps
+
+	tick uint64 // monotonically increasing use counter
+}
+
+func newHCRAC(entries, assoc int) (*hcrac, error) {
+	if entries <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("core: hcrac entries (%d) and assoc (%d) must be positive", entries, assoc)
+	}
+	if entries%assoc != 0 {
+		return nil, fmt.Errorf("core: hcrac entries (%d) must be a multiple of assoc (%d)", entries, assoc)
+	}
+	sets := entries / assoc
+	return &hcrac{
+		sets:  sets,
+		assoc: assoc,
+		keys:  make([]RowKey, entries),
+		valid: make([]bool, entries),
+		used:  make([]uint64, entries),
+	}, nil
+}
+
+func (h *hcrac) entries() int { return h.sets * h.assoc }
+
+// setIndex maps a row key to its set. Rank/bank bits are mixed into the
+// row bits so rows with equal low-order row numbers in different banks do
+// not all collide.
+func (h *hcrac) setIndex(key RowKey) int {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(h.sets))
+}
+
+// lookup reports whether key is present; a hit refreshes its LRU stamp.
+func (h *hcrac) lookup(key RowKey) bool {
+	base := h.setIndex(key) * h.assoc
+	for w := 0; w < h.assoc; w++ {
+		i := base + w
+		if h.valid[i] && h.keys[i] == key {
+			h.tick++
+			h.used[i] = h.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds key, replacing the LRU way if the set is full. It reports
+// whether a valid entry was evicted. Inserting a key already present
+// refreshes it in place.
+func (h *hcrac) insert(key RowKey) (evicted bool) {
+	base := h.setIndex(key) * h.assoc
+	victim := base
+	for w := 0; w < h.assoc; w++ {
+		i := base + w
+		if h.valid[i] && h.keys[i] == key {
+			h.tick++
+			h.used[i] = h.tick
+			return false
+		}
+		if !h.valid[i] {
+			victim = i
+			// Keep scanning: the key might be present in a later way.
+			continue
+		}
+		if h.valid[victim] && h.used[i] < h.used[victim] {
+			victim = i
+		}
+	}
+	evicted = h.valid[victim]
+	h.tick++
+	h.keys[victim] = key
+	h.valid[victim] = true
+	h.used[victim] = h.tick
+	return evicted
+}
+
+// invalidateIndex clears the entry at linear index i (the EC walk). It
+// reports whether a valid entry was removed.
+func (h *hcrac) invalidateIndex(i int) bool {
+	if !h.valid[i] {
+		return false
+	}
+	h.valid[i] = false
+	return true
+}
+
+// invalidateAll clears every entry.
+func (h *hcrac) invalidateAll() {
+	for i := range h.valid {
+		h.valid[i] = false
+	}
+}
+
+// countValid returns the number of valid entries (test/debug helper).
+func (h *hcrac) countValid() int {
+	n := 0
+	for _, v := range h.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

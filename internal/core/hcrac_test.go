@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHCRACRejectsBadShape(t *testing.T) {
+	if _, err := newHCRAC(0, 2); err == nil {
+		t.Error("accepted zero entries")
+	}
+	if _, err := newHCRAC(128, 0); err == nil {
+		t.Error("accepted zero assoc")
+	}
+	if _, err := newHCRAC(127, 2); err == nil {
+		t.Error("accepted entries not multiple of assoc")
+	}
+}
+
+func TestHCRACInsertLookup(t *testing.T) {
+	h, err := newHCRAC(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := MakeRowKey(0, 3, 42)
+	if h.lookup(k) {
+		t.Error("lookup hit on empty cache")
+	}
+	if h.insert(k) {
+		t.Error("insert into empty cache reported eviction")
+	}
+	if !h.lookup(k) {
+		t.Error("lookup miss after insert")
+	}
+	if h.countValid() != 1 {
+		t.Errorf("countValid = %d, want 1", h.countValid())
+	}
+}
+
+func TestHCRACReinsertDoesNotDuplicate(t *testing.T) {
+	h, _ := newHCRAC(8, 2)
+	k := MakeRowKey(0, 0, 7)
+	h.insert(k)
+	h.insert(k)
+	if h.countValid() != 1 {
+		t.Errorf("countValid = %d after re-insert, want 1", h.countValid())
+	}
+}
+
+func TestHCRACLRUEviction(t *testing.T) {
+	// Single-set cache: 2 entries, 2-way.
+	h, _ := newHCRAC(2, 2)
+	a, b, c := MakeRowKey(0, 0, 1), MakeRowKey(0, 0, 2), MakeRowKey(0, 0, 3)
+	h.insert(a)
+	h.insert(b)
+	h.lookup(a) // touch a: b becomes LRU
+	if evicted := h.insert(c); !evicted {
+		t.Error("insert into full set did not evict")
+	}
+	if !h.lookup(a) {
+		t.Error("MRU entry was evicted")
+	}
+	if h.lookup(b) {
+		t.Error("LRU entry survived eviction")
+	}
+	if !h.lookup(c) {
+		t.Error("new entry not present")
+	}
+}
+
+func TestHCRACInvalidateIndex(t *testing.T) {
+	h, _ := newHCRAC(4, 2)
+	k := MakeRowKey(0, 0, 5)
+	h.insert(k)
+	// Find its index and invalidate it.
+	removed := false
+	for i := 0; i < h.entries(); i++ {
+		if h.valid[i] && h.keys[i] == k {
+			if !h.invalidateIndex(i) {
+				t.Error("invalidateIndex returned false for valid entry")
+			}
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatal("inserted key not found in table")
+	}
+	if h.lookup(k) {
+		t.Error("lookup hit after invalidation")
+	}
+	if h.invalidateIndex(0) && h.countValid() != 0 {
+		t.Error("invalidating empty entry claimed removal")
+	}
+}
+
+func TestHCRACInvalidateAll(t *testing.T) {
+	h, _ := newHCRAC(16, 2)
+	for i := 0; i < 16; i++ {
+		h.insert(MakeRowKey(0, i%8, i))
+	}
+	h.invalidateAll()
+	if h.countValid() != 0 {
+		t.Errorf("countValid = %d after invalidateAll", h.countValid())
+	}
+}
+
+// Property: after inserting any sequence of keys, every key that was
+// inserted and not displaced is findable, and occupancy never exceeds
+// capacity.
+func TestHCRACOccupancyBound(t *testing.T) {
+	f := func(rows []uint16) bool {
+		h, _ := newHCRAC(32, 2)
+		for _, r := range rows {
+			h.insert(MakeRowKey(0, int(r)%8, int(r)))
+		}
+		return h.countValid() <= 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a freshly inserted key is always findable immediately (it
+// cannot be the victim of its own insertion).
+func TestHCRACInsertThenLookupAlwaysHits(t *testing.T) {
+	h, _ := newHCRAC(8, 2)
+	f := func(rank uint8, bank uint8, row uint16) bool {
+		k := MakeRowKey(int(rank%2), int(bank%8), int(row))
+		h.insert(k)
+		return h.lookup(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: setIndex is deterministic and in range.
+func TestHCRACSetIndexInRange(t *testing.T) {
+	h, _ := newHCRAC(64, 2)
+	f := func(k uint64) bool {
+		i := h.setIndex(RowKey(k))
+		j := h.setIndex(RowKey(k))
+		return i == j && i >= 0 && i < h.sets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyPackUnpack(t *testing.T) {
+	f := func(rank uint8, bank uint8, row uint32) bool {
+		r, b, ro := int(rank%4), int(bank%16), int(row%(1<<20))
+		k := MakeRowKey(r, b, ro)
+		return k.Rank() == r && k.Bank() == b && k.Row() == ro
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyString(t *testing.T) {
+	k := MakeRowKey(1, 5, 1234)
+	if got, want := k.String(), "r1/b5/row1234"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

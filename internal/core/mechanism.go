@@ -1,0 +1,188 @@
+// Package core implements the paper's primary contribution: activation-
+// latency mechanisms that live in the memory controller and choose, for
+// every ACT command, which timing class (tRCD, tRAS) to apply.
+//
+// The mechanisms provided are:
+//
+//   - Baseline: always the DDR3 specification timings.
+//   - ChargeCache: the paper's proposal. A small tag-only cache in the
+//     memory controller (the Highly-Charged Row Address Cache, HCRAC)
+//     remembers rows that were recently precharged; a subsequent ACT that
+//     hits in the HCRAC within the caching duration is issued with
+//     lowered tRCD/tRAS, because the row's cells are still highly
+//     charged from the previous activation.
+//   - NUAT (Shin et al., HPCA 2014): rows refreshed recently are highly
+//     charged, so activations are binned by time-since-last-refresh.
+//   - ChargeCacheNUAT: the combination (best class of the two).
+//   - LLDRAM: an idealized low-latency DRAM where every activation uses
+//     the lowered timings (ChargeCache with a 100% hit rate).
+//
+// One mechanism instance serves one channel, mirroring the paper's
+// replication of ChargeCache per memory channel.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// RowKey identifies a DRAM row within one channel (rank, bank, row packed
+// into one integer).
+type RowKey uint64
+
+// MakeRowKey packs (rank, bank, row) into a RowKey.
+func MakeRowKey(rank, bank, row int) RowKey {
+	return RowKey(uint64(rank)<<40 | uint64(bank)<<32 | uint64(uint32(row)))
+}
+
+// Rank extracts the rank from the key.
+func (k RowKey) Rank() int { return int(k >> 40) }
+
+// Bank extracts the bank from the key.
+func (k RowKey) Bank() int { return int(k>>32) & 0xff }
+
+// Row extracts the row from the key.
+func (k RowKey) Row() int { return int(uint32(k)) }
+
+// String implements fmt.Stringer.
+func (k RowKey) String() string {
+	return fmt.Sprintf("r%d/b%d/row%d", k.Rank(), k.Bank(), k.Row())
+}
+
+// Stats counts mechanism events. Lookups and Hits are per-ACT; Inserts
+// are per-PRE; Evictions are capacity replacements; Invalidations are
+// timed removals (IIC/EC walk or expiry).
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Inserts       uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+// HitRate returns Hits/Lookups, or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Mechanism decides the timing class for each activation and observes the
+// command stream to maintain its state. Implementations are per-channel
+// and not safe for concurrent use.
+type Mechanism interface {
+	// Name returns a short identifier ("ChargeCache", "NUAT", ...).
+	Name() string
+
+	// OnActivate is invoked when the controller issues an ACT for the
+	// row identified by key. refreshAge is the time since the row was
+	// last refreshed (used by NUAT; ChargeCache ignores it). It returns
+	// the timing class the ACT must be issued with.
+	OnActivate(key RowKey, now, refreshAge dram.Cycle) dram.TimingClass
+
+	// OnPrecharge is invoked when the controller issues a PRE closing
+	// the row identified by key.
+	OnPrecharge(key RowKey, now dram.Cycle)
+
+	// Tick advances mechanism-internal time by one controller cycle.
+	Tick(now dram.Cycle)
+
+	// Stats returns the event counters accumulated so far.
+	Stats() Stats
+
+	// ResetStats clears the counters (e.g. after warm-up) without
+	// touching mechanism state.
+	ResetStats()
+}
+
+// Baseline is the commodity-DRAM mechanism: every ACT uses the
+// specification timings.
+type Baseline struct {
+	class dram.TimingClass
+	stats Stats
+}
+
+// NewBaseline returns a Baseline issuing every ACT with class.
+func NewBaseline(class dram.TimingClass) *Baseline {
+	return &Baseline{class: class}
+}
+
+// Name implements Mechanism.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// OnActivate implements Mechanism.
+func (b *Baseline) OnActivate(RowKey, dram.Cycle, dram.Cycle) dram.TimingClass {
+	b.stats.Lookups++
+	return b.class
+}
+
+// OnPrecharge implements Mechanism.
+func (b *Baseline) OnPrecharge(RowKey, dram.Cycle) {}
+
+// Tick implements Mechanism.
+func (b *Baseline) Tick(dram.Cycle) {}
+
+// Stats implements Mechanism.
+func (b *Baseline) Stats() Stats { return b.stats }
+
+// ResetStats implements Mechanism.
+func (b *Baseline) ResetStats() { b.stats = Stats{} }
+
+// LLDRAM is the idealized comparison point: every activation, to any row
+// at any time, uses the lowered timing class. It is equivalent to
+// ChargeCache with a 100% hit rate (Section 6 of the paper).
+type LLDRAM struct {
+	fast  dram.TimingClass
+	stats Stats
+}
+
+// NewLLDRAM returns the idealized low-latency DRAM mechanism.
+func NewLLDRAM(fast dram.TimingClass) *LLDRAM {
+	return &LLDRAM{fast: fast}
+}
+
+// Name implements Mechanism.
+func (l *LLDRAM) Name() string { return "LL-DRAM" }
+
+// OnActivate implements Mechanism.
+func (l *LLDRAM) OnActivate(RowKey, dram.Cycle, dram.Cycle) dram.TimingClass {
+	l.stats.Lookups++
+	l.stats.Hits++
+	return l.fast
+}
+
+// OnPrecharge implements Mechanism.
+func (l *LLDRAM) OnPrecharge(RowKey, dram.Cycle) {}
+
+// Tick implements Mechanism.
+func (l *LLDRAM) Tick(dram.Cycle) {}
+
+// Stats implements Mechanism.
+func (l *LLDRAM) Stats() Stats { return l.stats }
+
+// ResetStats implements Mechanism.
+func (l *LLDRAM) ResetStats() { l.stats = Stats{} }
+
+// minClass returns the element-wise minimum of two timing classes (the
+// more aggressive of each parameter). Used by the combined mechanism.
+func minClass(a, b dram.TimingClass) dram.TimingClass {
+	c := a
+	if b.RCD < c.RCD {
+		c.RCD = b.RCD
+	}
+	if b.RAS < c.RAS {
+		c.RAS = b.RAS
+	}
+	return c
+}
+
+// Interface conformance checks.
+var (
+	_ Mechanism = (*Baseline)(nil)
+	_ Mechanism = (*LLDRAM)(nil)
+	_ Mechanism = (*ChargeCache)(nil)
+	_ Mechanism = (*NUAT)(nil)
+	_ Mechanism = (*ChargeCacheNUAT)(nil)
+)

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestBaselineAlwaysDefault(t *testing.T) {
+	b := NewBaseline(defaultClass)
+	for i := 0; i < 10; i++ {
+		if got := b.OnActivate(MakeRowKey(0, 0, i), dram.Cycle(i), 0); got != defaultClass {
+			t.Fatalf("Baseline returned %+v", got)
+		}
+	}
+	if s := b.Stats(); s.Lookups != 10 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	b.OnPrecharge(MakeRowKey(0, 0, 0), 0)
+	b.Tick(1)
+	b.ResetStats()
+	if b.Stats().Lookups != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	if b.Name() != "Baseline" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+func TestLLDRAMAlwaysFast(t *testing.T) {
+	l := NewLLDRAM(fastClass)
+	for i := 0; i < 5; i++ {
+		if got := l.OnActivate(MakeRowKey(0, 0, i), 0, 1<<40); got != fastClass {
+			t.Fatalf("LL-DRAM returned %+v", got)
+		}
+	}
+	if s := l.Stats(); s.Hits != 5 || s.HitRate() != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if l.Name() != "LL-DRAM" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	l.OnPrecharge(MakeRowKey(0, 0, 0), 0)
+	l.Tick(1)
+	l.ResetStats()
+	if l.Stats().Lookups != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate not 0")
+	}
+	s := Stats{Lookups: 4, Hits: 3}
+	if s.HitRate() != 0.75 {
+		t.Errorf("HitRate = %g", s.HitRate())
+	}
+}
+
+func TestMinClass(t *testing.T) {
+	a := dram.TimingClass{RCD: 9, RAS: 25}
+	b := dram.TimingClass{RCD: 7, RAS: 28}
+	got := minClass(a, b)
+	if got.RCD != 7 || got.RAS != 25 {
+		t.Errorf("minClass = %+v", got)
+	}
+}

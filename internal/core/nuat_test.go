@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// nuatBins mirrors the 5-bin configuration used in the evaluation:
+// timings coarsen with refresh age until the last bin is the default.
+func nuatBins() NUATConfig {
+	ms := func(m float64) dram.Cycle { return dram.Cycle(m * 800_000) }
+	return NUATConfig{
+		Bins: []NUATBin{
+			{MaxAge: ms(4), Class: dram.TimingClass{RCD: 8, RAS: 20}},
+			{MaxAge: ms(8), Class: dram.TimingClass{RCD: 8, RAS: 21}},
+			{MaxAge: ms(16), Class: dram.TimingClass{RCD: 9, RAS: 23}},
+			{MaxAge: ms(32), Class: dram.TimingClass{RCD: 10, RAS: 25}},
+			{MaxAge: ms(64), Class: dram.TimingClass{RCD: 11, RAS: 28}},
+		},
+		Default: defaultClass,
+	}
+}
+
+func mustNUAT(t *testing.T) *NUAT {
+	t.Helper()
+	n, err := NewNUAT(nuatBins())
+	if err != nil {
+		t.Fatalf("NewNUAT: %v", err)
+	}
+	return n
+}
+
+func TestNUATConfigValidate(t *testing.T) {
+	bad := nuatBins()
+	bad.Bins = nil
+	if _, err := NewNUAT(bad); err == nil {
+		t.Error("accepted empty bins")
+	}
+	bad = nuatBins()
+	bad.Bins[0], bad.Bins[1] = bad.Bins[1], bad.Bins[0]
+	if _, err := NewNUAT(bad); err == nil {
+		t.Error("accepted unsorted bins")
+	}
+	bad = nuatBins()
+	bad.Bins[2].Class.RCD = 7 // faster than younger bin 1 (RCD 8)
+	if _, err := NewNUAT(bad); err == nil {
+		t.Error("accepted bin faster than a younger bin")
+	}
+	bad = nuatBins()
+	bad.Bins[0].Class.RCD = 99
+	if _, err := NewNUAT(bad); err == nil {
+		t.Error("accepted class slower than default")
+	}
+}
+
+func TestNUATBinsByRefreshAge(t *testing.T) {
+	n := mustNUAT(t)
+	ms := func(m float64) dram.Cycle { return dram.Cycle(m * 800_000) }
+	cases := []struct {
+		age  dram.Cycle
+		want dram.TimingClass
+	}{
+		{ms(1), dram.TimingClass{RCD: 8, RAS: 20}},
+		{ms(4), dram.TimingClass{RCD: 8, RAS: 20}},
+		{ms(5), dram.TimingClass{RCD: 8, RAS: 21}},
+		{ms(12), dram.TimingClass{RCD: 9, RAS: 23}},
+		{ms(30), dram.TimingClass{RCD: 10, RAS: 25}},
+		{ms(60), defaultClass},
+		{ms(100), defaultClass}, // beyond last bin
+	}
+	for _, c := range cases {
+		if got := n.OnActivate(MakeRowKey(0, 0, 1), 0, c.age); got != c.want {
+			t.Errorf("age %d: class = %+v, want %+v", c.age, got, c.want)
+		}
+	}
+}
+
+func TestNUATHitCounting(t *testing.T) {
+	n := mustNUAT(t)
+	n.OnActivate(MakeRowKey(0, 0, 1), 0, 100)          // young: hit
+	n.OnActivate(MakeRowKey(0, 0, 1), 0, 60*800_000)   // default-class bin: miss
+	n.OnActivate(MakeRowKey(0, 0, 1), 0, 1000*800_000) // beyond: miss
+	s := n.Stats()
+	if s.Lookups != 3 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	n.ResetStats()
+	if n.Stats().Lookups != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	if n.Name() != "NUAT" {
+		t.Errorf("Name = %q", n.Name())
+	}
+}
+
+func TestChargeCacheNUATCombination(t *testing.T) {
+	cc := mustCC(t, ccConfig())
+	n := mustNUAT(t)
+	m := NewChargeCacheNUAT(cc, n)
+	if m.Name() != "ChargeCache+NUAT" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	k := MakeRowKey(0, 0, 7)
+
+	// Neither helps: old refresh, not in HCRAC.
+	if got := m.OnActivate(k, 0, 100*800_000); got != defaultClass {
+		t.Errorf("combined miss = %+v", got)
+	}
+	// NUAT helps (young refresh), ChargeCache misses.
+	got := m.OnActivate(k, 10, 800_000) // 1 ms since refresh -> bin 0: 8/20
+	if got != (dram.TimingClass{RCD: 8, RAS: 20}) {
+		t.Errorf("NUAT-only class = %+v", got)
+	}
+	// ChargeCache helps after a PRE: fast class 7/20; combined with NUAT
+	// bin 0 (8/20) the minimum is 7/20.
+	m.OnPrecharge(k, 20)
+	got = m.OnActivate(k, 30, 800_000)
+	if got != (dram.TimingClass{RCD: 7, RAS: 20}) {
+		t.Errorf("combined class = %+v, want {7 20}", got)
+	}
+	s := m.Stats()
+	if s.Lookups != 3 || s.Hits < 1 {
+		t.Errorf("combined stats = %+v", s)
+	}
+	if m.ChargeCacheStats().Hits != 1 {
+		t.Errorf("cc hits = %d", m.ChargeCacheStats().Hits)
+	}
+	if m.NUATStats().Hits != 2 {
+		t.Errorf("nuat hits = %d", m.NUATStats().Hits)
+	}
+	m.Tick(100)
+	m.ResetStats()
+	if m.Stats().Lookups != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}

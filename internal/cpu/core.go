@@ -1,0 +1,254 @@
+// Package cpu implements the trace-driven processor core of the
+// evaluated system (Table 1): 3-wide issue, a 128-entry instruction
+// window, and 8 MSHRs per core, clocked at 4 GHz.
+//
+// Cores consume trace records in Ramulator's cpu-trace shape: a number of
+// non-memory "bubble" instructions, a load address, and an optional
+// writeback address. Bubbles retire at up to the issue width per cycle;
+// loads occupy a window slot until their data returns from the cache
+// hierarchy; writebacks are sent to the memory system without occupying
+// the window.
+package cpu
+
+import "fmt"
+
+// TraceRecord is one unit of work: Bubbles non-memory instructions
+// followed by one load, optionally paired with a writeback that models a
+// dirty line displaced from the upper-level caches by the load's fill.
+type TraceRecord struct {
+	Bubbles int
+	Addr    uint64
+
+	HasWriteback bool
+	WBAddr       uint64
+}
+
+// TraceReader produces an endless stream of trace records. Generators in
+// package workload implement it.
+type TraceReader interface {
+	Next() TraceRecord
+}
+
+// MemPort is the core's connection to the cache hierarchy. Both methods
+// report false when the access cannot be accepted this cycle; the core
+// retries on the next cycle.
+type MemPort interface {
+	// Load issues a read for addr; done runs when data is available.
+	Load(addr uint64, coreID int, done func()) bool
+	// Store issues a writeback for addr (fire and forget).
+	Store(addr uint64, coreID int) bool
+}
+
+// Config parameterizes a core.
+type Config struct {
+	ID         int
+	Width      int // instructions issued and retired per cycle (3)
+	WindowSize int // reorder-window entries (128)
+	MSHRs      int // outstanding loads (8)
+}
+
+// DefaultConfig returns the Table 1 core parameters.
+func DefaultConfig(id int) Config {
+	return Config{ID: id, Width: 3, WindowSize: 128, MSHRs: 8}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.WindowSize <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: width/window/MSHRs must be positive: %+v", c)
+	}
+	return nil
+}
+
+// slot states within the instruction window.
+const (
+	slotDone    uint8 = iota // retired-ready (bubble, or load whose data arrived)
+	slotWaiting              // load waiting for data
+)
+
+// Core is one trace-driven processor core. Not safe for concurrent use.
+type Core struct {
+	cfg   Config
+	trace TraceReader
+	mem   MemPort
+
+	window []uint8 // ring buffer of slot states
+	head   int     // oldest entry
+	tail   int     // next free entry
+	count  int
+
+	inFlight int // loads outstanding (<= MSHRs)
+
+	// Current trace record being issued.
+	haveRec     bool
+	rec         TraceRecord
+	bubblesLeft int
+	loadPending bool
+	wbPending   bool
+
+	retired    uint64
+	cycles     uint64
+	stallFull  uint64 // cycles fully stalled with a full window
+	stallMSHRs uint64 // issue stops due to MSHR exhaustion
+	loadsSent  uint64
+	storesSent uint64
+}
+
+// New builds a core reading from trace and accessing memory through mem.
+func New(cfg Config, trace TraceReader, mem MemPort) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trace == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: trace and mem must be non-nil")
+	}
+	return &Core{
+		cfg:    cfg,
+		trace:  trace,
+		mem:    mem,
+		window: make([]uint8, cfg.WindowSize),
+	}, nil
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.cfg.ID }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Cycles returns the number of executed cycles.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.cycles)
+}
+
+// LoadsSent returns the number of loads issued to the memory hierarchy.
+func (c *Core) LoadsSent() uint64 { return c.loadsSent }
+
+// StoresSent returns the number of writebacks issued.
+func (c *Core) StoresSent() uint64 { return c.storesSent }
+
+// StallCycles returns cycles in which the window was full and nothing
+// retired (a pure memory stall).
+func (c *Core) StallCycles() uint64 { return c.stallFull }
+
+// ResetStats zeroes retired/cycle counters (after warm-up) while leaving
+// the pipeline state intact.
+func (c *Core) ResetStats() {
+	c.retired = 0
+	c.cycles = 0
+	c.stallFull = 0
+	c.stallMSHRs = 0
+	c.loadsSent = 0
+	c.storesSent = 0
+}
+
+// Tick advances the core by one CPU cycle: retire up to Width completed
+// instructions in order, then issue up to Width new ones.
+func (c *Core) Tick() {
+	c.cycles++
+
+	retiredThis := 0
+	for retiredThis < c.cfg.Width && c.count > 0 && c.window[c.head] == slotDone {
+		c.head++
+		if c.head == len(c.window) {
+			c.head = 0
+		}
+		c.count--
+		c.retired++
+		retiredThis++
+	}
+
+	if c.count == len(c.window) && retiredThis == 0 {
+		c.stallFull++
+		return
+	}
+
+	for issued := 0; issued < c.cfg.Width; issued++ {
+		if !c.issueOne() {
+			break
+		}
+	}
+}
+
+// issueOne tries to issue the next instruction; it reports whether
+// anything was issued.
+func (c *Core) issueOne() bool {
+	if c.count == len(c.window) {
+		return false
+	}
+	if !c.haveRec {
+		c.rec = c.trace.Next()
+		c.haveRec = true
+		c.bubblesLeft = c.rec.Bubbles
+		c.loadPending = true
+		c.wbPending = c.rec.HasWriteback
+	}
+	if c.bubblesLeft > 0 {
+		c.pushSlot(slotDone)
+		c.bubblesLeft--
+		return true
+	}
+	// The record's writeback goes out alongside its load; retry until
+	// the memory system accepts it, before issuing the load.
+	if c.wbPending {
+		if !c.mem.Store(c.rec.WBAddr, c.cfg.ID) {
+			return false
+		}
+		c.wbPending = false
+		c.storesSent++
+	}
+	if c.loadPending {
+		if c.inFlight >= c.cfg.MSHRs {
+			c.stallMSHRs++
+			return false
+		}
+		idx := c.tail
+		c.pushSlot(slotWaiting)
+		accepted := c.mem.Load(c.rec.Addr, c.cfg.ID, func() {
+			c.window[idx] = slotDone
+			c.inFlight--
+		})
+		if !accepted {
+			c.popSlot()
+			return false
+		}
+		c.inFlight++
+		c.loadsSent++
+		c.loadPending = false
+		c.haveRec = false
+		return true
+	}
+	// Record had no load component (not produced by current generators,
+	// but legal): consume it.
+	c.haveRec = false
+	return true
+}
+
+func (c *Core) pushSlot(state uint8) {
+	c.window[c.tail] = state
+	c.tail++
+	if c.tail == len(c.window) {
+		c.tail = 0
+	}
+	c.count++
+}
+
+func (c *Core) popSlot() {
+	c.tail--
+	if c.tail < 0 {
+		c.tail = len(c.window) - 1
+	}
+	c.count--
+}
+
+// WindowOccupancy returns the number of occupied window slots.
+func (c *Core) WindowOccupancy() int { return c.count }
+
+// InFlightLoads returns the number of loads awaiting data.
+func (c *Core) InFlightLoads() int { return c.inFlight }

@@ -1,0 +1,264 @@
+package cpu
+
+import "testing"
+
+// scriptTrace replays a fixed list of records, then repeats the last one.
+type scriptTrace struct {
+	recs []TraceRecord
+	i    int
+}
+
+func (s *scriptTrace) Next() TraceRecord {
+	if s.i < len(s.recs) {
+		r := s.recs[s.i]
+		s.i++
+		return r
+	}
+	return s.recs[len(s.recs)-1]
+}
+
+// fakeMem accepts loads/stores and completes loads on demand.
+type fakeMem struct {
+	pending     []func()
+	loads       uint64
+	stores      uint64
+	rejectLoad  bool
+	rejectStore bool
+	latencyZero bool // complete loads immediately
+}
+
+func (m *fakeMem) Load(addr uint64, coreID int, done func()) bool {
+	if m.rejectLoad {
+		return false
+	}
+	m.loads++
+	if m.latencyZero {
+		done()
+		return true
+	}
+	m.pending = append(m.pending, done)
+	return true
+}
+
+func (m *fakeMem) Store(addr uint64, coreID int) bool {
+	if m.rejectStore {
+		return false
+	}
+	m.stores++
+	return true
+}
+
+func (m *fakeMem) completeOne() {
+	if len(m.pending) == 0 {
+		return
+	}
+	done := m.pending[0]
+	m.pending = m.pending[1:]
+	done()
+}
+
+func newCore(t *testing.T, trace TraceReader, mem MemPort) *Core {
+	t.Helper()
+	c, err := New(DefaultConfig(0), trace, mem)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := DefaultConfig(0)
+	bad.Width = 0
+	if _, err := New(bad, &scriptTrace{recs: []TraceRecord{{}}}, &fakeMem{}); err == nil {
+		t.Error("accepted zero width")
+	}
+	if _, err := New(DefaultConfig(0), nil, &fakeMem{}); err == nil {
+		t.Error("accepted nil trace")
+	}
+	if _, err := New(DefaultConfig(0), &scriptTrace{recs: []TraceRecord{{}}}, nil); err == nil {
+		t.Error("accepted nil mem")
+	}
+	if c := DefaultConfig(3); c.ID != 3 || c.Width != 3 || c.WindowSize != 128 || c.MSHRs != 8 {
+		t.Errorf("DefaultConfig = %+v", c)
+	}
+}
+
+func TestBubblesRetireAtWidth(t *testing.T) {
+	// A record with many bubbles and an instantly-completing load.
+	tr := &scriptTrace{recs: []TraceRecord{{Bubbles: 299, Addr: 0x100}}}
+	mem := &fakeMem{latencyZero: true}
+	c := newCore(t, tr, mem)
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	// Width 3, 100 cycles: at most 300 issued; retirement lags issue by
+	// one cycle, so expect close to 3 IPC.
+	if ipc := c.IPC(); ipc < 2.5 || ipc > 3.0 {
+		t.Errorf("IPC = %g, want ~3 for bubble-dominated trace", ipc)
+	}
+}
+
+func TestLoadBlocksRetirement(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{{Bubbles: 0, Addr: 0x40}}}
+	mem := &fakeMem{}
+	c := newCore(t, tr, mem)
+	// With loads never completing, the window fills with waiting loads
+	// (bounded by MSHRs) and retirement stops.
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if c.Retired() != 0 {
+		t.Errorf("retired = %d with no load completions", c.Retired())
+	}
+	if c.InFlightLoads() != DefaultConfig(0).MSHRs {
+		t.Errorf("in-flight = %d, want MSHR limit %d", c.InFlightLoads(), DefaultConfig(0).MSHRs)
+	}
+	// Complete one load: exactly one instruction becomes retirable.
+	mem.completeOne()
+	c.Tick()
+	if c.Retired() != 1 {
+		t.Errorf("retired = %d after one completion", c.Retired())
+	}
+}
+
+func TestMSHRLimitEnforced(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.MSHRs = 2
+	tr := &scriptTrace{recs: []TraceRecord{{Addr: 0x40}}}
+	mem := &fakeMem{}
+	c, err := New(cfg, tr, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if mem.loads != 2 {
+		t.Errorf("loads sent = %d, want MSHR limit 2", mem.loads)
+	}
+}
+
+func TestWritebackAccompaniesLoad(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{
+		{Bubbles: 1, Addr: 0x40, HasWriteback: true, WBAddr: 0x8000},
+	}}
+	mem := &fakeMem{latencyZero: true}
+	c := newCore(t, tr, mem)
+	c.Tick()
+	if mem.stores == 0 {
+		t.Error("no writeback sent")
+	}
+	if c.StoresSent() == 0 || c.LoadsSent() == 0 {
+		t.Errorf("stats: loads=%d stores=%d", c.LoadsSent(), c.StoresSent())
+	}
+}
+
+func TestStoreRejectionRetriesNextCycle(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{
+		{Addr: 0x40, HasWriteback: true, WBAddr: 0x8000},
+	}}
+	mem := &fakeMem{latencyZero: true, rejectStore: true}
+	c := newCore(t, tr, mem)
+	c.Tick()
+	if mem.loads != 0 {
+		t.Error("load issued before its writeback was accepted")
+	}
+	mem.rejectStore = false
+	c.Tick()
+	// The trace repeats, so several records may issue this cycle; each
+	// load must have been preceded by its accepted writeback.
+	if mem.stores == 0 || mem.loads == 0 || mem.stores != mem.loads {
+		t.Errorf("after retry: stores=%d loads=%d, want equal and nonzero", mem.stores, mem.loads)
+	}
+}
+
+func TestLoadRejectionRetries(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{{Addr: 0x40}}}
+	mem := &fakeMem{rejectLoad: true}
+	c := newCore(t, tr, mem)
+	c.Tick()
+	if c.WindowOccupancy() != 0 {
+		t.Error("rejected load left a window slot allocated")
+	}
+	mem.rejectLoad = false
+	c.Tick()
+	if mem.loads == 0 {
+		t.Error("load not retried")
+	}
+}
+
+func TestWindowFullStallCounted(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.WindowSize = 4
+	cfg.MSHRs = 8
+	tr := &scriptTrace{recs: []TraceRecord{{Addr: 0x40}}}
+	mem := &fakeMem{}
+	c, err := New(cfg, tr, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if c.StallCycles() == 0 {
+		t.Error("no full-window stalls with never-completing loads")
+	}
+	if c.WindowOccupancy() != 4 {
+		t.Errorf("occupancy = %d, want full window 4", c.WindowOccupancy())
+	}
+}
+
+func TestInOrderRetirement(t *testing.T) {
+	// Two loads; the second completes first. Retirement must wait for
+	// the first.
+	tr := &scriptTrace{recs: []TraceRecord{
+		{Addr: 0x40},
+		{Addr: 0x80},
+	}}
+	mem := &fakeMem{}
+	c := newCore(t, tr, mem)
+	c.Tick() // issue both loads (width 3)
+	if len(mem.pending) < 2 {
+		t.Fatalf("loads issued = %d, want 2", len(mem.pending))
+	}
+	// Complete the second load only.
+	mem.pending[1]()
+	mem.pending = mem.pending[:1]
+	c.Tick()
+	if c.Retired() != 0 {
+		t.Errorf("retired = %d with the oldest load outstanding", c.Retired())
+	}
+	mem.completeOne()
+	c.Tick()
+	if c.Retired() < 2 {
+		t.Errorf("retired = %d after both completions", c.Retired())
+	}
+}
+
+func TestResetStatsKeepsPipeline(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{{Bubbles: 10, Addr: 0x40}}}
+	mem := &fakeMem{latencyZero: true}
+	c := newCore(t, tr, mem)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	c.ResetStats()
+	if c.Retired() != 0 || c.Cycles() != 0 || c.IPC() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	c.Tick()
+	if c.Cycles() != 1 {
+		t.Error("core stopped ticking after reset")
+	}
+	if c.ID() != 0 {
+		t.Errorf("ID = %d", c.ID())
+	}
+}
+
+func TestIPCZeroWithoutCycles(t *testing.T) {
+	tr := &scriptTrace{recs: []TraceRecord{{Addr: 0x40}}}
+	c := newCore(t, tr, &fakeMem{})
+	if c.IPC() != 0 {
+		t.Error("IPC nonzero before any cycle")
+	}
+}

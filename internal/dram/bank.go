@@ -1,0 +1,105 @@
+package dram
+
+// BankState is the coarse state of one bank's row buffer.
+type BankState uint8
+
+const (
+	// BankPrecharged means no row is open.
+	BankPrecharged BankState = iota
+	// BankActive means a row is open (possibly still within tRCD).
+	BankActive
+)
+
+// String implements fmt.Stringer.
+func (s BankState) String() string {
+	if s == BankPrecharged {
+		return "precharged"
+	}
+	return "active"
+}
+
+// bank tracks one bank's row-buffer state and the earliest cycle at which
+// each command kind may next be issued to it. The per-bank constraints
+// are exactly the DDR3 intra-bank ones:
+//
+//	ACT -> RD/WR   tRCD (from the ACT's timing class)
+//	ACT -> PRE     tRAS (from the ACT's timing class)
+//	ACT -> ACT     tRC
+//	RD  -> PRE     tRTP
+//	WR  -> PRE     tCWL + tBL + tWR
+//	PRE -> ACT     tRP
+type bank struct {
+	state BankState
+	row   int // open row when state == BankActive
+
+	nextACT Cycle
+	nextRD  Cycle
+	nextWR  Cycle
+	nextPRE Cycle
+
+	lastACT      Cycle // issue time of the most recent ACT
+	lastACTClass TimingClass
+}
+
+func (b *bank) reset() {
+	*b = bank{}
+}
+
+// openRow returns the open row and whether the bank is active.
+func (b *bank) openRow() (int, bool) {
+	return b.row, b.state == BankActive
+}
+
+func (b *bank) canACT(now Cycle) bool {
+	return b.state == BankPrecharged && now >= b.nextACT
+}
+
+func (b *bank) canRD(now Cycle, col bool) bool {
+	return b.state == BankActive && now >= b.nextRD
+}
+
+func (b *bank) canWR(now Cycle) bool {
+	return b.state == BankActive && now >= b.nextWR
+}
+
+func (b *bank) canPRE(now Cycle) bool {
+	// Precharging an already-precharged bank is a legal no-op in DDR3,
+	// but the controller never needs it; require an open row.
+	return b.state == BankActive && now >= b.nextPRE
+}
+
+func (b *bank) applyACT(now Cycle, row int, class TimingClass, t Timing) {
+	b.state = BankActive
+	b.row = row
+	b.lastACT = now
+	b.lastACTClass = class
+	b.nextRD = maxCycle(b.nextRD, now+Cycle(class.RCD))
+	b.nextWR = maxCycle(b.nextWR, now+Cycle(class.RCD))
+	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(class.RAS))
+	rc := t.RC
+	if t.RCFromClass && class.RAS+t.RP < rc {
+		rc = class.RAS + t.RP
+	}
+	b.nextACT = maxCycle(b.nextACT, now+Cycle(rc))
+}
+
+func (b *bank) applyRD(now Cycle, t Timing) {
+	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(t.RTP))
+}
+
+func (b *bank) applyWR(now Cycle, t Timing) {
+	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(t.CWL+t.BL+t.WR))
+}
+
+func (b *bank) applyPRE(now Cycle, t Timing) {
+	b.state = BankPrecharged
+	b.row = 0
+	b.nextACT = maxCycle(b.nextACT, now+Cycle(t.RP))
+}
+
+func maxCycle(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

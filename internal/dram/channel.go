@@ -1,0 +1,250 @@
+package dram
+
+import "fmt"
+
+// CommandCounts tallies issued commands, for statistics and the energy
+// model. FastACT counts activations issued with a lowered timing class;
+// RASCycles accumulates the tRAS actually applied to each ACT (the energy
+// model charges restoration current for exactly that long).
+type CommandCounts struct {
+	ACT     uint64
+	FastACT uint64
+	PRE     uint64
+	RD      uint64
+	WR      uint64
+	REF     uint64
+
+	RASCycles uint64
+}
+
+// Channel is one DRAM channel: a set of ranks sharing a command/address
+// bus and a data bus. It is the unit the memory controller drives.
+//
+// Channel is not safe for concurrent use; the simulator drives each
+// channel from a single goroutine.
+type Channel struct {
+	spec  Spec
+	ranks []rank
+
+	// dataBusFree is the first cycle at which a new data burst could
+	// start, together with the rank that last used the bus (for tRTRS).
+	dataBusFree Cycle
+	dataBusRank int
+
+	counts      CommandCounts
+	now         Cycle // last issue or sync time, for accounting
+	accountBase Cycle // start of the current accounting window
+
+	// tracer, if set, observes every issued command (see SetTracer).
+	tracer func(Command, Cycle)
+}
+
+// SetTracer installs fn to observe every issued command (protocol
+// checking, logging). A nil fn removes the tracer.
+func (c *Channel) SetTracer(fn func(Command, Cycle)) { c.tracer = fn }
+
+// NewChannel builds a channel for the given spec. The spec must validate.
+func NewChannel(spec Spec) (*Channel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{spec: spec, dataBusRank: -1}
+	ch.ranks = make([]rank, spec.Geometry.Ranks)
+	for i := range ch.ranks {
+		ch.ranks[i] = newRank(spec.Geometry.Banks)
+	}
+	return ch, nil
+}
+
+// Spec returns the channel's specification.
+func (c *Channel) Spec() Spec { return c.spec }
+
+// Counts returns the commands issued so far.
+func (c *Channel) Counts() CommandCounts { return c.counts }
+
+// OpenRow reports the open row in (rank, bank), if any.
+func (c *Channel) OpenRow(rankID, bankID int) (row int, open bool) {
+	return c.ranks[rankID].banks[bankID].openRow()
+}
+
+// BankState returns the state of a bank.
+func (c *Channel) BankState(rankID, bankID int) BankState {
+	return c.ranks[rankID].banks[bankID].state
+}
+
+// EarliestActivate returns the earliest cycle at which the bank itself
+// could accept another ACT (the same-bank tRC/tRP bound; rank-level
+// constraints excluded). Schedulers use it to avoid precharging a row
+// earlier than it can possibly help the next activation.
+func (c *Channel) EarliestActivate(rankID, bankID int) Cycle {
+	return c.ranks[rankID].banks[bankID].nextACT
+}
+
+// Refreshing reports whether the rank is inside a tRFC refresh window.
+func (c *Channel) Refreshing(rankID int, now Cycle) bool {
+	return c.ranks[rankID].refreshing(now)
+}
+
+// AllBanksPrecharged reports whether every bank of the rank is closed.
+func (c *Channel) AllBanksPrecharged(rankID int) bool {
+	return c.ranks[rankID].allPrecharged()
+}
+
+// CanIssue reports whether cmd may legally issue at cycle now.
+func (c *Channel) CanIssue(cmd Command, now Cycle) bool {
+	if cmd.Rank < 0 || cmd.Rank >= len(c.ranks) {
+		return false
+	}
+	r := &c.ranks[cmd.Rank]
+	switch cmd.Kind {
+	case CmdACT:
+		if cmd.Bank < 0 || cmd.Bank >= len(r.banks) ||
+			cmd.Row < 0 || cmd.Row >= c.spec.Geometry.Rows {
+			return false
+		}
+		return r.canACT(now) && r.banks[cmd.Bank].canACT(now)
+	case CmdPRE:
+		if cmd.Bank < 0 || cmd.Bank >= len(r.banks) {
+			return false
+		}
+		return !r.refreshing(now) && r.banks[cmd.Bank].canPRE(now)
+	case CmdRD:
+		if !c.colOK(cmd, now) || now < r.nextRD {
+			return false
+		}
+		return r.banks[cmd.Bank].canRD(now, true) && c.busFreeFor(now+Cycle(c.spec.Timing.CL), cmd.Rank)
+	case CmdWR:
+		if !c.colOK(cmd, now) || now < r.nextWR {
+			return false
+		}
+		return r.banks[cmd.Bank].canWR(now) && c.busFreeFor(now+Cycle(c.spec.Timing.CWL), cmd.Rank)
+	case CmdREF:
+		return r.canREF(now)
+	default:
+		return false
+	}
+}
+
+func (c *Channel) colOK(cmd Command, now Cycle) bool {
+	r := &c.ranks[cmd.Rank]
+	if r.refreshing(now) {
+		return false
+	}
+	return cmd.Bank >= 0 && cmd.Bank < len(r.banks) &&
+		cmd.Col >= 0 && cmd.Col < c.spec.Geometry.Columns
+}
+
+// busFreeFor reports whether a data burst starting at start can use the
+// data bus, given the previous burst's occupancy and rank switching.
+func (c *Channel) busFreeFor(start Cycle, rankID int) bool {
+	free := c.dataBusFree
+	if c.dataBusRank >= 0 && c.dataBusRank != rankID {
+		free += Cycle(c.spec.Timing.RTRS)
+	}
+	return start >= free
+}
+
+// Issue applies cmd at cycle now. It panics if the command is illegal;
+// callers must gate with CanIssue (an illegal issue is a controller bug,
+// not a runtime condition).
+func (c *Channel) Issue(cmd Command, now Cycle) {
+	if !c.CanIssue(cmd, now) {
+		panic(fmt.Sprintf("dram: illegal %v at cycle %d", cmd, now))
+	}
+	if c.tracer != nil {
+		c.tracer(cmd, now)
+	}
+	t := c.spec.Timing
+	r := &c.ranks[cmd.Rank]
+	r.settle(now)
+	c.now = now
+	switch cmd.Kind {
+	case CmdACT:
+		r.banks[cmd.Bank].applyACT(now, cmd.Row, cmd.Class, t)
+		r.applyACT(now, t)
+		r.openBanks++
+		c.counts.ACT++
+		c.counts.RASCycles += uint64(cmd.Class.RAS)
+		if cmd.Class.RCD < t.RCD || cmd.Class.RAS < t.RAS {
+			c.counts.FastACT++
+		}
+	case CmdPRE:
+		r.banks[cmd.Bank].applyPRE(now, t)
+		r.openBanks--
+		c.counts.PRE++
+	case CmdRD:
+		r.banks[cmd.Bank].applyRD(now, t)
+		r.applyRD(now, t)
+		c.dataBusFree = now + Cycle(t.CL+t.BL)
+		c.dataBusRank = cmd.Rank
+		c.counts.RD++
+	case CmdWR:
+		r.banks[cmd.Bank].applyWR(now, t)
+		r.applyWR(now, t)
+		c.dataBusFree = now + Cycle(t.CWL+t.BL)
+		c.dataBusRank = cmd.Rank
+		c.counts.WR++
+	case CmdREF:
+		r.applyREF(now, t)
+		r.inRefreshWindow = true
+		c.counts.REF++
+	}
+}
+
+// ReadDataAt returns the cycle at which read data issued at issueCycle is
+// fully transferred (end of burst).
+func (c *Channel) ReadDataAt(issueCycle Cycle) Cycle {
+	return issueCycle + Cycle(c.spec.Timing.CL+c.spec.Timing.BL)
+}
+
+// WriteDataAt returns the cycle at which write data issued at issueCycle
+// is fully transferred.
+func (c *Channel) WriteDataAt(issueCycle Cycle) Cycle {
+	return issueCycle + Cycle(c.spec.Timing.CWL+c.spec.Timing.BL)
+}
+
+// SyncAccounting integrates background-state accounting to cycle now.
+// Call once at the end of simulation (and whenever a consistent energy
+// snapshot is needed).
+func (c *Channel) SyncAccounting(now Cycle) {
+	for i := range c.ranks {
+		c.ranks[i].settle(now)
+	}
+	c.now = now
+}
+
+// ResetAccounting zeroes command counts and occupancy integration as of
+// cycle now (used after simulation warm-up). Timing and row-buffer state
+// are preserved.
+func (c *Channel) ResetAccounting(now Cycle) {
+	c.SyncAccounting(now)
+	c.counts = CommandCounts{}
+	for i := range c.ranks {
+		r := &c.ranks[i]
+		r.activeCycles = 0
+		r.refreshCycles = 0
+		r.lastEdge = now
+	}
+	c.now = now
+	c.accountBase = now
+}
+
+// Occupancy summarizes per-channel background state for the power model.
+type Occupancy struct {
+	ActiveCycles  Cycle // cycles with >=1 bank open (outside refresh)
+	RefreshCycles Cycle // cycles inside tRFC windows
+	TotalCycles   Cycle
+}
+
+// Occupancy returns aggregate occupancy across the channel's ranks up to
+// the last SyncAccounting call, covering the current accounting window
+// (since construction or the last ResetAccounting).
+func (c *Channel) Occupancy() Occupancy {
+	var o Occupancy
+	for i := range c.ranks {
+		o.ActiveCycles += c.ranks[i].activeCycles
+		o.RefreshCycles += c.ranks[i].refreshCycles
+	}
+	o.TotalCycles = (c.now - c.accountBase) * Cycle(len(c.ranks))
+	return o
+}

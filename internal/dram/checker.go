@@ -1,0 +1,190 @@
+package dram
+
+import "fmt"
+
+// Checker is an independent DDR3 protocol validator: it re-derives every
+// inter-command constraint from first principles (its own bookkeeping,
+// deliberately structured differently from the bank/rank fast paths) and
+// reports a violation for any command that a real device would reject.
+// Attach it to a Channel with SetTracer and it validates the full
+// command stream; tests use it to cross-check the timing engine against
+// arbitrary controller behaviour.
+type Checker struct {
+	spec Spec
+
+	// Per (rank, bank) command history; index rank*banks+bank.
+	lastACT []Cycle
+	lastRD  []Cycle
+	lastWR  []Cycle
+	lastPRE []Cycle
+	openRow []int
+	isOpen  []bool
+	actRCD  []int // tRCD of the class used by the last ACT
+	actRAS  []int // tRAS of the class used by the last ACT
+
+	// Per rank.
+	rankACTs []([]Cycle) // ACT history for tRRD/tFAW
+	lastREF  []Cycle
+	rankRD   []Cycle
+	rankWR   []Cycle
+
+	violations []string
+}
+
+// NewChecker builds a checker for spec.
+func NewChecker(spec Spec) *Checker {
+	nb := spec.Geometry.Ranks * spec.Geometry.Banks
+	nr := spec.Geometry.Ranks
+	c := &Checker{
+		spec:    spec,
+		lastACT: negCycles(nb), lastRD: negCycles(nb), lastWR: negCycles(nb),
+		lastPRE: negCycles(nb),
+		openRow: make([]int, nb), isOpen: make([]bool, nb),
+		actRCD: make([]int, nb), actRAS: make([]int, nb),
+		rankACTs: make([][]Cycle, nr),
+		lastREF:  negCycles(nr), rankRD: negCycles(nr), rankWR: negCycles(nr),
+	}
+	return c
+}
+
+func negCycles(n int) []Cycle {
+	s := make([]Cycle, n)
+	for i := range s {
+		s[i] = -1 << 40
+	}
+	return s
+}
+
+// Violations returns the violations recorded so far.
+func (c *Checker) Violations() []string {
+	return append([]string(nil), c.violations...)
+}
+
+func (c *Checker) fail(now Cycle, cmd Command, format string, args ...any) {
+	c.violations = append(c.violations,
+		fmt.Sprintf("cycle %d %v: %s", now, cmd, fmt.Sprintf(format, args...)))
+}
+
+// Observe validates one issued command. Call it from a Channel tracer.
+func (c *Checker) Observe(cmd Command, now Cycle) {
+	t := c.spec.Timing
+	b := cmd.Rank*c.spec.Geometry.Banks + cmd.Bank
+	switch cmd.Kind {
+	case CmdACT:
+		if c.isOpen[b] {
+			c.fail(now, cmd, "ACT on open bank (row %d)", c.openRow[b])
+		}
+		if gap := now - c.lastACT[b]; gap < Cycle(c.minRC(b)) {
+			c.fail(now, cmd, "tRC violated: gap %d < %d", gap, c.minRC(b))
+		}
+		if gap := now - c.lastPRE[b]; gap < Cycle(t.RP) {
+			c.fail(now, cmd, "tRP violated: gap %d < %d", gap, t.RP)
+		}
+		for _, prev := range c.rankACTs[cmd.Rank] {
+			if gap := now - prev; gap >= 0 && gap < Cycle(t.RRD) {
+				c.fail(now, cmd, "tRRD violated: gap %d < %d", gap, t.RRD)
+			}
+		}
+		if n := len(c.rankACTs[cmd.Rank]); n >= 4 {
+			if gap := now - c.rankACTs[cmd.Rank][n-4]; gap < Cycle(t.FAW) {
+				c.fail(now, cmd, "tFAW violated: 5th ACT %d cycles after 4-back", gap)
+			}
+		}
+		if gap := now - c.lastREF[cmd.Rank]; gap >= 0 && gap < Cycle(t.RFC) {
+			c.fail(now, cmd, "tRFC violated: ACT %d after REF", gap)
+		}
+		c.lastACT[b] = now
+		c.isOpen[b] = true
+		c.openRow[b] = cmd.Row
+		c.actRCD[b] = cmd.Class.RCD
+		c.actRAS[b] = cmd.Class.RAS
+		c.rankACTs[cmd.Rank] = append(c.rankACTs[cmd.Rank], now)
+		if len(c.rankACTs[cmd.Rank]) > 8 {
+			c.rankACTs[cmd.Rank] = c.rankACTs[cmd.Rank][1:]
+		}
+
+	case CmdRD, CmdWR:
+		if !c.isOpen[b] {
+			c.fail(now, cmd, "column command on closed bank")
+			return
+		}
+		if gap := now - c.lastACT[b]; gap < Cycle(c.actRCD[b]) {
+			c.fail(now, cmd, "tRCD violated: gap %d < %d", gap, c.actRCD[b])
+		}
+		var colGap Cycle
+		if cmd.Kind == CmdRD {
+			colGap = now - c.rankRD[cmd.Rank]
+		} else {
+			colGap = now - c.rankWR[cmd.Rank]
+		}
+		if colGap >= 0 && colGap < Cycle(t.CCD) {
+			c.fail(now, cmd, "tCCD violated: gap %d < %d", colGap, t.CCD)
+		}
+		if cmd.Kind == CmdRD {
+			// Write-to-read: CWL + BL + WTR.
+			if gap := now - c.rankWR[cmd.Rank]; gap >= 0 && gap < Cycle(t.CWL+t.BL+t.WTR) {
+				c.fail(now, cmd, "tWTR violated: gap %d < %d", gap, t.CWL+t.BL+t.WTR)
+			}
+			c.rankRD[cmd.Rank] = now
+			c.lastRD[b] = now
+		} else {
+			// Read-to-write turnaround.
+			if gap := now - c.rankRD[cmd.Rank]; gap >= 0 && gap < Cycle(t.RTW) {
+				c.fail(now, cmd, "tRTW violated: gap %d < %d", gap, t.RTW)
+			}
+			c.rankWR[cmd.Rank] = now
+			c.lastWR[b] = now
+		}
+
+	case CmdPRE:
+		if !c.isOpen[b] {
+			c.fail(now, cmd, "PRE on closed bank")
+			return
+		}
+		if gap := now - c.lastACT[b]; gap < Cycle(c.actRAS[b]) {
+			c.fail(now, cmd, "tRAS violated: gap %d < %d", gap, c.actRAS[b])
+		}
+		if gap := now - c.lastRD[b]; gap >= 0 && gap < Cycle(t.RTP) {
+			c.fail(now, cmd, "tRTP violated: gap %d < %d", gap, t.RTP)
+		}
+		if gap := now - c.lastWR[b]; gap >= 0 && gap < Cycle(t.CWL+t.BL+t.WR) {
+			c.fail(now, cmd, "tWR violated: gap %d < %d", gap, t.CWL+t.BL+t.WR)
+		}
+		c.lastPRE[b] = now
+		c.isOpen[b] = false
+
+	case CmdREF:
+		for bank := 0; bank < c.spec.Geometry.Banks; bank++ {
+			if c.isOpen[cmd.Rank*c.spec.Geometry.Banks+bank] {
+				c.fail(now, cmd, "REF with bank %d open", bank)
+			}
+		}
+		if gap := now - c.lastREF[cmd.Rank]; gap >= 0 && gap < Cycle(t.RFC) {
+			c.fail(now, cmd, "REF inside previous tRFC: gap %d", gap)
+		}
+		// REF also requires tRP since the closing precharges.
+		for bank := 0; bank < c.spec.Geometry.Banks; bank++ {
+			if gap := now - c.lastPRE[cmd.Rank*c.spec.Geometry.Banks+bank]; gap >= 0 && gap < Cycle(t.RP) {
+				c.fail(now, cmd, "REF %d cycles after PRE of bank %d", gap, bank)
+			}
+		}
+		c.lastREF[cmd.Rank] = now
+	}
+}
+
+// minRC returns the ACT-to-ACT minimum implied by the previous ACT's
+// class under the spec's tRC policy.
+func (c *Checker) minRC(b int) int {
+	t := c.spec.Timing
+	if c.actRAS[b] == 0 {
+		return 0 // no previous ACT
+	}
+	if t.RCFromClass {
+		rc := c.actRAS[b] + t.RP
+		if rc > t.RC {
+			rc = t.RC
+		}
+		return rc
+	}
+	return t.RC
+}

@@ -1,0 +1,98 @@
+package dram
+
+import "fmt"
+
+// CommandKind enumerates the DDR3 commands the controller can issue.
+type CommandKind uint8
+
+const (
+	// CmdACT opens (activates) a row in a bank.
+	CmdACT CommandKind = iota
+	// CmdPRE closes (precharges) a bank.
+	CmdPRE
+	// CmdRD reads one cache line (a burst) from the open row.
+	CmdRD
+	// CmdWR writes one cache line (a burst) to the open row.
+	CmdWR
+	// CmdREF refreshes a rank; requires all banks of the rank precharged.
+	CmdREF
+
+	numCommandKinds
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	default:
+		return fmt.Sprintf("CommandKind(%d)", uint8(k))
+	}
+}
+
+// Command is one DDR3 command addressed to a channel's device.
+//
+// Rank/Bank/Row/Col are meaningful per kind: ACT uses Rank,Bank,Row;
+// PRE uses Rank,Bank; RD/WR use Rank,Bank,Col; REF uses Rank only.
+type Command struct {
+	Kind CommandKind
+	Rank int
+	Bank int
+	Row  int
+	Col  int
+
+	// Class is the activation timing class; only meaningful for ACT.
+	Class TimingClass
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdACT:
+		return fmt.Sprintf("ACT r%d b%d row%d (tRCD=%d tRAS=%d)",
+			c.Rank, c.Bank, c.Row, c.Class.RCD, c.Class.RAS)
+	case CmdPRE:
+		return fmt.Sprintf("PRE r%d b%d", c.Rank, c.Bank)
+	case CmdRD:
+		return fmt.Sprintf("RD r%d b%d col%d", c.Rank, c.Bank, c.Col)
+	case CmdWR:
+		return fmt.Sprintf("WR r%d b%d col%d", c.Rank, c.Bank, c.Col)
+	case CmdREF:
+		return fmt.Sprintf("REF r%d", c.Rank)
+	default:
+		return c.Kind.String()
+	}
+}
+
+// Act builds an ACT command.
+func Act(rank, bank, row int, class TimingClass) Command {
+	return Command{Kind: CmdACT, Rank: rank, Bank: bank, Row: row, Class: class}
+}
+
+// Pre builds a PRE command.
+func Pre(rank, bank int) Command {
+	return Command{Kind: CmdPRE, Rank: rank, Bank: bank}
+}
+
+// Read builds a RD command.
+func Read(rank, bank, col int) Command {
+	return Command{Kind: CmdRD, Rank: rank, Bank: bank, Col: col}
+}
+
+// Write builds a WR command.
+func Write(rank, bank, col int) Command {
+	return Command{Kind: CmdWR, Rank: rank, Bank: bank, Col: col}
+}
+
+// Refresh builds a REF command.
+func Refresh(rank int) Command {
+	return Command{Kind: CmdREF, Rank: rank}
+}

@@ -1,0 +1,98 @@
+package dram
+
+import "testing"
+
+// twoRankSpec returns a DDR3 spec with two ranks per channel, to
+// exercise the rank-to-rank data bus switching (tRTRS) paths.
+func twoRankSpec() Spec {
+	s := DDR31600(1)
+	s.Geometry.Ranks = 2
+	return s
+}
+
+func TestTwoRankSpecValidates(t *testing.T) {
+	if err := twoRankSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankToRankSwitchPenalty(t *testing.T) {
+	spec := twoRankSpec()
+	ch, err := NewChannel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := spec.Timing
+	cls := tm.DefaultClass()
+	// Open a row in each rank. Cross-rank ACTs have no tRRD coupling.
+	ch.Issue(Act(0, 0, 1, cls), 0)
+	if !ch.CanIssue(Act(1, 0, 1, cls), 1) {
+		t.Fatal("cross-rank ACT blocked by tRRD")
+	}
+	ch.Issue(Act(1, 0, 1, cls), 1)
+
+	rd0 := Cycle(tm.RCD)
+	ch.Issue(Read(0, 0, 0), rd0)
+	// A read to the other rank must additionally wait for the bus switch.
+	crossOK := rd0 + Cycle(tm.BL) + Cycle(tm.RTRS)
+	rd1 := Read(1, 0, 0)
+	if ch.CanIssue(rd1, crossOK-1) {
+		t.Error("cross-rank read allowed without tRTRS gap")
+	}
+	if !ch.CanIssue(rd1, crossOK) {
+		t.Error("cross-rank read blocked after tRTRS gap")
+	}
+}
+
+// TestTwoRankRandomSoak stress-drives a two-rank channel with the
+// protocol checker attached: same-rank and cross-rank interleavings must
+// all be legal.
+func TestTwoRankRandomSoak(t *testing.T) {
+	spec := twoRankSpec()
+	ch, err := NewChannel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := NewChecker(spec)
+	ch.SetTracer(chk.Observe)
+
+	rng := uint64(7)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	issued := 0
+	for now := Cycle(0); now < 100_000 && issued < 10_000; now++ {
+		rank := next(2)
+		bankID := next(spec.Geometry.Banks)
+		var cmd Command
+		switch next(8) {
+		case 0, 1:
+			cmd = Act(rank, bankID, next(128), spec.Timing.DefaultClass())
+		case 2, 3:
+			cmd = Read(rank, bankID, next(spec.Geometry.Columns))
+		case 4, 5:
+			cmd = Write(rank, bankID, next(spec.Geometry.Columns))
+		case 6:
+			cmd = Pre(rank, bankID)
+		default:
+			cmd = Refresh(rank)
+		}
+		if ch.CanIssue(cmd, now) {
+			ch.Issue(cmd, now)
+			issued++
+		}
+	}
+	if issued < 500 {
+		t.Fatalf("soak issued only %d commands", issued)
+	}
+	if v := chk.Violations(); len(v) != 0 {
+		t.Errorf("%d violations, first: %s", len(v), v[0])
+	}
+	// Both ranks must have seen refreshes independently.
+	if ch.Counts().REF == 0 {
+		t.Error("no refreshes in soak")
+	}
+}

@@ -1,0 +1,125 @@
+package dram
+
+// rank tracks the rank-level DDR3 constraints:
+//
+//	ACT -> ACT (different banks)  tRRD, and at most 4 ACTs per tFAW
+//	RD/WR -> RD/WR (any bank)     tCCD, plus WTR/RTW bus-turnaround
+//	REF                           all banks precharged; busy for tRFC
+type rank struct {
+	banks []bank
+
+	nextACT Cycle // earliest next ACT to any bank of this rank (tRRD/tFAW/tRFC)
+	nextRD  Cycle // earliest next RD command to this rank
+	nextWR  Cycle // earliest next WR command to this rank
+	nextREF Cycle // earliest next REF (after tRFC of previous, tRC of ACTs...)
+
+	// actWindow holds the issue times of the four most recent ACTs, for
+	// the tFAW sliding-window constraint. actWindowLen counts valid
+	// entries; the oldest entry is at index 0.
+	actWindow    [4]Cycle
+	actWindowLen int
+
+	refreshUntil Cycle // rank is busy refreshing until this cycle
+
+	// Occupancy accounting for the power model: cycles with at least one
+	// bank active vs all banks precharged, plus refresh-busy cycles.
+	openBanks       int
+	lastEdge        Cycle
+	activeCycles    Cycle
+	refreshCycles   Cycle
+	inRefreshWindow bool
+}
+
+func newRank(banks int) rank {
+	return rank{banks: make([]bank, banks)}
+}
+
+// settle closes out an elapsed refresh window and integrates the
+// background-state accounting up to now.
+func (r *rank) settle(now Cycle) {
+	if r.inRefreshWindow && now >= r.refreshUntil {
+		r.accountTo(r.refreshUntil)
+		r.inRefreshWindow = false
+	}
+	r.accountTo(now)
+}
+
+// accountTo integrates the background-state accounting up to now.
+func (r *rank) accountTo(now Cycle) {
+	if now <= r.lastEdge {
+		return
+	}
+	dt := now - r.lastEdge
+	if r.inRefreshWindow {
+		r.refreshCycles += dt
+	} else if r.openBanks > 0 {
+		r.activeCycles += dt
+	}
+	r.lastEdge = now
+}
+
+func (r *rank) allPrecharged() bool {
+	for i := range r.banks {
+		if r.banks[i].state != BankPrecharged {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *rank) refreshing(now Cycle) bool { return now < r.refreshUntil }
+
+func (r *rank) canACT(now Cycle) bool {
+	if r.refreshing(now) || now < r.nextACT {
+		return false
+	}
+	if r.actWindowLen == 4 && now < r.actWindow[0] {
+		return false
+	}
+	return true
+}
+
+func (r *rank) canREF(now Cycle) bool {
+	if r.refreshing(now) || now < r.nextREF || !r.allPrecharged() {
+		return false
+	}
+	// Refresh activates rows internally: every bank must be past its
+	// precharge (tRP) and activate (tRC) windows, like an ACT would be.
+	for i := range r.banks {
+		if now < r.banks[i].nextACT {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *rank) applyACT(now Cycle, t Timing) {
+	r.nextACT = maxCycle(r.nextACT, now+Cycle(t.RRD))
+	// Slide the tFAW window: the entry that falls out constrained us up
+	// to now; the new ACT's window expires at now+tFAW.
+	if r.actWindowLen == 4 {
+		copy(r.actWindow[:], r.actWindow[1:])
+		r.actWindow[3] = now + Cycle(t.FAW)
+	} else {
+		r.actWindow[r.actWindowLen] = now + Cycle(t.FAW)
+		r.actWindowLen++
+	}
+}
+
+func (r *rank) applyRD(now Cycle, t Timing) {
+	r.nextRD = maxCycle(r.nextRD, now+Cycle(t.CCD))
+	r.nextWR = maxCycle(r.nextWR, now+Cycle(t.RTW))
+}
+
+func (r *rank) applyWR(now Cycle, t Timing) {
+	r.nextWR = maxCycle(r.nextWR, now+Cycle(t.CCD))
+	r.nextRD = maxCycle(r.nextRD, now+Cycle(t.CWL+t.BL+t.WTR))
+}
+
+func (r *rank) applyREF(now Cycle, t Timing) {
+	r.refreshUntil = now + Cycle(t.RFC)
+	r.nextACT = maxCycle(r.nextACT, r.refreshUntil)
+	r.nextRD = maxCycle(r.nextRD, r.refreshUntil)
+	r.nextWR = maxCycle(r.nextWR, r.refreshUntil)
+	r.nextREF = r.refreshUntil
+}

@@ -1,0 +1,62 @@
+package dram
+
+// DDR31600 returns the DDR3-1600 specification evaluated in the paper
+// (Table 1): 800 MHz bus, 1 rank/channel, 8 banks/rank, 64K rows/bank,
+// 8 KB row buffer, 64 B cache lines, tRCD/tRAS = 11/28 bus cycles.
+//
+// channels selects the number of channels (the paper uses 1 for
+// single-core and 2 for eight-core configurations).
+func DDR31600(channels int) Spec {
+	return Spec{
+		Geometry: Geometry{
+			Channels:  channels,
+			Ranks:     1,
+			Banks:     8,
+			Rows:      64 * 1024,
+			Columns:   128, // 8 KB row buffer / 64 B lines
+			LineBytes: 64,
+		},
+		Timing: Timing{
+			RCD: 11, // 13.75 ns
+			RAS: 28, // 35 ns
+			RP:  11, // 13.75 ns
+			RC:  39, // 48.75 ns
+
+			CL:  11,
+			CWL: 8,
+			BL:  4, // BL8 at double data rate
+
+			CCD: 4,
+			RRD: 5, // 6.25 ns (tRRD for 8 KB pages, DDR3-1600)
+			FAW: 24,
+
+			RTP: 6,
+			WR:  12, // 15 ns
+			WTR: 6,  // 7.5 ns
+			// Read-to-write turnaround: CL + CCD + 2 - CWL.
+			RTW: 11 + 4 + 2 - 8,
+
+			RTRS: 2,
+
+			RFC:  208,  // 260 ns for a 4 Gb device
+			REFI: 6240, // 7.8 us
+
+			RetentionWindow: 64 * msCycles800,
+			RCFromClass:     true,
+		},
+		BusMHz: 800,
+	}
+}
+
+// msCycles800 is the number of 800 MHz bus cycles in one millisecond.
+const msCycles800 = 800_000
+
+// MillisecondsToCycles converts milliseconds to bus cycles for this spec.
+func (s Spec) MillisecondsToCycles(ms float64) Cycle {
+	return Cycle(ms * float64(s.BusMHz) * 1000.0)
+}
+
+// CyclesToMilliseconds converts bus cycles to milliseconds for this spec.
+func (s Spec) CyclesToMilliseconds(c Cycle) float64 {
+	return float64(c) / (float64(s.BusMHz) * 1000.0)
+}

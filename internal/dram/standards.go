@@ -1,0 +1,64 @@
+package dram
+
+// Additional DRAM standards (Section 7.2 of the paper): ChargeCache
+// applies to any DDR-derived interface that exposes explicit ACT/PRE
+// commands. These presets share the DDR3 constraint structure with the
+// standard's own parameters; the simulator and mechanisms work on them
+// unchanged. (RL-DRAM-style interfaces without ACT/PRE are out of scope,
+// exactly as the paper notes.)
+
+// LPDDR31600 returns an LPDDR3-1600 style specification: same data rate
+// as DDR3-1600 but mobile-oriented timings (slower core: higher tRCD and
+// tRP in nanoseconds) and smaller row buffers (4 KB), per-channel x32.
+func LPDDR31600(channels int) Spec {
+	return Spec{
+		Geometry: Geometry{
+			Channels:  channels,
+			Ranks:     1,
+			Banks:     8,
+			Rows:      32 * 1024,
+			Columns:   64, // 4 KB row buffer
+			LineBytes: 64,
+		},
+		Timing: Timing{
+			RCD: 15, // 18 ns class
+			RAS: 34, // 42.5 ns
+			RP:  15,
+			RC:  49,
+
+			CL:  12,
+			CWL: 6,
+			BL:  4,
+
+			CCD: 4,
+			RRD: 8,
+			FAW: 40,
+
+			RTP: 6,
+			WR:  12,
+			WTR: 6,
+			RTW: 12 + 4 + 2 - 6,
+
+			RTRS: 2,
+
+			RFC:  168,  // 210 ns, 4 Gb LPDDR3
+			REFI: 3120, // 3.9 us (higher refresh rate)
+
+			RetentionWindow: 32 * msCycles800, // 32 ms retention class
+			RCFromClass:     true,
+		},
+		BusMHz: 800,
+	}
+}
+
+// DDR31600LowVoltage returns a DDR3L-1600 style specification: identical
+// timing structure to DDR3-1600 with slightly relaxed activation timings
+// (the 1.35 V part's slower sensing).
+func DDR31600LowVoltage(channels int) Spec {
+	s := DDR31600(channels)
+	s.Timing.RCD = 12 // 15 ns class
+	s.Timing.RP = 12
+	s.Timing.RAS = 30
+	s.Timing.RC = 42
+	return s
+}

@@ -1,0 +1,64 @@
+package dram
+
+import "testing"
+
+func TestOtherStandardsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"LPDDR3", LPDDR31600(1)},
+		{"LPDDR3x2", LPDDR31600(2)},
+		{"DDR3L", DDR31600LowVoltage(2)},
+	} {
+		if err := tc.spec.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestLPDDR3Characteristics(t *testing.T) {
+	lp := LPDDR31600(1)
+	ddr := DDR31600(1)
+	if lp.Timing.RCD <= ddr.Timing.RCD {
+		t.Error("LPDDR3 tRCD should exceed DDR3 (slower mobile core)")
+	}
+	if lp.Geometry.RowBufferBytes() >= ddr.Geometry.RowBufferBytes() {
+		t.Error("LPDDR3 row buffer should be smaller")
+	}
+	if lp.Timing.RetentionWindow >= ddr.Timing.RetentionWindow {
+		t.Error("LPDDR3 retention class should be shorter")
+	}
+	if !lp.Timing.RCFromClass {
+		t.Error("LPDDR3 should derive tRC from class like DDR3")
+	}
+}
+
+func TestDDR3LRelaxedTimings(t *testing.T) {
+	lv := DDR31600LowVoltage(1)
+	std := DDR31600(1)
+	if lv.Timing.RCD <= std.Timing.RCD || lv.Timing.RAS <= std.Timing.RAS {
+		t.Error("DDR3L timings should be relaxed vs DDR3")
+	}
+	if lv.Timing.RC < lv.Timing.RAS+lv.Timing.RP {
+		t.Error("DDR3L tRC inconsistent")
+	}
+}
+
+func TestChannelWorksOnOtherStandards(t *testing.T) {
+	for _, spec := range []Spec{LPDDR31600(1), DDR31600LowVoltage(1)} {
+		ch, err := NewChannel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := NewChecker(spec)
+		ch.SetTracer(chk.Observe)
+		tm := spec.Timing
+		ch.Issue(Act(0, 0, 1, tm.DefaultClass()), 0)
+		ch.Issue(Read(0, 0, 0), Cycle(tm.RCD))
+		ch.Issue(Pre(0, 0), Cycle(tm.RAS))
+		if v := chk.Violations(); len(v) != 0 {
+			t.Errorf("violations: %v", v)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the simulated system. Each FigN function
+// returns the rows of the corresponding plot; cmd/experiments renders
+// them as text tables and the root-level benchmarks report their
+// headline numbers as benchmark metrics.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale controls the simulation budgets. The paper runs 1 B instructions
+// per core after 200 M warm-up cycles; these budgets trade fidelity for
+// runtime (see EXPERIMENTS.md for the effect).
+type Scale struct {
+	WarmupInstructions uint64
+	RunInstructions    uint64
+	Mixes              int // 8-core workload mixes (paper: 20)
+	SweepMixes         int // mixes used in capacity/duration sweeps
+	MixSeed            uint64
+}
+
+// Quick returns a CI-sized scale (~2 min for everything).
+func Quick() Scale {
+	return Scale{
+		WarmupInstructions: 300_000,
+		RunInstructions:    150_000,
+		Mixes:              4,
+		SweepMixes:         2,
+		MixSeed:            42,
+	}
+}
+
+// Default returns the standard scale (~10-15 min for everything).
+func Default() Scale {
+	return Scale{
+		WarmupInstructions: 1_000_000,
+		RunInstructions:    400_000,
+		Mixes:              20,
+		SweepMixes:         5,
+		MixSeed:            42,
+	}
+}
+
+// Long returns a high-fidelity scale (hours).
+func Long() Scale {
+	return Scale{
+		WarmupInstructions: 4_000_000,
+		RunInstructions:    4_000_000,
+		Mixes:              20,
+		SweepMixes:         10,
+		MixSeed:            42,
+	}
+}
+
+// Mechanisms evaluated against the baseline, in presentation order.
+var evaluated = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
+
+// runOne executes one simulation.
+func runOne(cfg sim.Config) (sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run()
+}
+
+func (s Scale) singleConfig(name string) sim.Config {
+	cfg := sim.DefaultConfig(name)
+	cfg.WarmupInstructions = s.WarmupInstructions
+	cfg.RunInstructions = s.RunInstructions
+	return cfg
+}
+
+func (s Scale) mixConfig(mix []string) sim.Config {
+	cfg := sim.DefaultConfig(mix...)
+	cfg.WarmupInstructions = s.WarmupInstructions
+	cfg.RunInstructions = s.RunInstructions
+	return cfg
+}
+
+// RLTLRow is one bar of Figures 3 and 4.
+type RLTLRow struct {
+	Name            string
+	IntervalsMs     []float64
+	Fractions       []float64 // t-RLTL per interval
+	RefreshFraction float64   // "accessed 8ms after refresh"
+	Policy          memctrl.RowPolicy
+}
+
+// Fig3 measures, per workload, the 8 ms RLTL against the fraction of
+// activations within 8 ms of a refresh (Figure 3a single-core, 3b
+// eight-core). The 8 ms entry of Fractions corresponds to the paper's
+// bars. Fig3 rows reuse the Figure 4 interval set, so the same data
+// renders both figures.
+func (s Scale) Fig3(eightCore bool) ([]RLTLRow, error) {
+	if eightCore {
+		return s.rltlRows(workload.EightCoreMixes(s.MixSeed, s.Mixes), memctrl.ClosedRow)
+	}
+	var singles [][]string
+	for _, n := range workload.Names() {
+		singles = append(singles, []string{n})
+	}
+	return s.rltlRows(singles, memctrl.OpenRow)
+}
+
+// Fig4 measures the RLTL interval stack for both row policies (Figure 4).
+func (s Scale) Fig4(eightCore bool, policy memctrl.RowPolicy) ([]RLTLRow, error) {
+	if eightCore {
+		return s.rltlRows(workload.EightCoreMixes(s.MixSeed, s.Mixes), policy)
+	}
+	var singles [][]string
+	for _, n := range workload.Names() {
+		singles = append(singles, []string{n})
+	}
+	return s.rltlRows(singles, policy)
+}
+
+func (s Scale) rltlRows(sets [][]string, policy memctrl.RowPolicy) ([]RLTLRow, error) {
+	var rows []RLTLRow
+	for i, set := range sets {
+		cfg := s.mixConfig(set)
+		if len(set) == 1 {
+			cfg = s.singleConfig(set[0])
+		}
+		cfg.RowPolicy = policy
+		cfg.TrackRLTL = true
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, err
+		}
+		name := set[0]
+		if len(set) > 1 {
+			name = fmt.Sprintf("w%d", i+1)
+		}
+		rows = append(rows, RLTLRow{
+			Name:            name,
+			IntervalsMs:     res.RLTL.IntervalsMs,
+			Fractions:       res.RLTL.Fractions,
+			RefreshFraction: res.RLTL.RefreshFraction,
+			Policy:          policy,
+		})
+	}
+	return rows, nil
+}
+
+// SpeedupRow is one workload (or mix) of Figures 7 and 8.
+type SpeedupRow struct {
+	Name  string
+	RMPKC float64 // baseline row misses per kilo-cycle
+
+	// Speedup maps mechanism -> relative performance gain over baseline
+	// (IPC for single-core, weighted speedup for 8-core).
+	Speedup map[sim.MechanismKind]float64
+
+	// EnergyReduction maps mechanism -> DRAM energy saved vs baseline.
+	EnergyReduction map[sim.MechanismKind]float64
+
+	// HitRate is the ChargeCache HCRAC hit rate.
+	HitRate float64
+}
+
+// Fig7Single produces Figure 7a (plus the Figure 8 single-core energy
+// data): per-workload speedups for NUAT, ChargeCache, ChargeCache+NUAT
+// and LL-DRAM, sorted by ascending baseline RMPKC as in the paper.
+func (s Scale) Fig7Single() ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, name := range workload.Names() {
+		base, err := runOne(s.singleConfig(name))
+		if err != nil {
+			return nil, err
+		}
+		row := SpeedupRow{
+			Name:            name,
+			RMPKC:           base.RMPKC(),
+			Speedup:         map[sim.MechanismKind]float64{},
+			EnergyReduction: map[sim.MechanismKind]float64{},
+		}
+		for _, mech := range evaluated {
+			cfg := s.singleConfig(name)
+			cfg.Mechanism = mech
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[mech] = stats.Speedup(res.PerCore[0].IPC, base.PerCore[0].IPC)
+			row.EnergyReduction[mech] = 1 - res.Energy.Total()/base.Energy.Total()
+			if mech == sim.ChargeCache {
+				row.HitRate = res.HitRate()
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].RMPKC < rows[j].RMPKC })
+	return rows, nil
+}
+
+// Fig7Eight produces Figure 7b (plus Figure 8's eight-core energy data):
+// weighted-speedup gains for the multiprogrammed mixes.
+func (s Scale) Fig7Eight() ([]SpeedupRow, error) {
+	mixes := workload.EightCoreMixes(s.MixSeed, s.Mixes)
+	alone, err := s.aloneIPCs(mixes)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpeedupRow
+	for i, mix := range mixes {
+		aloneVec := make([]float64, len(mix))
+		for c, n := range mix {
+			aloneVec[c] = alone[n]
+		}
+		base, err := runOne(s.mixConfig(mix))
+		if err != nil {
+			return nil, err
+		}
+		wsBase, err := stats.WeightedSpeedup(base.IPCs(), aloneVec)
+		if err != nil {
+			return nil, err
+		}
+		row := SpeedupRow{
+			Name:            fmt.Sprintf("w%d", i+1),
+			RMPKC:           base.RMPKC(),
+			Speedup:         map[sim.MechanismKind]float64{},
+			EnergyReduction: map[sim.MechanismKind]float64{},
+		}
+		for _, mech := range evaluated {
+			cfg := s.mixConfig(mix)
+			cfg.Mechanism = mech
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := stats.WeightedSpeedup(res.IPCs(), aloneVec)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[mech] = stats.Speedup(ws, wsBase)
+			row.EnergyReduction[mech] = 1 - res.Energy.Total()/base.Energy.Total()
+			if mech == sim.ChargeCache {
+				row.HitRate = res.HitRate()
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].RMPKC < rows[j].RMPKC })
+	return rows, nil
+}
+
+// aloneIPCs runs every distinct workload of the mixes alone on the
+// 8-core memory system (2 channels, closed-row), the weighted-speedup
+// denominator.
+func (s Scale) aloneIPCs(mixes [][]string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, mix := range mixes {
+		for _, name := range mix {
+			if _, ok := out[name]; ok {
+				continue
+			}
+			cfg := s.singleConfig(name)
+			cfg.Channels = 2
+			cfg.RowPolicy = memctrl.ClosedRow
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = res.PerCore[0].IPC
+		}
+	}
+	return out, nil
+}
+
+// EnergySummary aggregates Figure 8 from Fig7 rows.
+type EnergySummary struct {
+	AvgReduction map[sim.MechanismKind]float64
+	MaxReduction map[sim.MechanismKind]float64
+}
+
+// Fig8 summarizes DRAM energy reduction (average and maximum over
+// workloads) from previously computed Fig7 rows.
+func Fig8(rows []SpeedupRow) EnergySummary {
+	sum := EnergySummary{
+		AvgReduction: map[sim.MechanismKind]float64{},
+		MaxReduction: map[sim.MechanismKind]float64{},
+	}
+	for _, mech := range evaluated {
+		var vals []float64
+		for _, r := range rows {
+			vals = append(vals, r.EnergyReduction[mech])
+		}
+		sum.AvgReduction[mech] = stats.Mean(vals)
+		sum.MaxReduction[mech] = stats.Max(vals)
+	}
+	return sum
+}
+
+// CapacityRow is one point of Figures 9 and 10.
+type CapacityRow struct {
+	Entries   int // per core; 0 = unlimited
+	HitRate   float64
+	Speedup   float64
+	EightCore bool
+}
+
+// DefaultCapacitySweep lists the per-core entry counts of Figure 9/10.
+var DefaultCapacitySweep = []int{32, 64, 128, 256, 512, 1024}
+
+// Fig9And10 sweeps ChargeCache capacity (entries per core; 0 meaning
+// unlimited) and reports hit rate (Figure 9) and speedup (Figure 10).
+func (s Scale) Fig9And10(eightCore bool, entries []int) ([]CapacityRow, error) {
+	configs, bases, err := s.sweepBases(eightCore)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CapacityRow
+	for _, n := range append(append([]int{}, entries...), 0) {
+		var hit, speedup []float64
+		for i, base := range configs {
+			cfg := base
+			cfg.Mechanism = sim.ChargeCache
+			if n == 0 {
+				cfg.CCUnlimited = true
+			} else {
+				cfg.CCEntriesPerCore = n
+			}
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			hit = append(hit, res.HitRate())
+			speedup = append(speedup, relativePerf(res, bases[i]))
+		}
+		rows = append(rows, CapacityRow{
+			Entries:   n,
+			HitRate:   stats.Mean(hit),
+			Speedup:   stats.Mean(speedup),
+			EightCore: eightCore,
+		})
+	}
+	return rows, nil
+}
+
+// DurationRow is one point of Figure 11.
+type DurationRow struct {
+	DurationMs float64
+	HitRate    float64
+	Speedup    float64
+	EightCore  bool
+}
+
+// DefaultDurationSweepMs lists the caching durations of Figure 11.
+var DefaultDurationSweepMs = []float64{1, 4, 8, 16}
+
+// Fig11 sweeps the caching duration; longer durations raise the hit rate
+// slightly but weaken the timing reduction (Table 2), so performance
+// drops — the paper's argument for the 1 ms default.
+func (s Scale) Fig11(eightCore bool, durationsMs []float64) ([]DurationRow, error) {
+	configs, bases, err := s.sweepBases(eightCore)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DurationRow
+	for _, d := range durationsMs {
+		var hit, speedup []float64
+		for i, base := range configs {
+			cfg := base
+			cfg.Mechanism = sim.ChargeCache
+			cfg.CCDurationMs = d
+			res, err := runOne(cfg)
+			if err != nil {
+				return nil, err
+			}
+			hit = append(hit, res.HitRate())
+			speedup = append(speedup, relativePerf(res, bases[i]))
+		}
+		rows = append(rows, DurationRow{
+			DurationMs: d,
+			HitRate:    stats.Mean(hit),
+			Speedup:    stats.Mean(speedup),
+			EightCore:  eightCore,
+		})
+	}
+	return rows, nil
+}
+
+// sweepBases builds the baseline configs and results for sweeps: a
+// representative subset (all 22 workloads for single-core; SweepMixes
+// mixes for eight-core).
+func (s Scale) sweepBases(eightCore bool) ([]sim.Config, []sim.Result, error) {
+	var configs []sim.Config
+	if eightCore {
+		for _, mix := range workload.EightCoreMixes(s.MixSeed, s.SweepMixes) {
+			configs = append(configs, s.mixConfig(mix))
+		}
+	} else {
+		for _, name := range workload.Names() {
+			configs = append(configs, s.singleConfig(name))
+		}
+	}
+	var bases []sim.Result
+	for _, cfg := range configs {
+		res, err := runOne(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		bases = append(bases, res)
+	}
+	return configs, bases, nil
+}
+
+// relativePerf returns the performance of res relative to base: IPC
+// ratio for one core, total-IPC ratio for many (equal weights — the
+// sweeps compare the same mix against itself, where total IPC and
+// weighted speedup move together).
+func relativePerf(res, base sim.Result) float64 {
+	perf := func(r sim.Result) float64 {
+		total := 0.0
+		for _, pc := range r.PerCore {
+			total += pc.IPC
+		}
+		return total
+	}
+	return stats.Speedup(perf(res), perf(base))
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+)
+
+// tinyScale keeps harness tests fast; it exercises plumbing, not
+// fidelity.
+func tinyScale() Scale {
+	return Scale{
+		WarmupInstructions: 30_000,
+		RunInstructions:    40_000,
+		Mixes:              2,
+		SweepMixes:         1,
+		MixSeed:            7,
+	}
+}
+
+func TestScalePresetsOrdered(t *testing.T) {
+	q, d, l := Quick(), Default(), Long()
+	if !(q.RunInstructions < d.RunInstructions && d.RunInstructions < l.RunInstructions) {
+		t.Error("scales not ordered by instruction budget")
+	}
+	if q.Mixes <= 0 || d.Mixes != 20 || l.Mixes != 20 {
+		t.Error("mix counts wrong")
+	}
+}
+
+func TestFig3SingleCoreRows(t *testing.T) {
+	rows, err := tinyScale().Fig3(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d, want 22 workloads", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Fractions) != len(r.IntervalsMs) {
+			t.Fatalf("%s: fractions/intervals mismatch", r.Name)
+		}
+		for i, f := range r.Fractions {
+			if f < 0 || f > 1 {
+				t.Errorf("%s: fraction[%d] = %g", r.Name, i, f)
+			}
+		}
+		if r.RefreshFraction < 0 || r.RefreshFraction > 1 {
+			t.Errorf("%s: refresh fraction = %g", r.Name, r.RefreshFraction)
+		}
+	}
+}
+
+func TestFig3EightCoreRows(t *testing.T) {
+	rows, err := tinyScale().Fig3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want Mixes", len(rows))
+	}
+	if rows[0].Name != "w1" || rows[1].Name != "w2" {
+		t.Errorf("mix names = %s, %s", rows[0].Name, rows[1].Name)
+	}
+}
+
+func TestFig4PolicyPlumbs(t *testing.T) {
+	s := tinyScale()
+	rows, err := s.Fig4(false, memctrl.ClosedRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Policy != memctrl.ClosedRow {
+		t.Error("policy not recorded")
+	}
+}
+
+func TestFig7SingleShape(t *testing.T) {
+	rows, err := tinyScale().Fig7Single()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted ascending by RMPKC, as the paper plots.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RMPKC < rows[i-1].RMPKC {
+			t.Fatal("rows not sorted by RMPKC")
+		}
+	}
+	for _, r := range rows {
+		for _, mech := range []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM} {
+			if _, ok := r.Speedup[mech]; !ok {
+				t.Fatalf("%s missing %v speedup", r.Name, mech)
+			}
+			if _, ok := r.EnergyReduction[mech]; !ok {
+				t.Fatalf("%s missing %v energy", r.Name, mech)
+			}
+		}
+	}
+}
+
+func TestFig7EightAndFig8(t *testing.T) {
+	rows, err := tinyScale().Fig7Eight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sum := Fig8(rows)
+	for _, mech := range []sim.MechanismKind{sim.ChargeCache, sim.LLDRAM} {
+		if sum.MaxReduction[mech] < sum.AvgReduction[mech] {
+			t.Errorf("%v: max < avg", mech)
+		}
+	}
+}
+
+func TestFig9And10CapacitySweep(t *testing.T) {
+	rows, err := tinyScale().Fig9And10(false, []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 64, 256, unlimited
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[len(rows)-1].Entries != 0 {
+		t.Error("unlimited row missing")
+	}
+	// More capacity cannot reduce the hit rate (modulo tiny noise).
+	if rows[1].HitRate < rows[0].HitRate-0.02 {
+		t.Errorf("hit rate fell with capacity: %v", rows)
+	}
+	if rows[2].HitRate < rows[1].HitRate-0.02 {
+		t.Errorf("unlimited hit rate below bounded: %v", rows)
+	}
+}
+
+func TestFig11DurationSweep(t *testing.T) {
+	rows, err := tinyScale().Fig11(false, []float64{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Longer duration means weaker timing reduction: speedup must not
+	// improve (the Figure 11 trend).
+	if rows[1].Speedup > rows[0].Speedup+0.01 {
+		t.Errorf("16ms speedup %g above 1ms %g", rows[1].Speedup, rows[0].Speedup)
+	}
+}

@@ -1,0 +1,175 @@
+// Package memctrl implements the memory controller of the evaluated
+// system (Table 1 of the paper): per-channel 64-entry read/write request
+// queues, FR-FCFS scheduling, open-row and closed-row policies, a
+// tREFI/tRFC refresh engine with row rotation, and the hook points where
+// a latency mechanism (package core) chooses the timing class of every
+// activation.
+package memctrl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+)
+
+// Coord locates one cache line in the DRAM hierarchy.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// String implements fmt.Stringer.
+func (c Coord) String() string {
+	return fmt.Sprintf("ch%d/r%d/b%d/row%d/col%d", c.Channel, c.Rank, c.Bank, c.Row, c.Col)
+}
+
+// AddrMapper translates physical addresses to DRAM coordinates.
+type AddrMapper interface {
+	Map(addr uint64) Coord
+}
+
+// field identifiers for interleaving orders.
+type mapField uint8
+
+const (
+	fieldChannel mapField = iota
+	fieldRank
+	fieldBank
+	fieldRow
+	fieldColumn
+)
+
+// BitSliceMapper assigns consecutive address-bit fields to DRAM
+// coordinates according to an interleaving order such as "RoBaRaCoCh"
+// (row in the most significant bits, then bank, rank, column, channel —
+// Ramulator's default, which interleaves consecutive lines across
+// channels and keeps a row's lines contiguous within a bank).
+type BitSliceMapper struct {
+	geom   dram.Geometry
+	order  string
+	fields []mapField // LSB-first
+	bits   []uint     // bits per field, LSB-first
+	shift  uint       // line-offset bits
+}
+
+// NewBitSliceMapper builds a mapper for geom. order names the fields
+// MSB-first using the tokens Ro, Ba, Ra, Co, Ch; each must appear exactly
+// once.
+func NewBitSliceMapper(geom dram.Geometry, order string) (*BitSliceMapper, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	tokens := map[string]mapField{
+		"Ro": fieldRow, "Ba": fieldBank, "Ra": fieldRank, "Co": fieldColumn, "Ch": fieldChannel,
+	}
+	sizes := map[mapField]int{
+		fieldChannel: geom.Channels,
+		fieldRank:    geom.Ranks,
+		fieldBank:    geom.Banks,
+		fieldRow:     geom.Rows,
+		fieldColumn:  geom.Columns,
+	}
+	var msbFirst []mapField
+	rest := order
+	for rest != "" {
+		matched := false
+		for tok, f := range tokens {
+			if strings.HasPrefix(rest, tok) {
+				msbFirst = append(msbFirst, f)
+				rest = rest[len(tok):]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("memctrl: bad mapping order %q at %q", order, rest)
+		}
+	}
+	if len(msbFirst) != 5 {
+		return nil, fmt.Errorf("memctrl: mapping order %q must name all five fields once", order)
+	}
+	seen := map[mapField]bool{}
+	m := &BitSliceMapper{geom: geom, order: order, shift: log2(uint64(geom.LineBytes))}
+	for i := len(msbFirst) - 1; i >= 0; i-- { // reverse: LSB-first
+		f := msbFirst[i]
+		if seen[f] {
+			return nil, fmt.Errorf("memctrl: mapping order %q repeats a field", order)
+		}
+		seen[f] = true
+		m.fields = append(m.fields, f)
+		m.bits = append(m.bits, log2(uint64(sizes[f])))
+	}
+	return m, nil
+}
+
+// MustMapper is NewBitSliceMapper that panics on error, for presets.
+func MustMapper(geom dram.Geometry, order string) *BitSliceMapper {
+	m, err := NewBitSliceMapper(geom, order)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Order returns the interleaving order string.
+func (m *BitSliceMapper) Order() string { return m.order }
+
+// Map implements AddrMapper.
+func (m *BitSliceMapper) Map(addr uint64) Coord {
+	a := addr >> m.shift
+	var c Coord
+	for i, f := range m.fields {
+		bits := m.bits[i]
+		v := int(a & ((1 << bits) - 1))
+		a >>= bits
+		switch f {
+		case fieldChannel:
+			c.Channel = v
+		case fieldRank:
+			c.Rank = v
+		case fieldBank:
+			c.Bank = v
+		case fieldRow:
+			c.Row = v
+		case fieldColumn:
+			c.Col = v
+		}
+	}
+	return c
+}
+
+// Unmap is the inverse of Map (used by tests and trace tools).
+func (m *BitSliceMapper) Unmap(c Coord) uint64 {
+	var a uint64
+	for i := len(m.fields) - 1; i >= 0; i-- {
+		bits := m.bits[i]
+		var v uint64
+		switch m.fields[i] {
+		case fieldChannel:
+			v = uint64(c.Channel)
+		case fieldRank:
+			v = uint64(c.Rank)
+		case fieldBank:
+			v = uint64(c.Bank)
+		case fieldRow:
+			v = uint64(c.Row)
+		case fieldColumn:
+			v = uint64(c.Col)
+		}
+		a = a<<bits | v
+	}
+	return a << m.shift
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func TestMapperRejectsBadOrders(t *testing.T) {
+	g := dram.DDR31600(2).Geometry
+	for _, order := range []string{"", "RoBaRaCo", "RoBaRaCoChCh", "RoBaRaCoXx", "RoRoBaRaCo"} {
+		if _, err := NewBitSliceMapper(g, order); err == nil {
+			t.Errorf("order %q accepted", order)
+		}
+	}
+	bad := g
+	bad.Banks = 3
+	if _, err := NewBitSliceMapper(bad, "RoBaRaCoCh"); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestMapperFieldsInRange(t *testing.T) {
+	g := dram.DDR31600(2).Geometry
+	m := MustMapper(g, "RoBaRaCoCh")
+	f := func(addr uint64) bool {
+		c := m.Map(addr % g.TotalBytes())
+		return c.Channel >= 0 && c.Channel < g.Channels &&
+			c.Rank >= 0 && c.Rank < g.Ranks &&
+			c.Bank >= 0 && c.Bank < g.Banks &&
+			c.Row >= 0 && c.Row < g.Rows &&
+			c.Col >= 0 && c.Col < g.Columns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapperRoundTrip(t *testing.T) {
+	g := dram.DDR31600(2).Geometry
+	for _, order := range []string{"RoBaRaCoCh", "RoRaBaCoCh", "RoCoRaBaCh", "ChRaBaRoCo"} {
+		m := MustMapper(g, order)
+		f := func(addr uint64) bool {
+			a := (addr % g.TotalBytes()) &^ uint64(g.LineBytes-1)
+			return m.Unmap(m.Map(a)) == a
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("order %s: %v", order, err)
+		}
+	}
+}
+
+func TestMapperChannelInterleaving(t *testing.T) {
+	g := dram.DDR31600(2).Geometry
+	m := MustMapper(g, "RoBaRaCoCh")
+	// With Ch in the LSBs, consecutive cache lines alternate channels.
+	c0 := m.Map(0)
+	c1 := m.Map(uint64(g.LineBytes))
+	if c0.Channel == c1.Channel {
+		t.Errorf("consecutive lines map to same channel %d", c0.Channel)
+	}
+	// Lines within one channel stride through columns of the same row.
+	c2 := m.Map(2 * uint64(g.LineBytes))
+	if c2.Channel != c0.Channel || c2.Row != c0.Row || c2.Col != c0.Col+1 {
+		t.Errorf("line 2 mapped to %+v, want same row next column of %+v", c2, c0)
+	}
+}
+
+func TestMapperRowInMSBs(t *testing.T) {
+	g := dram.DDR31600(1).Geometry
+	m := MustMapper(g, "RoBaRaCoCh")
+	// One full bank-row stride of addresses: row changes only after
+	// columns x banks x ranks x channels lines.
+	linesPerRow := uint64(g.Columns * g.Banks * g.Ranks * g.Channels)
+	a0 := m.Map(0)
+	a1 := m.Map(linesPerRow * uint64(g.LineBytes))
+	if a1.Row != a0.Row+1 {
+		t.Errorf("row after full stride = %d, want %d", a1.Row, a0.Row+1)
+	}
+	if m.Order() != "RoBaRaCoCh" {
+		t.Errorf("Order = %q", m.Order())
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	c := Coord{Channel: 1, Rank: 0, Bank: 3, Row: 42, Col: 7}
+	if got, want := c.String(), "ch1/r0/b3/row42/col7"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 8: 3, 64: 6, 65536: 16}
+	for v, want := range cases {
+		if got := log2(v); got != want {
+			t.Errorf("log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// Observer receives row-level command events, used by the RLTL analysis
+// (Figures 3 and 4) without coupling the controller to the stats package.
+type Observer interface {
+	// ObserveActivate fires when an ACT issues. refreshAge is the time
+	// since the activated row's last refresh; fast reports whether the
+	// activation used a lowered timing class.
+	ObserveActivate(channel int, key core.RowKey, now, refreshAge dram.Cycle, fast bool)
+	// ObservePrecharge fires when a PRE (or refresh-forced PRE) closes
+	// the row identified by key.
+	ObservePrecharge(channel int, key core.RowKey, now dram.Cycle)
+}
+
+// Config parameterizes one per-channel controller.
+type Config struct {
+	Spec    dram.Spec
+	Channel int // channel index served by this controller
+
+	ReadQueueCap  int // Table 1: 64
+	WriteQueueCap int // Table 1: 64
+
+	RowPolicy RowPolicy
+
+	// Write drain watermarks: the controller switches to draining writes
+	// when the write queue reaches WriteHigh and back to reads at
+	// WriteLow (or when the read queue is empty).
+	WriteHigh int
+	WriteLow  int
+
+	// Mechanism chooses the activation timing class (package core).
+	Mechanism core.Mechanism
+
+	// Observer, if non-nil, receives ACT/PRE events.
+	Observer Observer
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Channel < 0 || c.Channel >= c.Spec.Geometry.Channels {
+		return fmt.Errorf("memctrl: channel %d out of range", c.Channel)
+	}
+	if c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
+		return fmt.Errorf("memctrl: queue capacities must be positive")
+	}
+	if c.WriteHigh <= c.WriteLow || c.WriteHigh > c.WriteQueueCap {
+		return fmt.Errorf("memctrl: bad drain watermarks low=%d high=%d cap=%d",
+			c.WriteLow, c.WriteHigh, c.WriteQueueCap)
+	}
+	if c.Mechanism == nil {
+		return fmt.Errorf("memctrl: mechanism must be set")
+	}
+	return nil
+}
+
+// latencyBuckets is the number of read-latency histogram buckets; each
+// bucket is latencyBucketWidth controller cycles wide, the last bucket
+// collects the tail.
+const (
+	latencyBuckets     = 64
+	latencyBucketWidth = 8
+)
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	ReadsServed  uint64
+	WritesServed uint64
+
+	// ReadLatencySum accumulates (completion - arrival) over served
+	// reads, in controller cycles.
+	ReadLatencySum uint64
+
+	// ReadLatencyHist is a fixed-width histogram of read latencies
+	// (bucket i covers [i*8, i*8+8) cycles; the last bucket is open).
+	ReadLatencyHist [latencyBuckets]uint64
+
+	Activations     uint64
+	FastActivations uint64
+	RowHits         uint64 // request found its row open
+	RowMisses       uint64 // request found the bank precharged
+	RowConflicts    uint64 // request found another row open
+
+	Refreshes uint64
+}
+
+// AvgReadLatency returns the mean read latency in controller cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.ReadsServed == 0 {
+		return 0
+	}
+	return float64(s.ReadLatencySum) / float64(s.ReadsServed)
+}
+
+// ReadLatencyPercentile returns an upper bound on the p-quantile
+// (0 < p <= 1) of read latency in controller cycles, from the histogram.
+func (s Stats) ReadLatencyPercentile(p float64) float64 {
+	if s.ReadsServed == 0 || p <= 0 {
+		return 0
+	}
+	target := uint64(p * float64(s.ReadsServed))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range s.ReadLatencyHist {
+		seen += n
+		if seen >= target {
+			return float64((i + 1) * latencyBucketWidth)
+		}
+	}
+	return float64(latencyBuckets * latencyBucketWidth)
+}
+
+// RowHitRate returns the fraction of classified requests that hit an
+// open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// completion is a scheduled read-data delivery.
+type completion struct {
+	at  dram.Cycle
+	req *Request
+}
+
+// Controller schedules requests for one channel using FR-FCFS: ready
+// column (row-hit) commands first, then the oldest request's next
+// required command. Refresh has priority over everything; writes are
+// serviced in drain mode governed by queue watermarks.
+type Controller struct {
+	cfg Config
+	ch  *dram.Channel
+
+	readQ  []*Request
+	writeQ []*Request
+	drain  bool
+
+	refresh []*refreshEngine // per rank
+
+	// closeIntent marks banks the closed-row policy wants to precharge
+	// (indexed rank*banks+bank).
+	closeIntent []bool
+
+	completions []completion // FIFO: reads complete in issue order
+
+	stats Stats
+	now   dram.Cycle
+}
+
+// NewController builds a controller and its channel device.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch, err := dram.NewChannel(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:         cfg,
+		ch:          ch,
+		closeIntent: make([]bool, cfg.Spec.Geometry.BanksPerChannel()),
+	}
+	for r := 0; r < cfg.Spec.Geometry.Ranks; r++ {
+		c.refresh = append(c.refresh, newRefreshEngine(cfg.Spec, cfg.Channel, r))
+	}
+	return c, nil
+}
+
+// Channel exposes the underlying DRAM channel (counts, occupancy).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// Stats returns the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats clears counters (after warm-up). Queue contents and DRAM
+// state are preserved.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// Mechanism returns the latency mechanism in use.
+func (c *Controller) Mechanism() core.Mechanism { return c.cfg.Mechanism }
+
+// QueuedReads returns the current read queue depth.
+func (c *Controller) QueuedReads() int { return len(c.readQ) }
+
+// QueuedWrites returns the current write queue depth.
+func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+
+// Pending reports whether any request is queued or awaiting completion.
+func (c *Controller) Pending() bool {
+	return len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > 0
+}
+
+// EnqueueRead adds a read request; it reports false when the queue is
+// full (the caller must retry later).
+func (c *Controller) EnqueueRead(req *Request) bool {
+	if len(c.readQ) >= c.cfg.ReadQueueCap {
+		return false
+	}
+	req.Arrive = c.now
+	c.readQ = append(c.readQ, req)
+	return true
+}
+
+// EnqueueWrite adds a write request; it reports false when full.
+func (c *Controller) EnqueueWrite(req *Request) bool {
+	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+		return false
+	}
+	req.Arrive = c.now
+	c.writeQ = append(c.writeQ, req)
+	return true
+}
+
+// Tick advances the controller by one cycle: delivers finished reads,
+// then issues at most one command on the channel's command bus.
+func (c *Controller) Tick(now dram.Cycle) {
+	c.now = now
+	c.cfg.Mechanism.Tick(now)
+	c.deliverCompletions(now)
+
+	if c.serviceRefresh(now) {
+		return
+	}
+	c.updateDrainMode()
+	if c.issueColumnHit(now) {
+		return
+	}
+	if c.cfg.RowPolicy == ClosedRow && c.issueCloseIntent(now) {
+		return
+	}
+	c.issueForOldest(now)
+}
+
+func (c *Controller) deliverCompletions(now dram.Cycle) {
+	for len(c.completions) > 0 && c.completions[0].at <= now {
+		comp := c.completions[0]
+		c.completions = c.completions[1:]
+		lat := uint64(comp.at - comp.req.Arrive)
+		c.stats.ReadLatencySum += lat
+		bucket := lat / latencyBucketWidth
+		if bucket >= latencyBuckets {
+			bucket = latencyBuckets - 1
+		}
+		c.stats.ReadLatencyHist[bucket]++
+		if comp.req.OnComplete != nil {
+			comp.req.OnComplete(comp.at)
+		}
+	}
+}
+
+// serviceRefresh gives absolute priority to due refreshes: it closes open
+// banks of the rank and issues REF when possible. It reports whether a
+// command was issued (or the rank is mid-refresh-preparation).
+func (c *Controller) serviceRefresh(now dram.Cycle) bool {
+	for rank, eng := range c.refresh {
+		if !eng.due(now) {
+			continue
+		}
+		if c.ch.CanIssue(dram.Refresh(rank), now) {
+			c.ch.Issue(dram.Refresh(rank), now)
+			eng.issued(now)
+			c.stats.Refreshes++
+			return true
+		}
+		// Close any open bank so REF can issue.
+		for b := 0; b < c.cfg.Spec.Geometry.Banks; b++ {
+			row, open := c.ch.OpenRow(rank, b)
+			if !open {
+				continue
+			}
+			pre := dram.Pre(rank, b)
+			if c.ch.CanIssue(pre, now) {
+				c.issuePrecharge(pre, row, now)
+				return true
+			}
+		}
+		// Refresh pending but nothing issuable yet (e.g. tRAS running):
+		// stall this rank. With a single rank per channel this blocks
+		// the channel, which matches real controllers' refresh priority.
+		return true
+	}
+	return false
+}
+
+func (c *Controller) updateDrainMode() {
+	switch {
+	case len(c.writeQ) >= c.cfg.WriteHigh:
+		c.drain = true
+	case c.drain && len(c.writeQ) <= c.cfg.WriteLow:
+		c.drain = false
+	case !c.drain && len(c.readQ) == 0 && len(c.writeQ) > 0:
+		// Opportunistic drain when there is nothing else to do.
+		c.drain = true
+	case c.drain && len(c.writeQ) == 0:
+		c.drain = false
+	}
+}
+
+func (c *Controller) activeQueue() *[]*Request {
+	if c.drain {
+		return &c.writeQ
+	}
+	return &c.readQ
+}
+
+// issueColumnHit performs the FR (first-ready) pass: the oldest request
+// whose row is open and whose column command is issuable.
+func (c *Controller) issueColumnHit(now dram.Cycle) bool {
+	q := c.activeQueue()
+	for i, req := range *q {
+		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
+		if !open || row != req.Coord.Row {
+			continue
+		}
+		c.classify(req, row, open)
+		if c.issueColumn(req, now) {
+			c.removeAt(q, i)
+			if c.cfg.RowPolicy == ClosedRow &&
+				!c.anyPendingFor(req.Coord.Rank, req.Coord.Bank, req.Coord.Row) {
+				c.closeIntent[req.Coord.Rank*c.cfg.Spec.Geometry.Banks+req.Coord.Bank] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// issueCloseIntent precharges banks the closed-row policy marked, unless
+// a queued request now wants the open row again.
+func (c *Controller) issueCloseIntent(now dram.Cycle) bool {
+	for idx, want := range c.closeIntent {
+		if !want {
+			continue
+		}
+		rank := idx / c.cfg.Spec.Geometry.Banks
+		bankID := idx % c.cfg.Spec.Geometry.Banks
+		row, open := c.ch.OpenRow(rank, bankID)
+		if !open {
+			c.closeIntent[idx] = false
+			continue
+		}
+		if c.anyPendingFor(rank, bankID, row) {
+			c.closeIntent[idx] = false
+			continue
+		}
+		pre := dram.Pre(rank, bankID)
+		if c.ch.CanIssue(pre, now) && c.preUseful(rank, bankID, now) {
+			c.closeIntent[idx] = false
+			c.issuePrecharge(pre, row, now)
+			return true
+		}
+	}
+	return false
+}
+
+// preUseful reports whether precharging (rank, bank) now can shorten the
+// next activation. Precharging earlier than tRP before the bank's
+// same-bank ACT bound only sacrifices potential row hits: the reopen
+// cannot start sooner anyway.
+func (c *Controller) preUseful(rank, bankID int, now dram.Cycle) bool {
+	return now+dram.Cycle(c.cfg.Spec.Timing.RP) >= c.ch.EarliestActivate(rank, bankID)
+}
+
+// issueForOldest performs the FCFS pass: walk requests oldest-first and
+// issue the first legal command that makes progress for one of them.
+func (c *Controller) issueForOldest(now dram.Cycle) {
+	q := c.activeQueue()
+	for _, req := range *q {
+		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
+		switch {
+		case open && row == req.Coord.Row:
+			// Column command not ready yet (tRCD or bus); wait.
+			continue
+		case open:
+			// Conflict: close the aggressor row. If the PRE is not yet
+			// legal (tRAS still running), try younger requests.
+			c.classify(req, row, open)
+			pre := dram.Pre(req.Coord.Rank, req.Coord.Bank)
+			if c.ch.CanIssue(pre, now) && c.preUseful(req.Coord.Rank, req.Coord.Bank, now) {
+				c.issuePrecharge(pre, row, now)
+				return
+			}
+			continue
+		default:
+			c.classify(req, 0, false)
+			if c.issueActivate(req, now) {
+				return
+			}
+		}
+	}
+}
+
+// classify counts the row-buffer outcome of a request exactly once, at
+// the moment the scheduler first processes it.
+func (c *Controller) classify(req *Request, openRow int, open bool) {
+	if req.classified {
+		return
+	}
+	req.classified = true
+	switch {
+	case open && openRow == req.Coord.Row:
+		c.stats.RowHits++
+	case open:
+		c.stats.RowConflicts++
+	default:
+		c.stats.RowMisses++
+	}
+}
+
+func (c *Controller) issueActivate(req *Request, now dram.Cycle) bool {
+	key := core.MakeRowKey(req.Coord.Rank, req.Coord.Bank, req.Coord.Row)
+	age := c.refresh[req.Coord.Rank].ageOf(req.Coord.Row, now)
+	// Probe legality with the spec class first: the mechanism must only
+	// observe activations that actually issue.
+	probe := dram.Act(req.Coord.Rank, req.Coord.Bank, req.Coord.Row, c.cfg.Spec.Timing.DefaultClass())
+	if !c.ch.CanIssue(probe, now) {
+		return false
+	}
+	class := c.cfg.Mechanism.OnActivate(key, now, age)
+	fast := class.RCD < c.cfg.Spec.Timing.RCD || class.RAS < c.cfg.Spec.Timing.RAS
+	c.ch.Issue(dram.Act(req.Coord.Rank, req.Coord.Bank, req.Coord.Row, class), now)
+	c.stats.Activations++
+	if fast {
+		c.stats.FastActivations++
+	}
+	if c.cfg.Observer != nil {
+		c.cfg.Observer.ObserveActivate(c.cfg.Channel, key, now, age, fast)
+	}
+	return true
+}
+
+func (c *Controller) issuePrecharge(pre dram.Command, row int, now dram.Cycle) {
+	c.ch.Issue(pre, now)
+	key := core.MakeRowKey(pre.Rank, pre.Bank, row)
+	c.cfg.Mechanism.OnPrecharge(key, now)
+	if c.cfg.Observer != nil {
+		c.cfg.Observer.ObservePrecharge(c.cfg.Channel, key, now)
+	}
+}
+
+// issueColumn issues RD or WR for req if legal; on success the request is
+// considered served (reads complete after the data burst).
+func (c *Controller) issueColumn(req *Request, now dram.Cycle) bool {
+	if req.Kind == ReadReq {
+		cmd := dram.Read(req.Coord.Rank, req.Coord.Bank, req.Coord.Col)
+		if !c.ch.CanIssue(cmd, now) {
+			return false
+		}
+		c.ch.Issue(cmd, now)
+		c.completions = append(c.completions, completion{at: c.ch.ReadDataAt(now), req: req})
+		c.stats.ReadsServed++
+	} else {
+		cmd := dram.Write(req.Coord.Rank, req.Coord.Bank, req.Coord.Col)
+		if !c.ch.CanIssue(cmd, now) {
+			return false
+		}
+		c.ch.Issue(cmd, now)
+		c.stats.WritesServed++
+		if req.OnComplete != nil {
+			req.OnComplete(now)
+		}
+	}
+	return true
+}
+
+// anyPendingFor reports whether any queued request targets (rank, bank,
+// row) — consulted by the closed-row policy.
+func (c *Controller) anyPendingFor(rank, bankID, row int) bool {
+	for _, r := range c.readQ {
+		if r.Coord.Rank == rank && r.Coord.Bank == bankID && r.Coord.Row == row {
+			return true
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.Coord.Rank == rank && r.Coord.Bank == bankID && r.Coord.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) removeAt(q *[]*Request, i int) {
+	s := *q
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	*q = s[:len(s)-1]
+}
+
+// RefreshAge exposes the refresh engine's age for a row (tests, tools).
+func (c *Controller) RefreshAge(rank, row int, now dram.Cycle) dram.Cycle {
+	return c.refresh[rank].ageOf(row, now)
+}

@@ -1,0 +1,118 @@
+package memctrl
+
+import "repro/internal/dram"
+
+// refreshEngine issues one all-bank REF per rank every tREFI and tracks
+// which rows each REF covered, so the controller can answer "how long ago
+// was row R last refreshed" (needed by NUAT and by the Figure 3
+// refresh-distance metric).
+//
+// DDR3 retention is 64 ms and tREFI is 7.8 us, so 8192 REF commands walk
+// the whole bank, each covering Rows/8192 rows. The rows of one REF are
+// chosen by *bit-reversing* the low row bits rather than contiguously:
+// JEDEC leaves the internal order unspecified, and the bit-reversed
+// order spreads the refresh ages of any contiguous footprint uniformly
+// over [0, retention), so short simulation windows measure the same
+// age distribution a full 64 ms period would (e.g. the paper's ~12%
+// of activations within 8 ms of a refresh).
+type refreshEngine struct {
+	refi     dram.Cycle
+	slots    int  // REFs per retention window (8192)
+	perRef   int  // rows covered by one REF
+	slotBits uint // log2(slots), for the bit-reversed row mapping
+
+	nextDue dram.Cycle
+	pending bool
+	counter uint64 // REFs issued so far
+
+	// lastRef[s] is the cycle at which refresh slot s was last executed.
+	lastRef []dram.Cycle
+}
+
+// refreshSlots is the number of refresh commands per retention window
+// mandated by DDR3 (8192 for 64 ms / 7.8 us).
+const refreshSlots = 8192
+
+func newRefreshEngine(spec dram.Spec, channel, rankIndex int) *refreshEngine {
+	slots := refreshSlots
+	rows := spec.Geometry.Rows
+	perRef := rows / slots
+	if perRef < 1 {
+		perRef = 1
+		slots = rows
+	}
+	e := &refreshEngine{
+		refi:     dram.Cycle(spec.Timing.REFI),
+		slots:    slots,
+		perRef:   perRef,
+		slotBits: uint(bitsFor(slots)),
+		lastRef:  make([]dram.Cycle, slots),
+	}
+	// Stagger the first REF across ranks so they do not collide.
+	e.nextDue = e.refi * dram.Cycle(rankIndex+1) / 2
+
+	// Start the refresh walk at a pseudo-random slot so the walk order
+	// has no correlation with application access order (the paper's
+	// premise: "the refresh schedule has no correlation with the memory
+	// access characteristics of the application"). Without this, a
+	// sequential sweep starting at row 0 would track the refresh walk.
+	e.counter = uint64(channel*2654435761+rankIndex*40503+12345) % uint64(slots)
+
+	// Initialize slot history as if the walk had been running forever:
+	// the slot about to be refreshed is the oldest (one full retention
+	// window ago), the one just refreshed is the youngest.
+	window := dram.Cycle(spec.Timing.RetentionWindow)
+	start := int(e.counter)
+	for i := 0; i < slots; i++ {
+		s := (start + i) % slots
+		// Slot s will be refreshed i REFs from now; it was last
+		// refreshed window - i*tREFI ago.
+		e.lastRef[s] = dram.Cycle(i)*e.refi - window + e.nextDue
+	}
+	return e
+}
+
+// due reports whether a refresh should be scheduled at cycle now.
+func (e *refreshEngine) due(now dram.Cycle) bool {
+	if now >= e.nextDue {
+		e.pending = true
+	}
+	return e.pending
+}
+
+// issued records that the REF command was issued at cycle now.
+func (e *refreshEngine) issued(now dram.Cycle) {
+	slot := int(e.counter % uint64(e.slots))
+	e.lastRef[slot] = now
+	e.counter++
+	e.nextDue += e.refi
+	e.pending = false
+}
+
+// slotOf maps a row to its refresh slot: the low slot bits of the row
+// index, bit-reversed, so consecutive rows land in maximally-separated
+// walk positions.
+func (e *refreshEngine) slotOf(row int) int {
+	v := uint(row) & (uint(e.slots) - 1)
+	var r uint
+	for i := uint(0); i < e.slotBits; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return int(r)
+}
+
+// ageOf returns the time since row was last refreshed, as of cycle now.
+func (e *refreshEngine) ageOf(row int, now dram.Cycle) dram.Cycle {
+	return now - e.lastRef[e.slotOf(row)]
+}
+
+// bitsFor returns log2(v) for power-of-two v.
+func bitsFor(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// RequestKind distinguishes reads from writes.
+type RequestKind uint8
+
+const (
+	// ReadReq is a demand read (LLC miss fill).
+	ReadReq RequestKind = iota
+	// WriteReq is a writeback.
+	WriteReq
+)
+
+// String implements fmt.Stringer.
+func (k RequestKind) String() string {
+	if k == WriteReq {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one memory request as seen by the controller.
+type Request struct {
+	Kind   RequestKind
+	Addr   uint64
+	Coord  Coord
+	CoreID int
+
+	// Arrive is the controller cycle the request was enqueued.
+	Arrive dram.Cycle
+
+	// OnComplete, if non-nil, is invoked when the request's data burst
+	// finishes (reads) or its WR command issues (writes).
+	OnComplete func(now dram.Cycle)
+
+	classified bool // row hit/miss/conflict already counted
+}
+
+// String implements fmt.Stringer.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s %#x @%s core%d", r.Kind, r.Addr, r.Coord, r.CoreID)
+}
+
+// RowPolicy selects the row-buffer management policy.
+type RowPolicy uint8
+
+const (
+	// OpenRow keeps a row open until a conflicting request is scheduled
+	// (paper: best for single-core).
+	OpenRow RowPolicy = iota
+	// ClosedRow proactively precharges once no queued request targets
+	// the open row (paper: best for multi-core).
+	ClosedRow
+)
+
+// String implements fmt.Stringer.
+func (p RowPolicy) String() string {
+	if p == ClosedRow {
+		return "closed-row"
+	}
+	return "open-row"
+}

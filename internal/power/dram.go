@@ -1,0 +1,132 @@
+// Package power implements the paper's two measurement backends that are
+// external tools in the original evaluation:
+//
+//   - a DRAMPower-style DRAM energy model driven by the simulator's
+//     command counts and bank-state occupancy (Section 6.2), built on
+//     DDR3 datasheet current profiles (IDD values), and
+//   - a McPAT-style area/power model for the HCRAC storage in the memory
+//     controller (Section 6.3), calibrated at 22 nm.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// DRAMCurrents are DDR3 datasheet current profiles, in mA per chip.
+type DRAMCurrents struct {
+	IDD0  float64 // one-bank ACT/PRE cycling
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // read burst
+	IDD4W float64 // write burst
+	IDD5B float64 // burst refresh
+
+	VDD          float64 // volts
+	ChipsPerRank int
+}
+
+// DDR3Currents returns representative values for a 4 Gb x8 DDR3-1600
+// device (Micron datasheet class).
+func DDR3Currents() DRAMCurrents {
+	return DRAMCurrents{
+		IDD0:  55,
+		IDD2N: 32,
+		IDD3N: 38,
+		IDD4R: 157,
+		IDD4W: 128,
+		IDD5B: 215,
+
+		VDD:          1.5,
+		ChipsPerRank: 8,
+	}
+}
+
+// Validate reports current-profile errors.
+func (c DRAMCurrents) Validate() error {
+	if c.IDD0 <= 0 || c.IDD2N <= 0 || c.IDD3N <= 0 || c.IDD4R <= 0 || c.IDD4W <= 0 || c.IDD5B <= 0 {
+		return fmt.Errorf("power: all IDD values must be positive: %+v", c)
+	}
+	if c.IDD3N < c.IDD2N {
+		return fmt.Errorf("power: IDD3N (%g) must be >= IDD2N (%g)", c.IDD3N, c.IDD2N)
+	}
+	if c.VDD <= 0 || c.ChipsPerRank <= 0 {
+		return fmt.Errorf("power: VDD and ChipsPerRank must be positive")
+	}
+	return nil
+}
+
+// DRAMEnergy is the per-channel energy breakdown, in picojoules.
+type DRAMEnergy struct {
+	ActPre     float64
+	Read       float64
+	Write      float64
+	Refresh    float64
+	Background float64
+}
+
+// Total returns the summed energy in picojoules.
+func (e DRAMEnergy) Total() float64 {
+	return e.ActPre + e.Read + e.Write + e.Refresh + e.Background
+}
+
+// TotalMJ returns the total in millijoules.
+func (e DRAMEnergy) TotalMJ() float64 { return e.Total() * 1e-9 }
+
+// RestoreEnergyShare is the fraction of the per-activation surcharge
+// spent restoring cell charge (as opposed to wordline/decoder switching,
+// which is independent of the cell's state). A highly-charged row needs
+// proportionally less restore charge — the same physics that permits the
+// lowered tRAS — so that share is scaled by the applied tRAS.
+const RestoreEnergyShare = 0.5
+
+// ComputeDRAMEnergy evaluates the DRAMPower methodology over one
+// channel's command counts and occupancy:
+//
+//	E_act   = VDD surcharge(tRAS_applied) per ACT (see below)
+//	E_rd/wr = VDD (IDD4x - IDD3N) tBL per burst
+//	E_ref   = VDD (IDD5B - IDD2N) tRFC per REF
+//	E_bg    = VDD (IDD3N t_active + IDD2N t_idle)
+//
+// The per-activation surcharge beyond standby is the DRAMPower term
+// IDD0 tRC - IDD3N tRAS - IDD2N (tRC - tRAS) evaluated at the spec tRAS,
+// with its restore share (RestoreEnergyShare) scaled by the applied tRAS
+// (counts.RASCycles): activations of highly-charged rows pump back less
+// charge. Background energy uses the measured bank occupancy, so the
+// earlier precharges enabled by a lowered tRAS also show up there.
+func ComputeDRAMEnergy(spec dram.Spec, counts dram.CommandCounts, occ dram.Occupancy, cur DRAMCurrents) (DRAMEnergy, error) {
+	if err := cur.Validate(); err != nil {
+		return DRAMEnergy{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return DRAMEnergy{}, err
+	}
+	tck := 1000.0 / float64(spec.BusMHz) // ns
+	chips := float64(cur.ChipsPerRank)
+	scale := cur.VDD * tck * chips // mA * V * ns = pJ
+
+	t := spec.Timing
+	nACT := float64(counts.ACT)
+	rasSpec := float64(t.RAS)
+	surcharge := cur.IDD0*float64(t.RC) - cur.IDD3N*rasSpec - cur.IDD2N*float64(t.RC-t.RAS)
+	restoreScale := 1.0
+	if nACT > 0 {
+		restoreScale = float64(counts.RASCycles) / (nACT * rasSpec)
+	}
+	actTerm := surcharge * nACT * (1 - RestoreEnergyShare + RestoreEnergyShare*restoreScale)
+
+	idle := float64(occ.TotalCycles - occ.ActiveCycles - occ.RefreshCycles)
+	if idle < 0 {
+		return DRAMEnergy{}, fmt.Errorf("power: inconsistent occupancy %+v", occ)
+	}
+
+	return DRAMEnergy{
+		ActPre:  scale * actTerm,
+		Read:    scale * float64(counts.RD) * (cur.IDD4R - cur.IDD3N) * float64(t.BL),
+		Write:   scale * float64(counts.WR) * (cur.IDD4W - cur.IDD3N) * float64(t.BL),
+		Refresh: scale * float64(counts.REF) * (cur.IDD5B - cur.IDD2N) * float64(t.RFC),
+		Background: scale * (cur.IDD3N*float64(occ.ActiveCycles) +
+			cur.IDD2N*(idle+float64(occ.RefreshCycles))),
+	}, nil
+}

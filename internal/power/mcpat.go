@@ -1,0 +1,84 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+)
+
+// Area and power calibration constants for 22 nm SRAM arrays, fitted to
+// the paper's McPAT results (Section 6.3: a 5376 B HCRAC occupies
+// 0.022 mm^2 — 0.24% of a 4 MB LLC — and consumes 0.149 mW on average).
+const (
+	// smallArrayMM2PerBit is the effective area of small, periphery-
+	// dominated arrays such as the HCRAC.
+	smallArrayMM2PerBit = 0.022 / 43008.0
+
+	// denseArrayMM2PerBit is the effective area of large SRAM arrays
+	// (the 4 MB LLC at ~9.2 mm^2).
+	denseArrayMM2PerBit = 9.17e6 / (4.0 * 1024 * 1024 * 8) * 1e-6
+
+	// leakageNWPerBit is static power per bit.
+	leakageNWPerBit = 2.0
+
+	// dynamicPJPerAccess is the energy of one HCRAC lookup or insert.
+	dynamicPJPerAccess = 1.0
+)
+
+// HCRACEntryBits returns the tag-entry size for spec per the paper's
+// Equation 2: log2(ranks) + log2(banks) + log2(rows) + 1 valid bit.
+func HCRACEntryBits(spec dram.Spec) int {
+	g := spec.Geometry
+	return ilog2(g.Ranks) + ilog2(g.Banks) + ilog2(g.Rows) + 1
+}
+
+// HCRACStorageBits returns the total ChargeCache storage per the paper's
+// Equation 1: cores x channels x entries x (entry + LRU bits). With
+// 2-way associativity one LRU bit covers each entry pair; the paper
+// charges one bit per entry, which we follow.
+func HCRACStorageBits(spec dram.Spec, entriesPerCore, cores int) int {
+	const lruBitsPerEntry = 1
+	return cores * spec.Geometry.Channels * entriesPerCore *
+		(HCRACEntryBits(spec) + lruBitsPerEntry)
+}
+
+// Overhead summarizes the HCRAC hardware cost.
+type Overhead struct {
+	StorageBytes      int
+	AreaMM2           float64
+	PowerMW           float64
+	FractionOfLLCArea float64
+}
+
+// HCRACOverhead evaluates the Section 6.3 overhead numbers for a system
+// with the given per-core entry count. accessesPerSec is the HCRAC
+// lookup+insert rate (roughly the ACT+PRE rate across channels).
+func HCRACOverhead(spec dram.Spec, entriesPerCore, cores, llcBytes int, accessesPerSec float64) (Overhead, error) {
+	if entriesPerCore <= 0 || cores <= 0 || llcBytes <= 0 {
+		return Overhead{}, fmt.Errorf("power: entries/cores/llc must be positive")
+	}
+	if accessesPerSec < 0 {
+		return Overhead{}, fmt.Errorf("power: negative access rate")
+	}
+	bits := HCRACStorageBits(spec, entriesPerCore, cores)
+	area := float64(bits) * smallArrayMM2PerBit
+	llcArea := CacheAreaMM2(llcBytes)
+	powerMW := float64(bits)*leakageNWPerBit*1e-6 +
+		accessesPerSec*dynamicPJPerAccess*1e-9
+	return Overhead{
+		StorageBytes:      bits / 8,
+		AreaMM2:           area,
+		PowerMW:           powerMW,
+		FractionOfLLCArea: area / llcArea,
+	}, nil
+}
+
+// CacheAreaMM2 estimates the area of a large SRAM cache.
+func CacheAreaMM2(bytes int) float64 {
+	return float64(bytes) * 8 * denseArrayMM2PerBit
+}
+
+func ilog2(v int) int {
+	return int(math.Round(math.Log2(float64(v))))
+}

@@ -1,0 +1,178 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestCurrentsValidate(t *testing.T) {
+	good := DDR3Currents()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default currents rejected: %v", err)
+	}
+	bad := good
+	bad.IDD0 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero IDD0 accepted")
+	}
+	bad = good
+	bad.IDD3N = bad.IDD2N - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("IDD3N < IDD2N accepted")
+	}
+	bad = good
+	bad.ChipsPerRank = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero chips accepted")
+	}
+}
+
+func TestDRAMEnergyComponents(t *testing.T) {
+	spec := dram.DDR31600(1)
+	cur := DDR3Currents()
+	counts := dram.CommandCounts{
+		ACT:       100,
+		RASCycles: 100 * uint64(spec.Timing.RAS),
+		RD:        300,
+		WR:        100,
+		REF:       10,
+	}
+	occ := dram.Occupancy{ActiveCycles: 50_000, RefreshCycles: 2_080, TotalCycles: 100_000}
+	e, err := ComputeDRAMEnergy(spec, counts, occ, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"ActPre": e.ActPre, "Read": e.Read, "Write": e.Write,
+		"Refresh": e.Refresh, "Background": e.Background,
+	} {
+		if v <= 0 {
+			t.Errorf("%s energy = %g, want positive", name, v)
+		}
+	}
+	if e.Total() <= e.Background {
+		t.Error("total not larger than background")
+	}
+	if e.TotalMJ() != e.Total()*1e-9 {
+		t.Error("TotalMJ conversion wrong")
+	}
+}
+
+func TestReducedRASLowersActEnergy(t *testing.T) {
+	spec := dram.DDR31600(1)
+	cur := DDR3Currents()
+	occ := dram.Occupancy{ActiveCycles: 1000, TotalCycles: 10_000}
+	normal := dram.CommandCounts{ACT: 100, RASCycles: 100 * uint64(spec.Timing.RAS)}
+	fast := dram.CommandCounts{ACT: 100, FastACT: 100, RASCycles: 100 * 20}
+	en, err := ComputeDRAMEnergy(spec, normal, occ, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := ComputeDRAMEnergy(spec, fast, occ, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.ActPre >= en.ActPre {
+		t.Errorf("fast ACT energy %g >= normal %g", ef.ActPre, en.ActPre)
+	}
+}
+
+func TestDRAMEnergyRejectsBadInput(t *testing.T) {
+	spec := dram.DDR31600(1)
+	bad := DDR3Currents()
+	bad.VDD = 0
+	if _, err := ComputeDRAMEnergy(spec, dram.CommandCounts{}, dram.Occupancy{}, bad); err == nil {
+		t.Error("bad currents accepted")
+	}
+	occ := dram.Occupancy{ActiveCycles: 10, TotalCycles: 5} // inconsistent
+	if _, err := ComputeDRAMEnergy(spec, dram.CommandCounts{}, occ, DDR3Currents()); err == nil {
+		t.Error("inconsistent occupancy accepted")
+	}
+	badSpec := spec
+	badSpec.BusMHz = 0
+	if _, err := ComputeDRAMEnergy(badSpec, dram.CommandCounts{}, dram.Occupancy{}, DDR3Currents()); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestHCRACEntryBits(t *testing.T) {
+	// Table 1 geometry: 1 rank (0 bits) + 8 banks (3) + 64K rows (16)
+	// + 1 valid = 20 bits.
+	spec := dram.DDR31600(2)
+	if got := HCRACEntryBits(spec); got != 20 {
+		t.Errorf("entry bits = %d, want 20", got)
+	}
+}
+
+// TestPaperStorageNumbers checks Section 6.3: a 128-entry per-core
+// ChargeCache on 8 cores and 2 channels stores 5376 bytes total and
+// 672 bytes per core.
+func TestPaperStorageNumbers(t *testing.T) {
+	spec := dram.DDR31600(2)
+	bits := HCRACStorageBits(spec, 128, 8)
+	if bits/8 != 5376 {
+		t.Errorf("storage = %d bytes, paper says 5376", bits/8)
+	}
+	perCore := bits / 8 / 8
+	if perCore != 672 {
+		t.Errorf("per-core storage = %d bytes, paper says 672", perCore)
+	}
+}
+
+// TestPaperOverheadNumbers checks the Section 6.3 area and power against
+// the paper's McPAT results.
+func TestPaperOverheadNumbers(t *testing.T) {
+	spec := dram.DDR31600(2)
+	// ~60M HCRAC accesses/s is the evaluated systems' ballpark ACT+PRE
+	// rate; the calibration constant was chosen against it.
+	ov, err := HCRACOverhead(spec, 128, 8, 4<<20, 60e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.StorageBytes != 5376 {
+		t.Errorf("storage = %d, want 5376", ov.StorageBytes)
+	}
+	if math.Abs(ov.AreaMM2-0.022) > 0.001 {
+		t.Errorf("area = %g mm^2, paper says 0.022", ov.AreaMM2)
+	}
+	if ov.PowerMW < 0.10 || ov.PowerMW > 0.20 {
+		t.Errorf("power = %g mW, paper says 0.149", ov.PowerMW)
+	}
+	if math.Abs(ov.FractionOfLLCArea-0.0024) > 0.0005 {
+		t.Errorf("LLC fraction = %g, paper says 0.0024", ov.FractionOfLLCArea)
+	}
+}
+
+func TestHCRACOverheadRejectsBadInput(t *testing.T) {
+	spec := dram.DDR31600(2)
+	if _, err := HCRACOverhead(spec, 0, 8, 4<<20, 0); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := HCRACOverhead(spec, 128, 8, 4<<20, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := HCRACOverhead(spec, 128, 8, 0, 0); err == nil {
+		t.Error("zero LLC accepted")
+	}
+}
+
+func TestCacheAreaScalesLinearly(t *testing.T) {
+	a := CacheAreaMM2(4 << 20)
+	b := CacheAreaMM2(8 << 20)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Errorf("area not linear: %g vs %g", a, b)
+	}
+	if a < 8 || a > 11 {
+		t.Errorf("4MB LLC area = %g mm^2, want ~9.2", a)
+	}
+}
+
+func TestIlog2(t *testing.T) {
+	for v, want := range map[int]int{1: 0, 2: 1, 8: 3, 65536: 16} {
+		if got := ilog2(v); got != want {
+			t.Errorf("ilog2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

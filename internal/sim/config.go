@@ -1,0 +1,194 @@
+// Package sim assembles the full evaluated system — trace-driven cores,
+// shared LLC, per-channel memory controllers with a latency mechanism,
+// and the DDR3 device model — and runs it to produce the measurements
+// the paper reports (IPC, weighted speedup, RMPKC, hit rates, DRAM
+// energy, RLTL).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+// MechanismKind selects the activation-latency mechanism under test.
+type MechanismKind uint8
+
+const (
+	// Baseline is commodity DDR3.
+	Baseline MechanismKind = iota
+	// ChargeCache is the paper's proposal.
+	ChargeCache
+	// NUAT is the HPCA'14 comparison point.
+	NUAT
+	// ChargeCacheNUAT combines both.
+	ChargeCacheNUAT
+	// LLDRAM is the idealized 100%-hit-rate bound.
+	LLDRAM
+	// Custom delegates to Config.CustomMechanism.
+	Custom
+)
+
+// String implements fmt.Stringer.
+func (k MechanismKind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case ChargeCache:
+		return "ChargeCache"
+	case NUAT:
+		return "NUAT"
+	case ChargeCacheNUAT:
+		return "ChargeCache+NUAT"
+	case LLDRAM:
+		return "LL-DRAM"
+	case Custom:
+		return "Custom"
+	default:
+		return fmt.Sprintf("MechanismKind(%d)", uint8(k))
+	}
+}
+
+// MechanismKinds lists all evaluated mechanisms in presentation order.
+func MechanismKinds() []MechanismKind {
+	return []MechanismKind{Baseline, NUAT, ChargeCache, ChargeCacheNUAT, LLDRAM}
+}
+
+// Config describes one simulation (Table 1 defaults via DefaultConfig).
+type Config struct {
+	// Workloads names one workload per core.
+	Workloads []string
+
+	// TraceFiles, if non-empty, gives one Ramulator-format cpu trace
+	// file per core, used instead of the synthetic generator for that
+	// core (an empty string keeps the generator). Must match Workloads
+	// in length; traces loop when exhausted.
+	TraceFiles []string
+
+	// Channels is the memory channel count (Table 1: 1 for single-core,
+	// 2 for eight-core).
+	Channels int
+
+	// Standard selects the DRAM standard: "ddr3" (default), "lpddr3" or
+	// "ddr3l" (Section 7.2: ChargeCache applies to any DDR-derived
+	// interface unchanged).
+	Standard string
+
+	// RowPolicy is the row-buffer policy (paper: open-row single-core,
+	// closed-row multi-core).
+	RowPolicy memctrl.RowPolicy
+
+	Mechanism MechanismKind
+
+	// ChargeCache parameters.
+	CCEntriesPerCore int     // HCRAC entries per core (128)
+	CCAssoc          int     // 2
+	CCDurationMs     float64 // caching duration (1 ms)
+	CCUnlimited      bool    // unbounded HCRAC (Figure 9 dashed lines)
+	CCInvalidation   core.InvalidationPolicy
+
+	// Instruction budgets, per core.
+	WarmupInstructions uint64
+	RunInstructions    uint64
+
+	// MaxCycles caps the run (CPU cycles; 0 = derived from budgets).
+	MaxCycles uint64
+
+	Seed uint64
+
+	// LLC configuration (zero value = Table 1 defaults).
+	LLC cache.Config
+
+	// ClockRatio is CPU cycles per DRAM bus cycle (4 GHz / 800 MHz = 5).
+	ClockRatio int
+
+	// TrackRLTL enables the Figures 3-4 tracker (adds overhead).
+	TrackRLTL bool
+	// RLTLIntervalsMs are the tracked intervals (default: the paper's
+	// 0.125, 0.25, 0.5, 1, 8, 32 ms).
+	RLTLIntervalsMs []float64
+	// RLTLRefreshMs is the refresh-distance threshold (8 ms).
+	RLTLRefreshMs float64
+
+	// MapperOrder is the address interleaving (default RoBaRaCoCh).
+	MapperOrder string
+
+	// FixedRC keeps the spec tRC for every timing class instead of the
+	// restore-bounded class tRAS + tRP (ablation; see DESIGN.md §4).
+	FixedRC bool
+
+	// CustomMechanism builds the per-channel mechanism when Mechanism is
+	// Custom. It receives the channel index, the device spec, and the
+	// lowered/default timing classes derived from the circuit model for
+	// the configured caching duration.
+	CustomMechanism func(channel int, spec dram.Spec, fast, def dram.TimingClass) (core.Mechanism, error)
+}
+
+// DefaultConfig returns the Table 1 system for the given per-core
+// workloads: open-row with one channel for a single core, closed-row
+// with two channels otherwise.
+func DefaultConfig(workloads ...string) Config {
+	cfg := Config{
+		Workloads:          workloads,
+		Channels:           2,
+		RowPolicy:          memctrl.ClosedRow,
+		Mechanism:          Baseline,
+		CCEntriesPerCore:   128,
+		CCAssoc:            2,
+		CCDurationMs:       1,
+		WarmupInstructions: 100_000,
+		RunInstructions:    1_000_000,
+		Seed:               1,
+		LLC: cache.Config{
+			SizeBytes:  4 << 20,
+			Ways:       16,
+			LineBytes:  64,
+			HitLatency: 26,
+			MSHRs:      32,
+		},
+		ClockRatio:      5,
+		RLTLIntervalsMs: []float64{0.125, 0.25, 0.5, 1, 8, 32},
+		RLTLRefreshMs:   8,
+		MapperOrder:     "RoBaRaCoCh",
+	}
+	if len(workloads) == 1 {
+		cfg.Channels = 1
+		cfg.RowPolicy = memctrl.OpenRow
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("sim: need at least one workload")
+	}
+	if len(c.TraceFiles) != 0 && len(c.TraceFiles) != len(c.Workloads) {
+		return fmt.Errorf("sim: %d trace files for %d workloads", len(c.TraceFiles), len(c.Workloads))
+	}
+	if c.Channels <= 0 || c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("sim: channels must be a positive power of two, got %d", c.Channels)
+	}
+	if c.CCEntriesPerCore <= 0 || c.CCAssoc <= 0 {
+		return fmt.Errorf("sim: ChargeCache entries/assoc must be positive")
+	}
+	if c.CCDurationMs <= 0 {
+		return fmt.Errorf("sim: caching duration must be positive")
+	}
+	if c.RunInstructions == 0 {
+		return fmt.Errorf("sim: RunInstructions must be positive")
+	}
+	if c.Mechanism == Custom && c.CustomMechanism == nil {
+		return fmt.Errorf("sim: Custom mechanism requires CustomMechanism")
+	}
+	if c.ClockRatio <= 0 {
+		return fmt.Errorf("sim: clock ratio must be positive")
+	}
+	if err := c.LLC.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

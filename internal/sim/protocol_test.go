@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// TestFullSystemObeysDDR3Protocol attaches the independent protocol
+// checker to every channel and runs full workloads under each mechanism:
+// the controller must never issue a command a real DDR3 device would
+// reject, including lowered-timing activations.
+func TestFullSystemObeysDDR3Protocol(t *testing.T) {
+	for _, mech := range MechanismKinds() {
+		cfg := quickConfig("STREAMcopy", "tpch17")
+		cfg.Mechanism = mech
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var checkers []*dram.Checker
+		for _, ctrl := range s.ctrls {
+			chk := dram.NewChecker(s.spec)
+			ctrl.Channel().SetTracer(chk.Observe)
+			checkers = append(checkers, chk)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		for ch, chk := range checkers {
+			if v := chk.Violations(); len(v) != 0 {
+				t.Errorf("%v channel %d: %d protocol violations, first: %s",
+					mech, ch, len(v), v[0])
+			}
+		}
+	}
+}
+
+// TestFixedRCProtocol repeats the check under the fixed-tRC ablation.
+func TestFixedRCProtocol(t *testing.T) {
+	cfg := quickConfig("lbm")
+	cfg.Mechanism = ChargeCache
+	cfg.FixedRC = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := dram.NewChecker(s.spec)
+	s.ctrls[0].Channel().SetTracer(chk.Observe)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := chk.Violations(); len(v) != 0 {
+		t.Errorf("fixed-tRC run: %d violations, first: %s", len(v), v[0])
+	}
+}
+
+// TestTraceFileRun feeds a dumped synthetic trace back through the
+// trace-file path and checks it behaves like a normal run.
+func TestTraceFileRun(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/w.trace"
+	// Dump a short trace using the generator via tracegen's machinery.
+	if err := writeTestTrace(path, "soplex", 4000); err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig("soplex")
+	cfg.TraceFiles = []string{path}
+	cfg.WarmupInstructions = 5_000
+	cfg.RunInstructions = 20_000
+	res, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerCore[0].IPC <= 0 {
+		t.Errorf("IPC = %g", r.PerCore[0].IPC)
+	}
+	// Length mismatch must be rejected.
+	bad := quickConfig("soplex", "mcf")
+	bad.TraceFiles = []string{path}
+	if _, err := New(bad); err == nil {
+		t.Error("mismatched TraceFiles length accepted")
+	}
+	// Missing file must be rejected.
+	missing := quickConfig("soplex")
+	missing.TraceFiles = []string{dir + "/nonesuch.trace"}
+	if _, err := New(missing); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

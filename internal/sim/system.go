@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// System is one assembled simulation instance. Build with New, run with
+// Run. A System is single-use: Run may be called once.
+type System struct {
+	cfg  Config
+	spec dram.Spec
+
+	cores  []*cpu.Core
+	gens   []*workload.Generator
+	llc    *cache.LLC
+	ctrls  []*memctrl.Controller
+	mapper *memctrl.BitSliceMapper
+	rltl   *stats.RLTL
+
+	fastClass dram.TimingClass
+	addrMask  uint64
+
+	nowCPU int64 // master clock, CPU cycles
+	ran    bool
+}
+
+// New assembles a system from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := specFor(cfg.Standard, cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FixedRC {
+		spec.Timing.RCFromClass = false
+	}
+	s := &System{
+		cfg:      cfg,
+		spec:     spec,
+		addrMask: spec.Geometry.TotalBytes() - 1,
+	}
+
+	mapper, err := memctrl.NewBitSliceMapper(spec.Geometry, cfg.MapperOrder)
+	if err != nil {
+		return nil, err
+	}
+	s.mapper = mapper
+
+	if cfg.TrackRLTL {
+		intervals := make([]dram.Cycle, len(cfg.RLTLIntervalsMs))
+		for i, ms := range cfg.RLTLIntervalsMs {
+			intervals[i] = spec.MillisecondsToCycles(ms)
+		}
+		tracker, err := stats.NewRLTL(intervals, spec.MillisecondsToCycles(cfg.RLTLRefreshMs))
+		if err != nil {
+			return nil, err
+		}
+		s.rltl = tracker
+	}
+
+	model, err := circuit.NewModel(circuit.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	fastRow, err := model.TimingsFor(spec, cfg.CCDurationMs)
+	if err != nil {
+		return nil, err
+	}
+	s.fastClass = fastRow.Class
+
+	for ch := 0; ch < cfg.Channels; ch++ {
+		mech, err := s.buildMechanism(ch, model)
+		if err != nil {
+			return nil, err
+		}
+		var obs memctrl.Observer
+		if s.rltl != nil {
+			obs = s.rltl
+		}
+		ctrl, err := memctrl.NewController(memctrl.Config{
+			Spec:          spec,
+			Channel:       ch,
+			ReadQueueCap:  64,
+			WriteQueueCap: 64,
+			RowPolicy:     cfg.RowPolicy,
+			WriteHigh:     48,
+			WriteLow:      16,
+			Mechanism:     mech,
+			Observer:      obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.ctrls = append(s.ctrls, ctrl)
+	}
+
+	llc, err := cache.New(cfg.LLC, &memBackend{s: s})
+	if err != nil {
+		return nil, err
+	}
+	s.llc = llc
+
+	if err := s.buildCores(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// specFor resolves a DRAM standard name to its specification.
+func specFor(standard string, channels int) (dram.Spec, error) {
+	switch standard {
+	case "", "ddr3":
+		return dram.DDR31600(channels), nil
+	case "lpddr3":
+		return dram.LPDDR31600(channels), nil
+	case "ddr3l":
+		return dram.DDR31600LowVoltage(channels), nil
+	default:
+		return dram.Spec{}, fmt.Errorf("sim: unknown DRAM standard %q", standard)
+	}
+}
+
+// buildMechanism constructs one per-channel mechanism instance.
+func (s *System) buildMechanism(channel int, model *circuit.Model) (core.Mechanism, error) {
+	defaultClass := s.spec.Timing.DefaultClass()
+	newCC := func() (*core.ChargeCache, error) {
+		return core.NewChargeCache(core.ChargeCacheConfig{
+			Entries:      s.cfg.CCEntriesPerCore * len(s.cfg.Workloads),
+			Assoc:        s.cfg.CCAssoc,
+			Duration:     s.spec.MillisecondsToCycles(s.cfg.CCDurationMs),
+			Fast:         s.fastClass,
+			Default:      defaultClass,
+			Unlimited:    s.cfg.CCUnlimited,
+			Invalidation: s.cfg.CCInvalidation,
+		})
+	}
+	newNUAT := func() (*core.NUAT, error) {
+		bins, err := model.NUATBins(s.spec, circuit.DefaultNUATBoundsMs)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewNUAT(core.NUATConfig{Bins: bins, Default: defaultClass})
+	}
+	switch s.cfg.Mechanism {
+	case Baseline:
+		return core.NewBaseline(defaultClass), nil
+	case ChargeCache:
+		return newCC()
+	case NUAT:
+		return newNUAT()
+	case ChargeCacheNUAT:
+		cc, err := newCC()
+		if err != nil {
+			return nil, err
+		}
+		n, err := newNUAT()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewChargeCacheNUAT(cc, n), nil
+	case LLDRAM:
+		return core.NewLLDRAM(s.fastClass), nil
+	case Custom:
+		return s.cfg.CustomMechanism(channel, s.spec, s.fastClass, defaultClass)
+	default:
+		return nil, fmt.Errorf("sim: unknown mechanism %v", s.cfg.Mechanism)
+	}
+}
+
+// buildCores constructs one generator + core per workload, each in its
+// own address region.
+func (s *System) buildCores() error {
+	n := len(s.cfg.Workloads)
+	region := regionSize(s.spec.Geometry.TotalBytes(), n)
+	for i, name := range s.cfg.Workloads {
+		reader, err := s.coreTrace(i, name, region)
+		if err != nil {
+			return err
+		}
+		c, err := cpu.New(cpu.DefaultConfig(i), reader, &memPort{s: s})
+		if err != nil {
+			return err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return nil
+}
+
+// coreTrace builds core i's instruction stream: a trace-file replay when
+// configured, the named synthetic generator otherwise.
+func (s *System) coreTrace(i int, name string, region uint64) (cpu.TraceReader, error) {
+	if len(s.cfg.TraceFiles) > i && s.cfg.TraceFiles[i] != "" {
+		f, err := os.Open(s.cfg.TraceFiles[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d trace: %w", i, err)
+		}
+		defer f.Close()
+		recs, err := trace.ReadAll(f)
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d trace: %w", i, err)
+		}
+		return trace.NewReplay(recs)
+	}
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(prof, s.cfg.Seed+uint64(i)*7919, uint64(i)*region, region)
+	if err != nil {
+		return nil, err
+	}
+	s.gens = append(s.gens, gen)
+	return gen, nil
+}
+
+// regionSize returns the largest power-of-two region such that cores
+// regions fit in total bytes.
+func regionSize(total uint64, cores int) uint64 {
+	r := total / uint64(cores)
+	// Round down to a power of two.
+	for r&(r-1) != 0 {
+		r &= r - 1
+	}
+	return r
+}
+
+// memPort adapts the LLC to the cpu.MemPort interface.
+type memPort struct {
+	s *System
+}
+
+// Load implements cpu.MemPort.
+func (p *memPort) Load(addr uint64, coreID int, done func()) bool {
+	res := p.s.llc.Access(p.s.nowCPU, addr&p.s.addrMask, false, coreID, done)
+	return res != cache.Retry
+}
+
+// Store implements cpu.MemPort.
+func (p *memPort) Store(addr uint64, coreID int) bool {
+	res := p.s.llc.Access(p.s.nowCPU, addr&p.s.addrMask, true, coreID, nil)
+	return res != cache.Retry
+}
+
+// memBackend adapts the memory controllers to the cache.Backend
+// interface.
+type memBackend struct {
+	s *System
+}
+
+// ReadLine implements cache.Backend.
+func (b *memBackend) ReadLine(addr uint64, coreID int, onDone func()) bool {
+	coord := b.s.mapper.Map(addr)
+	req := &memctrl.Request{
+		Kind:   memctrl.ReadReq,
+		Addr:   addr,
+		Coord:  coord,
+		CoreID: coreID,
+		OnComplete: func(dram.Cycle) {
+			onDone()
+		},
+	}
+	return b.s.ctrls[coord.Channel].EnqueueRead(req)
+}
+
+// WriteLine implements cache.Backend.
+func (b *memBackend) WriteLine(addr uint64, coreID int) bool {
+	coord := b.s.mapper.Map(addr)
+	req := &memctrl.Request{
+		Kind:   memctrl.WriteReq,
+		Addr:   addr,
+		Coord:  coord,
+		CoreID: coreID,
+	}
+	return b.s.ctrls[coord.Channel].EnqueueWrite(req)
+}

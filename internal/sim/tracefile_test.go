@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// writeTestTrace dumps count records of the named workload to path
+// (shared test helper).
+func writeTestTrace(path, name string, count int) error {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(prof, 5, 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for i := 0; i < count; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

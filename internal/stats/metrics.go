@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedSpeedup computes the multiprogrammed-throughput metric of the
+// paper (Snavely & Tullsen): sum over cores of IPC_shared / IPC_alone.
+func WeightedSpeedup(shared, alone []float64) (float64, error) {
+	if len(shared) != len(alone) {
+		return 0, fmt.Errorf("stats: shared (%d) and alone (%d) lengths differ", len(shared), len(alone))
+	}
+	ws := 0.0
+	for i := range shared {
+		if alone[i] <= 0 {
+			return 0, fmt.Errorf("stats: core %d alone IPC %g must be positive", i, alone[i])
+		}
+		ws += shared[i] / alone[i]
+	}
+	return ws, nil
+}
+
+// Speedup returns the relative improvement of value over baseline
+// (e.g. 0.086 for +8.6%).
+func Speedup(value, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return value/baseline - 1
+}
+
+// RMPKC returns row misses (activations) per kilo-cycle, the
+// row-activation-intensity metric of Figure 7.
+func RMPKC(activations uint64, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(activations) * 1000 / float64(cycles)
+}
+
+// MPKI returns misses per kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of xs, which must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %g", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}

@@ -1,0 +1,123 @@
+// Package stats implements the paper's measurement machinery: the
+// Row-Level Temporal Locality (RLTL) tracker behind Figures 3 and 4, and
+// the performance metrics used in the evaluation (IPC, weighted speedup,
+// RMPKC).
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// RLTL measures, for every row activation, how long ago the same row was
+// precharged (t-RLTL, Section 3) and how long ago it was refreshed. An
+// activation counts toward interval t if it occurs within t after the
+// row's most recent precharge.
+//
+// RLTL implements memctrl.Observer.
+type RLTL struct {
+	intervals   []dram.Cycle // ascending thresholds
+	withinSince []uint64     // activations with sincePre <= intervals[i]
+
+	refreshWithin dram.Cycle // threshold for the "after refresh" metric
+	refreshCount  uint64
+
+	activations uint64
+	firstActs   uint64 // activations of rows never seen precharged
+
+	lastPre map[uint64]dram.Cycle
+}
+
+// NewRLTL builds a tracker. intervals must be ascending; refreshWithin is
+// the refresh-distance threshold (the paper uses 8 ms for both).
+func NewRLTL(intervals []dram.Cycle, refreshWithin dram.Cycle) (*RLTL, error) {
+	if len(intervals) == 0 {
+		return nil, fmt.Errorf("stats: need at least one RLTL interval")
+	}
+	if !sort.SliceIsSorted(intervals, func(i, j int) bool { return intervals[i] < intervals[j] }) {
+		return nil, fmt.Errorf("stats: RLTL intervals must be ascending")
+	}
+	if refreshWithin <= 0 {
+		return nil, fmt.Errorf("stats: refreshWithin must be positive")
+	}
+	return &RLTL{
+		intervals:     append([]dram.Cycle(nil), intervals...),
+		withinSince:   make([]uint64, len(intervals)),
+		refreshWithin: refreshWithin,
+		lastPre:       make(map[uint64]dram.Cycle),
+	}, nil
+}
+
+func globalKey(channel int, key core.RowKey) uint64 {
+	return uint64(channel)<<48 | uint64(key)
+}
+
+// ObserveActivate implements memctrl.Observer.
+func (r *RLTL) ObserveActivate(channel int, key core.RowKey, now, refreshAge dram.Cycle, _ bool) {
+	r.activations++
+	if refreshAge <= r.refreshWithin {
+		r.refreshCount++
+	}
+	pre, ok := r.lastPre[globalKey(channel, key)]
+	if !ok {
+		r.firstActs++
+		return
+	}
+	since := now - pre
+	for i, t := range r.intervals {
+		if since <= t {
+			r.withinSince[i]++
+		}
+	}
+}
+
+// ObservePrecharge implements memctrl.Observer.
+func (r *RLTL) ObservePrecharge(channel int, key core.RowKey, now dram.Cycle) {
+	r.lastPre[globalKey(channel, key)] = now
+}
+
+// Activations returns the number of observed activations.
+func (r *RLTL) Activations() uint64 { return r.activations }
+
+// Fraction returns the t-RLTL for intervals[i]: the fraction of all
+// activations that occurred within that interval after the row's
+// previous precharge.
+func (r *RLTL) Fraction(i int) float64 {
+	if r.activations == 0 {
+		return 0
+	}
+	return float64(r.withinSince[i]) / float64(r.activations)
+}
+
+// Intervals returns the configured thresholds.
+func (r *RLTL) Intervals() []dram.Cycle {
+	return append([]dram.Cycle(nil), r.intervals...)
+}
+
+// RefreshFraction returns the fraction of activations that occurred
+// within refreshWithin after the row's last refresh (the NUAT-favoring
+// metric the paper contrasts with RLTL in Figure 3).
+func (r *RLTL) RefreshFraction() float64 {
+	if r.activations == 0 {
+		return 0
+	}
+	return float64(r.refreshCount) / float64(r.activations)
+}
+
+// Reset clears all measurements (after warm-up) but keeps the
+// last-precharge history so post-warm-up activations still know their
+// distance.
+func (r *RLTL) Reset() {
+	r.activations = 0
+	r.firstActs = 0
+	r.refreshCount = 0
+	for i := range r.withinSince {
+		r.withinSince[i] = 0
+	}
+}
+
+// TrackedRows returns the number of distinct rows seen precharged.
+func (r *RLTL) TrackedRows() int { return len(r.lastPre) }

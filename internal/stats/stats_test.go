@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+func newTracker(t *testing.T) *RLTL {
+	t.Helper()
+	r, err := NewRLTL([]dram.Cycle{100, 1000, 10000}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRLTLValidation(t *testing.T) {
+	if _, err := NewRLTL(nil, 100); err == nil {
+		t.Error("accepted empty intervals")
+	}
+	if _, err := NewRLTL([]dram.Cycle{100, 50}, 100); err == nil {
+		t.Error("accepted descending intervals")
+	}
+	if _, err := NewRLTL([]dram.Cycle{100}, 0); err == nil {
+		t.Error("accepted zero refresh threshold")
+	}
+}
+
+func TestRLTLBuckets(t *testing.T) {
+	r := newTracker(t)
+	k := core.MakeRowKey(0, 0, 1)
+
+	// First activation: no prior precharge -> counts in no bucket.
+	r.ObserveActivate(0, k, 0, 1<<40, false)
+	// Precharge at 100, reactivate at 150 (since=50 <= all intervals).
+	r.ObservePrecharge(0, k, 100)
+	r.ObserveActivate(0, k, 150, 1<<40, false)
+	// Precharge at 200, reactivate at 700 (since=500: buckets 1000, 10000).
+	r.ObservePrecharge(0, k, 200)
+	r.ObserveActivate(0, k, 700, 1<<40, false)
+	// Precharge at 1000, reactivate at 20000 (since=19000: no bucket).
+	r.ObservePrecharge(0, k, 1000)
+	r.ObserveActivate(0, k, 20000, 1<<40, false)
+
+	if r.Activations() != 4 {
+		t.Fatalf("activations = %d", r.Activations())
+	}
+	// Bucket 0 (<=100): 1 of 4. Bucket 1 (<=1000): 2 of 4. Bucket 2: 2 of 4.
+	if got := r.Fraction(0); got != 0.25 {
+		t.Errorf("Fraction(0) = %g, want 0.25", got)
+	}
+	if got := r.Fraction(1); got != 0.5 {
+		t.Errorf("Fraction(1) = %g, want 0.5", got)
+	}
+	if got := r.Fraction(2); got != 0.5 {
+		t.Errorf("Fraction(2) = %g, want 0.5", got)
+	}
+}
+
+func TestRLTLRefreshFraction(t *testing.T) {
+	r := newTracker(t)
+	k := core.MakeRowKey(0, 0, 1)
+	r.ObserveActivate(0, k, 0, 100, false)    // young refresh
+	r.ObserveActivate(0, k, 10, 20000, false) // old refresh
+	if got := r.RefreshFraction(); got != 0.5 {
+		t.Errorf("RefreshFraction = %g, want 0.5", got)
+	}
+}
+
+func TestRLTLChannelsIndependent(t *testing.T) {
+	r := newTracker(t)
+	k := core.MakeRowKey(0, 0, 1)
+	// Precharge on channel 0 must not create history for channel 1.
+	r.ObservePrecharge(0, k, 100)
+	r.ObserveActivate(1, k, 150, 1<<40, false)
+	if got := r.Fraction(0); got != 0 {
+		t.Errorf("cross-channel Fraction = %g, want 0", got)
+	}
+	if r.TrackedRows() != 1 {
+		t.Errorf("TrackedRows = %d", r.TrackedRows())
+	}
+}
+
+func TestRLTLResetKeepsHistory(t *testing.T) {
+	r := newTracker(t)
+	k := core.MakeRowKey(0, 0, 1)
+	r.ObservePrecharge(0, k, 100)
+	r.ObserveActivate(0, k, 150, 1<<40, false)
+	r.Reset()
+	if r.Activations() != 0 || r.Fraction(0) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	// History survives: an activation right after reset still sees the
+	// old precharge.
+	r.ObserveActivate(0, k, 180, 1<<40, false)
+	if got := r.Fraction(0); got != 1 {
+		t.Errorf("post-reset Fraction = %g, want 1", got)
+	}
+	if len(r.Intervals()) != 3 {
+		t.Error("Intervals() wrong length")
+	}
+}
+
+func TestRLTLEmpty(t *testing.T) {
+	r := newTracker(t)
+	if r.Fraction(0) != 0 || r.RefreshFraction() != 0 {
+		t.Error("empty tracker fractions nonzero")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil || ws != 1.5 {
+		t.Errorf("WeightedSpeedup = %g, %v", ws, err)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone IPC accepted")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.086, 1.0); math.Abs(got-0.086) > 1e-12 {
+		t.Errorf("Speedup = %g", got)
+	}
+	if Speedup(1, 0) != 0 {
+		t.Error("zero baseline not handled")
+	}
+}
+
+func TestRMPKCAndMPKI(t *testing.T) {
+	if got := RMPKC(500, 100_000); got != 5 {
+		t.Errorf("RMPKC = %g", got)
+	}
+	if RMPKC(1, 0) != 0 {
+		t.Error("zero cycles not handled")
+	}
+	if got := MPKI(20, 1000); got != 20 {
+		t.Errorf("MPKI = %g", got)
+	}
+	if MPKI(1, 0) != 0 {
+		t.Error("zero instructions not handled")
+	}
+}
+
+func TestMeanMaxGeoMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty aggregates nonzero")
+	}
+	if Max([]float64{1, 5, 3}) != 5 {
+		t.Error("Max wrong")
+	}
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative GeoMean accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty GeoMean accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package trace reads and writes CPU traces in Ramulator's cpu-trace
+// text format, the format the paper's evaluation consumes:
+//
+//	<num-cpu-instructions> <read-address> [<writeback-address>]
+//
+// one record per line, addresses in decimal or 0x-prefixed hex. This
+// lets the simulator run real collected traces interchangeably with the
+// synthetic generators (package workload), and lets the generators dump
+// their streams for use by other simulators (cmd/tracegen).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// Writer emits trace records in Ramulator text format.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one record.
+func (t *Writer) Write(rec cpu.TraceRecord) error {
+	if t.err != nil {
+		return t.err
+	}
+	if rec.HasWriteback {
+		_, t.err = fmt.Fprintf(t.w, "%d %#x %#x\n", rec.Bubbles, rec.Addr, rec.WBAddr)
+	} else {
+		_, t.err = fmt.Fprintf(t.w, "%d %#x\n", rec.Bubbles, rec.Addr)
+	}
+	if t.err == nil {
+		t.n++
+	}
+	return t.err
+}
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Records returns the number of records written.
+func (t *Writer) Records() int { return t.n }
+
+// Reader parses trace records from an io.Reader.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{s: s}
+}
+
+// Read parses the next record; it returns io.EOF at end of input.
+func (t *Reader) Read() (cpu.TraceRecord, error) {
+	for t.s.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return cpu.TraceRecord{}, fmt.Errorf("trace: line %d: %w", t.line, err)
+		}
+		return rec, nil
+	}
+	if err := t.s.Err(); err != nil {
+		return cpu.TraceRecord{}, err
+	}
+	return cpu.TraceRecord{}, io.EOF
+}
+
+func parseLine(line string) (cpu.TraceRecord, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return cpu.TraceRecord{}, fmt.Errorf("want 2 or 3 fields, got %d", len(fields))
+	}
+	bubbles, err := strconv.Atoi(fields[0])
+	if err != nil || bubbles < 0 {
+		return cpu.TraceRecord{}, fmt.Errorf("bad bubble count %q", fields[0])
+	}
+	addr, err := parseAddr(fields[1])
+	if err != nil {
+		return cpu.TraceRecord{}, err
+	}
+	rec := cpu.TraceRecord{Bubbles: bubbles, Addr: addr}
+	if len(fields) == 3 {
+		wb, err := parseAddr(fields[2])
+		if err != nil {
+			return cpu.TraceRecord{}, err
+		}
+		rec.HasWriteback = true
+		rec.WBAddr = wb
+	}
+	return rec, nil
+}
+
+func parseAddr(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]cpu.TraceRecord, error) {
+	tr := NewReader(r)
+	var recs []cpu.TraceRecord
+	for {
+		rec, err := tr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// Replay adapts a finite record slice to cpu.TraceReader, looping when
+// exhausted (cores need an endless stream; looping a SimPoint-style
+// representative slice is the conventional treatment).
+type Replay struct {
+	recs []cpu.TraceRecord
+	i    int
+
+	// Loops counts completed passes over the trace.
+	Loops int
+}
+
+// NewReplay builds a looping reader over recs, which must be non-empty.
+func NewReplay(recs []cpu.TraceRecord) (*Replay, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return &Replay{recs: recs}, nil
+}
+
+// Next implements cpu.TraceReader.
+func (r *Replay) Next() cpu.TraceRecord {
+	rec := r.recs[r.i]
+	r.i++
+	if r.i == len(r.recs) {
+		r.i = 0
+		r.Loops++
+	}
+	return rec
+}
+
+// Len returns the trace length in records.
+func (r *Replay) Len() int { return len(r.recs) }

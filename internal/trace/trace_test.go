@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []cpu.TraceRecord{
+		{Bubbles: 10, Addr: 0x1000},
+		{Bubbles: 0, Addr: 0x2040, HasWriteback: true, WBAddr: 0x8000},
+		{Bubbles: 999, Addr: 0},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 3 {
+		t.Errorf("Records = %d", w.Records())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReaderAcceptsRamulatorStyle(t *testing.T) {
+	in := `# comment line
+37 0x7f1a2b3c4000
+5 123456 0x8000
+
+12 0xdeadbeef40 0xcafebab080
+`
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Bubbles != 37 || recs[0].Addr != 0x7f1a2b3c4000 || recs[0].HasWriteback {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Addr != 123456 || !recs[1].HasWriteback || recs[1].WBAddr != 0x8000 {
+		t.Errorf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"x 0x10",
+		"-3 0x10",
+		"5",
+		"5 0x10 0x20 0x30",
+		"5 nothex",
+		"5 0x10 nothex",
+	} {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty input: err = %v, want EOF", err)
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	recs := []cpu.TraceRecord{{Addr: 1}, {Addr: 2}}
+	r, err := NewReplay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []uint64{1, 2, 1, 2, 1}
+	for i, want := range seq {
+		if got := r.Next().Addr; got != want {
+			t.Fatalf("Next %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Loops != 2 {
+		t.Errorf("Loops = %d", r.Loops)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+}
+
+// Property: any generator output round-trips through the text format.
+func TestGeneratorRoundTripProperty(t *testing.T) {
+	prof, err := workload.ByName("soplex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 3, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint8) bool {
+		count := int(n%32) + 1
+		var recs []cpu.TraceRecord
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := 0; i < count; i++ {
+			rec := gen.Next()
+			recs = append(recs, rec)
+			if err := w.Write(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != count {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cpu"
+)
+
+const (
+	lineBytes   = 64
+	segmentSize = 8 * 1024 // one DRAM row buffer
+)
+
+// Generator produces an endless trace for one workload. It implements
+// cpu.TraceReader. Not safe for concurrent use.
+type Generator struct {
+	prof Profile
+	rng  *rng
+
+	base      uint64 // start of this core's address region
+	footprint uint64 // bytes actually touched (<= region size)
+
+	// Stream state: one cursor per stream, served round-robin.
+	cursors []uint64
+	rr      int
+
+	// Zipf state: cumulative popularity over segments, and a permutation
+	// multiplier mapping popularity rank to segment index.
+	zipfCum []float64
+
+	// Writeback trail: writebacks target a line a fixed distance behind
+	// the current access, modeling dirty lines displaced from the upper
+	// caches.
+	lastAddrs [8]uint64
+	lastIdx   int
+}
+
+// zipfSegmentsCap bounds the Zipf table size; footprints larger than
+// cap*8KB reuse the table over interleaved segment groups.
+const zipfSegmentsCap = 1 << 15
+
+// NewGenerator builds a generator for prof, touching [base,
+// base+regionBytes). seed makes the stream deterministic.
+func NewGenerator(prof Profile, seed uint64, base, regionBytes uint64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if regionBytes < segmentSize {
+		return nil, fmt.Errorf("workload: region %d too small", regionBytes)
+	}
+	fp := uint64(prof.FootprintMB) << 20
+	if fp > regionBytes {
+		fp = regionBytes
+	}
+	g := &Generator{
+		prof:      prof,
+		rng:       newRNG(seed),
+		base:      base,
+		footprint: fp,
+	}
+	switch prof.Pattern {
+	case Stream:
+		g.cursors = []uint64{0}
+	case MultiStream:
+		g.cursors = make([]uint64, prof.Streams)
+		for i := range g.cursors {
+			// Spread the streams across the footprint.
+			g.cursors[i] = uint64(i) * (fp / uint64(prof.Streams))
+		}
+	case StrideMix:
+		g.cursors = []uint64{0, fp / 2}
+	case ZipfRow:
+		segs := int(fp / segmentSize)
+		if segs > zipfSegmentsCap {
+			segs = zipfSegmentsCap
+		}
+		if segs < 1 {
+			segs = 1
+		}
+		g.zipfCum = make([]float64, segs)
+		sum := 0.0
+		for i := 0; i < segs; i++ {
+			sum += 1.0 / math.Pow(float64(i+1), prof.ZipfS)
+			g.zipfCum[i] = sum
+		}
+	}
+	return g, nil
+}
+
+// Profile returns the generator's workload profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Footprint returns the touched bytes.
+func (g *Generator) Footprint() uint64 { return g.footprint }
+
+// Next implements cpu.TraceReader.
+func (g *Generator) Next() cpu.TraceRecord {
+	rec := cpu.TraceRecord{
+		Bubbles: int(g.rng.exp(float64(g.prof.Bubbles))),
+		Addr:    g.base + g.nextOffset(),
+	}
+	if g.prof.WritebackFrac > 0 && g.rng.float64() < g.prof.WritebackFrac {
+		// Write back a line we touched a few accesses ago.
+		idx := (g.lastIdx + 1) % len(g.lastAddrs)
+		if g.lastAddrs[idx] != 0 {
+			rec.HasWriteback = true
+			rec.WBAddr = g.lastAddrs[idx]
+		}
+	}
+	g.lastAddrs[g.lastIdx] = rec.Addr
+	g.lastIdx = (g.lastIdx + 1) % len(g.lastAddrs)
+	return rec
+}
+
+// nextOffset produces the next line-aligned offset within the footprint.
+func (g *Generator) nextOffset() uint64 {
+	switch g.prof.Pattern {
+	case Stream:
+		off := g.cursors[0]
+		g.cursors[0] = (off + lineBytes) % g.footprint
+		return off
+
+	case MultiStream:
+		// Strict round-robin across streams (an unrolled a[i]/b[i]/c[i]
+		// loop body), each advancing sequentially.
+		s := g.rr
+		g.rr++
+		if g.rr == len(g.cursors) {
+			g.rr = 0
+		}
+		off := g.cursors[s]
+		g.cursors[s] = (off + lineBytes) % g.footprint
+		return off
+
+	case Random:
+		lines := g.footprint / lineBytes
+		return (g.rng.next() % lines) * lineBytes
+
+	case ZipfRow:
+		seg := g.zipfSegment()
+		// Spread popularity ranks over the address space so hot
+		// segments land in different banks/rows.
+		segs := uint64(len(g.zipfCum))
+		spread := (uint64(seg)*0x9e3779b97f4a7c15 + 0x7f4a7c15) % segs
+		inSeg := (g.rng.next() % (segmentSize / lineBytes)) * lineBytes
+		return (spread*segmentSize + inSeg) % g.footprint
+
+	case StrideMix:
+		// Two interleaved strided walks over separate structures, with
+		// probabilistic local jumps (revisiting nearby data) and rare
+		// long jumps. The interleave produces the bank conflicts that
+		// strided scientific/integer codes exhibit; jumps temper the
+		// pure-stream row locality.
+		s := g.rr
+		g.rr ^= 1
+		switch u := g.rng.float64(); {
+		case u < g.prof.JumpProb:
+			window := uint64(1 << 20)
+			if window > g.footprint {
+				window = g.footprint
+			}
+			delta := (g.rng.next() % (window / lineBytes)) * lineBytes
+			g.cursors[s] = (g.cursors[s] + delta) % g.footprint
+		case u < g.prof.JumpProb+0.02:
+			g.cursors[s] = (g.rng.next() % (g.footprint / lineBytes)) * lineBytes
+		default:
+			g.cursors[s] = (g.cursors[s] + lineBytes) % g.footprint
+		}
+		return g.cursors[s]
+
+	default:
+		return 0
+	}
+}
+
+// zipfSegment samples a popularity rank from the Zipf distribution.
+func (g *Generator) zipfSegment() int {
+	total := g.zipfCum[len(g.zipfCum)-1]
+	u := g.rng.float64() * total
+	return sort.SearchFloat64s(g.zipfCum, u)
+}

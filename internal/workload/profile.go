@@ -1,0 +1,179 @@
+// Package workload provides deterministic synthetic trace generators
+// that stand in for the paper's Pin-collected SPEC CPU2006, TPC and
+// STREAM traces (see DESIGN.md §1 for the substitution argument).
+//
+// Each named workload is a Profile: a memory intensity (mean non-memory
+// instructions per memory access), a footprint, an access pattern, and a
+// writeback ratio. The patterns are chosen to reproduce the properties
+// ChargeCache's benefit depends on — row-activation intensity (RMPKC)
+// and row-level temporal locality (RLTL) — rather than instruction
+// semantics:
+//
+//   - Stream: one sequential stream (libquantum-style vector sweeps).
+//   - MultiStream: several interleaved sequential streams whose rows
+//     collide in banks (STREAM copy, lbm, bwaves ... ). Interleaved
+//     streams are the canonical source of single-core bank conflicts and
+//     hence of high RLTL.
+//   - Random: uniform pointer chasing over the whole footprint (sjeng).
+//   - ZipfRow: row-granular hot-set reuse with a Zipf popularity
+//     distribution (databases, mcf's hot structures).
+//   - StrideMix: strided sweeps with local jumps (astar, sphinx3 ... ).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern enumerates the address-stream shapes.
+type Pattern uint8
+
+const (
+	// Stream is a single sequential stream.
+	Stream Pattern = iota
+	// MultiStream interleaves several sequential streams.
+	MultiStream
+	// Random is a uniform random walk over the footprint.
+	Random
+	// ZipfRow picks row-sized segments with Zipf popularity.
+	ZipfRow
+	// StrideMix strides sequentially with probabilistic local jumps.
+	StrideMix
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case MultiStream:
+		return "multistream"
+	case Random:
+		return "random"
+	case ZipfRow:
+		return "zipf-row"
+	case StrideMix:
+		return "stride-mix"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// Profile describes one synthetic workload.
+type Profile struct {
+	Name    string
+	Pattern Pattern
+
+	// Bubbles is the mean number of non-memory instructions between
+	// memory accesses (exponentially distributed). Lower means more
+	// memory-intensive.
+	Bubbles int
+
+	// FootprintMB is the touched memory size.
+	FootprintMB int
+
+	// Streams is the number of interleaved streams (MultiStream).
+	Streams int
+
+	// JumpProb is the probability of a local jump (StrideMix).
+	JumpProb float64
+
+	// ZipfS is the Zipf skew for ZipfRow (0 < s < 2; larger = hotter).
+	ZipfS float64
+
+	// WritebackFrac is the fraction of records carrying a writeback.
+	WritebackFrac float64
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile needs a name")
+	}
+	if p.Bubbles < 0 || p.FootprintMB <= 0 {
+		return fmt.Errorf("workload %s: bubbles=%d footprint=%dMB invalid", p.Name, p.Bubbles, p.FootprintMB)
+	}
+	if p.Pattern == MultiStream && p.Streams < 2 {
+		return fmt.Errorf("workload %s: multistream needs >= 2 streams", p.Name)
+	}
+	if p.Pattern == ZipfRow && (p.ZipfS <= 0 || p.ZipfS >= 2) {
+		return fmt.Errorf("workload %s: zipf s=%g out of (0,2)", p.Name, p.ZipfS)
+	}
+	if p.JumpProb < 0 || p.JumpProb > 1 || p.WritebackFrac < 0 || p.WritebackFrac > 1 {
+		return fmt.Errorf("workload %s: probabilities out of range", p.Name)
+	}
+	return nil
+}
+
+// profiles lists the 22 single-core workloads evaluated in the paper
+// (SPEC CPU2006 + TPC + STREAM). Parameters are calibrated so measured
+// RMPKC spans roughly the paper's 0-20 range and RLTL matches Figures
+// 3-4 in shape; see EXPERIMENTS.md for the measured values.
+var profiles = []Profile{
+	{Name: "tpch6", Pattern: ZipfRow, Bubbles: 500, FootprintMB: 512, ZipfS: 1.10, WritebackFrac: 0.10},
+	{Name: "apache20", Pattern: ZipfRow, Bubbles: 420, FootprintMB: 256, ZipfS: 1.15, WritebackFrac: 0.15},
+	{Name: "GemsFDTD", Pattern: MultiStream, Bubbles: 350, FootprintMB: 800, Streams: 3, WritebackFrac: 0.30},
+	{Name: "mcf", Pattern: ZipfRow, Bubbles: 90, FootprintMB: 1700, ZipfS: 0.80, WritebackFrac: 0.20},
+	{Name: "sphinx3", Pattern: StrideMix, Bubbles: 220, FootprintMB: 180, JumpProb: 0.30, WritebackFrac: 0.05},
+	{Name: "tpch2", Pattern: ZipfRow, Bubbles: 200, FootprintMB: 512, ZipfS: 1.15, WritebackFrac: 0.10},
+	{Name: "astar", Pattern: StrideMix, Bubbles: 200, FootprintMB: 170, JumpProb: 0.50, WritebackFrac: 0.20},
+	{Name: "hmmer", Pattern: Stream, Bubbles: 250, FootprintMB: 2, WritebackFrac: 0.30},
+	{Name: "milc", Pattern: MultiStream, Bubbles: 280, FootprintMB: 680, Streams: 2, WritebackFrac: 0.25},
+	{Name: "bwaves", Pattern: MultiStream, Bubbles: 260, FootprintMB: 870, Streams: 3, WritebackFrac: 0.20},
+	{Name: "lbm", Pattern: MultiStream, Bubbles: 240, FootprintMB: 400, Streams: 4, WritebackFrac: 0.50},
+	{Name: "omnetpp", Pattern: ZipfRow, Bubbles: 80, FootprintMB: 160, ZipfS: 0.85, WritebackFrac: 0.25},
+	{Name: "tonto", Pattern: StrideMix, Bubbles: 90, FootprintMB: 50, JumpProb: 0.20, WritebackFrac: 0.30},
+	{Name: "bzip2", Pattern: StrideMix, Bubbles: 85, FootprintMB: 100, JumpProb: 0.35, WritebackFrac: 0.30},
+	{Name: "leslie3d", Pattern: MultiStream, Bubbles: 210, FootprintMB: 120, Streams: 3, WritebackFrac: 0.30},
+	{Name: "sjeng", Pattern: Random, Bubbles: 70, FootprintMB: 170, WritebackFrac: 0.30},
+	{Name: "tpcc64", Pattern: ZipfRow, Bubbles: 60, FootprintMB: 1000, ZipfS: 1.10, WritebackFrac: 0.30},
+	{Name: "cactusADM", Pattern: MultiStream, Bubbles: 180, FootprintMB: 650, Streams: 2, WritebackFrac: 0.35},
+	{Name: "libquantum", Pattern: MultiStream, Bubbles: 70, FootprintMB: 32, Streams: 2, WritebackFrac: 0.25},
+	{Name: "soplex", Pattern: StrideMix, Bubbles: 35, FootprintMB: 250, JumpProb: 0.40, WritebackFrac: 0.15},
+	{Name: "tpch17", Pattern: ZipfRow, Bubbles: 30, FootprintMB: 512, ZipfS: 1.15, WritebackFrac: 0.10},
+	{Name: "STREAMcopy", Pattern: MultiStream, Bubbles: 24, FootprintMB: 256, Streams: 3, WritebackFrac: 0.50},
+}
+
+// Profiles returns the 22 single-core workloads in canonical order.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns the canonical workload names.
+func Names() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	sorted := Names()
+	sort.Strings(sorted)
+	return Profile{}, fmt.Errorf("workload: unknown workload %q (have %v)", name, sorted)
+}
+
+// EightCoreMixes returns n multiprogrammed mixes of 8 workloads each,
+// composed by assigning a randomly-chosen application to each core
+// (Section 5 of the paper), deterministically from seed.
+func EightCoreMixes(seed uint64, n int) [][]string {
+	rng := newRNG(seed)
+	mixes := make([][]string, n)
+	for i := range mixes {
+		mix := make([]string, 8)
+		for c := range mix {
+			mix[c] = profiles[rng.intn(len(profiles))].Name
+		}
+		mixes[i] = mix
+	}
+	return mixes
+}

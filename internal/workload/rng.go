@@ -1,0 +1,51 @@
+package workload
+
+import "math"
+
+// rng is a splitmix64-seeded xorshift generator: tiny, fast and
+// deterministic across platforms (unlike math/rand it has an explicitly
+// specified algorithm, so traces are reproducible byte-for-byte).
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	// Run the seed through splitmix64 so small seeds are well spread.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a value in (0, 1].
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11+1) / float64(1<<53)
+}
+
+// exp returns an exponentially distributed value with the given mean,
+// capped at 10x the mean to bound record sizes.
+func (r *rng) exp(mean float64) float64 {
+	v := -mean * math.Log(r.float64())
+	if v > 10*mean {
+		v = 10 * mean
+	}
+	return v
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 22 {
+		t.Fatalf("profiles = %d, want the paper's 22 workloads", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejectsBad(t *testing.T) {
+	cases := []Profile{
+		{},
+		{Name: "x", FootprintMB: 0},
+		{Name: "x", FootprintMB: 1, Pattern: MultiStream, Streams: 1},
+		{Name: "x", FootprintMB: 1, Pattern: ZipfRow, ZipfS: 0},
+		{Name: "x", FootprintMB: 1, Pattern: ZipfRow, ZipfS: 2.5},
+		{Name: "x", FootprintMB: 1, JumpProb: 1.5},
+		{Name: "x", FootprintMB: 1, WritebackFrac: -0.1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, p)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Errorf("ByName(mcf) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 22 {
+		t.Error("Names() wrong length")
+	}
+}
+
+func TestEightCoreMixesDeterministic(t *testing.T) {
+	a := EightCoreMixes(7, 20)
+	b := EightCoreMixes(7, 20)
+	if len(a) != 20 {
+		t.Fatalf("mixes = %d", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 8 {
+			t.Fatalf("mix %d has %d members", i, len(a[i]))
+		}
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				t.Fatal("mixes not deterministic")
+			}
+			if _, err := ByName(a[i][c]); err != nil {
+				t.Fatalf("mix contains unknown workload %q", a[i][c])
+			}
+		}
+	}
+	// Different seed: (almost surely) different mixes.
+	c := EightCoreMixes(8, 20)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mixes")
+	}
+}
+
+func mustGen(t *testing.T, name string, seed uint64) *Generator {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, seed, 0, 4<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		g1 := mustGen(t, name, 42)
+		g2 := mustGen(t, name, 42)
+		for i := 0; i < 1000; i++ {
+			r1, r2 := g1.Next(), g2.Next()
+			if r1 != r2 {
+				t.Fatalf("%s: records diverge at %d: %+v vs %+v", name, i, r1, r2)
+			}
+		}
+	}
+}
+
+func TestGeneratorAddressesWithinRegion(t *testing.T) {
+	base := uint64(1) << 32
+	region := uint64(1) << 30
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		g, err := NewGenerator(p, 1, base, region)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.Addr < base || r.Addr >= base+region {
+				t.Fatalf("%s: addr %#x outside [%#x,%#x)", name, r.Addr, base, base+region)
+			}
+			if r.HasWriteback && (r.WBAddr < base || r.WBAddr >= base+region) {
+				t.Fatalf("%s: wb addr %#x outside region", name, r.WBAddr)
+			}
+			if r.Bubbles < 0 {
+				t.Fatalf("%s: negative bubbles", name)
+			}
+		}
+	}
+}
+
+func TestGeneratorRejectsBadInput(t *testing.T) {
+	p, _ := ByName("mcf")
+	if _, err := NewGenerator(p, 1, 0, 100); err == nil {
+		t.Error("tiny region accepted")
+	}
+	bad := p
+	bad.FootprintMB = 0
+	if _, err := NewGenerator(bad, 1, 0, 1<<30); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	g := mustGen(t, "hmmer", 1)
+	prev := g.Next().Addr
+	for i := 0; i < 100; i++ {
+		cur := g.Next().Addr
+		if cur != prev+lineBytes && cur != g.base {
+			t.Fatalf("stream jumped from %#x to %#x", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestFootprintCappedByRegion(t *testing.T) {
+	p, _ := ByName("mcf") // 1700 MB profile
+	g, err := NewGenerator(p, 1, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Footprint() != 1<<30 {
+		t.Errorf("footprint = %d, want capped at 1GiB", g.Footprint())
+	}
+	if g.Profile().Name != "mcf" {
+		t.Error("Profile() wrong")
+	}
+}
+
+func TestBubbleMeansDifferentiateIntensity(t *testing.T) {
+	mean := func(name string) float64 {
+		g := mustGen(t, name, 9)
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(g.Next().Bubbles)
+		}
+		return sum / n
+	}
+	light := mean("tpch6")      // 500 bubbles: memory-light
+	heavy := mean("STREAMcopy") // 18 bubbles: memory-heavy
+	if light < 5*heavy {
+		t.Errorf("intensity not separated: light=%.0f heavy=%.0f", light, heavy)
+	}
+}
+
+func TestZipfConcentratesAccesses(t *testing.T) {
+	g := mustGen(t, "apache20", 3)
+	counts := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Addr/segmentSize]++
+	}
+	// The hottest segment must take a disproportionate share vs uniform.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := n / len(counts)
+	if max < 5*uniform {
+		t.Errorf("zipf hot segment %d accesses vs uniform %d: not skewed", max, uniform)
+	}
+}
+
+func TestRandomSpreads(t *testing.T) {
+	g := mustGen(t, "sjeng", 4)
+	counts := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Addr/segmentSize]++
+	}
+	if len(counts) < 1000 {
+		t.Errorf("random touched only %d segments", len(counts))
+	}
+}
+
+func TestRNGProperties(t *testing.T) {
+	r := newRNG(0) // zero seed must still work
+	f := func(_ int) bool {
+		v := r.float64()
+		return v > 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	r2 := newRNG(5)
+	for i := 0; i < 1000; i++ {
+		if n := r2.intn(7); n < 0 || n >= 7 {
+			t.Fatalf("intn out of range: %d", n)
+		}
+		if e := r2.exp(100); e < 0 || e > 1000 {
+			t.Fatalf("exp out of range: %g", e)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Stream: "stream", MultiStream: "multistream", Random: "random",
+		ZipfRow: "zipf-row", StrideMix: "stride-mix", Pattern(99): "Pattern(99)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+GO ?= go
+
+# ci is the tier-1 gate: build, vet, tests, and a race pass over the
+# packages that run simulations concurrently (the sweep engine and the
+# figure drivers submitting to it).
+.PHONY: ci
+ci: build vet test race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./internal/sweep ./internal/experiments
+
+# bench regenerates the evaluation's headline numbers and the sweep
+# scaling curve. CCSIM_BENCH_SCALE=default selects the paper-sized
+# Figure 7a campaign for the worker-scaling benchmark.
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/sweep ./internal/experiments
+
+# golden-update deliberately rewrites the experiment-layer regression
+# snapshot after an intended change to reproduced paper numbers.
+.PHONY: golden-update
+golden-update:
+	$(GO) test ./internal/experiments -run TestGoldenQuickFig3Fig7 -update

@@ -28,6 +28,8 @@
 package ccsim
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -129,6 +132,33 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return s.Run()
+}
+
+// Parallel sweep engine (see internal/sweep): batches of independent
+// simulations fanned out across a worker pool, with results in input
+// order and content identical to a serial run.
+type (
+	// SweepJob is one simulation of a sweep: a config plus a label.
+	SweepJob = sweep.Job
+	// SweepOptions sets worker count, result cache and progress sink.
+	SweepOptions = sweep.Options
+	// SweepEvent reports one finished sweep job.
+	SweepEvent = sweep.Event
+	// SweepCache is a disk-backed JSON result store keyed by config
+	// hash; it lets interrupted campaigns resume.
+	SweepCache = sweep.Cache
+)
+
+// RunSweep executes jobs across a worker pool and returns results in
+// input order. The first failure cancels the remaining jobs.
+func RunSweep(ctx context.Context, jobs []SweepJob, opts SweepOptions) ([]Result, error) {
+	return sweep.Run(ctx, jobs, opts)
+}
+
+// OpenSweepCache loads (or initializes) the JSON results file backing
+// sweep caching.
+func OpenSweepCache(path string) (*SweepCache, error) {
+	return sweep.OpenCache(path)
 }
 
 // Workloads returns the names of the 22 built-in synthetic workloads

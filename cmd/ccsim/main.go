@@ -1,21 +1,30 @@
-// Command ccsim runs one simulation of the evaluated system and prints
-// its measurements: IPC, RMPKC, row-buffer behaviour, ChargeCache hit
-// rate and DRAM energy.
+// Command ccsim runs one or more simulations of the evaluated system
+// and prints their measurements: IPC, RMPKC, row-buffer behaviour,
+// ChargeCache hit rate and DRAM energy.
+//
+// -mechanism accepts a comma-separated list; with more than one entry
+// the configs fan out across -workers goroutines through the sweep
+// engine and print as a comparison table. -results names a JSON cache
+// file so repeated invocations reuse finished runs.
 //
 // Examples:
 //
 //	ccsim -workloads lbm -mechanism chargecache
 //	ccsim -workloads "libquantum,mcf,lbm,sjeng" -mechanism chargecache+nuat -instructions 2000000
 //	ccsim -workloads tpch17 -mechanism chargecache -entries 1024 -duration 4
+//	ccsim -workloads lbm -mechanism baseline,nuat,chargecache,lldram -workers 4 -results runs.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 
 	ccsim "repro"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -23,7 +32,7 @@ func main() {
 	log.SetPrefix("ccsim: ")
 
 	workloads := flag.String("workloads", "lbm", "comma-separated workload names (one per core); see -list")
-	mechanism := flag.String("mechanism", "chargecache", "baseline, chargecache, nuat, chargecache+nuat or lldram")
+	mechanism := flag.String("mechanism", "chargecache", "comma-separated mechanisms to run: baseline, chargecache, nuat, chargecache+nuat, lldram")
 	instructions := flag.Uint64("instructions", 1_000_000, "instructions to simulate per core")
 	warmup := flag.Uint64("warmup", 1_000_000, "warm-up instructions per core")
 	entries := flag.Int("entries", 128, "ChargeCache entries per core")
@@ -31,6 +40,8 @@ func main() {
 	unlimited := flag.Bool("unlimited", false, "unbounded ChargeCache")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
+	workers := flag.Int("workers", 0, "parallel simulations when several mechanisms are given (0 = GOMAXPROCS)")
+	results := flag.String("results", "", "JSON results-cache file reused across invocations")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -46,35 +57,84 @@ func main() {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	cfg := ccsim.DefaultConfig(names...)
-	cfg.RunInstructions = *instructions
-	cfg.WarmupInstructions = *warmup
-	cfg.CCEntriesPerCore = *entries
-	cfg.CCDurationMs = *duration
-	cfg.CCUnlimited = *unlimited
-	cfg.Seed = *seed
-	cfg.TrackRLTL = *rltl
+	base := ccsim.DefaultConfig(names...)
+	base.RunInstructions = *instructions
+	base.WarmupInstructions = *warmup
+	base.CCEntriesPerCore = *entries
+	base.CCDurationMs = *duration
+	base.CCUnlimited = *unlimited
+	base.Seed = *seed
+	base.TrackRLTL = *rltl
 
-	switch strings.ToLower(*mechanism) {
-	case "baseline":
-		cfg.Mechanism = ccsim.Baseline
-	case "chargecache", "cc":
-		cfg.Mechanism = ccsim.ChargeCache
-	case "nuat":
-		cfg.Mechanism = ccsim.NUAT
-	case "chargecache+nuat", "cc+nuat":
-		cfg.Mechanism = ccsim.ChargeCacheNUAT
-	case "lldram", "ll-dram":
-		cfg.Mechanism = ccsim.LLDRAM
-	default:
-		log.Fatalf("unknown mechanism %q", *mechanism)
+	var jobs []ccsim.SweepJob
+	for _, m := range strings.Split(*mechanism, ",") {
+		kind, err := parseMechanism(strings.TrimSpace(m))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := base
+		cfg.Mechanism = kind
+		jobs = append(jobs, ccsim.SweepJob{Label: kind.String(), Config: cfg})
 	}
 
-	res, err := ccsim.Run(cfg)
+	opts := ccsim.SweepOptions{Workers: *workers}
+	if *results != "" {
+		cache, err := ccsim.OpenSweepCache(*results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cache = cache
+	}
+	if len(jobs) > 1 {
+		opts.Progress = sweep.StderrProgress
+	}
+
+	res, err := ccsim.RunSweep(context.Background(), jobs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(res)
+	if len(res) == 1 {
+		report(res[0])
+		return
+	}
+	compare(res)
+}
+
+// parseMechanism maps a CLI name to its mechanism kind.
+func parseMechanism(name string) (ccsim.MechanismKind, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return ccsim.Baseline, nil
+	case "chargecache", "cc":
+		return ccsim.ChargeCache, nil
+	case "nuat":
+		return ccsim.NUAT, nil
+	case "chargecache+nuat", "cc+nuat":
+		return ccsim.ChargeCacheNUAT, nil
+	case "lldram", "ll-dram":
+		return ccsim.LLDRAM, nil
+	default:
+		return ccsim.Baseline, fmt.Errorf("unknown mechanism %q", name)
+	}
+}
+
+// compare prints one summary line per mechanism, with speedups relative
+// to the first entry.
+func compare(results []ccsim.Result) {
+	ref := avgIPC(results[0])
+	fmt.Printf("%-18s %8s %8s %7s %7s %8s %11s\n",
+		"mechanism", "avg IPC", "speedup", "rmpkc", "hit", "fastACT", "energy(mJ)")
+	for _, res := range results {
+		c := res.Controller
+		fmt.Printf("%-18v %8.3f %+7.2f%% %7.2f %7.2f %7.1f%% %11.3f%s\n",
+			res.Config.Mechanism, avgIPC(res), 100*(avgIPC(res)/ref-1),
+			res.RMPKC(), res.HitRate(), percent(c.FastActivations, c.Activations),
+			res.Energy.TotalMJ(), saturated(res))
+	}
+}
+
+func avgIPC(res ccsim.Result) float64 {
+	return stats.Mean(res.IPCs())
 }
 
 func report(res ccsim.Result) {

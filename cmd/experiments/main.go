@@ -5,6 +5,13 @@
 // Usage:
 //
 //	experiments [-scale quick|default|long] [-fig all|3|4|6|7a|7b|8|9|10|11|table2|overhead]
+//	            [-workers N] [-results FILE] [-quiet]
+//
+// Sweeps fan out across -workers goroutines (default: GOMAXPROCS) with
+// results identical to a serial run. -results names a JSON cache file:
+// finished configs are persisted as they complete, so an interrupted
+// campaign resumes where it stopped and repeated runs reuse earlier
+// work.
 //
 // Absolute numbers depend on the synthetic workload substitution (see
 // DESIGN.md); the shapes — who wins, by what rough factor, where
@@ -25,6 +32,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 var mechOrder = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
@@ -34,6 +42,9 @@ func main() {
 	log.SetPrefix("experiments: ")
 	scaleFlag := flag.String("scale", "default", "simulation budget: quick, default or long")
 	figFlag := flag.String("fig", "all", "which experiment: all, 3, 4, 6, 7a, 7b, 8, 9, 10, 11, table2, overhead")
+	workersFlag := flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS)")
+	resultsFlag := flag.String("results", "", "JSON results-cache file: resumes interrupted campaigns, reuses finished configs")
+	quietFlag := flag.Bool("quiet", false, "suppress per-config progress on stderr")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -46,6 +57,18 @@ func main() {
 		scale = experiments.Long()
 	default:
 		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+	scale.Workers = *workersFlag
+	if *resultsFlag != "" {
+		cache, err := sweep.OpenCache(*resultsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "results cache %s: %d finished configs\n", *resultsFlag, cache.Len())
+		scale.Cache = cache
+	}
+	if !*quietFlag {
+		scale.Progress = sweep.StderrProgress
 	}
 
 	start := time.Now()

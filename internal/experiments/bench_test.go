@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// benchScale picks the sweep-benchmark budget: Quick by default so the
+// benchmark terminates fast; set CCSIM_BENCH_SCALE=default (or long)
+// for the paper-sized campaign of the acceptance measurement.
+func benchScale(b *testing.B) Scale {
+	switch os.Getenv("CCSIM_BENCH_SCALE") {
+	case "", "quick":
+		return Quick()
+	case "default":
+		return Default()
+	case "long":
+		return Long()
+	default:
+		b.Fatalf("CCSIM_BENCH_SCALE=%q: want quick, default or long", os.Getenv("CCSIM_BENCH_SCALE"))
+		return Scale{}
+	}
+}
+
+// BenchmarkFig7SingleWorkers measures the wall clock of the full
+// Figure 7a campaign (22 workloads x 5 mechanisms = 110 simulations)
+// against the sweep worker count. The workers=1 case is the old serial
+// path; on an 8-core host workers=8 completes the same row-for-row
+// identical sweep several times faster:
+//
+//	CCSIM_BENCH_SCALE=default go test ./internal/experiments \
+//	    -bench Fig7SingleWorkers -benchtime 1x -run '^$'
+func BenchmarkFig7SingleWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchScale(b)
+			s.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rows, err := s.Fig7Single()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 22 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
+	}
+}

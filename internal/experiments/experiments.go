@@ -3,15 +3,23 @@
 // returns the rows of the corresponding plot; cmd/experiments renders
 // them as text tables and the root-level benchmarks report their
 // headline numbers as benchmark metrics.
+//
+// Every figure driver builds its full config list up front and submits
+// it to the sweep engine (internal/sweep), so campaigns parallelize
+// across Scale.Workers goroutines and can resume from a Scale.Cache
+// results file. Row content is identical to a serial run regardless of
+// worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/memctrl"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -24,6 +32,18 @@ type Scale struct {
 	Mixes              int // 8-core workload mixes (paper: 20)
 	SweepMixes         int // mixes used in capacity/duration sweeps
 	MixSeed            uint64
+
+	// Workers is the sweep parallelism of the figure drivers (<= 0
+	// means GOMAXPROCS).
+	Workers int
+
+	// Cache, when non-nil, memoizes simulation results across figures
+	// and process restarts (see sweep.Cache). Figures sharing a config
+	// — e.g. the Fig7 baselines and the sweep bases — run it once.
+	Cache *sweep.Cache
+
+	// Progress, when non-nil, observes every config completion.
+	Progress func(sweep.Event)
 }
 
 // Quick returns a CI-sized scale (~2 min for everything).
@@ -62,13 +82,15 @@ func Long() Scale {
 // Mechanisms evaluated against the baseline, in presentation order.
 var evaluated = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
 
-// runOne executes one simulation.
-func runOne(cfg sim.Config) (sim.Result, error) {
-	s, err := sim.New(cfg)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return s.Run()
+// runBatch executes jobs through the parallel sweep engine, honouring
+// the scale's worker count, result cache and progress sink. Results
+// come back in job order.
+func (s Scale) runBatch(jobs []sweep.Job) ([]sim.Result, error) {
+	return sweep.Run(context.Background(), jobs, sweep.Options{
+		Workers:  s.Workers,
+		Cache:    s.Cache,
+		Progress: s.Progress,
+	})
 }
 
 func (s Scale) singleConfig(name string) sim.Config {
@@ -83,6 +105,15 @@ func (s Scale) mixConfig(mix []string) sim.Config {
 	cfg.WarmupInstructions = s.WarmupInstructions
 	cfg.RunInstructions = s.RunInstructions
 	return cfg
+}
+
+// configLabel names a config in job labels: the workload for a single
+// core, "first+N" for a mix.
+func configLabel(cfg sim.Config) string {
+	if len(cfg.Workloads) == 1 {
+		return cfg.Workloads[0]
+	}
+	return fmt.Sprintf("%s+%d", cfg.Workloads[0], len(cfg.Workloads)-1)
 }
 
 // RLTLRow is one bar of Figures 3 and 4.
@@ -123,7 +154,8 @@ func (s Scale) Fig4(eightCore bool, policy memctrl.RowPolicy) ([]RLTLRow, error)
 }
 
 func (s Scale) rltlRows(sets [][]string, policy memctrl.RowPolicy) ([]RLTLRow, error) {
-	var rows []RLTLRow
+	jobs := make([]sweep.Job, len(sets))
+	names := make([]string, len(sets))
 	for i, set := range sets {
 		cfg := s.mixConfig(set)
 		if len(set) == 1 {
@@ -131,21 +163,26 @@ func (s Scale) rltlRows(sets [][]string, policy memctrl.RowPolicy) ([]RLTLRow, e
 		}
 		cfg.RowPolicy = policy
 		cfg.TrackRLTL = true
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, err
-		}
 		name := set[0]
 		if len(set) > 1 {
 			name = fmt.Sprintf("w%d", i+1)
 		}
-		rows = append(rows, RLTLRow{
-			Name:            name,
+		names[i] = name
+		jobs[i] = sweep.Job{Label: fmt.Sprintf("rltl/%v/%s", policy, name), Config: cfg}
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RLTLRow, len(results))
+	for i, res := range results {
+		rows[i] = RLTLRow{
+			Name:            names[i],
 			IntervalsMs:     res.RLTL.IntervalsMs,
 			Fractions:       res.RLTL.Fractions,
 			RefreshFraction: res.RLTL.RefreshFraction,
 			Policy:          policy,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -166,29 +203,46 @@ type SpeedupRow struct {
 	HitRate float64
 }
 
+// speedupJobs builds one baseline config plus one config per evaluated
+// mechanism, in that order — the per-row config group of Figure 7.
+func speedupJobs(name string, base sim.Config) []sweep.Job {
+	jobs := []sweep.Job{{Label: name + "/Baseline", Config: base}}
+	for _, mech := range evaluated {
+		cfg := base
+		cfg.Mechanism = mech
+		jobs = append(jobs, sweep.Job{Label: fmt.Sprintf("%s/%v", name, mech), Config: cfg})
+	}
+	return jobs
+}
+
+// speedupGroupLen is the stride of one speedupJobs group in a batch.
+var speedupGroupLen = 1 + len(evaluated)
+
 // Fig7Single produces Figure 7a (plus the Figure 8 single-core energy
 // data): per-workload speedups for NUAT, ChargeCache, ChargeCache+NUAT
 // and LL-DRAM, sorted by ascending baseline RMPKC as in the paper.
 func (s Scale) Fig7Single() ([]SpeedupRow, error) {
+	names := workload.Names()
+	var jobs []sweep.Job
+	for _, name := range names {
+		jobs = append(jobs, speedupJobs(name, s.singleConfig(name))...)
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []SpeedupRow
-	for _, name := range workload.Names() {
-		base, err := runOne(s.singleConfig(name))
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range names {
+		group := results[i*speedupGroupLen : (i+1)*speedupGroupLen]
+		base := group[0]
 		row := SpeedupRow{
 			Name:            name,
 			RMPKC:           base.RMPKC(),
 			Speedup:         map[sim.MechanismKind]float64{},
 			EnergyReduction: map[sim.MechanismKind]float64{},
 		}
-		for _, mech := range evaluated {
-			cfg := s.singleConfig(name)
-			cfg.Mechanism = mech
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for j, mech := range evaluated {
+			res := group[1+j]
 			row.Speedup[mech] = stats.Speedup(res.PerCore[0].IPC, base.PerCore[0].IPC)
 			row.EnergyReduction[mech] = 1 - res.Energy.Total()/base.Energy.Total()
 			if mech == sim.ChargeCache {
@@ -209,16 +263,22 @@ func (s Scale) Fig7Eight() ([]SpeedupRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jobs []sweep.Job
+	for i, mix := range mixes {
+		jobs = append(jobs, speedupJobs(fmt.Sprintf("w%d", i+1), s.mixConfig(mix))...)
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []SpeedupRow
 	for i, mix := range mixes {
 		aloneVec := make([]float64, len(mix))
 		for c, n := range mix {
 			aloneVec[c] = alone[n]
 		}
-		base, err := runOne(s.mixConfig(mix))
-		if err != nil {
-			return nil, err
-		}
+		group := results[i*speedupGroupLen : (i+1)*speedupGroupLen]
+		base := group[0]
 		wsBase, err := stats.WeightedSpeedup(base.IPCs(), aloneVec)
 		if err != nil {
 			return nil, err
@@ -229,13 +289,8 @@ func (s Scale) Fig7Eight() ([]SpeedupRow, error) {
 			Speedup:         map[sim.MechanismKind]float64{},
 			EnergyReduction: map[sim.MechanismKind]float64{},
 		}
-		for _, mech := range evaluated {
-			cfg := s.mixConfig(mix)
-			cfg.Mechanism = mech
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for j, mech := range evaluated {
+			res := group[1+j]
 			ws, err := stats.WeightedSpeedup(res.IPCs(), aloneVec)
 			if err != nil {
 				return nil, err
@@ -256,21 +311,30 @@ func (s Scale) Fig7Eight() ([]SpeedupRow, error) {
 // 8-core memory system (2 channels, closed-row), the weighted-speedup
 // denominator.
 func (s Scale) aloneIPCs(mixes [][]string) (map[string]float64, error) {
-	out := map[string]float64{}
+	var order []string
+	seen := map[string]bool{}
 	for _, mix := range mixes {
 		for _, name := range mix {
-			if _, ok := out[name]; ok {
-				continue
+			if !seen[name] {
+				seen[name] = true
+				order = append(order, name)
 			}
-			cfg := s.singleConfig(name)
-			cfg.Channels = 2
-			cfg.RowPolicy = memctrl.ClosedRow
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out[name] = res.PerCore[0].IPC
 		}
+	}
+	jobs := make([]sweep.Job, len(order))
+	for i, name := range order {
+		cfg := s.singleConfig(name)
+		cfg.Channels = 2
+		cfg.RowPolicy = memctrl.ClosedRow
+		jobs[i] = sweep.Job{Label: "alone/" + name, Config: cfg}
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, res := range results {
+		out[order[i]] = res.PerCore[0].IPC
 	}
 	return out, nil
 }
@@ -317,10 +381,10 @@ func (s Scale) Fig9And10(eightCore bool, entries []int) ([]CapacityRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []CapacityRow
-	for _, n := range append(append([]int{}, entries...), 0) {
-		var hit, speedup []float64
-		for i, base := range configs {
+	points := append(append([]int{}, entries...), 0)
+	var jobs []sweep.Job
+	for _, n := range points {
+		for _, base := range configs {
 			cfg := base
 			cfg.Mechanism = sim.ChargeCache
 			if n == 0 {
@@ -328,10 +392,21 @@ func (s Scale) Fig9And10(eightCore bool, entries []int) ([]CapacityRow, error) {
 			} else {
 				cfg.CCEntriesPerCore = n
 			}
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, sweep.Job{
+				Label:  fmt.Sprintf("fig9/entries=%d/%s", n, configLabel(base)),
+				Config: cfg,
+			})
+		}
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CapacityRow
+	for pi, n := range points {
+		var hit, speedup []float64
+		for i := range configs {
+			res := results[pi*len(configs)+i]
 			hit = append(hit, res.HitRate())
 			speedup = append(speedup, relativePerf(res, bases[i]))
 		}
@@ -364,17 +439,27 @@ func (s Scale) Fig11(eightCore bool, durationsMs []float64) ([]DurationRow, erro
 	if err != nil {
 		return nil, err
 	}
-	var rows []DurationRow
+	var jobs []sweep.Job
 	for _, d := range durationsMs {
-		var hit, speedup []float64
-		for i, base := range configs {
+		for _, base := range configs {
 			cfg := base
 			cfg.Mechanism = sim.ChargeCache
 			cfg.CCDurationMs = d
-			res, err := runOne(cfg)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, sweep.Job{
+				Label:  fmt.Sprintf("fig11/duration=%gms/%s", d, configLabel(base)),
+				Config: cfg,
+			})
+		}
+	}
+	results, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DurationRow
+	for di, d := range durationsMs {
+		var hit, speedup []float64
+		for i := range configs {
+			res := results[di*len(configs)+i]
 			hit = append(hit, res.HitRate())
 			speedup = append(speedup, relativePerf(res, bases[i]))
 		}
@@ -402,13 +487,13 @@ func (s Scale) sweepBases(eightCore bool) ([]sim.Config, []sim.Result, error) {
 			configs = append(configs, s.singleConfig(name))
 		}
 	}
-	var bases []sim.Result
-	for _, cfg := range configs {
-		res, err := runOne(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		bases = append(bases, res)
+	jobs := make([]sweep.Job, len(configs))
+	for i, cfg := range configs {
+		jobs[i] = sweep.Job{Label: "base/" + configLabel(cfg), Config: cfg}
+	}
+	bases, err := s.runBatch(jobs)
+	if err != nil {
+		return nil, nil, err
 	}
 	return configs, bases, nil
 }
@@ -418,12 +503,5 @@ func (s Scale) sweepBases(eightCore bool) ([]sim.Config, []sim.Result, error) {
 // sweeps compare the same mix against itself, where total IPC and
 // weighted speedup move together).
 func relativePerf(res, base sim.Result) float64 {
-	perf := func(r sim.Result) float64 {
-		total := 0.0
-		for _, pc := range r.PerCore {
-			total += pc.IPC
-		}
-		return total
-	}
-	return stats.Speedup(perf(res), perf(base))
+	return stats.Speedup(stats.Sum(res.IPCs()), stats.Sum(base.IPCs()))
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with freshly computed rows")
+
+// TestGoldenQuickFig3Fig7 snapshots the Quick()-scale Figure 3a and
+// Figure 7a rows against a golden file, so refactors of the controller,
+// mechanisms or timing model cannot silently shift the reproduced paper
+// numbers. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenQuickFig3Fig7 -update
+func TestGoldenQuickFig3Fig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regression runs Quick()-scale simulations; skipped in -short mode")
+	}
+	s := Quick()
+
+	var b strings.Builder
+	rows3, err := s.Fig3(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("== Fig3 single-core (Quick scale) ==\n")
+	for _, r := range rows3 {
+		fmt.Fprintf(&b, "%s policy=%v refresh=%.9g fractions=", r.Name, r.Policy, r.RefreshFraction)
+		for i, f := range r.Fractions {
+			fmt.Fprintf(&b, "%gms:%.9g ", r.IntervalsMs[i], f)
+		}
+		b.WriteString("\n")
+	}
+
+	rows7, err := s.Fig7Single()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("== Fig7 single-core (Quick scale) ==\n")
+	for _, r := range rows7 {
+		fmt.Fprintf(&b, "%s rmpkc=%.9g hit=%.9g", r.Name, r.RMPKC, r.HitRate)
+		for _, mech := range []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM} {
+			fmt.Fprintf(&b, " %v=%.9g/%.9g", mech, r.Speedup[mech], r.EnergyReduction[mech])
+		}
+		b.WriteString("\n")
+	}
+
+	got := b.String()
+	path := filepath.Join("testdata", "quick_fig3_fig7.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows)", path, len(rows3)+len(rows7))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("line %d drifted from golden file:\n got  %s\n want %s", i+1, g, w)
+		}
+	}
+	t.Fatalf("reproduced paper rows drifted from %s; if the change is intended, rerun with -update", path)
+}

@@ -123,8 +123,10 @@ type Config struct {
 	// CustomMechanism builds the per-channel mechanism when Mechanism is
 	// Custom. It receives the channel index, the device spec, and the
 	// lowered/default timing classes derived from the circuit model for
-	// the configured caching duration.
-	CustomMechanism func(channel int, spec dram.Spec, fast, def dram.TimingClass) (core.Mechanism, error)
+	// the configured caching duration. Excluded from JSON so configs
+	// (and the Results embedding them) can be persisted; custom-mech
+	// configs are therefore not addressable by the sweep result cache.
+	CustomMechanism func(channel int, spec dram.Spec, fast, def dram.TimingClass) (core.Mechanism, error) `json:"-"`
 }
 
 // DefaultConfig returns the Table 1 system for the given per-core

@@ -47,6 +47,15 @@ func MPKI(misses, instructions uint64) float64 {
 	return float64(misses) * 1000 / float64(instructions)
 }
 
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

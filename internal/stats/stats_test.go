@@ -149,6 +149,12 @@ func TestRMPKCAndMPKI(t *testing.T) {
 }
 
 func TestMeanMaxGeoMean(t *testing.T) {
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Error("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Error("empty Sum nonzero")
+	}
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Error("Mean wrong")
 	}

@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchJobs builds a batch of independent small simulations.
+func benchJobs(n int) []Job {
+	names := []string{"lbm", "mcf", "libquantum", "milc"}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		cfg := sim.DefaultConfig(names[i%len(names)])
+		cfg.WarmupInstructions = 20_000
+		cfg.RunInstructions = 50_000
+		cfg.Seed = uint64(i + 1)
+		jobs[i] = Job{Label: fmt.Sprintf("bench%d", i), Config: cfg}
+	}
+	return jobs
+}
+
+// BenchmarkRun measures sweep wall clock against worker count. On a
+// multi-core host the speedup is near-linear up to the core count,
+// because jobs share no mutable state; compare the workers=1 and
+// workers=N wall times (each iteration runs the same 16-job batch).
+func BenchmarkRun(b *testing.B) {
+	counts := []int{1, 2, 4, 8}
+	max := runtime.GOMAXPROCS(0)
+	if max > 8 {
+		counts = append(counts, max)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			jobs := benchJobs(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), jobs, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// cacheVersion guards the on-disk format; bump it when sim.Result or
+// sim.Config change shape so stale files are rejected instead of
+// half-decoded. It does NOT fingerprint the simulator model: entries
+// are keyed by config alone, so after changing simulation code itself
+// delete the results file (keeping hits valid across rebuilds is what
+// makes the cache useful while iterating on campaign scripts).
+const cacheVersion = 1
+
+// ErrUncacheable marks configs that cannot be keyed: a Custom mechanism
+// embeds an arbitrary function whose behaviour the hash cannot capture.
+var ErrUncacheable = errors.New("sweep: custom-mechanism configs cannot be cached")
+
+// Key returns the cache key of cfg: the hex SHA-256 of its canonical
+// JSON encoding. Two configs share a key exactly when every exported
+// field matches, so a key identifies one deterministic simulation
+// outcome.
+func Key(cfg sim.Config) (string, error) {
+	if cfg.Mechanism == sim.Custom || cfg.CustomMechanism != nil {
+		return "", ErrUncacheable
+	}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("sweep: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cacheFile is the persisted form: {"version":1,"entries":{key:Result}}.
+type cacheFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]sim.Result `json:"entries"`
+}
+
+// Cache is a disk-backed result store shared by the workers of a sweep
+// (and across sweeps: figures reusing a baseline config hit entries
+// written by earlier figures or earlier processes). Safe for concurrent
+// use within one process; concurrent processes on the same file are
+// not coordinated.
+type Cache struct {
+	path string
+
+	mu      sync.Mutex
+	entries map[string]sim.Result
+	seq     uint64 // bumped per mutation; orders snapshots
+
+	// writeMu covers disk I/O only, so workers flushing the store do
+	// not block Get/Put on the entry map.
+	writeMu sync.Mutex
+	written uint64 // seq of the newest snapshot on disk
+}
+
+// OpenCache loads the results file at path, starting empty when the
+// file does not exist yet.
+func OpenCache(path string) (*Cache, error) {
+	c := &Cache{path: path, entries: map[string]sim.Result{}}
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	var f cacheFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("sweep: cache %s is not a results file: %w", path, err)
+	}
+	if f.Version != cacheVersion {
+		return nil, fmt.Errorf("sweep: cache %s has version %d, want %d", path, f.Version, cacheVersion)
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c, nil
+}
+
+// Path returns the backing file.
+func (c *Cache) Path() string { return c.path }
+
+// Len returns the number of stored results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get returns the stored result for cfg, if any. Uncacheable configs
+// always miss.
+func (c *Cache) Get(cfg sim.Config) (sim.Result, bool) {
+	key, err := Key(cfg)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[key]
+	return res, ok
+}
+
+// Put stores the result for cfg and flushes the file, so an
+// interrupted campaign loses at most the jobs still in flight.
+// Uncacheable configs are skipped without error.
+func (c *Cache) Put(cfg sim.Config, res sim.Result) error {
+	key, err := Key(cfg)
+	if errors.Is(err, ErrUncacheable) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.entries[key] = res
+	c.seq++
+	seq := c.seq
+	snapshot := make(map[string]sim.Result, len(c.entries))
+	for k, v := range c.entries {
+		snapshot[k] = v
+	}
+	c.mu.Unlock()
+	return c.write(seq, snapshot)
+}
+
+// write lands one snapshot atomically (temp file + rename), so a crash
+// mid-write never corrupts the previous on-disk state. Encoding and
+// I/O run outside the entry-map mutex, so flushing never blocks
+// Get/Put; concurrent completions coalesce — a snapshot older than
+// what already reached disk is dropped instead of queueing workers.
+func (c *Cache) write(seq uint64, snapshot map[string]sim.Result) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if seq <= c.written {
+		return nil
+	}
+	blob, err := json.Marshal(cacheFile{Version: cacheVersion, Entries: snapshot})
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("sweep: writing cache: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("sweep: writing cache: %w", err)
+	}
+	c.written = seq
+	return nil
+}

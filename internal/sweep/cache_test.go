@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestKeyStableAndDiscriminating(t *testing.T) {
+	a := tinyConfig("lbm", 1)
+	k1, err := Key(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("same config hashed to different keys")
+	}
+	b := a
+	b.Seed = 2
+	kb, err := Key(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb == k1 {
+		t.Error("different seeds share a key")
+	}
+}
+
+func TestKeyRejectsCustomMechanism(t *testing.T) {
+	cfg := tinyConfig("lbm", 1)
+	cfg.Mechanism = sim.Custom
+	if _, err := Key(cfg); err == nil {
+		t.Error("custom-mechanism config was keyed")
+	}
+}
+
+// TestCacheRoundTrip checks a stored result decodes back identical, so
+// cached campaigns reproduce fresh ones exactly.
+func TestCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig("lbm", 9)
+	res := runSerial(t, cfg)
+	if err := c.Put(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open must see the persisted entry, not just the in-memory
+	// copy.
+	reopened, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 1 {
+		t.Fatalf("reopened cache has %d entries, want 1", reopened.Len())
+	}
+	got, ok := reopened.Get(cfg)
+	if !ok {
+		t.Fatal("stored result missing after reopen")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Errorf("cached result differs from original:\ngot  %+v\nwant %+v", got, res)
+	}
+}
+
+// TestSweepResume simulates resuming a campaign: the first sweep
+// persists everything; a second sweep over the same configs must serve
+// every job from the cache and return identical results.
+func TestSweepResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	cache, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{Label: "a", Config: tinyConfig("lbm", 1)},
+		{Label: "b", Config: tinyConfig("mcf", 2)},
+	}
+	first, err := Run(context.Background(), jobs, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	second, err := Run(context.Background(), jobs, Options{
+		Workers: 2,
+		Cache:   cache2,
+		Progress: func(ev Event) {
+			if ev.Cached {
+				cached++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != len(jobs) {
+		t.Errorf("%d jobs served from cache, want %d", cached, len(jobs))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached results differ from fresh results")
+	}
+}
+
+func TestOpenCacheRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := os.WriteFile(path, []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Error("corrupt cache file accepted")
+	}
+
+	if err := os.WriteFile(path, []byte(`{"version":99,"entries":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Error("future cache version accepted")
+	}
+}

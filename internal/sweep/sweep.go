@@ -1,0 +1,225 @@
+// Package sweep runs batches of independent simulations across a
+// worker pool. Every sim.System is single-use and shares no mutable
+// state with its siblings, so experiment campaigns (the Figure 3-11
+// sweeps) are embarrassingly parallel: the engine fans a []Job out over
+// GOMAXPROCS goroutines and returns results in input order, with
+// content identical to a serial run regardless of worker count.
+//
+// An optional Cache memoizes results on disk keyed by a hash of the
+// config, so interrupted campaigns resume where they stopped and
+// repeated runs (or figures sharing baseline configs) skip finished
+// work.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Job is one simulation of a sweep: a config plus a human-readable
+// label used in progress events and error messages.
+type Job struct {
+	Label  string
+	Config sim.Config
+}
+
+// Event reports the completion of one job to Options.Progress.
+type Event struct {
+	Index   int // job position in the input slice
+	Total   int // number of jobs in the sweep
+	Done    int // jobs finished so far, including this one
+	Label   string
+	Cached  bool // result served from the cache, not a fresh run
+	Err     error
+	Elapsed time.Duration // wall clock of this job (0 when cached)
+}
+
+// JobError is a failed job, carrying its input position and label.
+type JobError struct {
+	Index int
+	Label string
+	Err   error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("sweep: job %d (%s): %v", e.Index, e.Label, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Options configures a sweep.
+type Options struct {
+	// Workers is the number of concurrent simulations (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+
+	// Cache, when non-nil, serves previously computed results and
+	// persists fresh ones after every completion.
+	Cache *Cache
+
+	// Progress, when non-nil, is called once per finished job. Calls
+	// are serialized across workers; the callback must not block for
+	// long.
+	Progress func(Event)
+}
+
+// Run executes jobs across a worker pool and returns their results in
+// input order. Content is independent of the worker count: each
+// simulation owns all of its state and derives randomness only from
+// its config seed.
+//
+// The first failing job cancels the rest of the sweep (jobs already
+// simulating finish; a single simulation cannot be interrupted). The
+// returned error is the recorded failure with the lowest job index,
+// wrapped in a *JobError so callers can recover the label and
+// position. Cancelling ctx likewise stops dispatch and returns
+// ctx.Err() once in-flight jobs drain.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]sim.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &state{
+		jobs:    jobs,
+		results: make([]sim.Result, len(jobs)),
+		errs:    make([]error, len(jobs)),
+		opts:    opts,
+	}
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if st.runJob(ctx, i) != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	for i, err := range st.errs {
+		if err != nil {
+			return st.results, &JobError{Index: i, Label: jobs[i].Label, Err: err}
+		}
+	}
+	select {
+	case <-ctx.Done():
+		// Cancelled from outside (our own deferred cancel has not run
+		// yet, and no job recorded an error): surface the cancellation.
+		return st.results, ctx.Err()
+	default:
+	}
+	return st.results, nil
+}
+
+// state is the shared bookkeeping of one Run call. Workers write
+// disjoint slice elements; only the progress path needs locking.
+type state struct {
+	jobs    []Job
+	results []sim.Result
+	errs    []error
+	opts    Options
+
+	progMu sync.Mutex
+	done   int // completed jobs; guarded by progMu
+}
+
+// runJob executes (or serves from cache) job i and records its outcome.
+func (s *state) runJob(ctx context.Context, i int) error {
+	if ctx.Err() != nil {
+		return nil // sweep is shutting down; leave the slot untouched
+	}
+	job := s.jobs[i]
+	if s.opts.Cache != nil {
+		if res, ok := s.opts.Cache.Get(job.Config); ok {
+			s.results[i] = res
+			s.report(Event{Index: i, Label: job.Label, Cached: true})
+			return nil
+		}
+	}
+	start := time.Now()
+	res, err := runOne(job.Config)
+	if err != nil {
+		s.errs[i] = err
+		s.report(Event{Index: i, Label: job.Label, Err: err, Elapsed: time.Since(start)})
+		return err
+	}
+	if s.opts.Cache != nil {
+		if err := s.opts.Cache.Put(job.Config, res); err != nil {
+			s.errs[i] = err
+			s.report(Event{Index: i, Label: job.Label, Err: err, Elapsed: time.Since(start)})
+			return err
+		}
+	}
+	s.results[i] = res
+	s.report(Event{Index: i, Label: job.Label, Elapsed: time.Since(start)})
+	return nil
+}
+
+// report fills in the sweep-wide counters and forwards ev to the
+// progress callback. Counting and callback share one critical section
+// so serialized events always carry monotonically increasing Done.
+func (s *state) report(ev Event) {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	s.done++
+	ev.Done = s.done
+	ev.Total = len(s.jobs)
+	if s.opts.Progress != nil {
+		s.opts.Progress(ev)
+	}
+}
+
+// runOne builds and runs one simulation.
+func runOne(cfg sim.Config) (sim.Result, error) {
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sys.Run()
+}
+
+// StderrProgress is a ready-made Options.Progress sink for CLIs: one
+// line per finished config on standard error.
+func StderrProgress(ev Event) {
+	switch {
+	case ev.Err != nil:
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s FAILED: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
+	case ev.Cached:
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (cached)\n", ev.Done, ev.Total, ev.Label)
+	default:
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond))
+	}
+}

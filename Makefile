@@ -1,14 +1,19 @@
 GO ?= go
 
+# VERSION is stamped into every binary via the linker so -version (and
+# the daemon's /healthz) report which build is running.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X repro/internal/version.Version=$(VERSION)"
+
 # ci is the tier-1 gate: build, vet, tests, and a race pass over the
-# packages that run simulations concurrently (the sweep engine and the
-# figure drivers submitting to it).
+# packages that run simulations concurrently (the sweep engine, the
+# figure drivers, and the daemon's job manager).
 .PHONY: ci
 ci: build vet test race
 
 .PHONY: build
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 .PHONY: vet
 vet:
@@ -20,7 +25,15 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client
+
+# serve runs the simulation daemon locally with the version stamp.
+# Override flags with CCSIMD_FLAGS, e.g.
+#   make serve CCSIMD_FLAGS="-addr :9000 -workers 4"
+CCSIMD_FLAGS ?= -addr :8344 -results ccsimd-results.json
+.PHONY: serve
+serve:
+	$(GO) run $(LDFLAGS) ./cmd/ccsimd $(CCSIMD_FLAGS)
 
 # bench regenerates the evaluation's headline numbers and the sweep
 # scaling curve. CCSIM_BENCH_SCALE=default selects the paper-sized

@@ -7,12 +7,19 @@
 // engine and print as a comparison table. -results names a JSON cache
 // file so repeated invocations reuse finished runs.
 //
+// -server URL executes remotely on a ccsimd daemon instead of this
+// machine: jobs are submitted to its shared queue, deduplicated
+// against identical in-flight configs from other clients, and served
+// from the daemon's persistent result cache (-workers and -results
+// then configure the daemon, not this process, and are ignored here).
+//
 // Examples:
 //
 //	ccsim -workloads lbm -mechanism chargecache
 //	ccsim -workloads "libquantum,mcf,lbm,sjeng" -mechanism chargecache+nuat -instructions 2000000
 //	ccsim -workloads tpch17 -mechanism chargecache -entries 1024 -duration 4
 //	ccsim -workloads lbm -mechanism baseline,nuat,chargecache,lldram -workers 4 -results runs.json
+//	ccsim -workloads lbm -mechanism baseline,chargecache -server http://localhost:8344
 package main
 
 import (
@@ -20,11 +27,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	ccsim "repro"
+	"repro/internal/client"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/version"
 )
 
 func main() {
@@ -42,9 +54,15 @@ func main() {
 	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
 	workers := flag.Int("workers", 0, "parallel simulations when several mechanisms are given (0 = GOMAXPROCS)")
 	results := flag.String("results", "", "JSON results-cache file reused across invocations")
+	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("ccsim %s\n", version.String())
+		return
+	}
 	if *list {
 		for _, n := range ccsim.Workloads() {
 			p, _ := ccsim.WorkloadByName(n)
@@ -77,19 +95,38 @@ func main() {
 		jobs = append(jobs, ccsim.SweepJob{Label: kind.String(), Config: cfg})
 	}
 
-	opts := ccsim.SweepOptions{Workers: *workers}
-	if *results != "" {
-		cache, err := ccsim.OpenSweepCache(*results)
-		if err != nil {
-			log.Fatal(err)
+	var res []ccsim.Result
+	var err error
+	if *serverURL != "" {
+		if *workers != 0 || *results != "" {
+			fmt.Fprintln(os.Stderr, "ccsim: -workers and -results configure the daemon, not this process; ignoring them with -server")
 		}
-		opts.Cache = cache
+		var progress func(sweep.Event)
+		if len(jobs) > 1 {
+			progress = sweep.StderrProgress
+		}
+		// A SIGINT-aware context lets Ctrl+C cancel the outstanding
+		// jobs on the shared daemon instead of abandoning them.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err = client.New(*serverURL).RunSweep(ctx, jobs, progress)
+	} else {
+		opts := ccsim.SweepOptions{Workers: *workers}
+		if *results != "" {
+			cache, cerr := ccsim.OpenSweepCache(*results)
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+			if note := cache.RecoveryNote(); note != "" {
+				fmt.Fprintf(os.Stderr, "ccsim: WARNING: %s\n", note)
+			}
+			opts.Cache = cache
+		}
+		if len(jobs) > 1 {
+			opts.Progress = sweep.StderrProgress
+		}
+		res, err = ccsim.RunSweep(context.Background(), jobs, opts)
 	}
-	if len(jobs) > 1 {
-		opts.Progress = sweep.StderrProgress
-	}
-
-	res, err := ccsim.RunSweep(context.Background(), jobs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

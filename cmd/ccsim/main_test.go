@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	ccsim "repro"
+)
+
+func TestParseMechanism(t *testing.T) {
+	cases := map[string]ccsim.MechanismKind{
+		"baseline":         ccsim.Baseline,
+		"chargecache":      ccsim.ChargeCache,
+		"CC":               ccsim.ChargeCache,
+		"nuat":             ccsim.NUAT,
+		"ChargeCache+NUAT": ccsim.ChargeCacheNUAT,
+		"cc+nuat":          ccsim.ChargeCacheNUAT,
+		"lldram":           ccsim.LLDRAM,
+		"ll-dram":          ccsim.LLDRAM,
+	}
+	for name, want := range cases {
+		got, err := parseMechanism(name)
+		if err != nil {
+			t.Errorf("parseMechanism(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseMechanism(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := parseMechanism("warp-drive"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}

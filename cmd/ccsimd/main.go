@@ -1,0 +1,116 @@
+// Command ccsimd is the simulation daemon: it serves the ChargeCache
+// simulator as a JSON HTTP API so many clients share one worker pool,
+// one dedup index, and one persistent result cache.
+//
+//	ccsimd -addr :8344 -workers 8 -results ccsimd-results.json
+//
+// Endpoints (see the README for the full reference and curl examples):
+// POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/jobs/{id}/events (SSE),
+// DELETE /v1/jobs/{id}, GET /v1/results/{key}, GET /healthz,
+// GET /metrics.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued
+// jobs are canceled, running simulations drain within -grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+	"repro/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global bits, so tests can boot the
+// daemon on a scratch port and stop it through ctx.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8344", "HTTP listen address")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "max queued simulations before submissions get HTTP 429")
+	retain := fs.Int("retain", 1024, "finished jobs kept queryable; older ones are evicted (results stay in the cache)")
+	results := fs.String("results", "ccsimd-results.json", "persistent JSON result cache; empty disables persistence")
+	grace := fs.Duration("grace", time.Minute, "graceful-shutdown budget for draining running jobs")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "ccsimd %s\n", version.String())
+		return 0
+	}
+
+	var cache *sweep.Cache
+	if *results != "" {
+		var err error
+		cache, err = sweep.OpenCache(*results)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccsimd: %v\n", err)
+			return 1
+		}
+		if note := cache.RecoveryNote(); note != "" {
+			fmt.Fprintf(stderr, "ccsimd: WARNING: %s\n", note)
+		}
+		fmt.Fprintf(stderr, "ccsimd: result cache %s: %d finished configs\n", *results, cache.Len())
+	}
+
+	manager := server.NewManager(server.ManagerConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Cache:      cache,
+		Retention:  *retain,
+	})
+	httpSrv := &http.Server{Handler: server.New(manager)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccsimd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ccsimd %s listening on http://%s\n", version.String(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ccsimd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "ccsimd: shutting down, draining running jobs (budget %v)\n", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	// Drain first: it rejects new submissions, cancels queued jobs and
+	// waits for running simulations, which also ends their SSE streams —
+	// so the HTTP shutdown afterwards finds only idle connections.
+	if err := manager.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "ccsimd: %v\n", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "ccsimd: http shutdown: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintln(stderr, "ccsimd: bye")
+	return code
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the writer (the daemon
+// goroutine) and reader (the test) to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "ccsimd ") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run(context.Background(), []string{"-no-such-flag"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestServeAndShutdown boots the daemon on a scratch port, hits
+// /healthz, and checks a context cancellation (the SIGINT path) shuts
+// it down cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-results", filepath.Join(t.TempDir(), "results.json"),
+			"-grace", "60s",
+		}, io.Discard, &stderr)
+	}()
+
+	re := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if m := re.FindStringSubmatch(stderr.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: HTTP %d, %+v", resp.StatusCode, health)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("daemon never shut down; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("shutdown log missing drain message:\n%s", stderr.String())
+	}
+}

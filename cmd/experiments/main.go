@@ -33,6 +33,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/version"
 )
 
 var mechOrder = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
@@ -45,7 +46,13 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS)")
 	resultsFlag := flag.String("results", "", "JSON results-cache file: resumes interrupted campaigns, reuses finished configs")
 	quietFlag := flag.Bool("quiet", false, "suppress per-config progress on stderr")
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *versionFlag {
+		fmt.Printf("experiments %s\n", version.String())
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -63,6 +70,9 @@ func main() {
 		cache, err := sweep.OpenCache(*resultsFlag)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if note := cache.RecoveryNote(); note != "" {
+			fmt.Fprintf(os.Stderr, "WARNING: %s\n", note)
 		}
 		fmt.Fprintf(os.Stderr, "results cache %s: %d finished configs\n", *resultsFlag, cache.Len())
 		scale.Cache = cache

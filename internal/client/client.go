@@ -1,0 +1,369 @@
+// Package client is the Go client of the ccsimd daemon: typed wrappers
+// over the /v1 JSON API plus RunSweep, a drop-in remote counterpart of
+// sweep.Run used by `ccsim -server` to execute on a shared daemon
+// instead of the local machine.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Client talks to one ccsimd daemon.
+type Client struct {
+	base string
+	http *http.Client
+
+	// PollInterval is the status-poll period of Wait and RunSweep
+	// (default 250ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8344"). The URL may include a path prefix; a
+// missing scheme defaults to http. Requests carry a generous overall
+// timeout so a daemon that vanishes without closing its connections
+// (power loss, network partition) surfaces as an error instead of
+// hanging Wait/RunSweep forever; none of the client's calls stream.
+func New(baseURL string) *Client {
+	base := strings.TrimSuffix(baseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base:         base,
+		http:         &http.Client{Timeout: 2 * time.Minute},
+		PollInterval: 250 * time.Millisecond,
+	}
+}
+
+// Submit sends a batch of specs and returns the accepted job statuses
+// (IDs included) in submission order.
+func (c *Client) Submit(ctx context.Context, specs []server.JobSpec) ([]server.JobStatus, error) {
+	// An anonymous body, not server.SubmitRequest: its embedded
+	// single-spec fields would serialize a zero sim.Config alongside
+	// "jobs" on every request.
+	body := struct {
+		Jobs []server.JobSpec `json:"jobs"`
+	}{Jobs: specs}
+	var resp server.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Job fetches one job's status, result included when done.
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists jobs on the daemon (statuses only, no result payloads).
+// With ids it returns only those jobs, omitting evicted/unknown IDs;
+// without arguments it lists every retained job.
+func (c *Client) Jobs(ctx context.Context, ids ...string) ([]server.JobStatus, error) {
+	path := "/v1/jobs"
+	if len(ids) > 0 {
+		path += "?ids=" + url.QueryEscape(strings.Join(ids, ","))
+	}
+	var resp server.SubmitResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp.Jobs, err
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Result fetches a result by its content-address key.
+func (c *Client) Result(ctx context.Context, key string) (sim.Result, error) {
+	var res sim.Result
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+url.PathEscape(key), nil, &res)
+	return res, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (server.Health, error) {
+	var h server.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
+	var m server.Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Wait polls until the job reaches a terminal state and returns it.
+func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	ticker := time.NewTicker(c.pollInterval())
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// RunSweep executes jobs on the daemon and returns results in input
+// order, mirroring sweep.Run's contract: the first failure (or a
+// server-side cancellation) aborts with a *sweep.JobError, and
+// progress, when non-nil, receives one event per finished job with
+// monotonically increasing Done. On error or context cancellation the
+// outstanding remote jobs are canceled best-effort.
+func (c *Client) RunSweep(ctx context.Context, jobs []sweep.Job, progress func(sweep.Event)) ([]sim.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	specs := make([]server.JobSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = server.JobSpec{Label: j.Label, Config: j.Config}
+	}
+
+	results := make([]sim.Result, len(jobs))
+	pending := map[int]server.JobStatus{} // input index -> submitted job
+	abort := func(index int, cause error) ([]sim.Result, error) {
+		for _, st := range pending {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			_, _ = c.Cancel(cctx, st.ID)
+			cancel()
+		}
+		if index < 0 {
+			return results, cause
+		}
+		return results, &sweep.JobError{Index: index, Label: jobs[index].Label, Err: cause}
+	}
+
+	// Submit in chunks, shrinking and backing off while the daemon's
+	// bounded queue is full, so sweeps larger than the queue depth
+	// still complete: capacity frees as earlier chunks finish.
+	chunk := 16
+	for start := 0; start < len(specs); {
+		size := chunk
+		if rest := len(specs) - start; size > rest {
+			size = rest
+		}
+		sts, err := c.Submit(ctx, specs[start:start+size])
+		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+				if size > 1 {
+					chunk = size / 2 // batch may exceed the queue: shrink
+					continue
+				}
+				select { // queue genuinely full: wait for capacity
+				case <-ctx.Done():
+					return abort(-1, ctx.Err())
+				case <-time.After(c.pollInterval()):
+				}
+				continue
+			}
+			return abort(-1, err)
+		}
+		for i, st := range sts {
+			pending[start+i] = st
+		}
+		start += size
+		if chunk < 16 {
+			// Recover batch size after a transient queue-full, capped
+			// so non-power-of-two shrinks never overshoot the design
+			// maximum (7 -> 14 -> 16, not 28).
+			if chunk *= 2; chunk > 16 {
+				chunk = 16
+			}
+		}
+	}
+
+	ticker := time.NewTicker(c.pollInterval())
+	defer ticker.Stop()
+	done := 0
+	for len(pending) > 0 {
+		// One ID-filtered list call per tick detects terminal jobs;
+		// only those get a detail fetch for the result — O(1 +
+		// finished) requests per tick instead of one per outstanding
+		// job, and no payload for other clients' jobs.
+		ids := make([]string, 0, len(pending))
+		for _, st := range pending {
+			ids = append(ids, st.ID)
+		}
+		listed, err := c.Jobs(ctx, ids...)
+		if err != nil {
+			return abort(-1, err)
+		}
+		byID := make(map[string]server.JobStatus, len(listed))
+		for _, st := range listed {
+			byID[st.ID] = st
+		}
+		for i := 0; i < len(jobs); i++ {
+			sub, ok := pending[i]
+			if !ok {
+				continue
+			}
+			st, terminal, err := c.finishedStatus(ctx, sub, byID)
+			if err != nil {
+				return abort(-1, err)
+			}
+			if !terminal {
+				continue
+			}
+			delete(pending, i)
+			done++
+			ev := sweep.Event{
+				Index:   i,
+				Total:   len(jobs),
+				Done:    done,
+				Label:   jobs[i].Label,
+				Key:     st.Key,
+				Cached:  st.Cached,
+				Elapsed: time.Duration(st.ElapsedMs * float64(time.Millisecond)),
+			}
+			switch {
+			case st.State == server.StateDone && st.Result != nil:
+				results[i] = *st.Result
+			case st.State == server.StateCanceled:
+				ev.Err = fmt.Errorf("client: job %s canceled on the server: %s", sub.ID, st.Error)
+			default:
+				ev.Err = fmt.Errorf("client: job %s failed: %s", sub.ID, st.Error)
+			}
+			if progress != nil {
+				progress(ev)
+			}
+			if ev.Err != nil {
+				return abort(i, ev.Err)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return abort(-1, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+	return results, nil
+}
+
+// finishedStatus resolves one outstanding job against the latest
+// listing: still-live jobs return terminal=false; terminal ones are
+// detail-fetched for the result. A job evicted from the daemon's
+// bounded retention window falls back to the content-addressed cache
+// (its key came with the submit response), so long sweeps survive
+// eviction races. The fallback trades fidelity for liveness: a job
+// that failed or was canceled and then evicted either reports as a
+// cached success (a bit-identical result exists, which is what the
+// sweep wanted) or surfaces a generic eviction error in place of the
+// original failure reason, which eviction has discarded.
+func (c *Client) finishedStatus(ctx context.Context, sub server.JobStatus, byID map[string]server.JobStatus) (server.JobStatus, bool, error) {
+	if listed, ok := byID[sub.ID]; ok && !listed.State.Terminal() {
+		return server.JobStatus{}, false, nil
+	}
+	st, err := c.Job(ctx, sub.ID)
+	var apiErr *APIError
+	if err == nil {
+		return st, true, nil
+	}
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || sub.Key == "" {
+		return server.JobStatus{}, false, err
+	}
+	res, rerr := c.Result(ctx, sub.Key)
+	if rerr != nil {
+		return server.JobStatus{}, false, fmt.Errorf("client: job %s evicted and its result is not cached: %w", sub.ID, err)
+	}
+	st = sub
+	st.State = server.StateDone
+	st.Cached = true
+	st.Result = &res
+	return st, true, nil
+}
+
+func (c *Client) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 250 * time.Millisecond
+}
+
+// do performs one JSON round trip. Non-2xx responses decode the
+// {"error": ...} body into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(blob))
+		}
+		return fmt.Errorf("client: %s %s: %w", method, path, apiErr)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Message)
+}

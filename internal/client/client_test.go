@@ -1,0 +1,222 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func tinyCfg(workload string, seed uint64) sim.Config {
+	cfg := sim.DefaultConfig(workload)
+	cfg.WarmupInstructions = 10_000
+	cfg.RunInstructions = 20_000
+	cfg.Seed = seed
+	return cfg
+}
+
+// startDaemon boots a manager + HTTP server and returns a client
+// pointed at it.
+func startDaemon(t *testing.T, cachePath string) (*Client, *server.Manager) {
+	t.Helper()
+	var cache *sweep.Cache
+	if cachePath != "" {
+		var err error
+		cache, err = sweep.OpenCache(cachePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := server.NewManager(server.ManagerConfig{Workers: 2, QueueDepth: 16, Cache: cache})
+	ts := httptest.NewServer(server.New(m))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+		ts.Close()
+	})
+	c := New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	return c, m
+}
+
+// TestRunSweepRemote checks the remote sweep matches a local one
+// bit-for-bit, in input order, with a progress event per job.
+func TestRunSweepRemote(t *testing.T) {
+	c, _ := startDaemon(t, filepath.Join(t.TempDir(), "results.json"))
+	jobs := []sweep.Job{
+		{Label: "a", Config: tinyCfg("lbm", 1)},
+		{Label: "b", Config: tinyCfg("mcf", 2)},
+		{Label: "a-dup", Config: tinyCfg("lbm", 1)},
+	}
+	want, err := sweep.Run(context.Background(), jobs, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []sweep.Event
+	got, err := c.RunSweep(context.Background(), jobs, func(ev sweep.Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("remote sweep differs from local sweep")
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events, want %d", len(events), len(jobs))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(jobs) {
+			t.Errorf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+	}
+
+	// Identical re-run: everything must now come from the daemon cache.
+	var cachedEvents int
+	again, err := c.RunSweep(context.Background(), jobs, func(ev sweep.Event) {
+		if ev.Cached {
+			cachedEvents++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("cached remote sweep differs")
+	}
+	if cachedEvents != len(jobs) {
+		t.Errorf("%d cached events on re-run, want %d", cachedEvents, len(jobs))
+	}
+}
+
+// TestRunSweepLargerThanQueue: a sweep with more distinct configs than
+// the daemon's queue depth must still complete — the client chunks its
+// submissions and waits for capacity instead of failing on HTTP 429.
+func TestRunSweepLargerThanQueue(t *testing.T) {
+	m := server.NewManager(server.ManagerConfig{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(server.New(m))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+		ts.Close()
+	})
+	c := New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+
+	var jobs []sweep.Job
+	for seed := uint64(0); seed < 6; seed++ {
+		jobs = append(jobs, sweep.Job{Label: "j", Config: tinyCfg("lbm", 500+seed)})
+	}
+	want, err := sweep.Run(context.Background(), jobs, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunSweep(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("over-capacity remote sweep differs from local sweep")
+	}
+}
+
+// TestClientEndpoints covers the thin wrappers: Submit/Wait/Result/
+// Health/Metrics and the typed APIError on 404s.
+func TestClientEndpoints(t *testing.T) {
+	c, _ := startDaemon(t, filepath.Join(t.TempDir(), "results.json"))
+	cfg := tinyCfg("lbm", 33)
+
+	sts, err := c.Submit(context.Background(), []server.JobSpec{{Label: "x", Config: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(context.Background(), sts[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone || st.Result == nil {
+		t.Fatalf("waited job = %s (result %v)", st.State, st.Result != nil)
+	}
+
+	res, err := c.Result(context.Background(), st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, *st.Result) {
+		t.Error("Result(key) differs from the job result")
+	}
+
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	met, err := c.Metrics(context.Background())
+	if err != nil || met.JobsCompleted != 1 {
+		t.Fatalf("metrics = %+v, %v", met, err)
+	}
+
+	_, err = c.Job(context.Background(), "job-424242")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job error = %v, want APIError 404", err)
+	}
+}
+
+// TestClientCancel cancels a queued remote job through the client.
+func TestClientCancel(t *testing.T) {
+	c, m := startDaemon(t, "")
+	blocker := tinyCfg("mcf", 90)
+	blocker.RunInstructions = 8_000_000
+	// Two blockers occupy both workers; the target queues behind them.
+	if _, err := c.Submit(context.Background(), []server.JobSpec{
+		{Label: "b1", Config: blocker},
+		{Label: "b2", Config: func() sim.Config { b := blocker; b.Seed = 91; return b }()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sts, err := c.Submit(context.Background(), []server.JobSpec{{Label: "target", Config: tinyCfg("lbm", 92)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(context.Background(), sts[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateCanceled {
+		t.Fatalf("canceled job is %s", st.State)
+	}
+	_ = m
+}
+
+// TestRunSweepFailure propagates a remote failure as a *sweep.JobError
+// carrying the input position.
+func TestRunSweepFailure(t *testing.T) {
+	c, _ := startDaemon(t, "")
+	good := tinyCfg("lbm", 1)
+	jobs := []sweep.Job{{Label: "good", Config: good}}
+	// A config that validates but fails at run time: an unknown
+	// workload name passes Validate (resolution happens in sim.New).
+	bad := good
+	bad.Workloads = []string{"no-such-workload"}
+	jobs = append(jobs, sweep.Job{Label: "bad", Config: bad})
+
+	_, err := c.RunSweep(context.Background(), jobs, nil)
+	if err == nil {
+		t.Fatal("remote sweep with a failing job succeeded")
+	}
+	var jerr *sweep.JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("error %v is not a *sweep.JobError", err)
+	}
+	if jerr.Index != 1 || jerr.Label != "bad" {
+		t.Errorf("JobError = index %d label %q, want 1/bad", jerr.Index, jerr.Label)
+	}
+}

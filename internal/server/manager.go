@@ -1,0 +1,626 @@
+// Package server turns the simulator into a long-running network
+// service: a job manager layered on the internal/sweep engine, HTTP
+// handlers exposing it as a JSON API (see server.go), Server-Sent
+// Events streaming per-job progress (sse.go), and operational metrics
+// (metrics.go).
+//
+// The manager's core guarantees:
+//
+//   - bounded intake: at most QueueDepth simulations wait at once;
+//     beyond that submissions are rejected (ErrQueueFull), never
+//     silently buffered,
+//   - singleflight deduplication: identical configs (same sweep.Key)
+//     submitted concurrently by any number of clients run exactly one
+//     simulation, and every subscriber receives that one result,
+//   - content-addressed persistence: completed results land in the
+//     sweep.Cache, so a restarted daemon serves previously computed
+//     configs instantly and GET /v1/results/{key} works across runs,
+//   - graceful shutdown: Drain stops intake, cancels still-queued
+//     jobs, and waits for running simulations to finish.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Submission errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull rejects submissions when the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue is full")
+	// ErrDraining rejects submissions during graceful shutdown (503).
+	ErrDraining = errors.New("server: shutting down, not accepting jobs")
+	// ErrUnknownJob reports a job ID the manager has never issued (404).
+	ErrUnknownJob = errors.New("server: unknown job")
+)
+
+// JobState is the lifecycle position of one job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is one submitted simulation: a config plus an optional
+// client-chosen label echoed back in statuses and progress events.
+type JobSpec struct {
+	Label  string     `json:"label,omitempty"`
+	Config sim.Config `json:"config"`
+}
+
+// JobStatus is the wire representation of one job's state. Result is
+// populated only on done jobs, and only by the detail/terminal paths
+// (job GET, final SSE event), not by listings.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	Label       string      `json:"label,omitempty"`
+	Key         string      `json:"key,omitempty"` // content address of the config
+	State       JobState    `json:"state"`
+	Cached      bool        `json:"cached,omitempty"`  // served from the persistent cache
+	Deduped     bool        `json:"deduped,omitempty"` // attached to another job's in-flight run
+	Error       string      `json:"error,omitempty"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	ElapsedMs   float64     `json:"elapsed_ms,omitempty"` // simulation wall clock
+	Result      *sim.Result `json:"result,omitempty"`
+}
+
+// job is the manager-side state of one submission. All fields are
+// guarded by Manager.mu.
+type job struct {
+	id          string
+	label       string
+	key         string
+	state       JobState
+	flight      *flight
+	cached      bool
+	deduped     bool
+	err         error
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	elapsed     time.Duration
+	result      *sim.Result
+
+	subs    map[int]chan JobStatus
+	nextSub int
+}
+
+// flight is one physical simulation execution. Concurrent submissions
+// of the same config attach their jobs to the existing flight instead
+// of creating a second one — the singleflight core of the dedup
+// guarantee.
+type flight struct {
+	key    string // content address; flights are indexed by it
+	label  string
+	cfg    sim.Config
+	jobs   []*job
+	state  JobState // queued or running
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// ManagerConfig sizes a Manager.
+type ManagerConfig struct {
+	// Workers is the number of simulations running concurrently
+	// (<= 0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many distinct simulations may wait for a
+	// worker (<= 0 means 64). Submissions beyond it fail ErrQueueFull.
+	QueueDepth int
+	// Cache, when non-nil, persists every completed result and serves
+	// previously computed configs without re-simulating.
+	Cache *sweep.Cache
+	// Retention bounds how many terminal jobs stay queryable (<= 0
+	// means 1024). The daemon is long-running, so finished jobs —
+	// each pinning a full sim.Result — are evicted oldest-first beyond
+	// this cap; their results remain reachable through the cache via
+	// GET /v1/results/{key}. Live jobs are never evicted.
+	Retention int
+}
+
+// Manager owns the job table, the dedup index, and the worker pool
+// feeding the sweep engine.
+type Manager struct {
+	cache *sweep.Cache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	retention int
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string           // job IDs in submission order
+	flights  map[string]*flight // key -> in-flight execution
+	queue    chan *flight
+	draining bool
+	nextID   uint64
+
+	counters counters
+}
+
+// NewManager starts cfg.Workers worker goroutines and returns the
+// manager. Call Drain to stop it.
+func NewManager(cfg ManagerConfig) *Manager {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	retention := cfg.Retention
+	if retention <= 0 {
+		retention = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cache:     cfg.Cache,
+		retention: retention,
+		ctx:       ctx,
+		cancel:    cancel,
+		jobs:      map[string]*job{},
+		flights:   map[string]*flight{},
+		queue:     make(chan *flight, depth),
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Cache returns the manager's persistent result store (may be nil).
+func (m *Manager) Cache() *sweep.Cache { return m.cache }
+
+// Submit validates and enqueues a batch of jobs atomically: either
+// every spec is accepted (each getting a job ID) or none is. Identical
+// configs — within the batch or against jobs already queued/running —
+// share one simulation; configs already in the persistent cache
+// complete immediately without queueing.
+func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("server: empty submission")
+	}
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		if err := spec.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("server: job %d: %w", i, err)
+		}
+		// Hash outside the lock: keys are a pure function of the spec,
+		// and marshal+SHA-256 per config would otherwise stall every
+		// status poll and completing flight behind this batch.
+		if key, err := sweep.Key(spec.Config); err == nil {
+			keys[i] = key
+		}
+		// Uncacheable (custom-mechanism) configs cannot arrive over
+		// JSON, but guard anyway: they run as unique key-less flights.
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+
+	// Count the fresh flights this batch needs, so a batch that would
+	// overflow the queue is rejected before any job is created.
+	type plan struct {
+		key    string
+		cached *sim.Result
+		flight *flight // existing flight to attach to
+	}
+	plans := make([]plan, len(specs))
+	fresh := 0
+	batchFlights := map[string]bool{}
+	for i := range specs {
+		key := keys[i]
+		plans[i].key = key
+		if key != "" {
+			if m.cache != nil {
+				if res, ok := m.cache.Lookup(key); ok {
+					plans[i].cached = &res
+					continue
+				}
+			}
+			if f, ok := m.flights[key]; ok {
+				plans[i].flight = f
+				continue
+			}
+			if batchFlights[key] {
+				continue // attaches to a flight created earlier in this batch
+			}
+			batchFlights[key] = true
+		}
+		fresh++
+	}
+	if len(m.queue)+fresh > cap(m.queue) {
+		return nil, ErrQueueFull
+	}
+
+	now := time.Now()
+	statuses := make([]JobStatus, len(specs))
+	for i, spec := range specs {
+		m.nextID++
+		j := &job{
+			id:          fmt.Sprintf("job-%06d", m.nextID),
+			label:       spec.Label,
+			key:         plans[i].key,
+			submittedAt: now,
+			subs:        map[int]chan JobStatus{},
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.counters.submitted++
+
+		switch {
+		case plans[i].cached != nil:
+			j.state = StateDone
+			j.cached = true
+			j.finishedAt = now
+			j.result = plans[i].cached
+			m.counters.completed++
+			m.counters.cacheHits++
+		case plans[i].flight != nil:
+			m.attachLocked(j, plans[i].flight)
+		default:
+			var f *flight
+			if j.key != "" {
+				f = m.flights[j.key] // flight created earlier in this batch
+			}
+			if f != nil {
+				m.attachLocked(j, f)
+				break
+			}
+			fctx, fcancel := context.WithCancel(m.ctx)
+			f = &flight{
+				key:    j.key,
+				label:  spec.Label,
+				cfg:    spec.Config,
+				state:  StateQueued,
+				ctx:    fctx,
+				cancel: fcancel,
+			}
+			j.state = StateQueued
+			j.flight = f
+			f.jobs = append(f.jobs, j)
+			if f.key != "" {
+				m.flights[f.key] = f
+			}
+			m.queue <- f // capacity pre-checked above
+		}
+		statuses[i] = m.statusLocked(j, true)
+	}
+	m.pruneLocked()
+	return statuses, nil
+}
+
+// attachLocked joins j to an existing flight: it will complete with the
+// flight's result without a simulation of its own.
+func (m *Manager) attachLocked(j *job, f *flight) {
+	j.deduped = true
+	j.flight = f
+	j.state = f.state // queued or running
+	if f.state == StateRunning {
+		j.startedAt = time.Now()
+	}
+	f.jobs = append(f.jobs, j)
+	m.counters.deduped++
+}
+
+// Job returns the status of one job, result included when done.
+func (m *Manager) Job(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return m.statusLocked(j, true), nil
+}
+
+// Jobs lists every job in submission order, without result payloads.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id], false))
+	}
+	return out
+}
+
+// JobsByID returns the statuses of the named jobs, without result
+// payloads, omitting IDs the manager no longer (or never) knew.
+func (m *Manager) JobsByID(ids []string) []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, m.statusLocked(j, false))
+		}
+	}
+	return out
+}
+
+// Cancel moves a non-terminal job to canceled. A queued simulation
+// whose subscribers are all canceled is skipped entirely; a running
+// one finishes (a single simulation cannot be interrupted) and its
+// result is still cached, but no canceled job flips back to done.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	if j.state.Terminal() {
+		return m.statusLocked(j, true), nil
+	}
+	m.cancelJobLocked(j, "canceled by client")
+	st := m.statusLocked(j, true)
+	m.pruneLocked()
+	return st, nil
+}
+
+// cancelJobLocked finalizes one job as canceled and, when it was the
+// last live subscriber of a still-queued flight, drops the flight from
+// the dedup index (so later identical submissions start fresh instead
+// of attaching to a doomed flight) and cancels its context so the
+// simulation never starts. A running flight is left alone: a single
+// simulation cannot be interrupted, and poisoning its context would
+// fail jobs that attach between now and its completion.
+func (m *Manager) cancelJobLocked(j *job, reason string) {
+	j.state = StateCanceled
+	j.err = errors.New(reason)
+	j.finishedAt = time.Now()
+	m.counters.canceled++
+	m.notifyLocked(j)
+	if f := j.flight; f != nil && f.state == StateQueued {
+		live := false
+		for _, other := range f.jobs {
+			if !other.state.Terminal() {
+				live = true
+				break
+			}
+		}
+		if !live {
+			f.state = StateCanceled
+			m.dropFlightLocked(f)
+			if !m.draining {
+				m.compactQueueLocked()
+			}
+		}
+	}
+}
+
+// compactQueueLocked rewrites the queue channel without its dead
+// flights, so canceled submissions free their slots immediately
+// instead of tombstoning the bounded queue until a worker skips them.
+// Safe under m.mu: every send happens under the mutex, and each
+// iteration re-adds at most what it removed, so the non-blocking
+// operations never fail spuriously.
+func (m *Manager) compactQueueLocked() {
+	for n := len(m.queue); n > 0; n-- {
+		select {
+		case f := <-m.queue:
+			if f.state != StateCanceled {
+				m.queue <- f
+			}
+		default:
+			return // a worker raced us to the remaining entries
+		}
+	}
+}
+
+// worker pulls flights until the queue is closed by Drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for f := range m.queue {
+		m.runFlight(f)
+	}
+}
+
+// runFlight executes one simulation through the sweep engine and
+// completes every job attached to the flight with its outcome.
+func (m *Manager) runFlight(f *flight) {
+	m.mu.Lock()
+	live := 0
+	for _, j := range f.jobs {
+		if !j.state.Terminal() {
+			live++
+		}
+	}
+	if live == 0 || f.ctx.Err() != nil {
+		// Every subscriber canceled while queued (or the manager is
+		// tearing down): skip the simulation. Finalize any straggler
+		// jobs so no subscriber waits on a flight that will never run.
+		for _, j := range f.jobs {
+			if !j.state.Terminal() {
+				m.cancelJobLocked(j, "canceled before the simulation started")
+			}
+		}
+		m.dropFlightLocked(f)
+		m.pruneLocked()
+		m.mu.Unlock()
+		return
+	}
+	f.state = StateRunning
+	m.counters.running++
+	now := time.Now()
+	for _, j := range f.jobs {
+		if j.state == StateQueued {
+			j.state = StateRunning
+			j.startedAt = now
+			m.notifyLocked(j)
+		}
+	}
+	m.mu.Unlock()
+
+	var ev sweep.Event
+	results, err := sweep.Run(f.ctx, []sweep.Job{{Label: f.label, Config: f.cfg}}, sweep.Options{
+		Workers:  1,
+		Cache:    m.cache,
+		Progress: func(e sweep.Event) { ev = e },
+	})
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters.running--
+	m.dropFlightLocked(f)
+	switch {
+	case err != nil:
+		for _, j := range f.jobs {
+			if j.state.Terminal() {
+				continue
+			}
+			j.state = StateFailed
+			j.err = err
+			j.finishedAt = time.Now()
+			j.elapsed = ev.Elapsed
+			m.counters.failed++
+			m.notifyLocked(j)
+		}
+	default:
+		if ev.Cached {
+			m.counters.cacheHits++
+		} else {
+			m.counters.simulations++
+		}
+		res := results[0]
+		done := time.Now()
+		for _, j := range f.jobs {
+			if j.state.Terminal() {
+				continue
+			}
+			j.state = StateDone
+			j.cached = j.cached || ev.Cached
+			j.finishedAt = done
+			j.elapsed = ev.Elapsed
+			j.result = &res
+			m.counters.completed++
+			m.notifyLocked(j)
+		}
+	}
+	m.pruneLocked()
+}
+
+// dropFlightLocked removes f from the dedup index so later identical
+// submissions hit the cache (or start fresh) instead of attaching to a
+// finished flight.
+func (m *Manager) dropFlightLocked(f *flight) {
+	if f.key != "" && m.flights[f.key] == f {
+		delete(m.flights, f.key)
+	}
+	f.cancel()
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention
+// cap, keeping the long-running daemon's memory bounded. Live jobs
+// are always kept; evicted results stay reachable via the cache.
+func (m *Manager) pruneLocked() {
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.retention {
+		return
+	}
+	keep := m.order[:0]
+	for _, id := range m.order {
+		if j := m.jobs[id]; terminal > m.retention && j.state.Terminal() {
+			delete(m.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+}
+
+// Drain gracefully shuts the manager down: new submissions fail with
+// ErrDraining, still-queued jobs are canceled, and running simulations
+// are awaited until ctx expires. It is idempotent; concurrent calls
+// all block until the drain completes.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		// Walk jobs, not the dedup index: key-less (uncacheable)
+		// flights never enter m.flights but must be canceled too.
+		for _, j := range m.jobs {
+			if !j.state.Terminal() && j.flight != nil && j.flight.state == StateQueued {
+				m.cancelJobLocked(j, "server shutting down")
+			}
+		}
+		close(m.queue) // Submit holds mu and checks draining, so no racing send
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		m.cancel()
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// statusLocked renders a job for the wire.
+func (m *Manager) statusLocked(j *job, withResult bool) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Label:       j.label,
+		Key:         j.key,
+		State:       j.state,
+		Cached:      j.cached,
+		Deduped:     j.deduped,
+		SubmittedAt: j.submittedAt,
+		ElapsedMs:   float64(j.elapsed) / float64(time.Millisecond),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+	}
+	if withResult && j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}

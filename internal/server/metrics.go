@@ -1,0 +1,66 @@
+package server
+
+// counters aggregates the manager's operational numbers. All fields
+// are guarded by Manager.mu.
+type counters struct {
+	submitted   uint64
+	completed   uint64
+	failed      uint64
+	canceled    uint64
+	deduped     uint64 // jobs attached to an in-flight identical config
+	cacheHits   uint64 // jobs/flights served from the persistent cache
+	simulations uint64 // fresh simulations actually executed
+	running     int    // flights currently simulating
+}
+
+// Metrics is the /metrics snapshot.
+type Metrics struct {
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	Running       int  `json:"running"`
+	Draining      bool `json:"draining"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsDeduped   uint64 `json:"jobs_deduped"`
+	JobsRetained  int    `json:"jobs_retained"` // still queryable (bounded by -retain)
+
+	SimulationsRun uint64 `json:"simulations_run"`
+	CacheHits      uint64 `json:"cache_hits"`
+	// CacheHitRate is cache-satisfied resolutions over all resolutions:
+	// cache_hits / (cache_hits + simulations_run). A resolution is a
+	// submission answered straight from the cache or a flight executed;
+	// deduped jobs join an existing flight's resolution and count in
+	// neither term.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+}
+
+// Metrics returns a consistent snapshot of the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Metrics{
+		QueueDepth:     len(m.queue),
+		QueueCapacity:  cap(m.queue),
+		Running:        m.counters.running,
+		Draining:       m.draining,
+		JobsSubmitted:  m.counters.submitted,
+		JobsCompleted:  m.counters.completed,
+		JobsFailed:     m.counters.failed,
+		JobsCanceled:   m.counters.canceled,
+		JobsDeduped:    m.counters.deduped,
+		JobsRetained:   len(m.jobs),
+		SimulationsRun: m.counters.simulations,
+		CacheHits:      m.counters.cacheHits,
+	}
+	if total := s.CacheHits + s.SimulationsRun; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
+	}
+	if m.cache != nil {
+		s.CacheEntries = m.cache.Len()
+	}
+	return s
+}

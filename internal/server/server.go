@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/version"
+)
+
+// Server exposes a Manager as a JSON HTTP API:
+//
+//	POST   /v1/jobs            submit one config or a batch -> job IDs
+//	GET    /v1/jobs            list all jobs (no result payloads)
+//	GET    /v1/jobs/{id}       status + result when done
+//	GET    /v1/jobs/{id}/events  Server-Sent Events progress stream
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/results         list stored content-address keys
+//	GET    /v1/results/{key}   content-addressed result lookup
+//	GET    /healthz            liveness + version (200 even while draining)
+//	GET    /readyz             readiness (503 while draining)
+//	GET    /metrics            queue/dedup/cache counters
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wires the API around m.
+func New(m *Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/results", s.handleResultIndex)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SubmitRequest is the POST /v1/jobs body: either a batch under
+// "jobs", or the fields of a single JobSpec inlined at the top level.
+type SubmitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+	JobSpec
+}
+
+// SubmitResponse returns one status (with ID) per accepted job, in
+// submission order.
+type SubmitResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding submission: %w", err))
+		return
+	}
+	specs := req.Jobs
+	if len(specs) == 0 {
+		if len(req.Config.Workloads) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: submission needs a config or a jobs array"))
+			return
+		}
+		specs = []JobSpec{req.JobSpec}
+	}
+	statuses, err := s.manager.Submit(specs)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Jobs: statuses})
+}
+
+// submitStatus maps manager submission errors to HTTP codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleListJobs returns all retained jobs, or — with ?ids=a,b,c —
+// only the named ones (unknown/evicted IDs are silently omitted, so
+// pollers can detect eviction as absence).
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	if raw := r.URL.Query().Get("ids"); raw != "" {
+		writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.JobsByID(strings.Split(raw, ","))})
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ResultIndex is the GET /v1/results body: every content-address key
+// in the persistent store, each fetchable via /v1/results/{key}.
+type ResultIndex struct {
+	Keys []string `json:"keys"`
+}
+
+func (s *Server) handleResultIndex(w http.ResponseWriter, r *http.Request) {
+	idx := ResultIndex{Keys: []string{}}
+	if cache := s.manager.Cache(); cache != nil {
+		idx.Keys = cache.Keys()
+	}
+	writeJSON(w, http.StatusOK, idx)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	cache := s.manager.Cache()
+	if cache == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no persistent result cache configured"))
+		return
+	}
+	res, ok := cache.Lookup(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no result for key %s", r.PathValue("key")))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status  string  `json:"status"`
+	Version string  `json:"version"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// handleHealth reports liveness: always 200 while the process serves
+// HTTP, including during a drain — a liveness probe must not kill the
+// daemon while it finishes running simulations. The body still says
+// "draining" so humans see the state. Routing decisions belong on
+// /readyz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:  "ok",
+		Version: version.String(),
+		UptimeS: time.Since(s.started).Seconds(),
+	}
+	if s.manager.Metrics().Draining {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleReady reports readiness: 503 while draining, when every new
+// submission is rejected, so load balancers stop routing clients here
+// during the shutdown grace window without the liveness probe killing
+// in-flight work.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:  "ok",
+		Version: version.String(),
+		UptimeS: time.Since(s.started).Seconds(),
+	}
+	status := http.StatusOK
+	if s.manager.Metrics().Draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Metrics())
+}
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

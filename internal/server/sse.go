@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Subscribe registers for a job's lifecycle events. It returns the
+// current status snapshot, a channel of subsequent statuses, and an
+// unsubscribe function. The channel is closed after the terminal event
+// (immediately when the job is already terminal). Slow consumers never
+// block the manager: events beyond the channel buffer are dropped, and
+// the SSE handler re-reads the final status after close so the
+// terminal state is always delivered.
+func (m *Manager) Subscribe(id string) (JobStatus, <-chan JobStatus, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, nil, nil, ErrUnknownJob
+	}
+	snap := m.statusLocked(j, true)
+	if j.state.Terminal() {
+		ch := make(chan JobStatus)
+		close(ch)
+		return snap, ch, func() {}, nil
+	}
+	ch := make(chan JobStatus, 16)
+	sub := j.nextSub
+	j.nextSub++
+	j.subs[sub] = ch
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(j.subs, sub) // sends happen under mu, so no racing close
+	}
+	return snap, ch, cancel, nil
+}
+
+// notifyLocked fans j's current status out to its subscribers, closing
+// every channel when the state is terminal. Callers hold m.mu.
+func (m *Manager) notifyLocked(j *job) {
+	st := m.statusLocked(j, j.state.Terminal())
+	for _, ch := range j.subs {
+		select {
+		case ch <- st:
+		default: // slow consumer: drop; the close below still signals
+		}
+	}
+	if j.state.Terminal() {
+		for sub, ch := range j.subs {
+			close(ch)
+			delete(j.subs, sub)
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event frame. data must not contain
+// newlines (our payloads are single-line JSON).
+func writeSSE(w io.Writer, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// handleJobEvents streams a job's lifecycle over SSE: a status event
+// per transition (the current state first), then a final "done" event
+// once the job is terminal.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	snap, ch, unsubscribe, err := s.manager.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsubscribe()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	send := func(event string, v any) bool {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if err := writeSSE(w, event, blob); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send("status", snap) {
+		return
+	}
+	last := snap.State
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case st, open := <-ch:
+			if !open {
+				// Channel closed on the terminal transition. If the
+				// terminal status was dropped (slow consumer) re-read
+				// and deliver the authoritative final state; when it
+				// already went out, don't repeat the full-result frame.
+				if !last.Terminal() {
+					if final, err := s.manager.Job(snap.ID); err == nil {
+						if !send("status", final) {
+							return
+						}
+					}
+				}
+				_ = writeSSE(w, "done", []byte("{}"))
+				flusher.Flush()
+				return
+			}
+			if !send("status", st) {
+				return
+			}
+			last = st.State
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/sim"
@@ -62,10 +63,20 @@ type Cache struct {
 	// not block Get/Put on the entry map.
 	writeMu sync.Mutex
 	written uint64 // seq of the newest snapshot on disk
+
+	recovery string // warning from OpenCache quarantining a bad snapshot
 }
 
 // OpenCache loads the results file at path, starting empty when the
 // file does not exist yet.
+//
+// A snapshot that cannot be decoded — truncated by a crash, hand-edited
+// into invalid JSON, or written by a different format version — does
+// not fail the open: the bad file is moved aside to <path>.corrupt
+// (replacing any previous quarantine) and the cache starts empty, so a
+// campaign resume degrades to a fresh run instead of bricking until
+// someone deletes the file by hand. RecoveryNote reports when that
+// happened so callers can warn the user.
 func OpenCache(path string) (*Cache, error) {
 	c := &Cache{path: path, entries: map[string]sim.Result{}}
 	blob, err := os.ReadFile(path)
@@ -76,17 +87,32 @@ func OpenCache(path string) (*Cache, error) {
 		return nil, fmt.Errorf("sweep: opening cache: %w", err)
 	}
 	var f cacheFile
-	if err := json.Unmarshal(blob, &f); err != nil {
-		return nil, fmt.Errorf("sweep: cache %s is not a results file: %w", path, err)
+	var reason string
+	switch err := json.Unmarshal(blob, &f); {
+	case err != nil:
+		reason = fmt.Sprintf("not a results file: %v", err)
+	case f.Version != cacheVersion:
+		reason = fmt.Sprintf("version %d, want %d", f.Version, cacheVersion)
 	}
-	if f.Version != cacheVersion {
-		return nil, fmt.Errorf("sweep: cache %s has version %d, want %d", path, f.Version, cacheVersion)
+	if reason != "" {
+		quarantine := path + ".corrupt"
+		if err := os.Rename(path, quarantine); err != nil {
+			return nil, fmt.Errorf("sweep: cache %s is %s, and quarantining it failed: %w", path, reason, err)
+		}
+		c.recovery = fmt.Sprintf("sweep: cache %s is %s; moved it to %s and starting empty", path, reason, quarantine)
+		return c, nil
 	}
 	if f.Entries != nil {
 		c.entries = f.Entries
 	}
 	return c, nil
 }
+
+// RecoveryNote returns a human-readable warning when OpenCache found an
+// undecodable snapshot and quarantined it, or "" when the open was
+// clean. Callers should surface it (stderr, logs) so a silently emptied
+// cache does not masquerade as a first run.
+func (c *Cache) RecoveryNote() string { return c.recovery }
 
 // Path returns the backing file.
 func (c *Cache) Path() string { return c.path }
@@ -105,10 +131,29 @@ func (c *Cache) Get(cfg sim.Config) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false
 	}
+	return c.Lookup(key)
+}
+
+// Lookup returns the stored result for a raw content-address key (the
+// hex SHA-256 Key of some config), letting services serve results to
+// clients that hold only the key.
+func (c *Cache) Lookup(key string) (sim.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	res, ok := c.entries[key]
 	return res, ok
+}
+
+// Keys returns the content-address keys of all stored results, sorted.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Put stores the result for cfg and flushes the file, so an

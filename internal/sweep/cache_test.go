@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -117,19 +118,94 @@ func TestSweepResume(t *testing.T) {
 	}
 }
 
-func TestOpenCacheRejectsGarbage(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "results.json")
-	if err := os.WriteFile(path, []byte("not json{"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := OpenCache(path); err == nil {
-		t.Error("corrupt cache file accepted")
-	}
+// TestOpenCacheQuarantinesGarbage is the regression test for corrupt
+// snapshots bricking campaign resume: a truncated or hand-mangled file
+// must be moved aside to <path>.corrupt and the cache must come up
+// empty and usable, with the incident reported via RecoveryNote.
+func TestOpenCacheQuarantinesGarbage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		blob string
+	}{
+		{"truncated", `{"version":1,"entries":{"abc":{"Sat`},
+		{"not-json", "not json{"},
+		{"future-version", `{"version":99,"entries":{}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "results.json")
+			if err := os.WriteFile(path, []byte(tc.blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := OpenCache(path)
+			if err != nil {
+				t.Fatalf("corrupt snapshot failed the open: %v", err)
+			}
+			if c.Len() != 0 {
+				t.Errorf("recovered cache has %d entries, want 0", c.Len())
+			}
+			if c.RecoveryNote() == "" {
+				t.Error("no recovery warning for a quarantined snapshot")
+			}
+			moved, err := os.ReadFile(path + ".corrupt")
+			if err != nil {
+				t.Fatalf("bad snapshot was not moved aside: %v", err)
+			}
+			if string(moved) != tc.blob {
+				t.Error("quarantined file does not preserve the bad snapshot")
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("bad snapshot still at %s (err %v)", path, err)
+			}
 
-	if err := os.WriteFile(path, []byte(`{"version":99,"entries":{}}`), 0o644); err != nil {
+			// The recovered cache must be fully usable: Put persists a
+			// fresh snapshot at the original path.
+			cfg := tinyConfig("lbm", 3)
+			res := runSerial(t, cfg)
+			if err := c.Put(cfg, res); err != nil {
+				t.Fatal(err)
+			}
+			reopened, err := OpenCache(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reopened.RecoveryNote() != "" {
+				t.Error("clean reopen carries a recovery warning")
+			}
+			if got, ok := reopened.Get(cfg); !ok || !reflect.DeepEqual(got, res) {
+				t.Error("result written after recovery did not persist")
+			}
+		})
+	}
+}
+
+// TestCacheLookupByKey covers the content-addressed read path used by
+// GET /v1/results/{key}.
+func TestCacheLookupByKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	c, err := OpenCache(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenCache(path); err == nil {
-		t.Error("future cache version accepted")
+	cfg := tinyConfig("lbm", 11)
+	res := runSerial(t, cfg)
+	if err := c.Put(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	key, err := Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(key)
+	if !ok {
+		t.Fatal("stored key misses on Lookup")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Error("Lookup returned a different result than Put stored")
+	}
+	if _, ok := c.Lookup("no-such-key"); ok {
+		t.Error("unknown key hit")
+	}
+	if keys := c.Keys(); len(keys) != 1 || keys[0] != key {
+		t.Errorf("Keys() = %v, want [%s]", keys, key)
 	}
 }

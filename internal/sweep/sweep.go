@@ -31,11 +31,12 @@ type Job struct {
 
 // Event reports the completion of one job to Options.Progress.
 type Event struct {
-	Index   int // job position in the input slice
-	Total   int // number of jobs in the sweep
-	Done    int // jobs finished so far, including this one
+	Index   int    // job position in the input slice
+	Total   int    // number of jobs in the sweep
+	Done    int    // jobs finished so far, including this one
 	Label   string
-	Cached  bool // result served from the cache, not a fresh run
+	Key     string // content-address of the config ("" when uncacheable)
+	Cached  bool   // result served from the cache, not a fresh run
 	Err     error
 	Elapsed time.Duration // wall clock of this job (0 when cached)
 }
@@ -162,10 +163,11 @@ func (s *state) runJob(ctx context.Context, i int) error {
 		return nil // sweep is shutting down; leave the slot untouched
 	}
 	job := s.jobs[i]
+	key, _ := Key(job.Config) // "" for uncacheable configs
 	if s.opts.Cache != nil {
 		if res, ok := s.opts.Cache.Get(job.Config); ok {
 			s.results[i] = res
-			s.report(Event{Index: i, Label: job.Label, Cached: true})
+			s.report(Event{Index: i, Label: job.Label, Key: key, Cached: true})
 			return nil
 		}
 	}
@@ -173,18 +175,18 @@ func (s *state) runJob(ctx context.Context, i int) error {
 	res, err := runOne(job.Config)
 	if err != nil {
 		s.errs[i] = err
-		s.report(Event{Index: i, Label: job.Label, Err: err, Elapsed: time.Since(start)})
+		s.report(Event{Index: i, Label: job.Label, Key: key, Err: err, Elapsed: time.Since(start)})
 		return err
 	}
 	if s.opts.Cache != nil {
 		if err := s.opts.Cache.Put(job.Config, res); err != nil {
 			s.errs[i] = err
-			s.report(Event{Index: i, Label: job.Label, Err: err, Elapsed: time.Since(start)})
+			s.report(Event{Index: i, Label: job.Label, Key: key, Err: err, Elapsed: time.Since(start)})
 			return err
 		}
 	}
 	s.results[i] = res
-	s.report(Event{Index: i, Label: job.Label, Elapsed: time.Since(start)})
+	s.report(Event{Index: i, Label: job.Label, Key: key, Elapsed: time.Since(start)})
 	return nil
 }
 

@@ -1,0 +1,14 @@
+// Package version carries the build version stamped into binaries at
+// link time. The Makefile injects it via
+//
+//	-ldflags "-X repro/internal/version.Version=$(git describe ...)"
+//
+// so every CLI's -version flag and the daemon's /healthz report which
+// build is running; plain `go build` binaries report "dev".
+package version
+
+// Version is the stamped build identifier.
+var Version = "dev"
+
+// String returns the stamped version.
+func String() string { return Version }

@@ -26,6 +26,7 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client
+	$(GO) test -race ./internal/sim -run 'TestDifferential'
 
 # serve runs the simulation daemon locally with the version stamp.
 # Override flags with CCSIMD_FLAGS, e.g.
@@ -39,8 +40,16 @@ serve:
 # scaling curve. CCSIM_BENCH_SCALE=default selects the paper-sized
 # Figure 7a campaign for the worker-scaling benchmark.
 .PHONY: bench
-bench:
+bench: bench-simcore
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/sweep ./internal/experiments
+
+# bench-simcore measures the two execution engines (event-driven vs the
+# reference stepper) on the Quick-scale Figure 7a campaign and records
+# the numbers in BENCH_simcore.json, so engine-performance history
+# accumulates across PRs.
+.PHONY: bench-simcore
+bench-simcore:
+	$(GO) run $(LDFLAGS) ./cmd/benchrecord -out BENCH_simcore.json
 
 # golden-update deliberately rewrites the experiment-layer regression
 # snapshot after an intended change to reproduced paper numbers.

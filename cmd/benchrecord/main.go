@@ -1,0 +1,191 @@
+// Command benchrecord measures the simulation core's two execution
+// engines on the Quick-scale Figure 7a campaign (22 single-core
+// workloads × 5 mechanisms) and writes the numbers to a JSON file
+// (default BENCH_simcore.json), so every PR that touches the hot path
+// leaves a comparable data point behind.
+//
+// Recorded per engine: campaign wall clock, ns per simulated
+// megacycle, and sweep throughput (configs/sec); for the event-driven
+// engine additionally the fraction of cycles it actually executed.
+// The headline "speedup" is stepper wall clock over event wall clock
+// for the identical campaign — both engines produce bit-identical
+// Results (see internal/sim/differential_test.go), so the comparison
+// is pure engine overhead.
+//
+//	benchrecord                  # full campaign, writes BENCH_simcore.json
+//	benchrecord -quick           # 6-workload subset (CI smoke)
+//	benchrecord -out bench.json  # alternate output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/version"
+	"repro/internal/workload"
+)
+
+// engineStats summarizes one engine's pass over the campaign.
+type engineStats struct {
+	WallMS            float64 `json:"wall_ms"`
+	SimMegacycles     float64 `json:"sim_megacycles"`
+	NsPerMegacycle    float64 `json:"ns_per_megacycle"`
+	ConfigsPerSec     float64 `json:"configs_per_sec"`
+	ExecutedFraction  float64 `json:"executed_cycle_fraction,omitempty"`
+	ExecutedCycles    int64   `json:"executed_cycles"`
+	TotalCycles       int64   `json:"total_cycles"`
+	InstructionsTotal uint64  `json:"instructions_total"`
+}
+
+// workloadRow is the per-workload breakdown (5 configs each).
+type workloadRow struct {
+	Workload     string  `json:"workload"`
+	StepperMS    float64 `json:"stepper_ms"`
+	EventMS      float64 `json:"event_ms"`
+	Speedup      float64 `json:"speedup"`
+	ExecFraction float64 `json:"event_executed_cycle_fraction"`
+}
+
+// record is the BENCH_simcore.json schema.
+type record struct {
+	Generated   string                 `json:"generated"`
+	Version     string                 `json:"version"`
+	Campaign    string                 `json:"campaign"`
+	Scale       string                 `json:"scale"`
+	Jobs        int                    `json:"jobs"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Engines     map[string]engineStats `json:"engines"`
+	Speedup     float64                `json:"speedup_event_vs_stepper"`
+	PerWorkload []workloadRow          `json:"per_workload"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrecord: ")
+
+	out := flag.String("out", "BENCH_simcore.json", "output JSON path")
+	quick := flag.Bool("quick", false, "run a 6-workload subset instead of the full 22 (CI smoke)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("benchrecord %s\n", version.String())
+		return
+	}
+
+	scale := experiments.Quick()
+	names := workload.Names()
+	if *quick {
+		names = names[:6]
+	}
+
+	// The Figure 7a per-row config group: baseline plus the four
+	// evaluated mechanisms, mirroring experiments.Fig7Single.
+	mechs := []sim.MechanismKind{
+		sim.Baseline, sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM,
+	}
+	type job struct {
+		workload string
+		cfg      sim.Config
+	}
+	var jobs []job
+	for _, name := range names {
+		base := sim.DefaultConfig(name)
+		base.WarmupInstructions = scale.WarmupInstructions
+		base.RunInstructions = scale.RunInstructions
+		for _, m := range mechs {
+			cfg := base
+			cfg.Mechanism = m
+			jobs = append(jobs, job{workload: name, cfg: cfg})
+		}
+	}
+
+	rec := record{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Version:    version.String(),
+		Campaign:   "fig7a",
+		Scale:      "quick",
+		Jobs:       len(jobs),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Engines:    map[string]engineStats{},
+	}
+
+	perWorkload := map[string]*workloadRow{}
+	for _, name := range names {
+		perWorkload[name] = &workloadRow{Workload: name}
+	}
+
+	for _, engine := range []string{"stepper", "event"} {
+		var st engineStats
+		start := time.Now()
+		for _, j := range jobs {
+			cfg := j.cfg
+			cfg.Stepper = engine == "stepper"
+			sys, err := sim.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobStart := time.Now()
+			res, err := sys.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			wallMS := float64(time.Since(jobStart)) / float64(time.Millisecond)
+			st.TotalCycles += sys.TotalCycles()
+			st.ExecutedCycles += sys.ExecutedCycles()
+			for _, pc := range res.PerCore {
+				st.InstructionsTotal += pc.Instructions
+			}
+			row := perWorkload[j.workload]
+			if engine == "stepper" {
+				row.StepperMS += wallMS
+			} else {
+				row.EventMS += wallMS
+				// Running weighted mean over the workload's five configs.
+				row.ExecFraction += float64(sys.ExecutedCycles()) / float64(sys.TotalCycles()) / float64(len(mechs))
+			}
+		}
+		elapsed := time.Since(start)
+		st.WallMS = float64(elapsed) / float64(time.Millisecond)
+		st.SimMegacycles = float64(st.TotalCycles) / 1e6
+		st.NsPerMegacycle = float64(elapsed.Nanoseconds()) / st.SimMegacycles
+		st.ConfigsPerSec = float64(len(jobs)) / elapsed.Seconds()
+		if engine == "event" {
+			st.ExecutedFraction = float64(st.ExecutedCycles) / float64(st.TotalCycles)
+		}
+		rec.Engines[engine] = st
+		log.Printf("%-7s %7.0f ms  %8.0f ns/Mcycle  %6.2f configs/s",
+			engine, st.WallMS, st.NsPerMegacycle, st.ConfigsPerSec)
+	}
+
+	rec.Speedup = rec.Engines["stepper"].WallMS / rec.Engines["event"].WallMS
+	for _, name := range names {
+		row := perWorkload[name]
+		row.Speedup = row.StepperMS / row.EventMS
+		rec.PerWorkload = append(rec.PerWorkload, *row)
+	}
+	log.Printf("campaign speedup (event vs stepper): %.2fx", rec.Speedup)
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -52,7 +53,7 @@ func main() {
 	unlimited := flag.Bool("unlimited", false, "unbounded ChargeCache")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
-	workers := flag.Int("workers", 0, "parallel simulations when several mechanisms are given (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations when several mechanisms are given")
 	results := flag.String("results", "", "JSON results-cache file reused across invocations")
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
 	list := flag.Bool("list", false, "list available workloads and exit")
@@ -62,6 +63,9 @@ func main() {
 	if *showVersion {
 		fmt.Printf("ccsim %s\n", version.String())
 		return
+	}
+	if err := validateWorkers(*workers); err != nil {
+		log.Fatal(err)
 	}
 	if *list {
 		for _, n := range ccsim.Workloads() {
@@ -98,7 +102,9 @@ func main() {
 	var res []ccsim.Result
 	var err error
 	if *serverURL != "" {
-		if *workers != 0 || *results != "" {
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		if workersSet || *results != "" {
 			fmt.Fprintln(os.Stderr, "ccsim: -workers and -results configure the daemon, not this process; ignoring them with -server")
 		}
 		var progress func(sweep.Event)
@@ -135,6 +141,18 @@ func main() {
 		return
 	}
 	compare(res)
+}
+
+// validateWorkers rejects non-positive worker counts up front. The
+// sweep engine would silently reinterpret them as "use GOMAXPROCS",
+// which turns a typo like `-workers -4` or a misrendered shell variable
+// into an unintended parallelism level instead of an error.
+func validateWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d (default: GOMAXPROCS = %d)",
+			n, runtime.GOMAXPROCS(0))
+	}
+	return nil
 }
 
 // parseMechanism maps a CLI name to its mechanism kind.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	ccsim "repro"
@@ -29,5 +30,26 @@ func TestParseMechanism(t *testing.T) {
 	}
 	if _, err := parseMechanism("warp-drive"); err == nil {
 		t.Error("unknown mechanism accepted")
+	}
+}
+
+// TestValidateWorkers pins the -workers contract: any count below 1 is
+// rejected with a clear error (the sweep engine would otherwise
+// silently reinterpret it as GOMAXPROCS), and sane counts pass.
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if err := validateWorkers(n); err != nil {
+			t.Errorf("validateWorkers(%d): unexpected error %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -100} {
+		err := validateWorkers(n)
+		if err == nil {
+			t.Errorf("validateWorkers(%d): want error", n)
+			continue
+		}
+		if got := err.Error(); !strings.Contains(got, "-workers") || !strings.Contains(got, ">= 1") {
+			t.Errorf("validateWorkers(%d) error %q lacks guidance", n, got)
+		}
 	}
 }

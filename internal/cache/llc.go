@@ -90,10 +90,17 @@ type Stats struct {
 // by the simulator, which knows the instruction counts.
 func (s Stats) Accesses() uint64 { return s.Hits + s.Misses + s.Coalesced }
 
-// mshrEntry tracks one in-flight line fill.
-type mshrEntry struct {
-	waiters     []func()
+// mshrSlot tracks one in-flight line fill. Slots are allocated once
+// (Config.MSHRs of them) and recycled, so the miss path allocates at
+// most a waiter append; fill is the slot's preallocated completion
+// callback handed to the backend.
+type mshrSlot struct {
+	line        uint64
+	idx         int32
+	used        bool
 	dirtyOnFill bool
+	waiters     []func()
+	fill        func()
 }
 
 // pendingHit is a scheduled hit-latency callback.
@@ -114,17 +121,25 @@ type LLC struct {
 	used  []uint64
 	tick  uint64
 
-	mshr map[uint64]*mshrEntry
+	mshrs []mshrSlot
+	// mshrLive lists the indexes of in-use slots, so lookups scan only
+	// the live misses (a line appears in at most one slot, so the list
+	// order is irrelevant to lookup results).
+	mshrLive []int32
 
 	backend Backend
 
 	// hitQueue holds scheduled hit completions ordered by time (hits
-	// complete in FIFO order since latency is constant).
+	// complete in FIFO order since latency is constant). hitHead is the
+	// ring head: delivered entries advance it instead of reslicing, so
+	// the buffer is reused once drained.
 	hitQueue []pendingHit
+	hitHead  int
 
 	// wbBacklog holds dirty-eviction writebacks the backend has not yet
-	// accepted, retried every Tick.
+	// accepted, retried every Tick (wbHead as above).
 	wbBacklog []uint64
+	wbHead    int
 
 	stats         Stats
 	wbBacklogPeak int
@@ -140,16 +155,23 @@ func New(cfg Config, backend Backend) (*LLC, error) {
 		return nil, fmt.Errorf("cache: backend must be non-nil")
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes
-	return &LLC{
+	c := &LLC{
 		cfg:     cfg,
 		sets:    lines / cfg.Ways,
 		tags:    make([]uint64, lines),
 		valid:   make([]bool, lines),
 		dirty:   make([]bool, lines),
 		used:    make([]uint64, lines),
-		mshr:    make(map[uint64]*mshrEntry),
+		mshrs:   make([]mshrSlot, cfg.MSHRs),
 		backend: backend,
-	}, nil
+	}
+	c.mshrLive = make([]int32, 0, cfg.MSHRs)
+	for i := range c.mshrs {
+		slot := &c.mshrs[i]
+		slot.idx = int32(i)
+		slot.fill = func() { c.fillSlot(slot) }
+	}
+	return c, nil
 }
 
 // Config returns the cache configuration.
@@ -162,12 +184,42 @@ func (c *LLC) Stats() Stats { return c.stats }
 func (c *LLC) ResetStats() { c.stats = Stats{} }
 
 // MSHRsInUse returns the number of in-flight distinct misses.
-func (c *LLC) MSHRsInUse() int { return len(c.mshr) }
+func (c *LLC) MSHRsInUse() int { return len(c.mshrLive) }
+
+// findMSHR returns the in-flight slot for line, or nil.
+func (c *LLC) findMSHR(line uint64) *mshrSlot {
+	for _, i := range c.mshrLive {
+		if c.mshrs[i].line == line {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
 
 // Pending reports whether fills, scheduled hits or writebacks are
 // outstanding.
 func (c *LLC) Pending() bool {
-	return len(c.mshr) > 0 || len(c.hitQueue) > 0 || len(c.wbBacklog) > 0
+	return len(c.mshrLive) > 0 || len(c.hitQueue) > c.hitHead || len(c.wbBacklog) > c.wbHead
+}
+
+// NoEvent is NextEvent's "nothing scheduled" sentinel.
+const NoEvent = int64(1) << 62
+
+// NextEvent returns the next CPU cycle at which a Tick can change
+// state: the earliest scheduled hit delivery (the hit queue is FIFO —
+// latency is constant, so the head is the minimum), or the very next
+// cycle while backlogged writebacks need retrying against the memory
+// controller. In-flight misses need no wake-up of their own: their
+// fills arrive through controller completions, which the controllers'
+// own event estimates cover.
+func (c *LLC) NextEvent() int64 {
+	if len(c.wbBacklog) > c.wbHead {
+		return c.now + 1
+	}
+	if len(c.hitQueue) > c.hitHead {
+		return c.hitQueue[c.hitHead].at
+	}
+	return NoEvent
 }
 
 func (c *LLC) lineAddr(addr uint64) uint64 {
@@ -213,22 +265,32 @@ func (c *LLC) read(now int64, line uint64, coreID int, onDone func()) AccessResu
 		c.hitQueue = append(c.hitQueue, pendingHit{at: now + int64(c.cfg.HitLatency), fn: onDone})
 		return Hit
 	}
-	if e, ok := c.mshr[line]; ok {
-		e.waiters = append(e.waiters, onDone)
+	if s := c.findMSHR(line); s != nil {
+		s.waiters = append(s.waiters, onDone)
 		c.stats.Coalesced++
 		return Coalesced
 	}
-	if len(c.mshr) >= c.cfg.MSHRs {
+	if len(c.mshrLive) >= c.cfg.MSHRs {
 		c.stats.Retries++
 		return Retry
 	}
-	e := &mshrEntry{waiters: []func(){onDone}}
-	accepted := c.backend.ReadLine(line, coreID, func() { c.fill(line) })
-	if !accepted {
+	var idx int32 = -1
+	for i := range c.mshrs {
+		if !c.mshrs[i].used {
+			idx = int32(i)
+			break
+		}
+	}
+	slot := &c.mshrs[idx]
+	slot.line = line
+	slot.dirtyOnFill = false
+	slot.waiters = append(slot.waiters[:0], onDone)
+	if !c.backend.ReadLine(line, coreID, slot.fill) {
 		c.stats.Retries++
 		return Retry
 	}
-	c.mshr[line] = e
+	slot.used = true
+	c.mshrLive = append(c.mshrLive, idx)
 	c.stats.Misses++
 	return Miss
 }
@@ -242,8 +304,8 @@ func (c *LLC) write(line uint64, coreID int) AccessResult {
 		c.stats.WriteHits++
 		return Hit
 	}
-	if e, ok := c.mshr[line]; ok {
-		e.dirtyOnFill = true
+	if s := c.findMSHR(line); s != nil {
+		s.dirtyOnFill = true
 		c.stats.Coalesced++
 		return Coalesced
 	}
@@ -252,19 +314,29 @@ func (c *LLC) write(line uint64, coreID int) AccessResult {
 	return Miss
 }
 
-// fill completes an in-flight miss: installs the line and wakes waiters.
-func (c *LLC) fill(line uint64) {
-	e, ok := c.mshr[line]
-	if !ok {
+// fillSlot completes an in-flight miss: installs the line and wakes
+// waiters. The slot is recycled for the next miss.
+func (c *LLC) fillSlot(s *mshrSlot) {
+	if !s.used {
 		return
 	}
-	delete(c.mshr, line)
-	c.install(line, e.dirtyOnFill)
-	for _, w := range e.waiters {
+	s.used = false
+	for i, live := range c.mshrLive {
+		if live == s.idx {
+			last := len(c.mshrLive) - 1
+			c.mshrLive[i] = c.mshrLive[last]
+			c.mshrLive = c.mshrLive[:last]
+			break
+		}
+	}
+	c.install(s.line, s.dirtyOnFill)
+	for i, w := range s.waiters {
 		if w != nil {
 			w()
 		}
+		s.waiters[i] = nil
 	}
+	s.waiters = s.waiters[:0]
 }
 
 // install places line in its set, evicting the LRU victim if needed.
@@ -310,26 +382,35 @@ func (c *LLC) enqueueWriteback(line uint64) {
 		return
 	}
 	c.wbBacklog = append(c.wbBacklog, line)
-	if len(c.wbBacklog) > c.wbBacklogPeak {
-		c.wbBacklogPeak = len(c.wbBacklog)
+	if len(c.wbBacklog)-c.wbHead > c.wbBacklogPeak {
+		c.wbBacklogPeak = len(c.wbBacklog) - c.wbHead
 	}
 }
 
 // Tick delivers due hit callbacks and retries backlogged writebacks.
 func (c *LLC) Tick(now int64) {
 	c.now = now
-	for len(c.hitQueue) > 0 && c.hitQueue[0].at <= now {
-		h := c.hitQueue[0]
-		c.hitQueue = c.hitQueue[1:]
+	for c.hitHead < len(c.hitQueue) && c.hitQueue[c.hitHead].at <= now {
+		h := c.hitQueue[c.hitHead]
+		c.hitQueue[c.hitHead].fn = nil
+		c.hitHead++
 		if h.fn != nil {
 			h.fn()
 		}
 	}
-	for len(c.wbBacklog) > 0 {
-		if !c.backend.WriteLine(c.wbBacklog[0], -1) {
+	if c.hitHead == len(c.hitQueue) {
+		c.hitQueue = c.hitQueue[:0]
+		c.hitHead = 0
+	}
+	for c.wbHead < len(c.wbBacklog) {
+		if !c.backend.WriteLine(c.wbBacklog[c.wbHead], -1) {
 			break
 		}
-		c.wbBacklog = c.wbBacklog[1:]
+		c.wbHead++
+	}
+	if c.wbHead == len(c.wbBacklog) {
+		c.wbBacklog = c.wbBacklog[:0]
+		c.wbHead = 0
 	}
 }
 

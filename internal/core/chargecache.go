@@ -195,9 +195,13 @@ func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
 	}
 }
 
-// Tick implements Mechanism: advances the IIC and performs the EC walk.
-// The controller calls it once per controller cycle; gaps (e.g. after
-// fast-forward) are handled by catching up on elapsed cycles.
+// Tick implements Mechanism: advances the IIC and performs the EC walk
+// lazily. Rather than an eager per-cycle scan, the walk catches up on
+// however many invalidation intervals elapsed since the last call, so
+// the event-driven engine's skipped cycles never miss an invalidation:
+// with no lookups or inserts inside the gap, the deferred walk
+// invalidates exactly the entries an every-cycle walk would have (see
+// lazy_expiry_test.go).
 func (cc *ChargeCache) Tick(now dram.Cycle) {
 	if cc.cfg.Unlimited || cc.cfg.Invalidation != PeriodicIICEC {
 		cc.lastTick = now

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+// The event-driven simulation engine ticks a mechanism only on the
+// cycles it executes, with arbitrarily large gaps in between, while the
+// reference stepper ticks every controller cycle. The tests here pin
+// down the contract that makes that safe: Tick's invalidation catch-up
+// is *gap-exact* — for any activate/precharge schedule, ticking lazily
+// (only just before each command, however far apart) leaves state and
+// statistics identical to ticking eagerly on every cycle.
+
+// lazyVsEager drives two identical ChargeCaches through one randomized
+// schedule: `eager` is ticked on every cycle like the stepper, `lazy`
+// only at command cycles like the event engine. Returns both.
+func lazyVsEager(t *testing.T, cfg ChargeCacheConfig, seed uint64, ops int) (lazy, eager *ChargeCache) {
+	t.Helper()
+	mk := func() *ChargeCache {
+		cc, err := NewChargeCache(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cc
+	}
+	lazy, eager = mk(), mk()
+	rng := seed | 1
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	now := dram.Cycle(0)
+	for i := 0; i < ops; i++ {
+		// Gaps span from back-to-back commands to several IIC
+		// intervals, so the catch-up loop runs zero, one and many
+		// steps.
+		gap := dram.Cycle(next(3 * int(cfg.Duration) / 2))
+		for c := now + 1; c <= now+gap; c++ {
+			eager.Tick(c) // every cycle, like the stepper
+		}
+		now += gap
+		lazy.Tick(now) // once, like the event engine
+		key := MakeRowKey(0, next(8), next(128))
+		if next(3) == 0 {
+			lazy.OnPrecharge(key, now)
+			eager.OnPrecharge(key, now)
+		} else {
+			lc := lazy.OnActivate(key, now, 0)
+			ec := eager.OnActivate(key, now, 0)
+			if lc != ec {
+				t.Fatalf("op %d (cycle %d): lazy class %+v != eager %+v", i, now, lc, ec)
+			}
+		}
+	}
+	return lazy, eager
+}
+
+// TestLazyExpiryMatchesEagerIICEC is the randomized-schedule property
+// test for the IIC/EC walk: lazily caught-up invalidation must
+// invalidate exactly the entries, in exactly the order, that per-cycle
+// ticking would, for arbitrary activate/precharge sequences.
+func TestLazyExpiryMatchesEagerIICEC(t *testing.T) {
+	cfg := ChargeCacheConfig{
+		Entries: 64, Assoc: 2, Duration: 4096,
+		Fast: fastClass, Default: defaultClass,
+		Invalidation: PeriodicIICEC,
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		lazy, eager := lazyVsEager(t, cfg, seed*7919, 4000)
+		if lazy.Stats() != eager.Stats() {
+			t.Fatalf("seed %d: lazy stats %+v != eager %+v", seed, lazy.Stats(), eager.Stats())
+		}
+		if lazy.Occupancy() != eager.Occupancy() {
+			t.Fatalf("seed %d: lazy occupancy %d != eager %d", seed, lazy.Occupancy(), eager.Occupancy())
+		}
+	}
+}
+
+// TestLazyExpiryMatchesEagerExactAndUnlimited covers the other two
+// expiry schemes; their expiry is evaluated at lookup time, so gaps
+// must be invisible by construction — the test guards regressions that
+// would reintroduce tick-rate dependence.
+func TestLazyExpiryMatchesEagerExactAndUnlimited(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  ChargeCacheConfig
+	}{
+		{"exact-expiry", ChargeCacheConfig{
+			Entries: 64, Assoc: 2, Duration: 4096,
+			Fast: fastClass, Default: defaultClass,
+			Invalidation: ExactExpiry,
+		}},
+		{"unlimited", ChargeCacheConfig{
+			Duration: 4096, Fast: fastClass, Default: defaultClass,
+			Unlimited: true,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lazy, eager := lazyVsEager(t, tc.cfg, 42, 3000)
+			if lazy.Stats() != eager.Stats() {
+				t.Fatalf("lazy stats %+v != eager %+v", lazy.Stats(), eager.Stats())
+			}
+		})
+	}
+}
+
+// TestLazyExpiryQuick drives the IIC/EC property through testing/quick
+// with short random schedules, broadening seed coverage cheaply.
+func TestLazyExpiryQuick(t *testing.T) {
+	cfg := ChargeCacheConfig{
+		Entries: 16, Assoc: 2, Duration: 512,
+		Fast: fastClass, Default: defaultClass,
+		Invalidation: PeriodicIICEC,
+	}
+	f := func(seed uint32) bool {
+		lazy, eager := lazyVsEager(t, cfg, uint64(seed), 300)
+		return lazy.Stats() == eager.Stats() && lazy.Occupancy() == eager.Occupancy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -86,7 +86,15 @@ type Mechanism interface {
 	// the row identified by key.
 	OnPrecharge(key RowKey, now dram.Cycle)
 
-	// Tick advances mechanism-internal time by one controller cycle.
+	// Tick advances mechanism-internal time to now. Callers may tick
+	// every controller cycle (the reference stepper) or only on the
+	// cycles they execute, with arbitrary gaps (the event-driven
+	// engine). Implementations must be gap-exact: as long as no
+	// OnActivate/OnPrecharge happens inside a gap, state and stats
+	// after Tick(now) must not depend on how many intermediate Ticks
+	// occurred. ChargeCache's IIC/EC invalidation walk, for example,
+	// catches up lazily instead of scanning per cycle; the property
+	// tests in lazy_expiry_test.go enforce the contract.
 	Tick(now dram.Cycle)
 
 	// Stats returns the event counters accumulated so far.

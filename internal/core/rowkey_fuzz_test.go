@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// FuzzRowKeyRoundTrip checks MakeRowKey/Rank/Bank/Row are lossless over
+// the field ranges DRAM geometries can produce (rank and bank fit their
+// key fields; rows up to 2^31-1). Two distinct (rank, bank, row)
+// triples must never collide — the HCRAC and the refresh engine both
+// identify rows by this key alone.
+func FuzzRowKeyRoundTrip(f *testing.F) {
+	f.Add(0, 0, 0)
+	f.Add(3, 7, 1<<16-1)
+	f.Add(255, 255, 1<<31-1)
+	f.Fuzz(func(t *testing.T, rank, bank, row int) {
+		// Clamp to the key's field widths: 8 bits of bank, 24 bits of
+		// rank, 32 bits of row (non-negative).
+		rank &= 0xff
+		bank &= 0xff
+		row &= 1<<31 - 1
+
+		k := MakeRowKey(rank, bank, row)
+		if k.Rank() != rank || k.Bank() != bank || k.Row() != row {
+			t.Fatalf("MakeRowKey(%d,%d,%d) round-trips to (%d,%d,%d)",
+				rank, bank, row, k.Rank(), k.Bank(), k.Row())
+		}
+
+		// Injectivity against a perturbed triple.
+		other := MakeRowKey(rank, bank^1, row)
+		if other == k {
+			t.Fatalf("distinct banks collide: %v", k)
+		}
+	})
+}

@@ -79,12 +79,19 @@ type Core struct {
 
 	inFlight int // loads outstanding (<= MSHRs)
 
-	// Current trace record being issued.
-	haveRec     bool
+	// Current trace record being issued. The record is fetched eagerly
+	// (at construction and immediately after its predecessor's load
+	// issues), which consumes the trace in exactly the same order as
+	// lazy fetching but lets SkipBudget see bubble runs without a
+	// stateful peek.
 	rec         TraceRecord
 	bubblesLeft int
 	loadPending bool
 	wbPending   bool
+
+	// slotDone callbacks, one per window slot, allocated once so load
+	// issue does not allocate a closure per access.
+	onData []func()
 
 	retired    uint64
 	cycles     uint64
@@ -102,12 +109,30 @@ func New(cfg Config, trace TraceReader, mem MemPort) (*Core, error) {
 	if trace == nil || mem == nil {
 		return nil, fmt.Errorf("cpu: trace and mem must be non-nil")
 	}
-	return &Core{
+	c := &Core{
 		cfg:    cfg,
 		trace:  trace,
 		mem:    mem,
 		window: make([]uint8, cfg.WindowSize),
-	}, nil
+		onData: make([]func(), cfg.WindowSize),
+	}
+	for i := range c.onData {
+		idx := i
+		c.onData[i] = func() {
+			c.window[idx] = slotDone
+			c.inFlight--
+		}
+	}
+	c.nextRecord()
+	return c, nil
+}
+
+// nextRecord pulls the next trace record into the issue stage.
+func (c *Core) nextRecord() {
+	c.rec = c.trace.Next()
+	c.bubblesLeft = c.rec.Bubbles
+	c.loadPending = true
+	c.wbPending = c.rec.HasWriteback
 }
 
 // ID returns the core's identifier.
@@ -182,13 +207,6 @@ func (c *Core) issueOne() bool {
 	if c.count == len(c.window) {
 		return false
 	}
-	if !c.haveRec {
-		c.rec = c.trace.Next()
-		c.haveRec = true
-		c.bubblesLeft = c.rec.Bubbles
-		c.loadPending = true
-		c.wbPending = c.rec.HasWriteback
-	}
 	if c.bubblesLeft > 0 {
 		c.pushSlot(slotDone)
 		c.bubblesLeft--
@@ -210,23 +228,18 @@ func (c *Core) issueOne() bool {
 		}
 		idx := c.tail
 		c.pushSlot(slotWaiting)
-		accepted := c.mem.Load(c.rec.Addr, c.cfg.ID, func() {
-			c.window[idx] = slotDone
-			c.inFlight--
-		})
-		if !accepted {
+		if !c.mem.Load(c.rec.Addr, c.cfg.ID, c.onData[idx]) {
 			c.popSlot()
 			return false
 		}
 		c.inFlight++
 		c.loadsSent++
-		c.loadPending = false
-		c.haveRec = false
+		c.nextRecord()
 		return true
 	}
 	// Record had no load component (not produced by current generators,
 	// but legal): consume it.
-	c.haveRec = false
+	c.nextRecord()
 	return true
 }
 
@@ -245,6 +258,161 @@ func (c *Core) popSlot() {
 		c.tail = len(c.window) - 1
 	}
 	c.count--
+}
+
+// Cycle skipping
+//
+// The event-driven engine (internal/sim) advances simulated time in
+// jumps. The three methods below are the core's side of the contract:
+// SkipBudget reports how far the core can jump, and AdvanceIdle /
+// RunAhead apply a jump with state and counters bit-identical to the
+// same number of Tick calls. The engine guarantees that no memory
+// callback (load data return) fires inside a jump — callbacks only run
+// during executed cycles, which bound every jump.
+
+// SkipBudget classifies the core's next-cycle behaviour for the
+// event-driven engine.
+//
+// blocked means the core provably cannot change architectural state
+// without an external load completion: its window is full behind a
+// waiting load, or its next instruction is a load and every MSHR is in
+// flight. The engine may skip any number of such cycles (AdvanceIdle).
+//
+// Otherwise pure is the number of upcoming cycles (possibly 0) that are
+// provably internal: every cycle issues a full width of bubbles and —
+// when the window head is completed — retires a full width, never
+// touching the memory port. The engine may fast-forward up to pure
+// cycles (RunAhead). Cycles beyond the budget (partial-width
+// boundaries, record fetches, load/writeback issue, retries after a
+// rejected access) must run through Tick.
+//
+// target is the retirement goal of the current measurement window: the
+// budget is clamped so retirement can never reach target inside a jump,
+// keeping target crossings on executed cycles where the engine observes
+// them, exactly like the reference stepper. max caps the answer (the
+// engine never jumps past its external-event horizon, so the budget
+// needs no look-ahead beyond it).
+func (c *Core) SkipBudget(target uint64, max int64) (blocked bool, pure int64) {
+	headDone := c.count > 0 && c.window[c.head] == slotDone
+	if !headDone {
+		if c.count == len(c.window) {
+			return true, 0 // full window behind a waiting load
+		}
+		if c.bubblesLeft == 0 && !c.wbPending && c.loadPending &&
+			c.inFlight >= c.cfg.MSHRs {
+			return true, 0 // next instruction is a load; MSHRs exhausted
+		}
+	}
+	if c.bubblesLeft < c.cfg.Width {
+		return false, 0
+	}
+	w := c.cfg.Width
+	pure = int64(c.bubblesLeft / w)
+	if pure > max {
+		pure = max
+	}
+	switch {
+	case !headDone:
+		// Head is a waiting load: no retirement, issue-only until the
+		// window fills.
+		free := int64((len(c.window) - c.count) / w)
+		if free < pure {
+			pure = free
+		}
+	case c.inFlight == 0:
+		// Every occupied slot is completed: full-width flow as long as
+		// at least a width can retire each cycle.
+		if c.count < w {
+			return false, 0
+		}
+	default:
+		// Completed run at the head with waiting loads behind it:
+		// full-width flow until retirement reaches the first waiting
+		// slot.
+		run := int64(c.doneRun(int(pure)*w) / w)
+		if run < pure {
+			pure = run
+		}
+	}
+	if pure > 0 && c.retired < target {
+		headroom := int64(target-c.retired-1) / int64(w)
+		if headroom < pure {
+			pure = headroom
+		}
+	}
+	return false, pure
+}
+
+// doneRun counts consecutive completed slots from the head, up to max.
+func (c *Core) doneRun(max int) int {
+	if max > c.count {
+		max = c.count
+	}
+	i := c.head
+	n := 0
+	for n < max && c.window[i] == slotDone {
+		n++
+		i++
+		if i == len(c.window) {
+			i = 0
+		}
+	}
+	return n
+}
+
+// AdvanceIdle accounts k skipped cycles on a blocked core (see
+// SkipBudget): the reference stepper would have spent each of them
+// incrementing the cycle counter and one stall counter.
+func (c *Core) AdvanceIdle(k int64) {
+	c.cycles += uint64(k)
+	if c.count == len(c.window) {
+		c.stallFull += uint64(k)
+	} else {
+		c.stallMSHRs += uint64(k)
+	}
+}
+
+// RunAhead fast-forwards k pure cycles (k must not exceed the pure
+// budget SkipBudget reported with the core in its current state). Each
+// cycle issues Width bubbles and, when the head run is completed,
+// retires Width instructions — the bulk equivalent of k Ticks.
+func (c *Core) RunAhead(k int64) {
+	w := c.cfg.Width
+	n := int(k) * w
+	c.cycles += uint64(k)
+	c.bubblesLeft -= n
+	retiring := c.count > 0 && c.window[c.head] == slotDone
+	// Mark the n issued slots completed in at most two contiguous
+	// stretches (slotDone is the zero value, so these compile to
+	// memclr). n can exceed the window size in steady full-width flow
+	// (retire and issue pass over every slot); the ring then ends up
+	// all-completed.
+	size := len(c.window)
+	if n >= size {
+		for i := range c.window {
+			c.window[i] = slotDone
+		}
+	} else {
+		first := n
+		if c.tail+first > size {
+			first = size - c.tail
+			rest := c.window[:n-first]
+			for i := range rest {
+				rest[i] = slotDone
+			}
+		}
+		seg := c.window[c.tail : c.tail+first]
+		for i := range seg {
+			seg[i] = slotDone
+		}
+	}
+	c.tail = (c.tail + n) % size
+	if retiring {
+		c.retired += uint64(n)
+		c.head = (c.head + n) % size
+	} else {
+		c.count += n
+	}
 }
 
 // WindowOccupancy returns the number of occupied window slots.

@@ -1,0 +1,174 @@
+package cpu
+
+import (
+	"testing"
+)
+
+// The cycle-skipping contract (SkipBudget / RunAhead / AdvanceIdle)
+// promises bit-identical evolution to per-cycle Tick calls. This test
+// drives twin cores from the same trace against the same scripted
+// memory: the reference twin is ticked every cycle; the skipping twin
+// runs a miniature event loop that jumps wherever SkipBudget allows,
+// bounded by the next scheduled load completion — exactly the
+// structure of the simulator's event engine.
+
+// scriptMem completes loads a fixed number of cycles after issue.
+type scriptMem struct {
+	delay   int64
+	pending []scriptEvent
+	stores  int
+}
+
+type scriptEvent struct {
+	at int64
+	fn func()
+}
+
+func (m *scriptMem) Load(addr uint64, coreID int, done func()) bool {
+	m.pending = append(m.pending, scriptEvent{at: -1, fn: done}) // stamped by caller
+	return true
+}
+
+func (m *scriptMem) Store(addr uint64, coreID int) bool {
+	m.stores++
+	return true
+}
+
+// stamp assigns the issue cycle to loads issued during the current
+// cycle (Load does not know the clock).
+func (m *scriptMem) stamp(now int64) {
+	for i := range m.pending {
+		if m.pending[i].at < 0 {
+			m.pending[i].at = now + m.delay
+		}
+	}
+}
+
+// deliver fires completions due at now (after the core ticked, like the
+// LLC's hit queue).
+func (m *scriptMem) deliver(now int64) {
+	kept := m.pending[:0]
+	for _, ev := range m.pending {
+		if ev.at >= 0 && ev.at <= now {
+			ev.fn()
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	m.pending = kept
+}
+
+// nextEvent returns the earliest scheduled completion, or max.
+func (m *scriptMem) nextEvent(max int64) int64 {
+	next := max
+	for _, ev := range m.pending {
+		if ev.at >= 0 && ev.at < next {
+			next = ev.at
+		}
+	}
+	return next
+}
+
+// seqTrace is a deterministic pseudo-random record stream; two
+// instances with the same seed produce the same records.
+type seqTrace struct{ state uint64 }
+
+func (s *seqTrace) Next() TraceRecord {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return TraceRecord{
+		Bubbles:      int(s.state % 23),
+		Addr:         s.state & 0xffffff,
+		HasWriteback: s.state%5 == 0,
+		WBAddr:       (s.state >> 8) & 0xffffff,
+	}
+}
+
+func TestSkipTrioMatchesPerCycleTick(t *testing.T) {
+	for _, delay := range []int64{1, 7, 26, 140, 500} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			const horizon = 30_000
+			const target = ^uint64(0) >> 1
+
+			// Reference: tick every cycle.
+			refMem := &scriptMem{delay: delay}
+			ref, err := New(DefaultConfig(0), &seqTrace{state: seed}, refMem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for now := int64(0); now < horizon; now++ {
+				ref.Tick()
+				refMem.stamp(now)
+				refMem.deliver(now)
+			}
+
+			// Skipping twin: execute, then jump as far as allowed.
+			evtMem := &scriptMem{delay: delay}
+			evt, err := New(DefaultConfig(0), &seqTrace{state: seed}, evtMem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for now := int64(0); now < horizon; {
+				evt.Tick()
+				evtMem.stamp(now)
+				evtMem.deliver(now)
+				now++
+				bulk := evtMem.nextEvent(horizon) - now
+				if bulk <= 0 {
+					continue
+				}
+				blocked, pure := evt.SkipBudget(target, bulk)
+				switch {
+				case blocked:
+					evt.AdvanceIdle(bulk)
+				case pure > 0:
+					if pure < bulk {
+						bulk = pure
+					}
+					evt.RunAhead(bulk)
+				default:
+					continue
+				}
+				now += bulk
+			}
+
+			if ref.Retired() != evt.Retired() || ref.Cycles() != evt.Cycles() ||
+				ref.StallCycles() != evt.StallCycles() ||
+				ref.LoadsSent() != evt.LoadsSent() || ref.StoresSent() != evt.StoresSent() ||
+				ref.WindowOccupancy() != evt.WindowOccupancy() ||
+				ref.InFlightLoads() != evt.InFlightLoads() {
+				t.Fatalf("delay %d seed %d diverged:\n ref retired=%d cycles=%d stall=%d loads=%d stores=%d occ=%d inflight=%d\n evt retired=%d cycles=%d stall=%d loads=%d stores=%d occ=%d inflight=%d",
+					delay, seed,
+					ref.Retired(), ref.Cycles(), ref.StallCycles(), ref.LoadsSent(), ref.StoresSent(), ref.WindowOccupancy(), ref.InFlightLoads(),
+					evt.Retired(), evt.Cycles(), evt.StallCycles(), evt.LoadsSent(), evt.StoresSent(), evt.WindowOccupancy(), evt.InFlightLoads())
+			}
+		}
+	}
+}
+
+// TestSkipBudgetTargetClamp checks a jump can never carry retirement
+// across the measurement target: crossings must happen on executed
+// cycles, where the engine records them.
+func TestSkipBudgetTargetClamp(t *testing.T) {
+	mem := &scriptMem{delay: 1_000_000} // loads never return
+	c, err := New(DefaultConfig(0), &seqTrace{state: 99}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 5_000; now++ {
+		target := c.Retired() + 4 // always just ahead
+		blocked, pure := c.SkipBudget(target, 1<<30)
+		if !blocked && pure > 0 {
+			before := c.Retired()
+			c.RunAhead(pure)
+			if c.Retired() >= target {
+				t.Fatalf("cycle %d: RunAhead(%d) carried retired %d -> %d past target %d",
+					now, pure, before, c.Retired(), target)
+			}
+		} else {
+			c.Tick()
+			mem.stamp(now)
+		}
+	}
+}

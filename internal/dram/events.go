@@ -1,0 +1,122 @@
+package dram
+
+// NoEvent is the sentinel "no scheduled future event" cycle. It is far
+// beyond any reachable simulation time but small enough that callers
+// can still add offsets without overflowing.
+const NoEvent Cycle = 1 << 56
+
+// RankActReady reports whether the rank-level activate constraints —
+// tRRD spacing, the tFAW window, and refresh busy — permit an ACT at
+// cycle now. Like RankColumnReady it mirrors CanIssue's rank checks so
+// schedulers can skip per-request activate probes that cannot succeed.
+func (c *Channel) RankActReady(rankID int, now Cycle) bool {
+	return c.ranks[rankID].canACT(now)
+}
+
+// RankColumnReady reports whether the rank-level constraints on column
+// commands — refresh busy, tCCD/turnaround spacing, and data-bus
+// occupancy — permit a read (isRead) or write at cycle now. It mirrors
+// exactly the rank and bus checks CanIssue applies to RD/WR, so
+// schedulers can hoist it out of per-request walks: when it is false,
+// no column command of that kind to this rank can issue this cycle
+// regardless of bank state.
+func (c *Channel) RankColumnReady(rankID int, isRead bool, now Cycle) bool {
+	r := &c.ranks[rankID]
+	if r.refreshing(now) {
+		return false
+	}
+	if isRead {
+		return now >= r.nextRD && c.busFreeFor(now+Cycle(c.spec.Timing.CL), rankID)
+	}
+	return now >= r.nextWR && c.busFreeFor(now+Cycle(c.spec.Timing.CWL), rankID)
+}
+
+// NextTimingExpiry returns the earliest cycle strictly after now at
+// which a timing constraint of this channel expires, or NoEvent when
+// none is pending. The event-driven scheduler uses it as a conservative
+// wake-up bound: between now and the returned cycle, no command that is
+// currently illegal can become legal, because command legality changes
+// only when (a) one of the enumerated timing registers expires or (b) a
+// command issues — and issuing is itself an executed event.
+//
+// The enumeration mirrors CanIssue case by case:
+//
+//	ACT  — bank.nextACT, rank.nextACT, the tFAW window head, refreshUntil
+//	PRE  — bank.nextPRE, refreshUntil; also bank.nextACT - tRP, the
+//	       first cycle at which the controller's preUseful heuristic
+//	       allows a conflict precharge (the PRE acts *before* nextACT)
+//	RD/WR — bank/rank next read/write bounds, refreshUntil, and the
+//	       data-bus release minus the command-to-data lead time (two
+//	       candidates: with and without the tRTRS rank-switch penalty,
+//	       so a cross-rank bus flip is never later than the bound)
+//	REF  — rank.nextREF plus the per-bank ACT bounds REF legality checks
+//
+// Waking earlier than strictly necessary is harmless (an idle
+// controller tick is idempotent); waking late would skip an event, so
+// every candidate errs early.
+func (c *Channel) NextTimingExpiry(now Cycle) Cycle {
+	next := NoEvent
+	t := c.spec.Timing
+	// Data-bus release: a RD becomes bus-legal at dataBusFree-CL, a WR
+	// at dataBusFree-CWL, each tRTRS later for a rank other than the
+	// bus's last user. All variants are enumerated — a single "earliest"
+	// candidate would be filtered out by the strict > now test while a
+	// later variant's flip is still ahead.
+	if v := c.dataBusFree - Cycle(t.CL); v > now && v < next {
+		next = v
+	}
+	if v := c.dataBusFree - Cycle(t.CWL); v > now && v < next {
+		next = v
+	}
+	if len(c.ranks) > 1 {
+		if v := c.dataBusFree + Cycle(t.RTRS) - Cycle(t.CL); v > now && v < next {
+			next = v
+		}
+		if v := c.dataBusFree + Cycle(t.RTRS) - Cycle(t.CWL); v > now && v < next {
+			next = v
+		}
+	}
+	rp := Cycle(t.RP)
+	for i := range c.ranks {
+		r := &c.ranks[i]
+		if v := r.nextACT; v > now && v < next {
+			next = v
+		}
+		if v := r.nextRD; v > now && v < next {
+			next = v
+		}
+		if v := r.nextWR; v > now && v < next {
+			next = v
+		}
+		if v := r.nextREF; v > now && v < next {
+			next = v
+		}
+		if v := r.refreshUntil; v > now && v < next {
+			next = v
+		}
+		if r.actWindowLen == 4 {
+			if v := r.actWindow[0]; v > now && v < next {
+				next = v
+			}
+		}
+		for b := range r.banks {
+			bk := &r.banks[b]
+			if v := bk.nextACT; v > now && v < next {
+				next = v
+			}
+			if v := bk.nextACT - rp; v > now && v < next {
+				next = v
+			}
+			if v := bk.nextPRE; v > now && v < next {
+				next = v
+			}
+			if v := bk.nextRD; v > now && v < next {
+				next = v
+			}
+			if v := bk.nextWR; v > now && v < next {
+				next = v
+			}
+		}
+	}
+	return next
+}

@@ -1,0 +1,100 @@
+package dram
+
+import "testing"
+
+// TestNextTimingExpiryCoversCrossRankBusSwitch pins the tRTRS case: a
+// read to the rank that last used the data bus becomes legal earlier
+// than a read to the other rank, and the expiry scan must not sleep
+// past the other rank's flip.
+func TestNextTimingExpiryCoversCrossRankBusSwitch(t *testing.T) {
+	spec := twoRankSpec()
+	ch, err := NewChannel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := spec.Timing
+	cls := tm.DefaultClass()
+	ch.Issue(Act(0, 0, 1, cls), 0)
+	ch.Issue(Act(1, 0, 1, cls), 1)
+	rd0 := Cycle(tm.RCD)
+	ch.Issue(Read(0, 0, 0), rd0)
+
+	// The cross-rank read flips legal at rd0 + BL + RTRS.
+	crossOK := rd0 + Cycle(tm.BL) + Cycle(tm.RTRS)
+	for now := rd0; now < crossOK; now++ {
+		if ch.CanIssue(Read(1, 0, 0), now) {
+			t.Fatalf("cross-rank read already legal at %d", now)
+		}
+		e := ch.NextTimingExpiry(now)
+		if e > crossOK {
+			t.Fatalf("NextTimingExpiry(%d) = %d sleeps past cross-rank flip %d", now, e, crossOK)
+		}
+	}
+	if !ch.CanIssue(Read(1, 0, 0), crossOK) {
+		t.Fatalf("cross-rank read not legal at flip %d", crossOK)
+	}
+}
+
+// TestNextTimingExpiryIsConservative soaks a two-rank channel with
+// random commands and checks the scan's core contract after every
+// issue: no command's legality may flip from false to true strictly
+// before the reported expiry (legality changes only at enumerated
+// register expiries or at issues, and issues are executed events).
+func TestNextTimingExpiryIsConservative(t *testing.T) {
+	spec := twoRankSpec()
+	ch, err := NewChannel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := spec.Timing.DefaultClass()
+	rng := uint64(41)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	// candidates samples the command space.
+	candidates := func() []Command {
+		var cmds []Command
+		for r := 0; r < spec.Geometry.Ranks; r++ {
+			cmds = append(cmds, Refresh(r))
+			for b := 0; b < spec.Geometry.Banks; b += 3 {
+				cmds = append(cmds,
+					Act(r, b, 5, cls), Pre(r, b), Read(r, b, 2), Write(r, b, 2))
+			}
+		}
+		return cmds
+	}()
+
+	now := Cycle(0)
+	for i := 0; i < 3000; i++ {
+		// Try to issue something random to churn the state.
+		cmd := candidates[next(len(candidates))]
+		if ch.CanIssue(cmd, now) {
+			ch.Issue(cmd, now)
+		}
+		e := ch.NextTimingExpiry(now)
+		if e <= now {
+			t.Fatalf("step %d: expiry %d not in the future of %d", i, e, now)
+		}
+		// Sample points strictly before the expiry: every command
+		// illegal just after now must still be illegal there.
+		probes := []Cycle{now + 1, now + (e-now)/2, e - 1}
+		for _, cmd := range candidates {
+			if ch.CanIssue(cmd, now+1) {
+				continue
+			}
+			for _, p := range probes {
+				if p <= now || p >= e {
+					continue
+				}
+				if ch.CanIssue(cmd, p) {
+					t.Fatalf("step %d: %v flips legal at %d, before expiry %d (now %d)",
+						i, cmd, p, e, now)
+				}
+			}
+		}
+		now += Cycle(1 + next(20))
+	}
+}

@@ -50,6 +50,10 @@ func (c Config) Validate() error {
 	if c.Channel < 0 || c.Channel >= c.Spec.Geometry.Channels {
 		return fmt.Errorf("memctrl: channel %d out of range", c.Channel)
 	}
+	if c.Spec.Geometry.Ranks > maxRanks {
+		return fmt.Errorf("memctrl: %d ranks exceed the supported maximum %d",
+			c.Spec.Geometry.Ranks, maxRanks)
+	}
 	if c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
 		return fmt.Errorf("memctrl: queue capacities must be positive")
 	}
@@ -70,6 +74,10 @@ const (
 	latencyBuckets     = 64
 	latencyBucketWidth = 8
 )
+
+// maxRanks bounds per-tick stack scratch (DDR3 DIMMs top out at 4
+// ranks; the specs in this repo use 1 or 2).
+const maxRanks = 8
 
 // Stats aggregates controller-level counters.
 type Stats struct {
@@ -152,10 +160,27 @@ type Controller struct {
 	refresh []*refreshEngine // per rank
 
 	// closeIntent marks banks the closed-row policy wants to precharge
-	// (indexed rank*banks+bank).
-	closeIntent []bool
+	// (indexed rank*banks+bank); closeIntents counts the marks so the
+	// event scan knows precharge work is still outstanding.
+	closeIntent  []bool
+	closeIntents int
 
-	completions []completion // FIFO: reads complete in issue order
+	// completions is a FIFO ring (reads complete in issue order):
+	// compHead is advanced on delivery and the buffer reused once
+	// drained, so steady-state operation does not allocate.
+	completions []completion
+	compHead    int
+
+	// dirty records that a request arrived since the last Tick, so the
+	// cached NextEvent estimate no longer bounds the next state change.
+	dirty bool
+	// nextWake is the event estimate computed on demand after the last
+	// Tick; needScan marks it stale (see NextEvent). Keeping the scan
+	// lazy means the reference stepper, which never asks, never pays
+	// for it.
+	nextWake dram.Cycle
+	needScan bool
+	scanFrom dram.Cycle
 
 	stats Stats
 	now   dram.Cycle
@@ -202,7 +227,7 @@ func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
 
 // Pending reports whether any request is queued or awaiting completion.
 func (c *Controller) Pending() bool {
-	return len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > 0
+	return len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > c.compHead
 }
 
 // EnqueueRead adds a read request; it reports false when the queue is
@@ -213,6 +238,7 @@ func (c *Controller) EnqueueRead(req *Request) bool {
 	}
 	req.Arrive = c.now
 	c.readQ = append(c.readQ, req)
+	c.dirty = true
 	return true
 }
 
@@ -223,33 +249,136 @@ func (c *Controller) EnqueueWrite(req *Request) bool {
 	}
 	req.Arrive = c.now
 	c.writeQ = append(c.writeQ, req)
+	c.dirty = true
 	return true
 }
 
-// Tick advances the controller by one cycle: delivers finished reads,
-// then issues at most one command on the channel's command bus.
-func (c *Controller) Tick(now dram.Cycle) {
-	c.now = now
-	c.cfg.Mechanism.Tick(now)
-	c.deliverCompletions(now)
-
-	if c.serviceRefresh(now) {
-		return
+// SyncClock advances the controller's notion of "now" — the arrival
+// stamp given to enqueued requests — without running the scheduler.
+// The event-driven engine calls it before the core phase of every
+// executed cycle so arrival stamps match the reference stepper, whose
+// per-bus-cycle Tick keeps the clock current even when nothing issues.
+func (c *Controller) SyncClock(bus dram.Cycle) {
+	if bus > c.now {
+		c.now = bus
 	}
-	c.updateDrainMode()
-	if c.issueColumnHit(now) {
-		return
-	}
-	if c.cfg.RowPolicy == ClosedRow && c.issueCloseIntent(now) {
-		return
-	}
-	c.issueForOldest(now)
 }
 
-func (c *Controller) deliverCompletions(now dram.Cycle) {
-	for len(c.completions) > 0 && c.completions[0].at <= now {
-		comp := c.completions[0]
-		c.completions = c.completions[1:]
+// NextEvent returns a lower bound on the next bus cycle at which a Tick
+// could change observable state: deliver a completion, issue a command,
+// or classify a request. Ticking the controller at (or before) every
+// cycle NextEvent reports, instead of every cycle, is behaviourally
+// identical to the reference stepper — intermediate ticks are no-ops.
+// Enqueues invalidate the cached estimate: new work may be issuable on
+// the very next bus cycle.
+func (c *Controller) NextEvent() dram.Cycle {
+	if c.dirty {
+		return c.now + 1
+	}
+	if c.needScan {
+		c.nextWake = c.nextEventScan(c.scanFrom)
+		c.needScan = false
+	}
+	return c.nextWake
+}
+
+// Tick advances the controller by one cycle: delivers finished reads,
+// then issues at most one command on the channel's command bus. It
+// reports whether any state changed (a completion delivered, a command
+// issued, or a refresh owning the channel) — informational for callers
+// and tests; the event-driven engine schedules through NextEvent,
+// which Tick refreshes as a side effect.
+func (c *Controller) Tick(now dram.Cycle) bool {
+	c.now = now
+	c.dirty = false
+	c.cfg.Mechanism.Tick(now)
+	progressed := c.deliverCompletions(now)
+
+	issued := false
+	if busy, refIssued := c.serviceRefresh(now); busy {
+		// Refresh has the channel: either a command issued or the rank
+		// is mid-preparation waiting on a timing expiry.
+		progressed = true
+		issued = refIssued
+	} else {
+		c.updateDrainMode()
+		switch {
+		case c.issueColumnHit(now):
+			issued = true
+		case c.cfg.RowPolicy == ClosedRow && c.issueCloseIntent(now):
+			issued = true
+		case c.issueForOldest(now):
+			issued = true
+		}
+		progressed = progressed || issued
+	}
+	// Only an issued command forces the very next cycle to run, and only
+	// while work remains queued: an issue mutates bank/bus state and
+	// cuts the scheduler walk short, so requests behind the issue point
+	// may be both classifiable and issuable at now+1 without any timing
+	// register showing it. When the issue drained the last request (and
+	// no close intent or due refresh is outstanding), nothing is
+	// shadowed: the next change is bounded by the ordinary event scan.
+	// Completion delivery and refresh-preparation stalls never force
+	// now+1 — they leave the scheduling state exactly as this tick's
+	// (completed or skipped) walk saw it. Fresh arrivals (dirty) always
+	// force now+1.
+	wake := c.dirty
+	if issued && !wake {
+		wake = len(c.readQ) > 0 || len(c.writeQ) > 0 || c.closeIntents > 0
+		if !wake {
+			for _, eng := range c.refresh {
+				if eng.pending {
+					wake = true
+					break
+				}
+			}
+		}
+	}
+	if wake {
+		c.nextWake = now + 1
+		c.needScan = false
+	} else {
+		c.needScan = true
+		c.scanFrom = now
+	}
+	return progressed
+}
+
+// nextEventScan computes NextEvent the slow way, after a tick in which
+// nothing happened: the next completion, refresh deadline, or — when
+// requests, close intents, or a pending refresh are waiting on DRAM
+// timing — the channel's earliest constraint expiry.
+func (c *Controller) nextEventScan(now dram.Cycle) dram.Cycle {
+	next := dram.NoEvent
+	add := func(t dram.Cycle) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	if len(c.completions) > c.compHead {
+		add(c.completions[c.compHead].at)
+	}
+	busy := len(c.readQ) > 0 || len(c.writeQ) > 0 || c.closeIntents > 0
+	for _, eng := range c.refresh {
+		add(eng.nextDue)
+		if eng.pending {
+			busy = true
+		}
+	}
+	if busy {
+		add(c.ch.NextTimingExpiry(now))
+	}
+	return next
+}
+
+func (c *Controller) deliverCompletions(now dram.Cycle) bool {
+	delivered := false
+	for c.compHead < len(c.completions) && c.completions[c.compHead].at <= now {
+		delivered = true
+		comp := c.completions[c.compHead]
+		c.completions[c.compHead].req = nil
+		c.compHead++
 		lat := uint64(comp.at - comp.req.Arrive)
 		c.stats.ReadLatencySum += lat
 		bucket := lat / latencyBucketWidth
@@ -261,12 +390,35 @@ func (c *Controller) deliverCompletions(now dram.Cycle) {
 			comp.req.OnComplete(comp.at)
 		}
 	}
+	if delivered && c.compHead == len(c.completions) {
+		c.completions = c.completions[:0]
+		c.compHead = 0
+	}
+	return delivered
+}
+
+// markCloseIntent flags (rank, bank) for a closed-row precharge.
+func (c *Controller) markCloseIntent(idx int) {
+	if !c.closeIntent[idx] {
+		c.closeIntent[idx] = true
+		c.closeIntents++
+	}
+}
+
+// clearCloseIntent drops the flag on (rank, bank).
+func (c *Controller) clearCloseIntent(idx int) {
+	if c.closeIntent[idx] {
+		c.closeIntent[idx] = false
+		c.closeIntents--
+	}
 }
 
 // serviceRefresh gives absolute priority to due refreshes: it closes open
-// banks of the rank and issues REF when possible. It reports whether a
-// command was issued (or the rank is mid-refresh-preparation).
-func (c *Controller) serviceRefresh(now dram.Cycle) bool {
+// banks of the rank and issues REF when possible. busy reports that a
+// due refresh owns the channel this cycle (blocking normal scheduling);
+// issued distinguishes an actual REF/PRE issue from a pure stall
+// waiting on a timing expiry.
+func (c *Controller) serviceRefresh(now dram.Cycle) (busy, issued bool) {
 	for rank, eng := range c.refresh {
 		if !eng.due(now) {
 			continue
@@ -275,7 +427,7 @@ func (c *Controller) serviceRefresh(now dram.Cycle) bool {
 			c.ch.Issue(dram.Refresh(rank), now)
 			eng.issued(now)
 			c.stats.Refreshes++
-			return true
+			return true, true
 		}
 		// Close any open bank so REF can issue.
 		for b := 0; b < c.cfg.Spec.Geometry.Banks; b++ {
@@ -286,15 +438,15 @@ func (c *Controller) serviceRefresh(now dram.Cycle) bool {
 			pre := dram.Pre(rank, b)
 			if c.ch.CanIssue(pre, now) {
 				c.issuePrecharge(pre, row, now)
-				return true
+				return true, true
 			}
 		}
 		// Refresh pending but nothing issuable yet (e.g. tRAS running):
 		// stall this rank. With a single rank per channel this blocks
 		// the channel, which matches real controllers' refresh priority.
-		return true
+		return true, false
 	}
-	return false
+	return false, false
 }
 
 func (c *Controller) updateDrainMode() {
@@ -319,20 +471,34 @@ func (c *Controller) activeQueue() *[]*Request {
 }
 
 // issueColumnHit performs the FR (first-ready) pass: the oldest request
-// whose row is open and whose column command is issuable.
+// whose row is open and whose column command is issuable. Rank-level
+// column gates (tCCD/turnaround, refresh, data bus) are hoisted out of
+// the walk: when a rank cannot accept any column this cycle, matching
+// requests are still classified (exactly as the per-request attempt
+// would) but the doomed per-command legality checks are skipped.
 func (c *Controller) issueColumnHit(now dram.Cycle) bool {
 	q := c.activeQueue()
+	// The active queue is homogeneous (reads outside drain mode, writes
+	// inside), so the per-rank column gate is computed once.
+	isRead := !c.drain
+	var ready [maxRanks]bool
+	for r := 0; r < c.cfg.Spec.Geometry.Ranks; r++ {
+		ready[r] = c.ch.RankColumnReady(r, isRead, now)
+	}
 	for i, req := range *q {
 		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
 		if !open || row != req.Coord.Row {
 			continue
 		}
 		c.classify(req, row, open)
+		if !ready[req.Coord.Rank] {
+			continue
+		}
 		if c.issueColumn(req, now) {
 			c.removeAt(q, i)
 			if c.cfg.RowPolicy == ClosedRow &&
 				!c.anyPendingFor(req.Coord.Rank, req.Coord.Bank, req.Coord.Row) {
-				c.closeIntent[req.Coord.Rank*c.cfg.Spec.Geometry.Banks+req.Coord.Bank] = true
+				c.markCloseIntent(req.Coord.Rank*c.cfg.Spec.Geometry.Banks + req.Coord.Bank)
 			}
 			return true
 		}
@@ -351,16 +517,16 @@ func (c *Controller) issueCloseIntent(now dram.Cycle) bool {
 		bankID := idx % c.cfg.Spec.Geometry.Banks
 		row, open := c.ch.OpenRow(rank, bankID)
 		if !open {
-			c.closeIntent[idx] = false
+			c.clearCloseIntent(idx)
 			continue
 		}
 		if c.anyPendingFor(rank, bankID, row) {
-			c.closeIntent[idx] = false
+			c.clearCloseIntent(idx)
 			continue
 		}
 		pre := dram.Pre(rank, bankID)
 		if c.ch.CanIssue(pre, now) && c.preUseful(rank, bankID, now) {
-			c.closeIntent[idx] = false
+			c.clearCloseIntent(idx)
 			c.issuePrecharge(pre, row, now)
 			return true
 		}
@@ -377,9 +543,17 @@ func (c *Controller) preUseful(rank, bankID int, now dram.Cycle) bool {
 }
 
 // issueForOldest performs the FCFS pass: walk requests oldest-first and
-// issue the first legal command that makes progress for one of them.
-func (c *Controller) issueForOldest(now dram.Cycle) {
+// issue the first legal command that makes progress for one of them. It
+// reports whether a command was issued.
+func (c *Controller) issueForOldest(now dram.Cycle) bool {
 	q := c.activeQueue()
+	// Rank-level ACT readiness (tRRD, tFAW, refresh) is hoisted out of
+	// the walk: when false, every activate probe for that rank would
+	// fail, so the attempts are skipped (classification still runs).
+	var actReady [maxRanks]bool
+	for r := 0; r < c.cfg.Spec.Geometry.Ranks; r++ {
+		actReady[r] = c.ch.RankActReady(r, now)
+	}
 	for _, req := range *q {
 		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
 		switch {
@@ -393,16 +567,17 @@ func (c *Controller) issueForOldest(now dram.Cycle) {
 			pre := dram.Pre(req.Coord.Rank, req.Coord.Bank)
 			if c.ch.CanIssue(pre, now) && c.preUseful(req.Coord.Rank, req.Coord.Bank, now) {
 				c.issuePrecharge(pre, row, now)
-				return
+				return true
 			}
 			continue
 		default:
 			c.classify(req, 0, false)
-			if c.issueActivate(req, now) {
-				return
+			if actReady[req.Coord.Rank] && c.issueActivate(req, now) {
+				return true
 			}
 		}
 	}
+	return false
 }
 
 // classify counts the row-buffer outcome of a request exactly once, at

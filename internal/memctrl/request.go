@@ -41,6 +41,18 @@ type Request struct {
 	classified bool // row hit/miss/conflict already counted
 }
 
+// Reset prepares a recycled Request for a new use, clearing every field
+// the controller reads or mutates except OnComplete (pooled callers
+// bind that once for the request's lifetime).
+func (r *Request) Reset(kind RequestKind, addr uint64, coord Coord, coreID int) {
+	r.Kind = kind
+	r.Addr = addr
+	r.Coord = coord
+	r.CoreID = coreID
+	r.Arrive = 0
+	r.classified = false
+}
+
 // String implements fmt.Stringer.
 func (r *Request) String() string {
 	return fmt.Sprintf("%s %#x @%s core%d", r.Kind, r.Addr, r.Coord, r.CoreID)

@@ -120,6 +120,16 @@ type Config struct {
 	// restore-bounded class tRAS + tRP (ablation; see DESIGN.md §4).
 	FixedRC bool
 
+	// Stepper selects the legacy cycle-by-cycle execution engine
+	// instead of the default event-driven scheduler. Both produce
+	// bit-identical Results (the differential suite in
+	// internal/sim/differential_test.go enforces it); the stepper is
+	// kept as the reference model and for debugging, at roughly an
+	// order of magnitude more wall clock on memory-bound configs.
+	// Serialized with omitempty so default configs keep their
+	// historical sweep-cache keys.
+	Stepper bool `json:",omitempty"`
+
 	// CustomMechanism builds the per-channel mechanism when Mechanism is
 	// Custom. It receives the channel index, the device spec, and the
 	// lowered/default timing classes derived from the circuit model for

@@ -185,8 +185,19 @@ func (s *System) cycleCap(instr uint64) int64 {
 // runUntil advances the system until every core has retired target
 // instructions (since its last reset) or the cycle cap is reached. It
 // returns each core's cycle count at its target and whether the cap was
-// hit.
+// hit. The work is delegated to one of two engines that produce
+// bit-identical results: the event-driven scheduler (default) and the
+// cycle-by-cycle reference stepper (Config.Stepper).
 func (s *System) runUntil(target uint64, capCycles int64) ([]int64, bool) {
+	if s.cfg.Stepper {
+		return s.runUntilStepper(target, capCycles)
+	}
+	return s.runUntilEvents(target, capCycles)
+}
+
+// runUntilStepper is the reference execution model: tick every
+// component on every CPU cycle (controllers on bus-aligned cycles).
+func (s *System) runUntilStepper(target uint64, capCycles int64) ([]int64, bool) {
 	n := len(s.cores)
 	doneAt := make([]int64, n)
 	remaining := n
@@ -194,6 +205,7 @@ func (s *System) runUntil(target uint64, capCycles int64) ([]int64, bool) {
 	ratio := int64(s.cfg.ClockRatio)
 	for remaining > 0 && s.nowCPU < capCycles {
 		now := s.nowCPU
+		s.execCycles++
 		for _, c := range s.cores {
 			c.Tick()
 		}
@@ -219,6 +231,124 @@ func (s *System) runUntil(target uint64, capCycles int64) ([]int64, bool) {
 		}
 	}
 	return doneAt, saturated
+}
+
+// runUntilEvents is the event-driven engine: it executes exactly the
+// cycles in which some component can change state and jumps the master
+// clock across the provably idle stretches in between. Executed cycles
+// run the same component sequence as the stepper, so the interleaving
+// of core issue, LLC delivery and controller scheduling — and with it
+// every Result bit — is identical; skipped cycles are accounted into
+// the cores' cycle/stall counters in bulk (see cpu.Core.AdvanceIdle).
+func (s *System) runUntilEvents(target uint64, capCycles int64) ([]int64, bool) {
+	n := len(s.cores)
+	doneAt := make([]int64, n)
+	remaining := n
+	start := s.nowCPU
+	ratio := int64(s.cfg.ClockRatio)
+	blocked := make([]bool, n)
+	for remaining > 0 && s.nowCPU < capCycles {
+		now := s.nowCPU
+		s.execCycles++
+		// Keep the controllers' arrival clock where the stepper would
+		// have it: the bus cycle of the last bus-aligned tick before
+		// this cycle's core phase.
+		if now > 0 {
+			bus := dram.Cycle((now - 1) / ratio)
+			for _, ctrl := range s.ctrls {
+				ctrl.SyncClock(bus)
+			}
+		}
+		for _, c := range s.cores {
+			c.Tick()
+		}
+		s.llc.Tick(now)
+		if now%ratio == 0 {
+			bus := dram.Cycle(now / ratio)
+			for _, ctrl := range s.ctrls {
+				ctrl.Tick(bus)
+			}
+		}
+		s.nowCPU = now + 1
+		for i, c := range s.cores {
+			if doneAt[i] == 0 && c.Retired() >= target {
+				doneAt[i] = s.nowCPU - start
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		s.skipAhead(target, capCycles, blocked)
+	}
+	saturated := remaining > 0
+	for i := range doneAt {
+		if doneAt[i] == 0 {
+			doneAt[i] = s.nowCPU - start
+		}
+	}
+	return doneAt, saturated
+}
+
+// skipAhead jumps s.nowCPU past cycles that are provably no-ops for
+// every component: the next executed cycle is bounded by the earliest
+// LLC delivery, the earliest controller event (aligned to the CPU:bus
+// clock ratio), the cycle cap, and each core's own skip budget. Cores
+// consume the jump either as accounted idle time (blocked on memory)
+// or as bulk bubble flow (RunAhead); both are bit-identical to ticking
+// them cycle by cycle.
+func (s *System) skipAhead(target uint64, capCycles int64, blocked []bool) {
+	now := s.nowCPU // first not-yet-executed cycle
+	bulk := capCycles - now
+	if bulk <= 0 {
+		return
+	}
+	// Timed horizons first: the LLC and controller estimates are cached
+	// or O(1), and bounding the jump early caps how far the cores'
+	// budget checks need to look.
+	if e := s.llc.NextEvent(); e-now < bulk {
+		bulk = e - now
+		if bulk <= 0 {
+			return
+		}
+	}
+	ratio := int64(s.cfg.ClockRatio)
+	for _, ctrl := range s.ctrls {
+		ev := int64(ctrl.NextEvent())
+		if ev >= int64(dram.NoEvent) {
+			continue
+		}
+		w := ev * ratio
+		if w < now {
+			// Overdue relative to a stale controller clock: the next
+			// bus-aligned cycle is the earliest it can be serviced.
+			w = (now + ratio - 1) / ratio * ratio
+		}
+		if w-now < bulk {
+			bulk = w - now
+			if bulk <= 0 {
+				return
+			}
+		}
+	}
+	for i, c := range s.cores {
+		isBlocked, pure := c.SkipBudget(target, bulk)
+		blocked[i] = isBlocked
+		if !isBlocked && pure < bulk {
+			bulk = pure
+			if bulk <= 0 {
+				return
+			}
+		}
+	}
+	for i, c := range s.cores {
+		if blocked[i] {
+			c.AdvanceIdle(bulk)
+		} else {
+			c.RunAhead(bulk)
+		}
+	}
+	s.nowCPU = now + bulk
 }
 
 // resetAfterWarmup clears all statistics while keeping architectural

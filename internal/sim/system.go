@@ -33,7 +33,21 @@ type System struct {
 
 	nowCPU int64 // master clock, CPU cycles
 	ran    bool
+
+	// execCycles counts cycles the engine actually executed; the
+	// event-driven engine skips the rest. Diagnostic for benchmarks
+	// (ExecutedCycles); always equals nowCPU under the stepper.
+	execCycles int64
 }
+
+// ExecutedCycles reports how many cycles the engine executed component
+// ticks for, as opposed to skipping. The ratio against the total cycle
+// count is the event-driven engine's work reduction.
+func (s *System) ExecutedCycles() int64 { return s.execCycles }
+
+// TotalCycles reports the master clock after Run: every simulated CPU
+// cycle including warm-up, identical between engines.
+func (s *System) TotalCycles() int64 { return s.nowCPU }
 
 // New assembles a system from cfg.
 func New(cfg Config) (*System, error) {
@@ -255,34 +269,65 @@ func (p *memPort) Store(addr uint64, coreID int) bool {
 }
 
 // memBackend adapts the memory controllers to the cache.Backend
-// interface.
+// interface. Requests are drawn from a free list and recycled when the
+// controller reports completion, so the steady-state access path does
+// not allocate: each pool entry carries a permanently-bound OnComplete
+// closure that forwards to the entry's per-use callback and then
+// returns the entry to the pool.
 type memBackend struct {
-	s *System
+	s    *System
+	free []*pooledReq
+}
+
+// pooledReq is one recyclable request plus its per-use completion hook.
+type pooledReq struct {
+	req    memctrl.Request
+	onDone func()
+}
+
+// get prepares a pool entry for one request. All request fields the
+// controller reads or mutates are reset here.
+func (b *memBackend) get(kind memctrl.RequestKind, addr uint64, coord memctrl.Coord, coreID int, onDone func()) *pooledReq {
+	var e *pooledReq
+	if n := len(b.free); n > 0 {
+		e = b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+	} else {
+		e = &pooledReq{}
+		entry := e
+		e.req.OnComplete = func(dram.Cycle) {
+			if entry.onDone != nil {
+				entry.onDone()
+				entry.onDone = nil
+			}
+			b.free = append(b.free, entry)
+		}
+	}
+	e.onDone = onDone
+	e.req.Reset(kind, addr, coord, coreID)
+	return e
 }
 
 // ReadLine implements cache.Backend.
 func (b *memBackend) ReadLine(addr uint64, coreID int, onDone func()) bool {
 	coord := b.s.mapper.Map(addr)
-	req := &memctrl.Request{
-		Kind:   memctrl.ReadReq,
-		Addr:   addr,
-		Coord:  coord,
-		CoreID: coreID,
-		OnComplete: func(dram.Cycle) {
-			onDone()
-		},
+	e := b.get(memctrl.ReadReq, addr, coord, coreID, onDone)
+	if !b.s.ctrls[coord.Channel].EnqueueRead(&e.req) {
+		e.onDone = nil
+		b.free = append(b.free, e)
+		return false
 	}
-	return b.s.ctrls[coord.Channel].EnqueueRead(req)
+	return true
 }
 
 // WriteLine implements cache.Backend.
 func (b *memBackend) WriteLine(addr uint64, coreID int) bool {
 	coord := b.s.mapper.Map(addr)
-	req := &memctrl.Request{
-		Kind:   memctrl.WriteReq,
-		Addr:   addr,
-		Coord:  coord,
-		CoreID: coreID,
+	e := b.get(memctrl.WriteReq, addr, coord, coreID, nil)
+	if !b.s.ctrls[coord.Channel].EnqueueWrite(&e.req) {
+		b.free = append(b.free, e)
+		return false
 	}
-	return b.s.ctrls[coord.Channel].EnqueueWrite(req)
+	return true
 }

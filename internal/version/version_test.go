@@ -1,0 +1,26 @@
+package version
+
+import "testing"
+
+// TestDefaultVersion pins the unstamped default: plain `go build`
+// binaries must report "dev" so a missing ldflags stamp is visible
+// rather than silently empty.
+func TestDefaultVersion(t *testing.T) {
+	if Version != "dev" {
+		t.Fatalf("unstamped Version = %q, want %q", Version, "dev")
+	}
+	if String() != Version {
+		t.Fatalf("String() = %q, want %q", String(), Version)
+	}
+}
+
+// TestStringTracksStamp checks String reflects a linker-style override
+// (the Makefile writes the variable, not the function).
+func TestStringTracksStamp(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v1.2.3-4-gabcdef0"
+	if String() != "v1.2.3-4-gabcdef0" {
+		t.Fatalf("String() = %q after stamping", String())
+	}
+}

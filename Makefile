@@ -25,7 +25,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch
 	$(GO) test -race ./internal/sim -run 'TestDifferential'
 
 # serve runs the simulation daemon locally with the version stamp.
@@ -35,6 +35,23 @@ CCSIMD_FLAGS ?= -addr :8344 -results ccsimd-results.json
 .PHONY: serve
 serve:
 	$(GO) run $(LDFLAGS) ./cmd/ccsimd $(CCSIMD_FLAGS)
+
+# serve-fleet spins up FLEET_N local daemons on consecutive ports for
+# manual fleet testing (each with its own result cache), then waits;
+# Ctrl+C stops them all. Point clients at the whole fleet with e.g.
+#   ccsim ... -servers localhost:8344,localhost:8345,localhost:8346
+# or front it with one dispatcher:
+#   ccsimd -addr :9000 -workers -1 -peers localhost:8344,localhost:8345,localhost:8346
+FLEET_N ?= 3
+FLEET_BASE_PORT ?= 8344
+.PHONY: serve-fleet
+serve-fleet: build
+	@trap 'kill 0' INT TERM; \
+	for i in $$(seq 0 $$(( $(FLEET_N) - 1 ))); do \
+		port=$$(( $(FLEET_BASE_PORT) + i )); \
+		echo "serve-fleet: daemon on :$$port"; \
+		$(GO) run $(LDFLAGS) ./cmd/ccsimd -addr :$$port -results ccsimd-results-$$port.json & \
+	done; wait
 
 # bench regenerates the evaluation's headline numbers and the sweep
 # scaling curve. CCSIM_BENCH_SCALE=default selects the paper-sized

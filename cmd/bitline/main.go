@@ -10,7 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -18,16 +19,24 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bitline: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	durations := flag.String("durations", "1,4,16", "caching durations (ms) for the Table 2 view")
-	plot := flag.Bool("plot", true, "render the Figure 6 ASCII plot")
-	flag.Parse()
+// run is main without the process-global bits, so tests can exercise
+// the table and plot rendering.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bitline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	durations := fs.String("durations", "1,4,16", "caching durations (ms) for the Table 2 view")
+	plot := fs.Bool("plot", true, "render the Figure 6 ASCII plot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	model, err := ccsim.NewBitlineModel()
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "bitline: %v\n", err)
+		return 1
 	}
 	spec := ccsim.DDR31600(1)
 
@@ -35,29 +44,31 @@ func main() {
 	for _, tok := range strings.Split(*durations, ",") {
 		d, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
-			log.Fatalf("bad duration %q: %v", tok, err)
+			fmt.Fprintf(stderr, "bitline: bad duration %q: %v\n", tok, err)
+			return 2
 		}
 		durs = append(durs, d)
 	}
 
 	rows, err := model.Table2(spec, durs)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "bitline: %v\n", err)
+		return 1
 	}
-	fmt.Println("Table 2: activation timings by caching duration")
-	fmt.Printf("%-10s %10s %10s %10s %10s\n", "duration", "tRCD(ns)", "tRAS(ns)", "tRCD(cyc)", "tRAS(cyc)")
+	fmt.Fprintln(stdout, "Table 2: activation timings by caching duration")
+	fmt.Fprintf(stdout, "%-10s %10s %10s %10s %10s\n", "duration", "tRCD(ns)", "tRAS(ns)", "tRCD(cyc)", "tRAS(cyc)")
 	for _, r := range rows {
 		name := fmt.Sprintf("%g ms", r.DurationMs)
 		if r.DurationMs == 0 {
 			name = "baseline"
 		}
-		fmt.Printf("%-10s %10.2f %10.2f %10d %10d\n", name, r.TRCDNs, r.TRASNs, r.Class.RCD, r.Class.RAS)
+		fmt.Fprintf(stdout, "%-10s %10.2f %10.2f %10d %10d\n", name, r.TRCDNs, r.TRASNs, r.Class.RCD, r.Class.RAS)
 	}
 
 	if !*plot {
-		return
+		return 0
 	}
-	fmt.Println("\nFigure 6: bitline voltage during activation ('#' fresh cell, 'o' worst-case cell, '-' ready level)")
+	fmt.Fprintln(stdout, "\nFigure 6: bitline voltage during activation ('#' fresh cell, 'o' worst-case cell, '-' ready level)")
 	const (
 		width  = 61 // samples across 30 ns
 		height = 20 // voltage rows
@@ -99,12 +110,13 @@ func main() {
 		case height - 1:
 			label = fmt.Sprintf("%5.2fV  ", vdd/2)
 		}
-		fmt.Printf("%s%s\n", label, row)
+		fmt.Fprintf(stdout, "%s%s\n", label, row)
 	}
-	fmt.Printf("        0ns%sns\n", strings.Repeat(" ", width-6)+fmt.Sprintf("%.0f", maxNs))
+	fmt.Fprintf(stdout, "        0ns%sns\n", strings.Repeat(" ", width-6)+fmt.Sprintf("%.0f", maxNs))
 
 	rcdF, rasF := model.ActivateLatency(0.001)
 	rcdW, rasW := model.ActivateLatency(64)
-	fmt.Printf("\nready-to-access: fresh %.1f ns, worst-case %.1f ns (tRCD reduction %.1f ns)\n", rcdF, rcdW, rcdW-rcdF)
-	fmt.Printf("fully restored:  fresh %.1f ns, worst-case %.1f ns (tRAS reduction %.1f ns)\n", rasF, rasW, rasW-rasF)
+	fmt.Fprintf(stdout, "\nready-to-access: fresh %.1f ns, worst-case %.1f ns (tRCD reduction %.1f ns)\n", rcdF, rcdW, rcdW-rcdF)
+	fmt.Fprintf(stdout, "fully restored:  fresh %.1f ns, worst-case %.1f ns (tRAS reduction %.1f ns)\n", rasF, rasW, rasW-rasF)
+	return 0
 }

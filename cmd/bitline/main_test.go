@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestTable2AndPlot smoke-tests the full default output: the Table 2
+// rows for the requested durations plus the baseline, and the Figure 6
+// ASCII plot with both voltage curves.
+func TestTable2AndPlot(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-durations", "1,4"}, &out, &errOut); code != 0 {
+		t.Fatalf("bitline exited %d; stderr:\n%s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Table 2", "baseline", "1 ms", "4 ms", "tRCD(ns)", "Figure 6", "ready-to-access", "tRCD reduction"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(s, "#") || !strings.Contains(s, "o") {
+		t.Error("plot lacks the fresh-cell/worst-case curves")
+	}
+}
+
+// TestNoPlot renders the table only.
+func TestNoPlot(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-plot=false"}, &out, io.Discard); code != 0 {
+		t.Fatalf("bitline exited %d", code)
+	}
+	if strings.Contains(out.String(), "Figure 6") {
+		t.Error("-plot=false still rendered the plot")
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Error("table missing")
+	}
+}
+
+// TestBadDuration rejects unparsable durations with a usage exit code.
+func TestBadDuration(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"-durations", "1,forever"}, io.Discard, &errOut); code != 2 {
+		t.Fatalf("bad duration exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "forever") {
+		t.Errorf("error %q does not name the bad token", errOut.String())
+	}
+}

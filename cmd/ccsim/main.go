@@ -13,6 +13,13 @@
 // from the daemon's persistent result cache (-workers and -results
 // then configure the daemon, not this process, and are ignored here).
 //
+// -servers a,b,c shards the jobs across a whole fleet of daemons
+// (internal/dispatch): endpoints are health-probed and weighted by
+// capacity, identical configs simulate once fleet-wide, and a job
+// whose worker dies is retried on another endpoint. -local N adds N
+// in-process slots to the fleet, and -results names the local cache
+// consulted first and written back, so interrupted campaigns resume.
+//
 // Examples:
 //
 //	ccsim -workloads lbm -mechanism chargecache
@@ -20,6 +27,7 @@
 //	ccsim -workloads tpch17 -mechanism chargecache -entries 1024 -duration 4
 //	ccsim -workloads lbm -mechanism baseline,nuat,chargecache,lldram -workers 4 -results runs.json
 //	ccsim -workloads lbm -mechanism baseline,chargecache -server http://localhost:8344
+//	ccsim -workloads lbm -mechanism baseline,nuat,chargecache,lldram -servers host1:8344,host2:8344 -results runs.json
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 	ccsim "repro"
 	"repro/internal/client"
+	"repro/internal/dispatch"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/version"
@@ -56,6 +65,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations when several mechanisms are given")
 	results := flag.String("results", "", "JSON results-cache file reused across invocations")
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
+	serversList := flag.String("servers", "", "comma-separated ccsimd URLs: shard jobs across the fleet with capacity weighting and failover")
+	localSlots := flag.Int("local", 0, "in-process worker slots joining the -servers fleet (0 = none)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -99,9 +110,46 @@ func main() {
 		jobs = append(jobs, ccsim.SweepJob{Label: kind.String(), Config: cfg})
 	}
 
+	if *serverURL != "" && *serversList != "" {
+		log.Fatal("-server and -servers are mutually exclusive (use -servers for a fleet)")
+	}
+
 	var res []ccsim.Result
 	var err error
-	if *serverURL != "" {
+	switch {
+	case *serversList != "":
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
+		if workersSet {
+			fmt.Fprintln(os.Stderr, "ccsim: -workers has no effect with -servers (endpoint capacity is probed); use -local N for in-process slots")
+		}
+		opts := dispatch.Options{
+			Endpoints:    dispatch.SplitEndpoints(*serversList),
+			LocalWorkers: *localSlots,
+		}
+		if *results != "" {
+			cache, cerr := ccsim.OpenSweepCache(*results)
+			if cerr != nil {
+				log.Fatal(cerr)
+			}
+			if note := cache.RecoveryNote(); note != "" {
+				fmt.Fprintf(os.Stderr, "ccsim: WARNING: %s\n", note)
+			}
+			opts.Cache = cache
+		}
+		if len(jobs) > 1 {
+			opts.Progress = sweep.StderrProgress
+		}
+		var stats dispatch.Stats
+		opts.Stats = &stats
+		// A SIGINT-aware context lets Ctrl+C cancel the outstanding
+		// jobs on the fleet instead of abandoning them.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err = dispatch.Run(ctx, jobs, opts)
+		fmt.Fprintf(os.Stderr, "ccsim: fleet: %d endpoint(s) + %d local slot(s), %d simulated, %d cached, %d deduped, %d retried, %d endpoint(s) lost\n",
+			stats.Endpoints, *localSlots, stats.Simulations, stats.CacheHits, stats.Deduped, stats.Retries, stats.DeadEndpoints)
+	case *serverURL != "":
 		workersSet := false
 		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })
 		if workersSet || *results != "" {
@@ -116,7 +164,7 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		res, err = client.New(*serverURL).RunSweep(ctx, jobs, progress)
-	} else {
+	default:
 		opts := ccsim.SweepOptions{Workers: *workers}
 		if *results != "" {
 			cache, cerr := ccsim.OpenSweepCache(*results)

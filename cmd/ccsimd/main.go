@@ -9,6 +9,15 @@
 // DELETE /v1/jobs/{id}, GET /v1/results/{key}, GET /healthz,
 // GET /metrics.
 //
+// -peers b:8344,c:8344 makes this daemon front a fleet: each reachable
+// peer contributes its advertised worker capacity to this daemon's
+// pool, so clients keep talking to one address while jobs execute
+// across every machine. A peer that dies mid-job hands the job back to
+// the queue. -workers -1 turns the front into a pure dispatcher that
+// runs nothing locally. -trace-root DIR advertises a directory shared
+// with clients (and peers), enabling trace-file configs whose absolute
+// paths live under it.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued
 // jobs are canceled, running simulations drain within -grace.
 package main
@@ -23,9 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/sweep"
 	"repro/internal/version"
@@ -43,10 +55,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ccsimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8344", "HTTP listen address")
-	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent local simulations (0 = GOMAXPROCS, -1 = none: pure dispatch front, needs -peers)")
 	queue := fs.Int("queue", 64, "max queued simulations before submissions get HTTP 429")
 	retain := fs.Int("retain", 1024, "finished jobs kept queryable; older ones are evicted (results stay in the cache)")
 	results := fs.String("results", "ccsimd-results.json", "persistent JSON result cache; empty disables persistence")
+	peers := fs.String("peers", "", "comma-separated peer ccsimd URLs: this daemon fronts them, dispatching queued jobs to their worker pools")
+	traceRoot := fs.String("trace-root", "", "advertise DIR as a trace directory shared with clients: trace-file configs under it are accepted")
 	grace := fs.Duration("grace", time.Minute, "graceful-shutdown budget for draining running jobs")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +69,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *showVersion {
 		fmt.Fprintf(stdout, "ccsimd %s\n", version.String())
 		return 0
+	}
+	if *workers < 0 && *workers != server.NoLocalWorkers {
+		fmt.Fprintf(stderr, "ccsimd: -workers must be >= 0, or -1 for a pure dispatch front\n")
+		return 2
+	}
+	if *workers == server.NoLocalWorkers && *peers == "" {
+		fmt.Fprintf(stderr, "ccsimd: -workers -1 (no local execution) needs -peers to have any capacity\n")
+		return 2
+	}
+
+	var remotes []server.Remote
+	for _, p := range dispatch.SplitEndpoints(*peers) {
+		peer := client.New(p)
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		h, err := peer.Health(pctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "ccsimd: WARNING: peer %s failed its health probe, skipping: %v\n", p, err)
+			continue
+		}
+		slots := h.Workers
+		if slots < 1 {
+			slots = 1
+		}
+		remotes = append(remotes, client.NewPeer(p, slots))
+		fmt.Fprintf(stderr, "ccsimd: peer %s: %d slot(s), version %s\n", peer.Base(), slots, h.Version)
+	}
+	if *workers == server.NoLocalWorkers && len(remotes) == 0 {
+		fmt.Fprintf(stderr, "ccsimd: no local workers and no reachable peers; refusing to accept jobs that would never run\n")
+		return 1
+	}
+
+	root := *traceRoot
+	if root != "" {
+		abs, err := filepath.Abs(root)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccsimd: -trace-root: %v\n", err)
+			return 1
+		}
+		root = abs
 	}
 
 	var cache *sweep.Cache
@@ -76,6 +130,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		QueueDepth: *queue,
 		Cache:      cache,
 		Retention:  *retain,
+		Remotes:    remotes,
+		TraceRoot:  root,
 	})
 	httpSrv := &http.Server{Handler: server.New(manager)}
 

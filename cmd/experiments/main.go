@@ -6,12 +6,19 @@
 //
 //	experiments [-scale quick|default|long] [-fig all|3|4|6|7a|7b|8|9|10|11|table2|overhead]
 //	            [-workers N] [-results FILE] [-quiet]
+//	            [-servers host1:8344,host2:8344] [-local N]
 //
 // Sweeps fan out across -workers goroutines (default: GOMAXPROCS) with
 // results identical to a serial run. -results names a JSON cache file:
 // finished configs are persisted as they complete, so an interrupted
 // campaign resumes where it stopped and repeated runs reuse earlier
 // work.
+//
+// -servers shards every figure's campaign across a fleet of ccsimd
+// daemons (capacity-weighted, with failover; see internal/dispatch)
+// instead of simulating in this process; -local N adds N in-process
+// slots to the fleet, and -results keeps its resume semantics — the
+// local cache is consulted first and every remote result lands in it.
 //
 // Absolute numbers depend on the synthetic workload substitution (see
 // DESIGN.md); the shapes — who wins, by what rough factor, where
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/dispatch"
 	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/memctrl"
@@ -44,6 +52,8 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "simulation budget: quick, default or long")
 	figFlag := flag.String("fig", "all", "which experiment: all, 3, 4, 6, 7a, 7b, 8, 9, 10, 11, table2, overhead")
 	workersFlag := flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS)")
+	serversFlag := flag.String("servers", "", "comma-separated ccsimd URLs: dispatch every campaign across the fleet")
+	localFlag := flag.Int("local", 0, "in-process worker slots joining the -servers fleet (0 = none)")
 	resultsFlag := flag.String("results", "", "JSON results-cache file: resumes interrupted campaigns, reuses finished configs")
 	quietFlag := flag.Bool("quiet", false, "suppress per-config progress on stderr")
 	versionFlag := flag.Bool("version", false, "print version and exit")
@@ -66,6 +76,10 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
 	scale.Workers = *workersFlag
+	if *serversFlag != "" {
+		scale.Servers = dispatch.SplitEndpoints(*serversFlag)
+		scale.LocalWorkers = *localFlag
+	}
 	if *resultsFlag != "" {
 		cache, err := sweep.OpenCache(*resultsFlag)
 		if err != nil {

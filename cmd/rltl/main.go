@@ -11,21 +11,33 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 
 	ccsim "repro"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rltl: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	workloads := flag.String("workloads", "all", "comma-separated workload names, or 'all'")
-	instructions := flag.Uint64("instructions", 500_000, "instructions per run")
-	warmup := flag.Uint64("warmup", 1_000_000, "warm-up instructions")
-	policy := flag.String("policy", "open", "row policy: open or closed")
-	flag.Parse()
+// run is main without the process-global bits, so tests can exercise
+// the measurement table end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rltl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workloads := fs.String("workloads", "all", "comma-separated workload names, or 'all'")
+	instructions := fs.Uint64("instructions", 500_000, "instructions per run")
+	warmup := fs.Uint64("warmup", 1_000_000, "warm-up instructions")
+	policy := fs.String("policy", "open", "row policy: open or closed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *policy != "open" && *policy != "closed" {
+		fmt.Fprintf(stderr, "rltl: unknown row policy %q (want open or closed)\n", *policy)
+		return 2
+	}
 
 	names := ccsim.Workloads()
 	if *workloads != "all" {
@@ -41,7 +53,7 @@ func main() {
 		header += fmt.Sprintf(" %8.3gms", ms)
 	}
 	header += fmt.Sprintf(" %10s", "refresh8ms")
-	fmt.Println(header)
+	fmt.Fprintln(stdout, header)
 
 	for _, name := range names {
 		cfg := ccsim.DefaultConfig(name)
@@ -53,13 +65,15 @@ func main() {
 		}
 		res, err := ccsim.Run(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "rltl: %s: %v\n", name, err)
+			return 1
 		}
 		line := fmt.Sprintf("%-12s", name)
 		for _, f := range res.RLTL.Fractions {
 			line += fmt.Sprintf(" %9.1f%%", 100*f)
 		}
 		line += fmt.Sprintf(" %9.1f%%", 100*res.RLTL.RefreshFraction)
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
+	return 0
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRLTLTable smoke-tests the measurement end to end on one small
+// workload: a header with the paper's interval set and one data row
+// with percentages.
+func TestRLTLTable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-workloads", "lbm", "-instructions", "30000", "-warmup", "20000"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("rltl exited %d; stderr:\n%s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d output lines, want header + 1 row:\n%s", len(lines), out.String())
+	}
+	for _, want := range []string{"workload", "8ms", "refresh8ms"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("header %q missing %q", lines[0], want)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "lbm") || !strings.Contains(lines[1], "%") {
+		t.Errorf("data row %q lacks workload name or percentages", lines[1])
+	}
+}
+
+// TestRLTLClosedPolicy runs the closed-row variant and rejects unknown
+// policies.
+func TestRLTLClosedPolicy(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-workloads", "lbm", "-instructions", "30000", "-warmup", "20000", "-policy", "closed"}, &out, io.Discard); code != 0 {
+		t.Fatalf("closed policy exited %d", code)
+	}
+	if code := run([]string{"-policy", "sideways"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("unknown policy exited %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

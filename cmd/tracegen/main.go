@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	ccsim "repro"
@@ -19,33 +19,44 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	name := flag.String("workload", "lbm", "workload name; see 'ccsim -list'")
-	records := flag.Int("records", 100_000, "number of trace records to emit")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	region := flag.Uint64("region", 4<<30, "address region size in bytes")
-	base := flag.Uint64("base", 0, "address region base")
-	flag.Parse()
+// run is main without the process-global bits, so tests can drive the
+// generator and capture its stream.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("workload", "lbm", "workload name; see 'ccsim -list'")
+	records := fs.Int("records", 100_000, "number of trace records to emit")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	region := fs.Uint64("region", 4<<30, "address region size in bytes")
+	base := fs.Uint64("base", 0, "address region base")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	prof, err := workload.ByName(*name)
 	if err != nil {
-		names := ccsim.Workloads()
-		log.Fatalf("%v (available: %v)", err, names)
+		fmt.Fprintf(stderr, "tracegen: %v (available: %v)\n", err, ccsim.Workloads())
+		return 1
 	}
 	gen, err := workload.NewGenerator(prof, *seed, *base, *region)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
-	w := trace.NewWriter(os.Stdout)
+	w := trace.NewWriter(stdout)
 	for i := 0; i < *records; i++ {
 		if err := w.Write(gen.Next()); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d records of %s\n", w.Records(), *name)
+	fmt.Fprintf(stderr, "wrote %d records of %s\n", w.Records(), *name)
+	return 0
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEmitAndReread is the round-trip smoke test: the emitted stream
+// must parse back into exactly the records the generator produced.
+func TestEmitAndReread(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "lbm", "-records", "200", "-seed", "7"}, &out, &errOut); code != 0 {
+		t.Fatalf("tracegen exited %d; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "wrote 200 records") {
+		t.Errorf("summary line missing: %q", errOut.String())
+	}
+
+	got, err := trace.ReadAll(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted trace does not re-read: %v", err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("re-read %d records, want 200", len(got))
+	}
+
+	// The stream must match the generator record for record (same
+	// profile, seed, and region defaults as the command).
+	prof, err := workload.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(prof, 7, 0, 4<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range got {
+		if want := gen.Next(); !reflect.DeepEqual(rec, want) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"-workload", "no-such"}, io.Discard, &errOut); code != 1 {
+		t.Fatalf("unknown workload exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "available") {
+		t.Errorf("error %q does not list available workloads", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}, io.Discard, io.Discard); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

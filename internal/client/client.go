@@ -13,7 +13,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/server"
@@ -29,6 +31,11 @@ type Client struct {
 	// PollInterval is the status-poll period of Wait and RunSweep
 	// (default 250ms).
 	PollInterval time.Duration
+
+	// rootMu guards the lazily probed trace-root advertisement.
+	rootMu    sync.Mutex
+	root      string
+	rootKnown bool
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -49,9 +56,94 @@ func New(baseURL string) *Client {
 	}
 }
 
+// Base returns the normalized daemon URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
+// TraceRoot returns the daemon's advertised shared trace directory (""
+// when it has none), probed from /healthz once and cached for the
+// client's lifetime.
+func (c *Client) TraceRoot(ctx context.Context) (string, error) {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	if c.rootKnown {
+		return c.root, nil
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		return "", err
+	}
+	c.root = h.TraceRoot
+	c.rootKnown = true
+	return c.root, nil
+}
+
+// ValidateTraceFiles reports whether cfg may run on a daemon
+// advertising traceRoot as its shared trace directory. Trace paths are
+// opened on the daemon's filesystem, so a config referencing files the
+// daemon cannot see would fail remotely — or, worse, silently read a
+// different file that happens to exist at that path on the server.
+// Only absolute paths under the advertised root are allowed; a daemon
+// with no root accepts no trace-file configs at all.
+func ValidateTraceFiles(cfg sim.Config, traceRoot string) error {
+	for _, p := range cfg.TraceFiles {
+		if p == "" {
+			continue
+		}
+		if traceRoot == "" {
+			return fmt.Errorf("client: config reads trace file %s, but the daemon advertises no shared trace root: the path would be opened on the daemon's filesystem, not this one — run locally, or start the daemon with -trace-root over a shared directory: %w", p, server.ErrIneligible)
+		}
+		if !filepath.IsAbs(p) {
+			return fmt.Errorf("client: trace file %s is a relative path, which resolves against the daemon's working directory — use an absolute path under the shared trace root %s: %w", p, traceRoot, server.ErrIneligible)
+		}
+		rel, err := filepath.Rel(traceRoot, filepath.Clean(p))
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return fmt.Errorf("client: trace file %s is outside the daemon's shared trace root %s: %w", p, traceRoot, server.ErrIneligible)
+		}
+	}
+	return nil
+}
+
+// checkTraceFiles rejects trace-driven specs the daemon cannot faithfully
+// execute, probing the daemon's trace-root advertisement on first need.
+func (c *Client) checkTraceFiles(ctx context.Context, specs []server.JobSpec) error {
+	probed := false
+	var root string
+	for i, spec := range specs {
+		if !hasTraceFiles(spec.Config) {
+			continue
+		}
+		if !probed {
+			var err error
+			if root, err = c.TraceRoot(ctx); err != nil {
+				return err
+			}
+			probed = true
+		}
+		if err := ValidateTraceFiles(spec.Config, root); err != nil {
+			return fmt.Errorf("client: job %d (%s): %w", i, spec.Label, err)
+		}
+	}
+	return nil
+}
+
+// hasTraceFiles reports whether any core of cfg replays a trace file.
+func hasTraceFiles(cfg sim.Config) bool {
+	for _, p := range cfg.TraceFiles {
+		if p != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // Submit sends a batch of specs and returns the accepted job statuses
-// (IDs included) in submission order.
+// (IDs included) in submission order. Trace-driven configs are rejected
+// client-side unless the daemon advertises a shared trace root covering
+// their paths (see ValidateTraceFiles).
 func (c *Client) Submit(ctx context.Context, specs []server.JobSpec) ([]server.JobStatus, error) {
+	if err := c.checkTraceFiles(ctx, specs); err != nil {
+		return nil, err
+	}
 	// An anonymous body, not server.SubmitRequest: its embedded
 	// single-spec fields would serialize a zero sim.Config alongside
 	// "jobs" on every request.
@@ -131,6 +223,108 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) 
 		case <-ticker.C:
 		}
 	}
+}
+
+// RunJob executes one job on the daemon to a terminal state and
+// returns its final status, result included. It is the unit of work of
+// fleet execution (internal/dispatch, ccsimd -peers): submission backs
+// off while the daemon's queue is full, a job evicted from the
+// retention window falls back to the content-addressed result cache,
+// and cancelling ctx cancels the remote job best-effort. A job that
+// finishes failed or canceled returns a *server.RemoteJobError so
+// callers can tell "the simulation failed" (not retryable elsewhere)
+// from "the daemon is unreachable" (retryable).
+func (c *Client) RunJob(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	var sub server.JobStatus
+	for {
+		sts, err := c.Submit(ctx, []server.JobSpec{spec})
+		if err == nil {
+			sub = sts[0]
+			break
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+			return server.JobStatus{}, err
+		}
+		select { // queue full: wait for capacity
+		case <-ctx.Done():
+			return server.JobStatus{}, ctx.Err()
+		case <-time.After(c.pollInterval()):
+		}
+	}
+
+	st, err := c.waitOrRecover(ctx, sub)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Don't abandon the job on the shared daemon: cancel it so
+			// the fleet stops spending cycles on a result nobody wants.
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			_, _ = c.Cancel(cctx, sub.ID)
+			cancel()
+		}
+		return st, err
+	}
+	switch st.State {
+	case server.StateDone:
+		return st, nil
+	default:
+		return st, &server.RemoteJobError{
+			Endpoint: c.base,
+			JobID:    sub.ID,
+			State:    st.State,
+			Message:  st.Error,
+		}
+	}
+}
+
+// waitOrRecover waits for a terminal status, recovering a job evicted
+// from the daemon's bounded retention window through the
+// content-addressed cache (same trade-off as RunSweep's eviction
+// fallback: a success is bit-identical; an evicted failure surfaces as
+// a generic eviction error).
+func (c *Client) waitOrRecover(ctx context.Context, sub server.JobStatus) (server.JobStatus, error) {
+	st, err := c.Wait(ctx, sub.ID)
+	var apiErr *APIError
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || sub.Key == "" {
+		return st, err
+	}
+	res, rerr := c.Result(ctx, sub.Key)
+	if rerr != nil {
+		return st, fmt.Errorf("client: job %s evicted and its result is not cached: %w", sub.ID, err)
+	}
+	st = sub
+	st.State = server.StateDone
+	st.Cached = true
+	st.Result = &res
+	return st, nil
+}
+
+// Peer adapts a Client to the server.Remote interface, letting one
+// ccsimd daemon front a fleet (-peers): the front daemon's manager
+// dedicates Slots concurrent executions to this peer.
+type Peer struct {
+	*Client
+	slots int
+}
+
+// NewPeer wraps the daemon at baseURL as a fleet backend contributing
+// slots concurrent executions (at least 1).
+func NewPeer(baseURL string, slots int) *Peer {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Peer{Client: New(baseURL), slots: slots}
+}
+
+// Name implements server.Remote.
+func (p *Peer) Name() string { return p.Base() }
+
+// Slots implements server.Remote.
+func (p *Peer) Slots() int { return p.slots }
+
+// Run implements server.Remote.
+func (p *Peer) Run(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	return p.RunJob(ctx, spec)
 }
 
 // RunSweep executes jobs on the daemon and returns results in input

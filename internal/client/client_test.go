@@ -3,9 +3,12 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -194,6 +197,129 @@ func TestClientCancel(t *testing.T) {
 		t.Fatalf("canceled job is %s", st.State)
 	}
 	_ = m
+}
+
+// startDaemonWithRoot boots a daemon advertising traceRoot as a shared
+// trace directory.
+func startDaemonWithRoot(t *testing.T, traceRoot string) *Client {
+	t.Helper()
+	m := server.NewManager(server.ManagerConfig{Workers: 2, QueueDepth: 16, TraceRoot: traceRoot})
+	ts := httptest.NewServer(server.New(m))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+		ts.Close()
+	})
+	c := New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	return c
+}
+
+// writeClientTrace writes a small valid Ramulator-format trace.
+func writeClientTrace(t *testing.T, path string) {
+	t.Helper()
+	var blob []byte
+	for i := 0; i < 32; i++ {
+		blob = append(blob, []byte(fmt.Sprintf("%d %#x\n", i%3, uint64(i)*64))...)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// traceCfg builds a tiny config replaying path on its single core.
+func traceCfg(path string) sim.Config {
+	cfg := tinyCfg("lbm", 1)
+	cfg.TraceFiles = []string{path}
+	return cfg
+}
+
+// TestSubmitRejectsTraceConfigWithoutSharedRoot pins the remote
+// trace-file bug: a daemon with no shared trace root would open the
+// path on *its* filesystem (failing, or silently reading whatever file
+// happens to live there), so the client must refuse to submit.
+func TestSubmitRejectsTraceConfigWithoutSharedRoot(t *testing.T) {
+	c, m := startDaemon(t, "")
+	path := filepath.Join(t.TempDir(), "core0.trace")
+	writeClientTrace(t, path)
+
+	_, err := c.Submit(context.Background(), []server.JobSpec{{Label: "t", Config: traceCfg(path)}})
+	if err == nil {
+		t.Fatal("trace-file config was submitted to a daemon with no shared trace root")
+	}
+	if !strings.Contains(err.Error(), "trace root") {
+		t.Errorf("rejection %q does not explain the missing trace root", err)
+	}
+	if !errors.Is(err, server.ErrIneligible) {
+		t.Errorf("rejection %v is not marked server.ErrIneligible (fleet schedulers rely on it)", err)
+	}
+	if mt := m.Metrics(); mt.JobsSubmitted != 0 {
+		t.Errorf("daemon recorded %d submissions, want 0 (rejection must be client-side)", mt.JobsSubmitted)
+	}
+
+	// Generator configs are unaffected.
+	if _, err := c.Submit(context.Background(), []server.JobSpec{{Label: "g", Config: tinyCfg("lbm", 2)}}); err != nil {
+		t.Errorf("generator config rejected: %v", err)
+	}
+}
+
+// TestSubmitTraceConfigUnderSharedRoot covers the allowed path — the
+// daemon advertises a root, the file lives under it, and the job runs —
+// plus the still-rejected escapes (outside the root, relative paths).
+func TestSubmitTraceConfigUnderSharedRoot(t *testing.T) {
+	shared := t.TempDir()
+	c := startDaemonWithRoot(t, shared)
+	path := filepath.Join(shared, "core0.trace")
+	writeClientTrace(t, path)
+
+	st, err := c.RunJob(context.Background(), server.JobSpec{Label: "t", Config: traceCfg(path)})
+	if err != nil {
+		t.Fatalf("trace config under the shared root failed: %v", err)
+	}
+	if st.State != server.StateDone || st.Result == nil {
+		t.Fatalf("job = %s (result %v)", st.State, st.Result != nil)
+	}
+
+	outside := filepath.Join(t.TempDir(), "core0.trace")
+	writeClientTrace(t, outside)
+	if _, err := c.Submit(context.Background(), []server.JobSpec{{Config: traceCfg(outside)}}); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("path outside the shared root: err = %v", err)
+	}
+	if _, err := c.Submit(context.Background(), []server.JobSpec{{Config: traceCfg("relative/core0.trace")}}); err == nil || !strings.Contains(err.Error(), "relative") {
+		t.Errorf("relative path: err = %v", err)
+	}
+}
+
+// TestRunJob covers the single-job fleet primitive: a success matches a
+// local run; a failing simulation surfaces as *server.RemoteJobError
+// (the signal that retrying on another worker is pointless).
+func TestRunJob(t *testing.T) {
+	c, _ := startDaemon(t, filepath.Join(t.TempDir(), "results.json"))
+	cfg := tinyCfg("lbm", 77)
+
+	st, err := c.RunJob(context.Background(), server.JobSpec{Label: "ok", Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.Run(context.Background(), []sweep.Job{{Config: cfg}}, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result == nil || !reflect.DeepEqual(*st.Result, want[0]) {
+		t.Error("RunJob result differs from a local run")
+	}
+
+	bad := cfg
+	bad.Workloads = []string{"no-such-workload"}
+	_, err = c.RunJob(context.Background(), server.JobSpec{Label: "bad", Config: bad})
+	var remoteErr *server.RemoteJobError
+	if !errors.As(err, &remoteErr) {
+		t.Fatalf("failing job returned %v, want *server.RemoteJobError", err)
+	}
+	if remoteErr.State != server.StateFailed || remoteErr.Message == "" {
+		t.Errorf("RemoteJobError = %+v", remoteErr)
+	}
 }
 
 // TestRunSweepFailure propagates a remote failure as a *sweep.JobError

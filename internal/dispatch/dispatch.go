@@ -1,0 +1,647 @@
+// Package dispatch shards a sweep campaign across a fleet of ccsimd
+// daemons plus an optional local worker pool, turning the single-node
+// campaign engine (internal/sweep) into a horizontally scalable one
+// while preserving sweep.Run's contract exactly:
+//
+//   - results come back in input order, bit-identical to a local run
+//     (every worker executes the same deterministic simulator),
+//   - the first failing simulation stops dispatch and is returned as a
+//     *sweep.JobError carrying the lowest failed input index,
+//   - cancelling ctx stops dispatch, cancels outstanding remote jobs
+//     best-effort, and returns ctx.Err(),
+//   - a local sweep.Cache is consulted before any dispatch and every
+//     completed result is written back to it, so an interrupted
+//     distributed campaign resumes locally (or on a different fleet).
+//
+// The dispatcher handles real fleet behaviour: endpoints are health
+// probed up front and weighted by their advertised worker capacity
+// (each endpoint holds at most that many jobs in flight), identical
+// configs are singleflighted on sweep.Key so each distinct config
+// simulates exactly once fleet-wide, and a job whose worker dies or
+// times out is retried transparently on another endpoint — only a job
+// with no live worker left to run it fails the campaign.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Options configures a distributed campaign.
+type Options struct {
+	// Endpoints are ccsimd base URLs. Each live endpoint contributes
+	// in-flight capacity equal to its advertised worker count.
+	Endpoints []string
+
+	// LocalWorkers adds that many in-process simulation slots to the
+	// fleet (0 = none). Local slots can always run trace-file configs.
+	LocalWorkers int
+
+	// Cache, when non-nil, is consulted before dispatch and receives
+	// every completed result, so interrupted campaigns resume locally.
+	Cache *sweep.Cache
+
+	// Progress, when non-nil, observes one event per input job, with
+	// monotonically increasing Done (see sweep.Options.Progress).
+	Progress func(sweep.Event)
+
+	// ProbeTimeout bounds the initial health probe per endpoint
+	// (default 5s). Endpoints failing the probe are dropped for the
+	// whole campaign.
+	ProbeTimeout time.Duration
+
+	// JobTimeout bounds one remote execution attempt (0 = none). An
+	// attempt hitting it is retried on another worker, covering
+	// workers that hang without closing connections.
+	JobTimeout time.Duration
+
+	// PollInterval is the remote status-poll period (0 = client
+	// default). Tests shrink it.
+	PollInterval time.Duration
+
+	// MaxPerEndpoint clamps the probed per-endpoint capacity (0 = no
+	// clamp), for sharing a fleet politely.
+	MaxPerEndpoint int
+
+	// Stats, when non-nil, is filled with campaign totals before Run
+	// returns.
+	Stats *Stats
+}
+
+// Stats summarizes how a campaign used the fleet.
+type Stats struct {
+	Endpoints     int // endpoints that passed the health probe
+	DeadEndpoints int // endpoints that failed the probe or died mid-campaign
+	Slots         int // total in-flight capacity at start, local slots included
+	Simulations   int // distinct configs freshly simulated fleet-wide
+	CacheHits     int // jobs served from a cache (local or a daemon's)
+	Deduped       int // jobs that shared another identical job's simulation
+	Retries       int // assignments retried on another worker after a loss or timeout
+}
+
+// unit is one distinct simulation: all input jobs sharing a sweep.Key
+// collapse onto it (singleflight), and exactly one worker holds it at
+// a time.
+type unit struct {
+	key     string // content address; "" for uncacheable configs
+	job     sweep.Job
+	indices []int        // input positions served by this unit
+	tried   map[int]bool // worker IDs that lost or timed out on this unit
+	err     error        // terminal failure
+	done    bool
+}
+
+// hasTraces reports whether the unit's config replays trace files.
+func (u *unit) hasTraces() bool {
+	for _, p := range u.job.Config.TraceFiles {
+		if p != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one execution backend: a probed endpoint or the local
+// pool. Its slot count many goroutines each hold at most one unit in
+// flight, which both bounds per-worker load and realizes
+// capacity-weighted assignment — a 16-worker daemon pulls units four
+// times as fast as a 4-worker one.
+type worker struct {
+	id        int
+	name      string
+	cli       *client.Client // nil for the local pool
+	traceRoot string
+	slots     int
+	dead      bool // guarded by dispatcher.mu
+}
+
+// Run executes jobs across the fleet described by opts and returns
+// results in input order. See the package comment for the contract.
+func Run(ctx context.Context, jobs []sweep.Job, opts Options) ([]sim.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers, probeErrs := probe(ctx, opts)
+	stats := Stats{DeadEndpoints: len(probeErrs)}
+	for _, w := range workers {
+		if w.cli != nil {
+			stats.Endpoints++
+		}
+		stats.Slots += w.slots
+	}
+	defer func() {
+		if opts.Stats != nil {
+			*opts.Stats = stats
+		}
+	}()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dispatch: no usable workers: every endpoint failed its health probe (%s) and no local workers are configured", errJoin(probeErrs))
+	}
+
+	d := &dispatcher{
+		ctx:     ctx,
+		jobs:    jobs,
+		results: make([]sim.Result, len(jobs)),
+		workers: workers,
+		opts:    opts,
+		stats:   &stats,
+	}
+	d.cond = sync.NewCond(&d.mu)
+
+	units := d.buildUnits()
+	if err := d.checkTraceEligibility(units); err != nil {
+		return nil, err
+	}
+	d.pending = units
+	d.outstanding = len(units)
+
+	// Wake blocked workers when the caller cancels.
+	probeDone := make(chan struct{})
+	defer close(probeDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-probeDone:
+		}
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for _, w := range d.workers {
+		for s := 0; s < w.slots; s++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				d.serve(w)
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	// Mirror sweep.Run: the recorded failure with the lowest input
+	// index wins; an external cancellation with no recorded failure
+	// surfaces as ctx.Err().
+	var firstErr *sweep.JobError
+	for _, u := range units {
+		if u.err == nil {
+			continue
+		}
+		idx := u.indices[0]
+		if firstErr == nil || idx < firstErr.Index {
+			firstErr = &sweep.JobError{Index: idx, Label: jobs[idx].Label, Err: u.err}
+		}
+	}
+	if firstErr != nil {
+		return d.results, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return d.results, err
+	}
+	return d.results, nil
+}
+
+// dispatcher is the shared coordination state of one Run call.
+type dispatcher struct {
+	ctx     context.Context
+	jobs    []sweep.Job
+	results []sim.Result
+	workers []*worker
+	opts    Options
+	stats   *Stats
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []*unit
+	outstanding int // units not yet terminal
+	failed      bool
+
+	progMu sync.Mutex
+	done   int // finished input jobs; guarded by progMu
+}
+
+// probe health-checks every endpoint concurrently and returns the live
+// workers (capacity-weighted) plus the local pool.
+func probe(ctx context.Context, opts Options) ([]*worker, []error) {
+	timeout := opts.ProbeTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	type outcome struct {
+		w   *worker
+		err error
+	}
+	outcomes := make([]outcome, len(opts.Endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range opts.Endpoints {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			cli := client.New(ep)
+			if opts.PollInterval > 0 {
+				cli.PollInterval = opts.PollInterval
+			}
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			h, err := cli.Health(pctx)
+			if err != nil {
+				outcomes[i] = outcome{err: fmt.Errorf("dispatch: endpoint %s: %w", ep, err)}
+				return
+			}
+			slots := h.Workers
+			if slots < 1 {
+				slots = 1
+			}
+			if opts.MaxPerEndpoint > 0 && slots > opts.MaxPerEndpoint {
+				slots = opts.MaxPerEndpoint
+			}
+			outcomes[i] = outcome{w: &worker{
+				name:      cli.Base(),
+				cli:       cli,
+				traceRoot: h.TraceRoot,
+				slots:     slots,
+			}}
+		}(i, ep)
+	}
+	wg.Wait()
+
+	var workers []*worker
+	var errs []error
+	for _, o := range outcomes {
+		switch {
+		case o.w != nil:
+			workers = append(workers, o.w)
+		case o.err != nil:
+			errs = append(errs, o.err)
+		}
+	}
+	if opts.LocalWorkers > 0 {
+		workers = append(workers, &worker{name: "local", slots: opts.LocalWorkers})
+	}
+	for i, w := range workers {
+		w.id = i
+	}
+	return workers, errs
+}
+
+// buildUnits collapses the input jobs onto distinct units (singleflight
+// on sweep.Key) and completes cache hits immediately. Uncacheable
+// configs each get their own unit.
+func (d *dispatcher) buildUnits() []*unit {
+	var units []*unit
+	byKey := map[string]*unit{}
+	for i, job := range d.jobs {
+		key, _ := sweep.Key(job.Config) // "" when uncacheable
+		if key != "" {
+			if u, ok := byKey[key]; ok {
+				u.indices = append(u.indices, i)
+				continue
+			}
+		}
+		u := &unit{key: key, job: job, indices: []int{i}, tried: map[int]bool{}}
+		units = append(units, u)
+		if key != "" {
+			byKey[key] = u
+		}
+	}
+	// Serve local cache hits before any dispatch, so resumed campaigns
+	// touch the fleet only for missing configs.
+	if d.opts.Cache == nil {
+		return units
+	}
+	live := units[:0]
+	for _, u := range units {
+		if u.key == "" {
+			live = append(live, u)
+			continue
+		}
+		res, ok := d.opts.Cache.Lookup(u.key)
+		if !ok {
+			live = append(live, u)
+			continue
+		}
+		u.done = true
+		d.stats.CacheHits += len(u.indices)
+		d.fill(u, res)
+		d.report(u, res, true, true, 0, nil)
+	}
+	return live
+}
+
+// checkTraceEligibility rejects, up front and with a clear error, any
+// trace-file config that no fleet worker can faithfully execute: remote
+// daemons open trace paths on their own filesystem, so only endpoints
+// advertising a shared trace root covering the paths (or local
+// workers) qualify.
+func (d *dispatcher) checkTraceEligibility(units []*unit) error {
+	for _, u := range units {
+		if !u.hasTraces() || u.done {
+			continue
+		}
+		eligible := false
+		var lastErr error
+		for _, w := range d.workers {
+			if err := eligibleErr(u, w); err == nil {
+				eligible = true
+				break
+			} else {
+				lastErr = err
+			}
+		}
+		if !eligible {
+			return fmt.Errorf("dispatch: job %q cannot run anywhere in the fleet: %w (add local workers, or endpoints started with -trace-root over a shared directory)", u.job.Label, lastErr)
+		}
+	}
+	return nil
+}
+
+// eligibleErr reports whether w can faithfully execute u ("" error).
+func eligibleErr(u *unit, w *worker) error {
+	if w.cli == nil || !u.hasTraces() {
+		return nil
+	}
+	return client.ValidateTraceFiles(u.job.Config, w.traceRoot)
+}
+
+// serve is one worker slot's loop: claim the next eligible unit,
+// execute it, repeat until the campaign ends or the worker dies.
+func (d *dispatcher) serve(w *worker) {
+	for {
+		u := d.next(w)
+		if u == nil {
+			return
+		}
+		if !d.execute(w, u) {
+			return
+		}
+	}
+}
+
+// next blocks until an eligible pending unit exists (claiming it) or
+// the campaign is over for this worker (nil).
+func (d *dispatcher) next(w *worker) *unit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.ctx.Err() != nil || d.failed || w.dead || d.outstanding == 0 {
+			return nil
+		}
+		for i, u := range d.pending {
+			if u.tried[w.id] || eligibleErr(u, w) != nil {
+				continue
+			}
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			return u
+		}
+		d.cond.Wait()
+	}
+}
+
+// execute runs one claimed unit on w. It returns false when the worker
+// died (transport failure) and the slot must retire.
+func (d *dispatcher) execute(w *worker, u *unit) bool {
+	start := time.Now()
+	var (
+		res    sim.Result
+		cached bool
+		err    error
+	)
+	if w.cli == nil {
+		sys, nerr := sim.New(u.job.Config)
+		if nerr == nil {
+			res, err = sys.Run()
+		} else {
+			err = nerr
+		}
+	} else {
+		actx := d.ctx
+		cancel := func() {}
+		if d.opts.JobTimeout > 0 {
+			actx, cancel = context.WithTimeout(d.ctx, d.opts.JobTimeout)
+		}
+		var st server.JobStatus
+		st, err = w.cli.RunJob(actx, server.JobSpec{Label: u.job.Label, Config: u.job.Config})
+		cancel()
+		if err == nil {
+			if st.Result == nil {
+				err = fmt.Errorf("dispatch: %s finished job without a result", w.name)
+			} else {
+				res, cached = *st.Result, st.Cached
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		d.complete(u, res, cached, elapsed)
+		return true
+	case isPermanent(w, err):
+		d.fail(u, err, elapsed)
+		return true
+	case d.ctx.Err() != nil:
+		d.abandon(u)
+		return false
+	default:
+		// The worker died or the attempt timed out: retry the unit on
+		// another worker. A plain timeout (or an eligibility rejection
+		// the pre-check somehow missed) keeps the endpoint alive — one
+		// slow or unrunnable job is not evidence the daemon is gone.
+		markDead := !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, server.ErrIneligible)
+		return d.retry(w, u, err, markDead)
+	}
+}
+
+// isPermanent classifies failures that would recur identically on any
+// worker: the simulation itself failed (locally, or remotely reported
+// via *server.RemoteJobError), or the daemon rejected the config as
+// invalid (HTTP 400).
+func isPermanent(w *worker, err error) bool {
+	if w.cli == nil {
+		return true // local simulation errors are deterministic
+	}
+	var remoteErr *server.RemoteJobError
+	if errors.As(err, &remoteErr) {
+		return true
+	}
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == 400
+}
+
+// complete lands one unit's result: cache write-back first (a failing
+// write fails the unit, mirroring sweep.Run), then results and events
+// for every input index it serves.
+func (d *dispatcher) complete(u *unit, res sim.Result, cached bool, elapsed time.Duration) {
+	if d.opts.Cache != nil && u.key != "" {
+		if err := d.opts.Cache.PutKeyed(u.key, res); err != nil {
+			d.fail(u, err, elapsed)
+			return
+		}
+	}
+	d.fill(u, res)
+	d.mu.Lock()
+	u.done = true
+	d.outstanding--
+	if cached {
+		d.stats.CacheHits++
+	} else {
+		d.stats.Simulations++
+	}
+	d.stats.Deduped += len(u.indices) - 1
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.report(u, res, cached, false, elapsed, nil)
+}
+
+// fail records a terminal unit failure and stops further dispatch
+// (first-error cancellation; in-flight units still finish and record
+// their results, exactly like sweep.Run).
+func (d *dispatcher) fail(u *unit, err error, elapsed time.Duration) {
+	d.mu.Lock()
+	u.err = err
+	u.done = true
+	d.outstanding--
+	d.failed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.report(u, sim.Result{}, false, false, elapsed, err)
+}
+
+// abandon drops a unit whose attempt died with the campaign context:
+// nobody will retry it, and Run reports ctx.Err().
+func (d *dispatcher) abandon(u *unit) {
+	d.mu.Lock()
+	d.outstanding--
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// retry hands a unit back after w lost it. The worker is marked dead
+// on transport failures (all its slots retire); the unit either
+// requeues for the remaining candidates or, when none is left, fails
+// the campaign with the underlying error. Returns whether this slot
+// may keep serving.
+func (d *dispatcher) retry(w *worker, u *unit, err error, markDead bool) bool {
+	d.mu.Lock()
+	u.tried[w.id] = true
+	d.stats.Retries++
+	if markDead && !w.dead {
+		w.dead = true
+		d.stats.DeadEndpoints++
+		d.stats.Endpoints--
+	}
+	// Fail every unit — this one and pending ones — that no live
+	// worker can take anymore, so campaigns never hang on a shrinking
+	// fleet.
+	requeue := d.pending[:0]
+	for _, p := range d.pending {
+		if d.hasCandidateLocked(p) {
+			requeue = append(requeue, p)
+			continue
+		}
+		p.err = fmt.Errorf("dispatch: no live worker left for %q (last endpoint lost: %v)", p.job.Label, err)
+		p.done = true
+		d.outstanding--
+		d.failed = true
+	}
+	d.pending = requeue
+	if d.hasCandidateLocked(u) {
+		d.pending = append(d.pending, u)
+	} else {
+		u.err = fmt.Errorf("dispatch: job %q failed on every live worker: %w", u.job.Label, err)
+		u.done = true
+		d.outstanding--
+		d.failed = true
+	}
+	alive := !w.dead
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return alive
+}
+
+// hasCandidateLocked reports whether any live worker can still take u.
+func (d *dispatcher) hasCandidateLocked(u *unit) bool {
+	for _, w := range d.workers {
+		if !w.dead && !u.tried[w.id] && eligibleErr(u, w) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// fill writes one result into every input slot the unit serves.
+func (d *dispatcher) fill(u *unit, res sim.Result) {
+	for _, idx := range u.indices {
+		d.results[idx] = res
+	}
+}
+
+// report emits one progress event per input job of the unit, under the
+// same monotonic Done counter sweep.Run guarantees. The first index is
+// the representative; the others are marked Deduped.
+func (d *dispatcher) report(u *unit, res sim.Result, cached, fromLocalCache bool, elapsed time.Duration, err error) {
+	if d.opts.Progress == nil {
+		d.progMu.Lock()
+		d.done += len(u.indices)
+		d.progMu.Unlock()
+		return
+	}
+	d.progMu.Lock()
+	defer d.progMu.Unlock()
+	for n, idx := range u.indices {
+		d.done++
+		ev := sweep.Event{
+			Index:   idx,
+			Total:   len(d.jobs),
+			Done:    d.done,
+			Label:   d.jobs[idx].Label,
+			Key:     u.key,
+			Cached:  cached,
+			Deduped: n > 0 && !fromLocalCache,
+			Err:     err,
+		}
+		if n == 0 && !cached {
+			ev.Elapsed = elapsed
+		}
+		d.opts.Progress(ev)
+	}
+}
+
+// SplitEndpoints parses a comma-separated endpoint list flag
+// ("host1:8344, host2:8344") into trimmed, non-empty entries — the
+// shared parser behind ccsim -servers, experiments -servers, and
+// ccsimd -peers.
+func SplitEndpoints(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// errJoin renders probe failures compactly.
+func errJoin(errs []error) string {
+	if len(errs) == 0 {
+		return "no endpoints given"
+	}
+	parts := make([]string, len(errs))
+	for i, err := range errs {
+		parts[i] = err.Error()
+	}
+	return strings.Join(parts, "; ")
+}

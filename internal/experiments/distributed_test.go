@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// TestRunBatchDistributed pins the figure drivers' fleet path: a Scale
+// with Servers set must route runBatch through the dispatcher and
+// produce rows identical to in-process execution.
+func TestRunBatchDistributed(t *testing.T) {
+	var endpoints []string
+	for i := 0; i < 2; i++ {
+		m := server.NewManager(server.ManagerConfig{Workers: 2, QueueDepth: 32})
+		ts := httptest.NewServer(server.New(m))
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			_ = m.Drain(ctx)
+			ts.Close()
+		})
+		endpoints = append(endpoints, ts.URL)
+	}
+
+	local := tinyScale()
+	rows, err := local.Fig9And10(false, []int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := tinyScale()
+	remote.Servers = endpoints
+	var events int
+	remote.Progress = func(sweep.Event) { events++ }
+	distRows, err := remote.Fig9And10(false, []int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := json.Marshal(distRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lb) != string(db) {
+		t.Errorf("distributed Fig9/10 rows differ from local rows:\nlocal  %s\nremote %s", lb, db)
+	}
+	if events == 0 {
+		t.Error("distributed runBatch produced no progress events")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dispatch"
 	"repro/internal/memctrl"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,10 +41,23 @@ type Scale struct {
 	// Cache, when non-nil, memoizes simulation results across figures
 	// and process restarts (see sweep.Cache). Figures sharing a config
 	// — e.g. the Fig7 baselines and the sweep bases — run it once.
+	// With Servers set it doubles as the local consult-first store and
+	// write-back target of the distributed dispatcher.
 	Cache *sweep.Cache
 
 	// Progress, when non-nil, observes every config completion.
 	Progress func(sweep.Event)
+
+	// Servers, when non-empty, lists ccsimd endpoints: every figure
+	// driver then dispatches its campaign across the fleet (see
+	// internal/dispatch) instead of simulating in this process, with
+	// capacity-weighted assignment and automatic failover. Workers is
+	// ignored in that mode; LocalWorkers adds in-process slots.
+	Servers []string
+
+	// LocalWorkers adds that many in-process simulation slots to the
+	// fleet (only meaningful with Servers; 0 = none).
+	LocalWorkers int
 }
 
 // Quick returns a CI-sized scale (~2 min for everything).
@@ -82,10 +96,20 @@ func Long() Scale {
 // Mechanisms evaluated against the baseline, in presentation order.
 var evaluated = []sim.MechanismKind{sim.NUAT, sim.ChargeCache, sim.ChargeCacheNUAT, sim.LLDRAM}
 
-// runBatch executes jobs through the parallel sweep engine, honouring
-// the scale's worker count, result cache and progress sink. Results
-// come back in job order.
+// runBatch executes jobs through the parallel sweep engine — or, when
+// Servers is set, shards them across the ccsimd fleet via the
+// distributed dispatcher — honouring the scale's result cache and
+// progress sink. Results come back in job order with identical content
+// either way.
 func (s Scale) runBatch(jobs []sweep.Job) ([]sim.Result, error) {
+	if len(s.Servers) > 0 {
+		return dispatch.Run(context.Background(), jobs, dispatch.Options{
+			Endpoints:    s.Servers,
+			LocalWorkers: s.LocalWorkers,
+			Cache:        s.Cache,
+			Progress:     s.Progress,
+		})
+	}
 	return sweep.Run(context.Background(), jobs, sweep.Options{
 		Workers:  s.Workers,
 		Cache:    s.Cache,

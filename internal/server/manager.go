@@ -118,10 +118,16 @@ type flight struct {
 	cancel context.CancelFunc
 }
 
+// NoLocalWorkers as ManagerConfig.Workers makes the manager a pure
+// dispatch front: it runs no simulations itself and needs at least one
+// Remote to make progress (NewManager rejects it otherwise).
+const NoLocalWorkers = -1
+
 // ManagerConfig sizes a Manager.
 type ManagerConfig struct {
-	// Workers is the number of simulations running concurrently
-	// (<= 0 means GOMAXPROCS).
+	// Workers is the number of simulations running concurrently on
+	// this machine (0 means GOMAXPROCS; NoLocalWorkers means none —
+	// valid only together with Remotes).
 	Workers int
 	// QueueDepth bounds how many distinct simulations may wait for a
 	// worker (<= 0 means 64). Submissions beyond it fail ErrQueueFull.
@@ -135,6 +141,21 @@ type ManagerConfig struct {
 	// this cap; their results remain reachable through the cache via
 	// GET /v1/results/{key}. Live jobs are never evicted.
 	Retention int
+
+	// Remotes are peer execution backends (ccsimd -peers): each adds
+	// Slots() worker goroutines that run queued flights on that peer
+	// instead of this machine, with automatic hand-back to the queue
+	// when the peer becomes unreachable.
+	Remotes []Remote
+
+	// TraceRoot, when non-empty, is advertised on /healthz as a shared
+	// trace directory: clients may submit trace-file configs whose
+	// absolute paths live under it, because this daemon sees the same
+	// files at the same paths (NFS mount, shared volume). Without it,
+	// trace-file configs are rejected client-side — the daemon would
+	// otherwise open the paths on its own filesystem, failing or,
+	// worse, silently reading a different file.
+	TraceRoot string
 }
 
 // Manager owns the job table, the dedup index, and the worker pool
@@ -147,6 +168,8 @@ type Manager struct {
 	wg     sync.WaitGroup
 
 	retention int
+	workers   int // local worker goroutines
+	traceRoot string
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -155,15 +178,25 @@ type Manager struct {
 	queue    chan *flight
 	draining bool
 	nextID   uint64
+	slots    int // live worker goroutines, local + remote; remote slots retire on peer loss
 
 	counters counters
 }
 
-// NewManager starts cfg.Workers worker goroutines and returns the
-// manager. Call Drain to stop it.
+// NewManager starts cfg.Workers local worker goroutines plus Slots()
+// goroutines per remote backend and returns the manager. Call Drain to
+// stop it.
 func NewManager(cfg ManagerConfig) *Manager {
 	workers := cfg.Workers
-	if workers <= 0 {
+	switch {
+	case workers == NoLocalWorkers:
+		workers = 0
+		if len(cfg.Remotes) == 0 {
+			// A manager with no execution capacity would accept jobs
+			// and never run them; keep one local worker instead.
+			workers = 1
+		}
+	case workers <= 0:
 		workers = runtime.GOMAXPROCS(0)
 	}
 	depth := cfg.QueueDepth
@@ -178,21 +211,43 @@ func NewManager(cfg ManagerConfig) *Manager {
 	m := &Manager{
 		cache:     cfg.Cache,
 		retention: retention,
+		workers:   workers,
+		traceRoot: cfg.TraceRoot,
 		ctx:       ctx,
 		cancel:    cancel,
 		jobs:      map[string]*job{},
 		flights:   map[string]*flight{},
 		queue:     make(chan *flight, depth),
 	}
+	m.slots = workers
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go m.worker()
+	}
+	for _, r := range cfg.Remotes {
+		slots := r.Slots()
+		if slots < 1 {
+			slots = 1
+		}
+		m.slots += slots
+		m.wg.Add(slots)
+		for i := 0; i < slots; i++ {
+			go m.remoteWorker(r)
+		}
 	}
 	return m
 }
 
 // Cache returns the manager's persistent result store (may be nil).
 func (m *Manager) Cache() *sweep.Cache { return m.cache }
+
+// Workers returns the local simulation concurrency, advertised on
+// /healthz so fleet dispatchers can weight assignment by capacity.
+func (m *Manager) Workers() int { return m.workers }
+
+// TraceRoot returns the advertised shared trace directory ("" when the
+// daemon has none).
+func (m *Manager) TraceRoot() string { return m.traceRoot }
 
 // Submit validates and enqueues a batch of jobs atomically: either
 // every spec is accepted (each getting a job ID) or none is. Identical
@@ -443,9 +498,42 @@ func (m *Manager) worker() {
 	}
 }
 
-// runFlight executes one simulation through the sweep engine and
-// completes every job attached to the flight with its outcome.
+// remoteWorker is one execution slot on a peer daemon: it pulls flights
+// like a local worker but ships them to r. When the peer becomes
+// unreachable the slot retires — the in-flight flight is handed back to
+// the queue (or executed locally when it cannot be), and if this was
+// the manager's last live slot the goroutine degrades to a local worker
+// so queued flights are never orphaned.
+func (m *Manager) remoteWorker(r Remote) {
+	defer m.wg.Done()
+	for f := range m.queue {
+		if !m.startFlight(f) {
+			continue
+		}
+		if m.execFlightRemote(r, f) {
+			continue
+		}
+		if last := m.retireSlot(f); last {
+			for f := range m.queue {
+				m.runFlight(f)
+			}
+		}
+		return
+	}
+}
+
+// runFlight executes one flight locally, start to finish.
 func (m *Manager) runFlight(f *flight) {
+	if !m.startFlight(f) {
+		return
+	}
+	m.execFlightLocal(f)
+}
+
+// startFlight moves a dequeued flight to running and reports whether it
+// should execute; a flight whose subscribers all canceled while it was
+// queued (or whose context died) is finalized instead.
+func (m *Manager) startFlight(f *flight) bool {
 	m.mu.Lock()
 	live := 0
 	for _, j := range f.jobs {
@@ -465,7 +553,7 @@ func (m *Manager) runFlight(f *flight) {
 		m.dropFlightLocked(f)
 		m.pruneLocked()
 		m.mu.Unlock()
-		return
+		return false
 	}
 	f.state = StateRunning
 	m.counters.running++
@@ -478,14 +566,109 @@ func (m *Manager) runFlight(f *flight) {
 		}
 	}
 	m.mu.Unlock()
+	return true
+}
 
+// execFlightLocal runs a started flight through the sweep engine on
+// this machine and completes its jobs.
+func (m *Manager) execFlightLocal(f *flight) {
 	var ev sweep.Event
 	results, err := sweep.Run(f.ctx, []sweep.Job{{Label: f.label, Config: f.cfg}}, sweep.Options{
 		Workers:  1,
 		Cache:    m.cache,
 		Progress: func(e sweep.Event) { ev = e },
 	})
+	var res sim.Result
+	if err == nil {
+		res = results[0]
+	}
+	m.finishFlight(f, res, ev.Elapsed, ev.Cached, false, err)
+}
 
+// execFlightRemote runs a started flight on r. It returns false when
+// the peer is unreachable (transport error): the flight is still
+// running and the caller must hand it back via retireSlot.
+func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
+	start := time.Now()
+	st, err := r.Run(f.ctx, JobSpec{Label: f.label, Config: f.cfg})
+	elapsed := time.Since(start)
+	var remoteErr *RemoteJobError
+	switch {
+	case err == nil && st.Result == nil:
+		m.finishFlight(f, sim.Result{}, elapsed, false, true,
+			fmt.Errorf("server: peer %s finished job without a result", r.Name()))
+	case err == nil:
+		res := *st.Result
+		if m.cache != nil && f.key != "" {
+			// Land the peer's result in this daemon's persistent cache
+			// so restarts (and identical submissions) serve it locally,
+			// under the key computed at submission — never re-digested,
+			// so a trace rewritten mid-flight cannot fail a successful
+			// run (key-less flights skip caching, like the local path).
+			if perr := m.cache.PutKeyed(f.key, res); perr != nil {
+				m.finishFlight(f, sim.Result{}, elapsed, false, true, perr)
+				return true
+			}
+		}
+		m.finishFlight(f, res, elapsed, st.Cached, true, nil)
+	case errors.As(err, &remoteErr) || f.ctx.Err() != nil:
+		// The peer ran the job and the simulation failed (retrying
+		// elsewhere would fail identically), or our own flight was
+		// canceled: terminal either way.
+		m.finishFlight(f, sim.Result{}, elapsed, false, true, err)
+	case errors.Is(err, ErrIneligible):
+		// This peer must not run the job (e.g. it cannot see the
+		// config's trace files) but it is perfectly healthy: execute
+		// the flight on this goroutine instead — requeueing would
+		// livelock a fleet whose every peer is ineligible, and failing
+		// would punish a job local execution can still satisfy.
+		m.execFlightLocal(f)
+	default:
+		return false
+	}
+	return true
+}
+
+// retireSlot hands back the flight a vanished peer was running and
+// removes this worker from the live-slot count. The flight returns to
+// the queue for another worker when possible; otherwise — queue full,
+// draining, or no other slot left to ever pick it up — it executes
+// locally on this goroutine, because a started flight must reach a
+// terminal state. Returns true when this was the last live slot, in
+// which case the caller keeps serving the queue locally.
+func (m *Manager) retireSlot(f *flight) (last bool) {
+	m.mu.Lock()
+	m.slots--
+	last = m.slots == 0
+	if !last && !m.draining {
+		select {
+		case m.queue <- f:
+			// Hand-back visible to pollers/SSE as running -> queued.
+			f.state = StateQueued
+			for _, j := range f.jobs {
+				if j.state == StateRunning {
+					j.state = StateQueued
+					m.notifyLocked(j)
+				}
+			}
+			m.counters.running--
+			m.counters.requeued++
+			m.mu.Unlock()
+			return last
+		default:
+		}
+	}
+	m.mu.Unlock()
+	m.execFlightLocal(f)
+	return last
+}
+
+// finishFlight completes every job attached to a started flight with
+// its outcome. cached marks results served from a cache (this daemon's
+// or the executing peer's); remote marks executions that happened on a
+// peer, counted separately because the peer's own counters record the
+// simulation.
+func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration, cached, remote bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.counters.running--
@@ -499,26 +682,28 @@ func (m *Manager) runFlight(f *flight) {
 			j.state = StateFailed
 			j.err = err
 			j.finishedAt = time.Now()
-			j.elapsed = ev.Elapsed
+			j.elapsed = elapsed
 			m.counters.failed++
 			m.notifyLocked(j)
 		}
 	default:
-		if ev.Cached {
+		switch {
+		case cached:
 			m.counters.cacheHits++
-		} else {
+		case remote:
+			m.counters.remoteSims++
+		default:
 			m.counters.simulations++
 		}
-		res := results[0]
 		done := time.Now()
 		for _, j := range f.jobs {
 			if j.state.Terminal() {
 				continue
 			}
 			j.state = StateDone
-			j.cached = j.cached || ev.Cached
+			j.cached = j.cached || cached
 			j.finishedAt = done
-			j.elapsed = ev.Elapsed
+			j.elapsed = elapsed
 			j.result = &res
 			m.counters.completed++
 			m.notifyLocked(j)

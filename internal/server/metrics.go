@@ -9,7 +9,9 @@ type counters struct {
 	canceled    uint64
 	deduped     uint64 // jobs attached to an in-flight identical config
 	cacheHits   uint64 // jobs/flights served from the persistent cache
-	simulations uint64 // fresh simulations actually executed
+	simulations uint64 // fresh simulations executed on this machine
+	remoteSims  uint64 // flights executed on peer daemons (-peers)
+	requeued    uint64 // flights handed back after a peer became unreachable
 	running     int    // flights currently simulating
 }
 
@@ -28,7 +30,12 @@ type Metrics struct {
 	JobsRetained  int    `json:"jobs_retained"` // still queryable (bounded by -retain)
 
 	SimulationsRun uint64 `json:"simulations_run"`
-	CacheHits      uint64 `json:"cache_hits"`
+	// RemoteSimulations counts flights executed on peer daemons
+	// (-peers); JobsRequeued counts flights handed back to the queue
+	// after their peer became unreachable mid-run.
+	RemoteSimulations uint64 `json:"remote_simulations,omitempty"`
+	JobsRequeued      uint64 `json:"jobs_requeued,omitempty"`
+	CacheHits         uint64 `json:"cache_hits"`
 	// CacheHitRate is cache-satisfied resolutions over all resolutions:
 	// cache_hits / (cache_hits + simulations_run). A resolution is a
 	// submission answered straight from the cache or a flight executed;
@@ -43,20 +50,22 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Metrics{
-		QueueDepth:     len(m.queue),
-		QueueCapacity:  cap(m.queue),
-		Running:        m.counters.running,
-		Draining:       m.draining,
-		JobsSubmitted:  m.counters.submitted,
-		JobsCompleted:  m.counters.completed,
-		JobsFailed:     m.counters.failed,
-		JobsCanceled:   m.counters.canceled,
-		JobsDeduped:    m.counters.deduped,
-		JobsRetained:   len(m.jobs),
-		SimulationsRun: m.counters.simulations,
-		CacheHits:      m.counters.cacheHits,
+		QueueDepth:        len(m.queue),
+		QueueCapacity:     cap(m.queue),
+		Running:           m.counters.running,
+		Draining:          m.draining,
+		JobsSubmitted:     m.counters.submitted,
+		JobsCompleted:     m.counters.completed,
+		JobsFailed:        m.counters.failed,
+		JobsCanceled:      m.counters.canceled,
+		JobsDeduped:       m.counters.deduped,
+		JobsRetained:      len(m.jobs),
+		SimulationsRun:    m.counters.simulations,
+		RemoteSimulations: m.counters.remoteSims,
+		JobsRequeued:      m.counters.requeued,
+		CacheHits:         m.counters.cacheHits,
 	}
-	if total := s.CacheHits + s.SimulationsRun; total > 0 {
+	if total := s.CacheHits + s.SimulationsRun + s.RemoteSimulations; total > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
 	if m.cache != nil {

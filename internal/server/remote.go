@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrIneligible marks a job a particular daemon cannot faithfully
+// execute — today, a trace-file config whose paths the daemon's
+// advertised trace root does not cover. The client wraps its
+// pre-submission rejections with it so fleet schedulers can tell "this
+// worker must not run this job" (route it elsewhere, keep the worker)
+// from a transport failure (the worker is gone).
+var ErrIneligible = errors.New("job not executable on this daemon")
+
+// Remote is an execution backend that runs one job off-process — in
+// practice a peer ccsimd daemon reached through internal/client's Peer
+// adapter (the interface lives here, not in the client package, so the
+// manager can depend on it without an import cycle). A Manager
+// configured with Remotes dedicates Slots() worker goroutines to each,
+// turning one daemon into the front of a fleet: queued flights are
+// pulled by whichever worker — local or remote — frees up first.
+//
+// Run must distinguish the two failure modes the manager treats
+// differently: a *RemoteJobError means the peer accepted the job and
+// the simulation itself failed (the flight fails — retrying elsewhere
+// would fail identically); any other error means the peer is
+// unreachable or unhealthy, and the flight is handed back to the queue
+// for another worker.
+type Remote interface {
+	// Name identifies the backend in logs and errors (its base URL).
+	Name() string
+	// Slots is the backend's concurrent-job capacity: how many worker
+	// goroutines the manager dedicates to it.
+	Slots() int
+	// Run executes one job to a terminal state and returns its final
+	// status (result included). Cancelling ctx must cancel the remote
+	// job best-effort.
+	Run(ctx context.Context, spec JobSpec) (JobStatus, error)
+}
+
+// RemoteJobError reports a job that a remote daemon accepted and then
+// finished unsuccessfully — failed or canceled server-side — as opposed
+// to a transport error, after which the peer's state is unknown and the
+// job is retryable on another worker.
+type RemoteJobError struct {
+	Endpoint string   // base URL of the daemon that ran the job
+	JobID    string   // the daemon's job ID
+	State    JobState // failed or canceled
+	Message  string   // the daemon's error string
+}
+
+// Error implements error.
+func (e *RemoteJobError) Error() string {
+	return fmt.Sprintf("remote job %s on %s %s: %s", e.JobID, e.Endpoint, e.State, e.Message)
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// remoteFunc is a scripted Remote backend for manager tests.
+type remoteFunc struct {
+	name  string
+	slots int
+	run   func(ctx context.Context, spec JobSpec) (JobStatus, error)
+}
+
+func (r *remoteFunc) Name() string { return r.name }
+func (r *remoteFunc) Slots() int   { return r.slots }
+func (r *remoteFunc) Run(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	return r.run(ctx, spec)
+}
+
+// simulatingRemote executes jobs for real in-process, standing in for a
+// healthy peer daemon.
+func simulatingRemote(name string, slots int, ran *atomic.Int64) *remoteFunc {
+	return &remoteFunc{name: name, slots: slots, run: func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		results, err := sweep.Run(ctx, []sweep.Job{{Label: spec.Label, Config: spec.Config}}, sweep.Options{Workers: 1})
+		if err != nil {
+			return JobStatus{}, &RemoteJobError{Endpoint: name, State: StateFailed, Message: err.Error()}
+		}
+		if ran != nil {
+			ran.Add(1)
+		}
+		return JobStatus{State: StateDone, Result: &results[0]}, nil
+	}}
+}
+
+// TestManagerRemoteExecution runs a pure dispatch front (no local
+// workers) against a healthy fake peer: every job must complete with
+// the same result a local run produces, counted as a remote simulation.
+func TestManagerRemoteExecution(t *testing.T) {
+	var ran atomic.Int64
+	m := NewManager(ManagerConfig{
+		Workers: NoLocalWorkers,
+		Remotes: []Remote{simulatingRemote("peer-a", 2, &ran)},
+	})
+	defer drainManager(t, m)
+
+	cfgs := []sim.Config{tinyCfg(1), tinyCfg(2), tinyCfg(3)}
+	ids := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		ids[i] = submitOne(t, m, fmt.Sprintf("job-%d", i), cfg)
+	}
+	for i, id := range ids {
+		st := waitState(t, m, id, StateDone)
+		want, err := sweep.Run(context.Background(), []sweep.Job{{Config: cfgs[i]}}, sweep.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Result == nil || st.Result.CPUCycles != want[0].CPUCycles {
+			t.Errorf("job %d: remote result differs from local run", i)
+		}
+	}
+	mt := m.Metrics()
+	if mt.RemoteSimulations != 3 || mt.SimulationsRun != 0 {
+		t.Errorf("remote=%d local=%d simulations, want 3/0", mt.RemoteSimulations, mt.SimulationsRun)
+	}
+	if ran.Load() != 3 {
+		t.Errorf("fake peer ran %d jobs, want 3", ran.Load())
+	}
+}
+
+// TestManagerRemoteJobFailureIsTerminal: a *RemoteJobError means the
+// simulation itself failed on the peer — the flight fails instead of
+// being retried (an identical retry would fail identically).
+func TestManagerRemoteJobFailureIsTerminal(t *testing.T) {
+	peer := &remoteFunc{name: "peer-a", slots: 1, run: func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		return JobStatus{}, &RemoteJobError{Endpoint: "peer-a", JobID: "j1", State: StateFailed, Message: "bad workload"}
+	}}
+	m := NewManager(ManagerConfig{Workers: NoLocalWorkers, Remotes: []Remote{peer}})
+	defer drainManager(t, m)
+
+	id := submitOne(t, m, "doomed", tinyCfg(9))
+	st := waitState(t, m, id, StateFailed)
+	if st.Error == "" {
+		t.Error("failed job carries no error message")
+	}
+	if mt := m.Metrics(); mt.JobsRequeued != 0 {
+		t.Errorf("simulation failure was requeued %d times", mt.JobsRequeued)
+	}
+}
+
+// TestManagerPeerLossDegradesToLocal: when the only peer dies and no
+// other slot exists, the retiring slot must execute the in-flight
+// flight locally and keep serving the queue, so queued jobs are never
+// orphaned.
+func TestManagerPeerLossDegradesToLocal(t *testing.T) {
+	dead := &remoteFunc{name: "peer-dead", slots: 1, run: func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		return JobStatus{}, errors.New("connection refused")
+	}}
+	m := NewManager(ManagerConfig{Workers: NoLocalWorkers, Remotes: []Remote{dead}})
+	defer drainManager(t, m)
+
+	a := submitOne(t, m, "a", tinyCfg(11))
+	b := submitOne(t, m, "b", tinyCfg(12))
+	waitState(t, m, a, StateDone)
+	waitState(t, m, b, StateDone)
+	mt := m.Metrics()
+	if mt.SimulationsRun != 2 || mt.RemoteSimulations != 0 {
+		t.Errorf("local=%d remote=%d simulations, want 2/0", mt.SimulationsRun, mt.RemoteSimulations)
+	}
+}
+
+// TestManagerIneligiblePeerKeepsSlot: a peer that rejects a job as
+// ineligible (e.g. it cannot see the config's trace files) is healthy —
+// the flight must complete via local execution and the slot must keep
+// serving instead of retiring as if the peer had died.
+func TestManagerIneligiblePeerKeepsSlot(t *testing.T) {
+	var rejections atomic.Int64
+	picky := &remoteFunc{name: "peer-picky", slots: 1, run: func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		rejections.Add(1)
+		return JobStatus{}, fmt.Errorf("client: trace file /x outside root: %w", ErrIneligible)
+	}}
+	m := NewManager(ManagerConfig{Workers: NoLocalWorkers, Remotes: []Remote{picky}})
+	defer drainManager(t, m)
+
+	a := submitOne(t, m, "a", tinyCfg(31))
+	b := submitOne(t, m, "b", tinyCfg(32))
+	waitState(t, m, a, StateDone)
+	waitState(t, m, b, StateDone)
+	mt := m.Metrics()
+	if mt.SimulationsRun != 2 || mt.JobsRequeued != 0 {
+		t.Errorf("local=%d requeued=%d, want 2/0 (slot must survive and run locally)", mt.SimulationsRun, mt.JobsRequeued)
+	}
+	// Both flights reached the peer: the slot was never retired.
+	if rejections.Load() != 2 {
+		t.Errorf("peer saw %d flights, want 2", rejections.Load())
+	}
+}
+
+// TestManagerPeerLossFailsOver: a flight whose peer vanishes mid-run is
+// handed back to the queue and completed by the surviving peer.
+func TestManagerPeerLossFailsOver(t *testing.T) {
+	deadHit := make(chan struct{})
+	var once atomic.Bool
+	dead := &remoteFunc{name: "peer-dead", slots: 1, run: func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		if once.CompareAndSwap(false, true) {
+			close(deadHit)
+		}
+		return JobStatus{}, errors.New("connection reset")
+	}}
+	// The healthy peer holds its first flight until the dead peer has
+	// failed once, so the dead peer deterministically receives a flight.
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	var ran atomic.Int64
+	healthy := simulatingRemote("peer-ok", 1, &ran)
+	inner := healthy.run
+	healthy.run = func(ctx context.Context, spec JobSpec) (JobStatus, error) {
+		if gated.CompareAndSwap(false, true) {
+			<-gate
+		}
+		return inner(ctx, spec)
+	}
+	m := NewManager(ManagerConfig{Workers: NoLocalWorkers, Remotes: []Remote{dead, healthy}})
+	defer drainManager(t, m)
+
+	a := submitOne(t, m, "a", tinyCfg(21))
+	b := submitOne(t, m, "b", tinyCfg(22))
+	<-deadHit
+	close(gate)
+	waitState(t, m, a, StateDone)
+	waitState(t, m, b, StateDone)
+	mt := m.Metrics()
+	if mt.JobsRequeued < 1 {
+		t.Errorf("no flight was requeued after peer loss (requeued=%d)", mt.JobsRequeued)
+	}
+	if mt.RemoteSimulations != 2 {
+		t.Errorf("remote simulations = %d, want 2", mt.RemoteSimulations)
+	}
+}

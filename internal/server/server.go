@@ -156,11 +156,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// Health is the /healthz body.
+// Health is the /healthz body. Workers and TraceRoot let fleet
+// dispatchers (internal/dispatch, ccsimd -peers) weight assignment by
+// capacity and decide whether trace-file configs may be submitted here.
 type Health struct {
 	Status  string  `json:"status"`
 	Version string  `json:"version"`
 	UptimeS float64 `json:"uptime_s"`
+	// Workers is the daemon's local simulation concurrency.
+	Workers int `json:"workers"`
+	// TraceRoot, when non-empty, is a directory the daemon shares with
+	// its clients: trace-file configs whose absolute paths live under
+	// it resolve to the same bytes on both sides.
+	TraceRoot string `json:"trace_root,omitempty"`
+}
+
+// health builds the shared /healthz//readyz body.
+func (s *Server) health() Health {
+	h := Health{
+		Status:    "ok",
+		Version:   version.String(),
+		UptimeS:   time.Since(s.started).Seconds(),
+		Workers:   s.manager.Workers(),
+		TraceRoot: s.manager.TraceRoot(),
+	}
+	if s.manager.Metrics().Draining {
+		h.Status = "draining"
+	}
+	return h
 }
 
 // handleHealth reports liveness: always 200 while the process serves
@@ -169,15 +192,7 @@ type Health struct {
 // "draining" so humans see the state. Routing decisions belong on
 // /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	h := Health{
-		Status:  "ok",
-		Version: version.String(),
-		UptimeS: time.Since(s.started).Seconds(),
-	}
-	if s.manager.Metrics().Draining {
-		h.Status = "draining"
-	}
-	writeJSON(w, http.StatusOK, h)
+	writeJSON(w, http.StatusOK, s.health())
 }
 
 // handleReady reports readiness: 503 while draining, when every new
@@ -185,14 +200,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // during the shutdown grace window without the liveness probe killing
 // in-flight work.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	h := Health{
-		Status:  "ok",
-		Version: version.String(),
-		UptimeS: time.Since(s.started).Seconds(),
-	}
+	h := s.health()
 	status := http.StatusOK
-	if s.manager.Metrics().Draining {
-		h.Status = "draining"
+	if h.Status == "draining" {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -22,23 +23,59 @@ import (
 const cacheVersion = 1
 
 // ErrUncacheable marks configs that cannot be keyed: a Custom mechanism
-// embeds an arbitrary function whose behaviour the hash cannot capture.
-var ErrUncacheable = errors.New("sweep: custom-mechanism configs cannot be cached")
+// embeds an arbitrary function whose behaviour the hash cannot capture,
+// and a trace file the process cannot read leaves the simulation input
+// unfingerprintable.
+var ErrUncacheable = errors.New("sweep: config cannot be content-addressed")
 
 // Key returns the cache key of cfg: the hex SHA-256 of its canonical
-// JSON encoding. Two configs share a key exactly when every exported
-// field matches, so a key identifies one deterministic simulation
-// outcome.
+// JSON encoding plus, for trace-driven configs, a digest of each trace
+// file's contents. Hashing the paths alone would let a trace
+// regenerated at the same path silently serve a stale cached Result
+// (and a daemon's persistent cache would serve it across restarts), so
+// the key changes whenever the bytes behind a path change. Two configs
+// share a key exactly when every exported field matches and every
+// referenced trace file holds the same bytes, so a key identifies one
+// deterministic simulation outcome. Configs without trace files hash
+// exactly as before, keeping historical cache entries valid.
 func Key(cfg sim.Config) (string, error) {
 	if cfg.Mechanism == sim.Custom || cfg.CustomMechanism != nil {
-		return "", ErrUncacheable
+		return "", fmt.Errorf("%w: custom mechanisms embed arbitrary code", ErrUncacheable)
 	}
 	blob, err := json.Marshal(cfg)
 	if err != nil {
 		return "", fmt.Errorf("sweep: hashing config: %w", err)
 	}
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:]), nil
+	h := sha256.New()
+	h.Write(blob)
+	for i, path := range cfg.TraceFiles {
+		if path == "" {
+			continue
+		}
+		sum, err := fileDigest(path)
+		if err != nil {
+			// The simulation itself will surface the real failure; a
+			// result must never be stored under a key whose inputs
+			// could not be fingerprinted.
+			return "", fmt.Errorf("%w: trace %s: %v", ErrUncacheable, path, err)
+		}
+		fmt.Fprintf(h, "|trace%d:%x", i, sum)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fileDigest returns the SHA-256 of the file's contents.
+func fileDigest(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return nil, err
+	}
+	return h.Sum(nil), nil
 }
 
 // cacheFile is the persisted form: {"version":1,"entries":{key:Result}}.
@@ -167,6 +204,15 @@ func (c *Cache) Put(cfg sim.Config, res sim.Result) error {
 	if err != nil {
 		return err
 	}
+	return c.PutKeyed(key, res)
+}
+
+// PutKeyed stores res under an already computed content-address key and
+// flushes the file. Callers that hold the key (the sweep engine, the
+// fleet dispatcher) use it to avoid re-hashing the config — for
+// trace-driven configs Key re-digests every trace file, which is worth
+// doing once per job, not once per cache operation.
+func (c *Cache) PutKeyed(key string, res sim.Result) error {
 	c.mu.Lock()
 	c.entries[key] = res
 	c.seq++

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -175,6 +176,152 @@ func TestOpenCacheQuarantinesGarbage(t *testing.T) {
 				t.Error("result written after recovery did not persist")
 			}
 		})
+	}
+}
+
+// writeTrace dumps records of the form "<bubbles> <addr>" so tests can
+// build valid trace-driven configs with controlled file contents.
+func writeTrace(t *testing.T, path string, addrs []uint64) {
+	t.Helper()
+	var blob []byte
+	for i, a := range addrs {
+		blob = append(blob, []byte(fmt.Sprintf("%d %#x\n", i%3, a))...)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// traceConfig builds a tiny single-core config replaying path.
+func traceConfig(path string) sim.Config {
+	cfg := tinyConfig("lbm", 1)
+	cfg.TraceFiles = []string{path}
+	return cfg
+}
+
+// TestKeyDigestsTraceContents pins the cache-staleness fix: the key
+// must fingerprint trace file *contents*, not just their paths, so a
+// trace regenerated at the same path cannot serve a stale result.
+func TestKeyDigestsTraceContents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "core0.trace")
+	writeTrace(t, path, []uint64{0x1000, 0x2000, 0x3000})
+	k1, err := Key(traceConfig(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same path, different bytes: the key must change.
+	writeTrace(t, path, []uint64{0x4000, 0x5000, 0x6000})
+	k2, err := Key(traceConfig(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("rewriting the trace file did not change the key")
+	}
+
+	// Restoring the original bytes must restore the original key, so
+	// identical inputs still share cache entries.
+	writeTrace(t, path, []uint64{0x1000, 0x2000, 0x3000})
+	k3, err := Key(traceConfig(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != k1 {
+		t.Error("identical trace bytes hashed to different keys")
+	}
+
+	// Generator-only configs must keep their historical keys: an empty
+	// TraceFiles slice and a nil one hash identically.
+	plain := tinyConfig("lbm", 1)
+	kNil, err := Key(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kNil == k1 {
+		t.Error("trace-driven config shares a key with the generator config")
+	}
+
+	// An unreadable trace makes the config uncacheable rather than
+	// silently keyed by path.
+	missing := traceConfig(filepath.Join(t.TempDir(), "no-such.trace"))
+	if _, err := Key(missing); !errors.Is(err, ErrUncacheable) {
+		t.Errorf("missing trace file: got %v, want ErrUncacheable", err)
+	}
+}
+
+// TestTraceRewriteInvalidatesCache is the end-to-end regression for the
+// staleness bug: run a trace-driven config through a cached sweep,
+// regenerate the trace at the same path, and rerun — the second sweep
+// must simulate afresh and produce the new trace's result, not serve
+// the stale cached one (which a persistent daemon cache would otherwise
+// do across restarts too).
+func TestTraceRewriteInvalidatesCache(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "core0.trace")
+	cachePath := filepath.Join(dir, "results.json")
+
+	// Two address streams far enough apart to measure differently.
+	first := make([]uint64, 64)
+	second := make([]uint64, 64)
+	for i := range first {
+		first[i] = uint64(i) * 64
+		second[i] = uint64(i) * 1 << 20
+	}
+
+	writeTrace(t, path, first)
+	cache, err := OpenCache(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{Label: "trace", Config: traceConfig(path)}}
+	res1, err := Run(context.Background(), jobs, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Regenerate the trace at the same path, reopen the cache as a
+	// restarted process would, and rerun.
+	writeTrace(t, path, second)
+	reopened, err := OpenCache(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached bool
+	res2, err := Run(context.Background(), jobs, Options{
+		Workers:  1,
+		Cache:    reopened,
+		Progress: func(ev Event) { cached = cached || ev.Cached },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("rewritten trace was served from the cache")
+	}
+	if reflect.DeepEqual(res1[0], res2[0]) {
+		t.Error("rewritten trace reproduced the stale result")
+	}
+
+	// Unchanged inputs still resume from the cache.
+	var hits int
+	res3, err := Run(context.Background(), jobs, Options{
+		Workers: 1,
+		Cache:   reopened,
+		Progress: func(ev Event) {
+			if ev.Cached {
+				hits++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Errorf("identical rerun had %d cache hits, want 1", hits)
+	}
+	if !reflect.DeepEqual(res2[0], res3[0]) {
+		t.Error("cached rerun differs from the fresh run")
 	}
 }
 

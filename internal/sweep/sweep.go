@@ -31,12 +31,13 @@ type Job struct {
 
 // Event reports the completion of one job to Options.Progress.
 type Event struct {
-	Index   int    // job position in the input slice
-	Total   int    // number of jobs in the sweep
-	Done    int    // jobs finished so far, including this one
+	Index   int // job position in the input slice
+	Total   int // number of jobs in the sweep
+	Done    int // jobs finished so far, including this one
 	Label   string
-	Key     string // content-address of the config ("" when uncacheable)
+	Key     string // content-address of the config ("" when uncacheable or uncached)
 	Cached  bool   // result served from the cache, not a fresh run
+	Deduped bool   // result shared from an identical config's single fleet-wide run
 	Err     error
 	Elapsed time.Duration // wall clock of this job (0 when cached)
 }
@@ -163,12 +164,18 @@ func (s *state) runJob(ctx context.Context, i int) error {
 		return nil // sweep is shutting down; leave the slot untouched
 	}
 	job := s.jobs[i]
-	key, _ := Key(job.Config) // "" for uncacheable configs
+	// The key is only worth computing with a cache to consult: for
+	// trace-driven configs Key digests every trace file's contents,
+	// which an uncached sweep should not pay for.
+	var key string
 	if s.opts.Cache != nil {
-		if res, ok := s.opts.Cache.Get(job.Config); ok {
-			s.results[i] = res
-			s.report(Event{Index: i, Label: job.Label, Key: key, Cached: true})
-			return nil
+		key, _ = Key(job.Config) // "" for uncacheable configs
+		if key != "" {
+			if res, ok := s.opts.Cache.Lookup(key); ok {
+				s.results[i] = res
+				s.report(Event{Index: i, Label: job.Label, Key: key, Cached: true})
+				return nil
+			}
 		}
 	}
 	start := time.Now()
@@ -178,8 +185,8 @@ func (s *state) runJob(ctx context.Context, i int) error {
 		s.report(Event{Index: i, Label: job.Label, Key: key, Err: err, Elapsed: time.Since(start)})
 		return err
 	}
-	if s.opts.Cache != nil {
-		if err := s.opts.Cache.Put(job.Config, res); err != nil {
+	if s.opts.Cache != nil && key != "" {
+		if err := s.opts.Cache.PutKeyed(key, res); err != nil {
 			s.errs[i] = err
 			s.report(Event{Index: i, Label: job.Label, Key: key, Err: err, Elapsed: time.Since(start)})
 			return err
@@ -221,6 +228,8 @@ func StderrProgress(ev Event) {
 		fmt.Fprintf(os.Stderr, "[%d/%d] %s FAILED: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
 	case ev.Cached:
 		fmt.Fprintf(os.Stderr, "[%d/%d] %s (cached)\n", ev.Done, ev.Total, ev.Label)
+	case ev.Deduped:
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (deduped)\n", ev.Done, ev.Total, ev.Label)
 	default:
 		fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond))
 	}

@@ -86,7 +86,12 @@ func (t *Reader) Read() (cpu.TraceRecord, error) {
 		return rec, nil
 	}
 	if err := t.s.Err(); err != nil {
-		return cpu.TraceRecord{}, err
+		// Scanner failures (an over-long line tripping the buffer cap,
+		// an I/O error mid-file) happen on the line after the last one
+		// scanned; wrap them with that position like parse errors, so a
+		// 2 GB trace with one bad line names it instead of surfacing a
+		// naked bufio.ErrTooLong.
+		return cpu.TraceRecord{}, fmt.Errorf("trace: line %d: %w", t.line+1, err)
 	}
 	return cpu.TraceRecord{}, io.EOF
 }

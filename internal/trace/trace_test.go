@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -78,6 +80,30 @@ func TestReaderRejectsMalformed(t *testing.T) {
 		if _, err := ReadAll(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+// TestReaderOverlongLine pins the scanner-error context fix: a line
+// exceeding the 1 MiB buffer must surface as a positioned trace error
+// wrapping bufio.ErrTooLong, not as the naked scanner error.
+func TestReaderOverlongLine(t *testing.T) {
+	in := "1 0x10\n2 0x20\n# comment\n3 0x" + strings.Repeat("3", 2<<20) + "\n"
+	r := NewReader(strings.NewReader(in))
+	for i := 0; i < 2; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	_, err := r.Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("over-long line read returned %v, want an error", err)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error %v does not wrap bufio.ErrTooLong", err)
+	}
+	// The failing line follows the two records and the comment: line 4.
+	if got := err.Error(); !strings.Contains(got, "line 4") {
+		t.Errorf("error %q does not name the failing line", got)
 	}
 }
 

@@ -27,6 +27,7 @@ test:
 race:
 	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch
 	$(GO) test -race ./internal/sim -run 'TestDifferential'
+	$(GO) test -race ./internal/memctrl ./internal/dram
 
 # serve runs the simulation daemon locally with the version stamp.
 # Override flags with CCSIMD_FLAGS, e.g.
@@ -63,10 +64,18 @@ bench: bench-simcore
 # bench-simcore measures the two execution engines (event-driven vs the
 # reference stepper) on the Quick-scale Figure 7a campaign and records
 # the numbers in BENCH_simcore.json, so engine-performance history
-# accumulates across PRs.
+# accumulates across PRs. The run fails if any workload's event engine
+# is slower than the reference stepper (-min-speedup 1.0, the default).
 .PHONY: bench-simcore
 bench-simcore:
 	$(GO) run $(LDFLAGS) ./cmd/benchrecord -out BENCH_simcore.json
+
+# bench-check reruns the campaign without touching the committed file
+# and fails on a per-workload speedup below 1x or a >10% aggregate
+# configs_per_sec regression against the committed BENCH_simcore.json.
+.PHONY: bench-check
+bench-check:
+	$(GO) run $(LDFLAGS) ./cmd/benchrecord -out /tmp/BENCH_simcore.fresh.json -compare BENCH_simcore.json
 
 # golden-update deliberately rewrites the experiment-layer regression
 # snapshot after an intended change to reproduced paper numbers.

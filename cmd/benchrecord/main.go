@@ -4,6 +4,11 @@
 // (default BENCH_simcore.json), so every PR that touches the hot path
 // leaves a comparable data point behind.
 //
+// Each config is run under both engines back to back (stepper, then
+// event), so per-workload speedups compare measurements taken moments
+// apart — robust against machine-load drift over the campaign, which
+// two separate full passes are not.
+//
 // Recorded per engine: campaign wall clock, ns per simulated
 // megacycle, and sweep throughput (configs/sec); for the event-driven
 // engine additionally the fraction of cycles it actually executed.
@@ -12,9 +17,21 @@
 // Results (see internal/sim/differential_test.go), so the comparison
 // is pure engine overhead.
 //
-//	benchrecord                  # full campaign, writes BENCH_simcore.json
-//	benchrecord -quick           # 6-workload subset (CI smoke)
-//	benchrecord -out bench.json  # alternate output path
+// The run doubles as a regression gate:
+//
+//   - -min-speedup R (default 1.0) fails the run if any workload's
+//     event-vs-stepper speedup drops below R — an event engine slower
+//     than the reference stepper on any workload is a perf bug, not a
+//     data point. Set R <= 0 to disable.
+//
+//   - -compare FILE diffs the fresh numbers against a committed
+//     BENCH_simcore.json and fails on a >10% (-max-regress) drop in
+//     either engine's aggregate configs_per_sec.
+//
+//     benchrecord                  # full campaign, writes BENCH_simcore.json
+//     benchrecord -quick           # 6-workload subset (CI smoke)
+//     benchrecord -out bench.json  # alternate output path
+//     benchrecord -compare BENCH_simcore.json -out /tmp/bench.json
 package main
 
 import (
@@ -75,6 +92,12 @@ func main() {
 
 	out := flag.String("out", "BENCH_simcore.json", "output JSON path")
 	quick := flag.Bool("quick", false, "run a 6-workload subset instead of the full 22 (CI smoke)")
+	minSpeedup := flag.Float64("min-speedup", 1.0,
+		"fail if any workload's event-vs-stepper speedup is below this (<=0 disables)")
+	compare := flag.String("compare", "",
+		"committed BENCH_simcore.json to diff against; fail on aggregate throughput regression")
+	maxRegress := flag.Float64("max-regress", 0.10,
+		"maximum tolerated fractional configs_per_sec regression for -compare")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -128,54 +151,74 @@ func main() {
 		perWorkload[name] = &workloadRow{Workload: name}
 	}
 
-	for _, engine := range []string{"stepper", "event"} {
-		var st engineStats
+	runOne := func(cfg sim.Config, stepper bool) (time.Duration, sim.Result, *sim.System) {
+		cfg.Stepper = stepper
+		sys, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		start := time.Now()
-		for _, j := range jobs {
-			cfg := j.cfg
-			cfg.Stepper = engine == "stepper"
-			sys, err := sim.New(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			jobStart := time.Now()
-			res, err := sys.Run()
-			if err != nil {
-				log.Fatal(err)
-			}
-			wallMS := float64(time.Since(jobStart)) / float64(time.Millisecond)
-			st.TotalCycles += sys.TotalCycles()
-			st.ExecutedCycles += sys.ExecutedCycles()
-			for _, pc := range res.PerCore {
-				st.InstructionsTotal += pc.Instructions
-			}
-			row := perWorkload[j.workload]
-			if engine == "stepper" {
-				row.StepperMS += wallMS
-			} else {
-				row.EventMS += wallMS
-				// Running weighted mean over the workload's five configs.
-				row.ExecFraction += float64(sys.ExecutedCycles()) / float64(sys.TotalCycles()) / float64(len(mechs))
-			}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
 		}
-		elapsed := time.Since(start)
-		st.WallMS = float64(elapsed) / float64(time.Millisecond)
-		st.SimMegacycles = float64(st.TotalCycles) / 1e6
-		st.NsPerMegacycle = float64(elapsed.Nanoseconds()) / st.SimMegacycles
-		st.ConfigsPerSec = float64(len(jobs)) / elapsed.Seconds()
-		if engine == "event" {
-			st.ExecutedFraction = float64(st.ExecutedCycles) / float64(st.TotalCycles)
+		return time.Since(start), res, sys
+	}
+	retired := func(res sim.Result) uint64 {
+		var n uint64
+		for _, pc := range res.PerCore {
+			n += pc.Instructions
 		}
-		rec.Engines[engine] = st
-		log.Printf("%-7s %7.0f ms  %8.0f ns/Mcycle  %6.2f configs/s",
-			engine, st.WallMS, st.NsPerMegacycle, st.ConfigsPerSec)
+		return n
 	}
 
-	rec.Speedup = rec.Engines["stepper"].WallMS / rec.Engines["event"].WallMS
+	var stStats, evStats engineStats
+	var stTotal, evTotal time.Duration
+	for _, j := range jobs {
+		row := perWorkload[j.workload]
+
+		wall, res, sys := runOne(j.cfg, true)
+		stTotal += wall
+		stStats.TotalCycles += sys.TotalCycles()
+		stStats.ExecutedCycles += sys.ExecutedCycles()
+		stStats.InstructionsTotal += retired(res)
+		row.StepperMS += float64(wall) / float64(time.Millisecond)
+
+		wall, res, sys = runOne(j.cfg, false)
+		evTotal += wall
+		evStats.TotalCycles += sys.TotalCycles()
+		evStats.ExecutedCycles += sys.ExecutedCycles()
+		evStats.InstructionsTotal += retired(res)
+		row.EventMS += float64(wall) / float64(time.Millisecond)
+		// Running weighted mean over the workload's five configs.
+		row.ExecFraction += float64(sys.ExecutedCycles()) / float64(sys.TotalCycles()) / float64(len(mechs))
+	}
+
+	finish := func(st *engineStats, total time.Duration, name string) {
+		st.WallMS = float64(total) / float64(time.Millisecond)
+		st.SimMegacycles = float64(st.TotalCycles) / 1e6
+		st.NsPerMegacycle = float64(total.Nanoseconds()) / st.SimMegacycles
+		st.ConfigsPerSec = float64(len(jobs)) / total.Seconds()
+		log.Printf("%-7s %7.0f ms  %8.0f ns/Mcycle  %6.2f configs/s",
+			name, st.WallMS, st.NsPerMegacycle, st.ConfigsPerSec)
+	}
+	finish(&stStats, stTotal, "stepper")
+	evStats.ExecutedFraction = float64(evStats.ExecutedCycles) / float64(evStats.TotalCycles)
+	finish(&evStats, evTotal, "event")
+	rec.Engines["stepper"] = stStats
+	rec.Engines["event"] = evStats
+
+	rec.Speedup = stStats.WallMS / evStats.WallMS
+	slow := 0
 	for _, name := range names {
 		row := perWorkload[name]
 		row.Speedup = row.StepperMS / row.EventMS
 		rec.PerWorkload = append(rec.PerWorkload, *row)
+		if *minSpeedup > 0 && row.Speedup < *minSpeedup {
+			log.Printf("FAIL: %s event engine speedup %.3fx below floor %.2fx (stepper %.1f ms, event %.1f ms)",
+				name, row.Speedup, *minSpeedup, row.StepperMS, row.EventMS)
+			slow++
+		}
 	}
 	log.Printf("campaign speedup (event vs stepper): %.2fx", rec.Speedup)
 
@@ -188,4 +231,41 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+
+	if slow > 0 {
+		log.Fatalf("%d workload(s) below the per-workload speedup floor", slow)
+	}
+	if *compare != "" {
+		if err := compareAgainst(*compare, rec, *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// compareAgainst diffs the fresh record's aggregate throughput against a
+// committed baseline and errors on a regression beyond tolerance.
+func compareAgainst(path string, fresh record, tolerance float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base record
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("compare %s: %w", path, err)
+	}
+	for _, engine := range []string{"stepper", "event"} {
+		was := base.Engines[engine].ConfigsPerSec
+		now := fresh.Engines[engine].ConfigsPerSec
+		if was <= 0 {
+			continue
+		}
+		drop := 1 - now/was
+		log.Printf("compare %-7s configs/s: committed %.2f, fresh %.2f (%+.1f%%)",
+			engine, was, now, 100*(now/was-1))
+		if drop > tolerance {
+			return fmt.Errorf("compare: %s engine configs_per_sec regressed %.1f%% (> %.0f%% tolerated) against %s",
+				engine, 100*drop, 100*tolerance, path)
+		}
+	}
+	return nil
 }

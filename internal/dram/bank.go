@@ -18,9 +18,12 @@ func (s BankState) String() string {
 	return "active"
 }
 
-// bank tracks one bank's row-buffer state and the earliest cycle at which
-// each command kind may next be issued to it. The per-bank constraints
-// are exactly the DDR3 intra-bank ones:
+// bank tracks one bank's row-buffer state and, per command kind, the
+// earliest cycle at which that command may next be issued to it. The
+// registers are maintained incrementally: each Issue advances exactly
+// the registers its timing arcs constrain, so legality checks are pure
+// field comparisons. The per-bank constraints are exactly the DDR3
+// intra-bank ones:
 //
 //	ACT -> RD/WR   tRCD (from the ACT's timing class)
 //	ACT -> PRE     tRAS (from the ACT's timing class)
@@ -36,6 +39,11 @@ type bank struct {
 	nextRD  Cycle
 	nextWR  Cycle
 	nextPRE Cycle
+
+	// maxReg is the running maximum of the four registers above, so the
+	// channel's expiry scan can skip long-idle banks (every register in
+	// the past) with one comparison.
+	maxReg Cycle
 
 	lastACT      Cycle // issue time of the most recent ACT
 	lastACTClass TimingClass
@@ -54,7 +62,7 @@ func (b *bank) canACT(now Cycle) bool {
 	return b.state == BankPrecharged && now >= b.nextACT
 }
 
-func (b *bank) canRD(now Cycle, col bool) bool {
+func (b *bank) canRD(now Cycle) bool {
 	return b.state == BankActive && now >= b.nextRD
 }
 
@@ -68,7 +76,7 @@ func (b *bank) canPRE(now Cycle) bool {
 	return b.state == BankActive && now >= b.nextPRE
 }
 
-func (b *bank) applyACT(now Cycle, row int, class TimingClass, t Timing) {
+func (b *bank) applyACT(now Cycle, row int, class TimingClass, tt *timingTable) {
 	b.state = BankActive
 	b.row = row
 	b.lastACT = now
@@ -76,25 +84,29 @@ func (b *bank) applyACT(now Cycle, row int, class TimingClass, t Timing) {
 	b.nextRD = maxCycle(b.nextRD, now+Cycle(class.RCD))
 	b.nextWR = maxCycle(b.nextWR, now+Cycle(class.RCD))
 	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(class.RAS))
-	rc := t.RC
-	if t.RCFromClass && class.RAS+t.RP < rc {
-		rc = class.RAS + t.RP
+	rc := tt.rc
+	if tt.rcFromClass && Cycle(class.RAS)+tt.rp < rc {
+		rc = Cycle(class.RAS) + tt.rp
 	}
-	b.nextACT = maxCycle(b.nextACT, now+Cycle(rc))
+	b.nextACT = maxCycle(b.nextACT, now+rc)
+	b.maxReg = maxCycle(b.maxReg, maxCycle(b.nextACT, maxCycle(b.nextRD, maxCycle(b.nextWR, b.nextPRE))))
 }
 
-func (b *bank) applyRD(now Cycle, t Timing) {
-	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(t.RTP))
+func (b *bank) applyRD(now Cycle, tt *timingTable) {
+	b.nextPRE = maxCycle(b.nextPRE, now+tt.rtp)
+	b.maxReg = maxCycle(b.maxReg, b.nextPRE)
 }
 
-func (b *bank) applyWR(now Cycle, t Timing) {
-	b.nextPRE = maxCycle(b.nextPRE, now+Cycle(t.CWL+t.BL+t.WR))
+func (b *bank) applyWR(now Cycle, tt *timingTable) {
+	b.nextPRE = maxCycle(b.nextPRE, now+tt.wrToPre)
+	b.maxReg = maxCycle(b.maxReg, b.nextPRE)
 }
 
-func (b *bank) applyPRE(now Cycle, t Timing) {
+func (b *bank) applyPRE(now Cycle, tt *timingTable) {
 	b.state = BankPrecharged
 	b.row = 0
-	b.nextACT = maxCycle(b.nextACT, now+Cycle(t.RP))
+	b.nextACT = maxCycle(b.nextACT, now+tt.rp)
+	b.maxReg = maxCycle(b.maxReg, b.nextACT)
 }
 
 func maxCycle(a, b Cycle) Cycle {

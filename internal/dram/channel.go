@@ -20,16 +20,29 @@ type CommandCounts struct {
 // Channel is one DRAM channel: a set of ranks sharing a command/address
 // bus and a data bus. It is the unit the memory controller drives.
 //
+// Command legality is tracked as next-allowed-cycle registers, one per
+// (bank|rank, command kind), advanced incrementally at Issue time from
+// the precomputed timing table — CanIssue and EarliestActivate are pure
+// field comparisons, and NextTimingExpiry is a cached read of the
+// register file, invalidated only when a command moves it.
+//
 // Channel is not safe for concurrent use; the simulator drives each
 // channel from a single goroutine.
 type Channel struct {
 	spec  Spec
+	tt    timingTable
 	ranks []rank
 
 	// dataBusFree is the first cycle at which a new data burst could
 	// start, together with the rank that last used the bus (for tRTRS).
 	dataBusFree Cycle
 	dataBusRank int
+
+	// expiryCache memoizes NextTimingExpiry between issues; expiryStale
+	// marks it invalid after a command moved the registers.
+	expiryCache Cycle
+	expiryFrom  Cycle
+	expiryStale bool
 
 	counts      CommandCounts
 	now         Cycle // last issue or sync time, for accounting
@@ -48,7 +61,7 @@ func NewChannel(spec Spec) (*Channel, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	ch := &Channel{spec: spec, dataBusRank: -1}
+	ch := &Channel{spec: spec, tt: makeTimingTable(spec.Timing), dataBusRank: -1}
 	ch.ranks = make([]rank, spec.Geometry.Ranks)
 	for i := range ch.ranks {
 		ch.ranks[i] = newRank(spec.Geometry.Banks)
@@ -90,7 +103,10 @@ func (c *Channel) AllBanksPrecharged(rankID int) bool {
 	return c.ranks[rankID].allPrecharged()
 }
 
-// CanIssue reports whether cmd may legally issue at cycle now.
+// CanIssue reports whether cmd may legally issue at cycle now. Every
+// case is a bounded number of register comparisons: refresh busy is
+// folded into the rank registers at REF issue, and the tFAW window head
+// into the rank ACT register at ACT issue.
 func (c *Channel) CanIssue(cmd Command, now Cycle) bool {
 	if cmd.Rank < 0 || cmd.Rank >= len(c.ranks) {
 		return false
@@ -109,15 +125,15 @@ func (c *Channel) CanIssue(cmd Command, now Cycle) bool {
 		}
 		return !r.refreshing(now) && r.banks[cmd.Bank].canPRE(now)
 	case CmdRD:
-		if !c.colOK(cmd, now) || now < r.nextRD {
+		if !c.colInRange(cmd) || now < r.nextRD {
 			return false
 		}
-		return r.banks[cmd.Bank].canRD(now, true) && c.busFreeFor(now+Cycle(c.spec.Timing.CL), cmd.Rank)
+		return r.banks[cmd.Bank].canRD(now) && c.busFreeFor(now+c.tt.cl, cmd.Rank)
 	case CmdWR:
-		if !c.colOK(cmd, now) || now < r.nextWR {
+		if !c.colInRange(cmd) || now < r.nextWR {
 			return false
 		}
-		return r.banks[cmd.Bank].canWR(now) && c.busFreeFor(now+Cycle(c.spec.Timing.CWL), cmd.Rank)
+		return r.banks[cmd.Bank].canWR(now) && c.busFreeFor(now+c.tt.cwl, cmd.Rank)
 	case CmdREF:
 		return r.canREF(now)
 	default:
@@ -125,12 +141,11 @@ func (c *Channel) CanIssue(cmd Command, now Cycle) bool {
 	}
 }
 
-func (c *Channel) colOK(cmd Command, now Cycle) bool {
-	r := &c.ranks[cmd.Rank]
-	if r.refreshing(now) {
-		return false
-	}
-	return cmd.Bank >= 0 && cmd.Bank < len(r.banks) &&
+// colInRange bounds-checks a column command's coordinates. Refresh busy
+// needs no check here: applyREF folds the tRFC window into the rank's
+// column registers.
+func (c *Channel) colInRange(cmd Command) bool {
+	return cmd.Bank >= 0 && cmd.Bank < c.spec.Geometry.Banks &&
 		cmd.Col >= 0 && cmd.Col < c.spec.Geometry.Columns
 }
 
@@ -139,14 +154,15 @@ func (c *Channel) colOK(cmd Command, now Cycle) bool {
 func (c *Channel) busFreeFor(start Cycle, rankID int) bool {
 	free := c.dataBusFree
 	if c.dataBusRank >= 0 && c.dataBusRank != rankID {
-		free += Cycle(c.spec.Timing.RTRS)
+		free += c.tt.rtrs
 	}
 	return start >= free
 }
 
 // Issue applies cmd at cycle now. It panics if the command is illegal;
 // callers must gate with CanIssue (an illegal issue is a controller bug,
-// not a runtime condition).
+// not a runtime condition). Each case advances exactly the registers the
+// command's timing arcs constrain.
 func (c *Channel) Issue(cmd Command, now Cycle) {
 	if !c.CanIssue(cmd, now) {
 		panic(fmt.Sprintf("dram: illegal %v at cycle %d", cmd, now))
@@ -154,38 +170,45 @@ func (c *Channel) Issue(cmd Command, now Cycle) {
 	if c.tracer != nil {
 		c.tracer(cmd, now)
 	}
-	t := c.spec.Timing
+	tt := &c.tt
 	r := &c.ranks[cmd.Rank]
 	r.settle(now)
 	c.now = now
+	c.expiryStale = true
 	switch cmd.Kind {
 	case CmdACT:
-		r.banks[cmd.Bank].applyACT(now, cmd.Row, cmd.Class, t)
-		r.applyACT(now, t)
+		b := &r.banks[cmd.Bank]
+		b.applyACT(now, cmd.Row, cmd.Class, tt)
+		r.applyACT(now, tt)
+		r.noteBankACT(b.nextACT)
 		r.openBanks++
 		c.counts.ACT++
 		c.counts.RASCycles += uint64(cmd.Class.RAS)
-		if cmd.Class.RCD < t.RCD || cmd.Class.RAS < t.RAS {
+		if Cycle(cmd.Class.RCD) < tt.rcd || Cycle(cmd.Class.RAS) < tt.ras {
 			c.counts.FastACT++
 		}
 	case CmdPRE:
-		r.banks[cmd.Bank].applyPRE(now, t)
+		b := &r.banks[cmd.Bank]
+		b.applyPRE(now, tt)
+		r.noteBankACT(b.nextACT)
 		r.openBanks--
 		c.counts.PRE++
 	case CmdRD:
-		r.banks[cmd.Bank].applyRD(now, t)
-		r.applyRD(now, t)
-		c.dataBusFree = now + Cycle(t.CL+t.BL)
+		b := &r.banks[cmd.Bank]
+		b.applyRD(now, tt)
+		r.applyRD(now, tt)
+		c.dataBusFree = now + tt.rdBusHold
 		c.dataBusRank = cmd.Rank
 		c.counts.RD++
 	case CmdWR:
-		r.banks[cmd.Bank].applyWR(now, t)
-		r.applyWR(now, t)
-		c.dataBusFree = now + Cycle(t.CWL+t.BL)
+		b := &r.banks[cmd.Bank]
+		b.applyWR(now, tt)
+		r.applyWR(now, tt)
+		c.dataBusFree = now + tt.wrBusHold
 		c.dataBusRank = cmd.Rank
 		c.counts.WR++
 	case CmdREF:
-		r.applyREF(now, t)
+		r.applyREF(now, tt)
 		r.inRefreshWindow = true
 		c.counts.REF++
 	}
@@ -194,13 +217,13 @@ func (c *Channel) Issue(cmd Command, now Cycle) {
 // ReadDataAt returns the cycle at which read data issued at issueCycle is
 // fully transferred (end of burst).
 func (c *Channel) ReadDataAt(issueCycle Cycle) Cycle {
-	return issueCycle + Cycle(c.spec.Timing.CL+c.spec.Timing.BL)
+	return issueCycle + c.tt.rdBusHold
 }
 
 // WriteDataAt returns the cycle at which write data issued at issueCycle
 // is fully transferred.
 func (c *Channel) WriteDataAt(issueCycle Cycle) Cycle {
-	return issueCycle + Cycle(c.spec.Timing.CWL+c.spec.Timing.BL)
+	return issueCycle + c.tt.wrBusHold
 }
 
 // SyncAccounting integrates background-state accounting to cycle now.

@@ -6,9 +6,10 @@ package dram
 const NoEvent Cycle = 1 << 56
 
 // RankActReady reports whether the rank-level activate constraints —
-// tRRD spacing, the tFAW window, and refresh busy — permit an ACT at
-// cycle now. Like RankColumnReady it mirrors CanIssue's rank checks so
-// schedulers can skip per-request activate probes that cannot succeed.
+// tRRD spacing, the tFAW window, and refresh busy, all folded into one
+// register — permit an ACT at cycle now. Like RankColumnReady it mirrors
+// CanIssue's rank checks so schedulers can skip per-request activate
+// probes that cannot succeed.
 func (c *Channel) RankActReady(rankID int, now Cycle) bool {
 	return c.ranks[rankID].canACT(now)
 }
@@ -22,13 +23,68 @@ func (c *Channel) RankActReady(rankID int, now Cycle) bool {
 // regardless of bank state.
 func (c *Channel) RankColumnReady(rankID int, isRead bool, now Cycle) bool {
 	r := &c.ranks[rankID]
-	if r.refreshing(now) {
-		return false
+	if isRead {
+		return now >= r.nextRD && c.busFreeFor(now+c.tt.cl, rankID)
+	}
+	return now >= r.nextWR && c.busFreeFor(now+c.tt.cwl, rankID)
+}
+
+// BankColumnIssuable reports whether the bank-level half of a column
+// command's legality holds: row open and past the activation's tRCD.
+// Combined with RankColumnReady (the rank and data-bus half) it equals
+// CanIssue for a RD/WR whose coordinates are in range — the form
+// schedulers use on per-bank candidates without building a Command.
+func (c *Channel) BankColumnIssuable(rankID, bankID int, isRead bool, now Cycle) bool {
+	b := &c.ranks[rankID].banks[bankID]
+	if isRead {
+		return b.state == BankActive && now >= b.nextRD
+	}
+	return b.state == BankActive && now >= b.nextWR
+}
+
+// BankActIssuable reports the bank-level half of ACT legality (bank
+// precharged and past tRC/tRP). Combined with RankActReady it equals
+// CanIssue for an in-range ACT.
+func (c *Channel) BankActIssuable(rankID, bankID int, now Cycle) bool {
+	return c.ranks[rankID].banks[bankID].canACT(now)
+}
+
+// PreIssuable equals CanIssue for an in-range PRE: a row is open, past
+// tRAS/tRTP/tWR, and the rank is not refreshing.
+func (c *Channel) PreIssuable(rankID, bankID int, now Cycle) bool {
+	r := &c.ranks[rankID]
+	return !r.refreshing(now) && r.banks[bankID].canPRE(now)
+}
+
+// ColumnIssueAt returns the exact earliest cycle at which a RD/WR to
+// (rank, bank) can issue, assuming the bank stays active and no other
+// command intervenes: the bank's tRCD bound, the rank's tCCD/turnaround
+// bound, and the data-bus release (with tRTRS if the bus last served
+// another rank). Schedulers read it off the registers to compute exact
+// wake-ups instead of probing legality cycle by cycle.
+func (c *Channel) ColumnIssueAt(rankID, bankID int, isRead bool) Cycle {
+	r := &c.ranks[rankID]
+	free := c.dataBusFree
+	if c.dataBusRank >= 0 && c.dataBusRank != rankID {
+		free += c.tt.rtrs
 	}
 	if isRead {
-		return now >= r.nextRD && c.busFreeFor(now+Cycle(c.spec.Timing.CL), rankID)
+		return maxCycle(r.banks[bankID].nextRD, maxCycle(r.nextRD, free-c.tt.cl))
 	}
-	return now >= r.nextWR && c.busFreeFor(now+Cycle(c.spec.Timing.CWL), rankID)
+	return maxCycle(r.banks[bankID].nextWR, maxCycle(r.nextWR, free-c.tt.cwl))
+}
+
+// ActIssueAt returns the exact earliest cycle an ACT to (rank, bank)
+// can issue, assuming the bank stays precharged and no command
+// intervenes.
+func (c *Channel) ActIssueAt(rankID, bankID int) Cycle {
+	return maxCycle(c.ranks[rankID].banks[bankID].nextACT, c.ranks[rankID].nextACT)
+}
+
+// PreIssueAt returns the exact earliest cycle a PRE to (rank, bank) can
+// issue, assuming the bank stays active and no command intervenes.
+func (c *Channel) PreIssueAt(rankID, bankID int) Cycle {
+	return maxCycle(c.ranks[rankID].banks[bankID].nextPRE, c.ranks[rankID].refreshUntil)
 }
 
 // NextTimingExpiry returns the earliest cycle strictly after now at
@@ -36,86 +92,82 @@ func (c *Channel) RankColumnReady(rankID int, isRead bool, now Cycle) bool {
 // none is pending. The event-driven scheduler uses it as a conservative
 // wake-up bound: between now and the returned cycle, no command that is
 // currently illegal can become legal, because command legality changes
-// only when (a) one of the enumerated timing registers expires or (b) a
+// only when (a) one of the next-allowed registers expires or (b) a
 // command issues — and issuing is itself an executed event.
 //
-// The enumeration mirrors CanIssue case by case:
+// The registers are folded to exact legality flips at Issue time (tFAW
+// window head and refresh busy into the rank ACT register, refresh into
+// the column and REF registers), so the candidate enumeration is a flat
+// read of the register file:
 //
-//	ACT  — bank.nextACT, rank.nextACT, the tFAW window head, refreshUntil
-//	PRE  — bank.nextPRE, refreshUntil; also bank.nextACT - tRP, the
-//	       first cycle at which the controller's preUseful heuristic
+//	ACT  — bank.nextACT, rank.nextACT
+//	PRE  — bank.nextPRE, rank.refreshUntil; also bank.nextACT - tRP,
+//	       the first cycle at which the controller's preUseful heuristic
 //	       allows a conflict precharge (the PRE acts *before* nextACT)
-//	RD/WR — bank/rank next read/write bounds, refreshUntil, and the
-//	       data-bus release minus the command-to-data lead time (two
-//	       candidates: with and without the tRTRS rank-switch penalty,
-//	       so a cross-rank bus flip is never later than the bound)
-//	REF  — rank.nextREF plus the per-bank ACT bounds REF legality checks
+//	RD/WR — bank/rank next read/write bounds and the data-bus release
+//	       minus the command-to-data lead time (two candidates: with and
+//	       without the tRTRS rank-switch penalty, so a cross-rank bus
+//	       flip is never later than the bound)
+//	REF  — rank.nextREF; the per-bank ACT bounds REF legality also
+//	       checks are covered by the bank.nextACT candidates
+//
+// The result is cached and invalidated by Issue: registers move only
+// then, so between issues repeated queries are O(1) reads, and the scan
+// cost amortizes to one register-file pass per issued command.
 //
 // Waking earlier than strictly necessary is harmless (an idle
 // controller tick is idempotent); waking late would skip an event, so
 // every candidate errs early.
 func (c *Channel) NextTimingExpiry(now Cycle) Cycle {
+	if !c.expiryStale && c.expiryFrom <= now && c.expiryCache > now {
+		// Unchanged registers and an unexpired bound: the cached value
+		// was the earliest candidate after expiryFrom and no candidate
+		// lies in (expiryFrom, cache), so it is still the earliest
+		// after now.
+		return c.expiryCache
+	}
+	v := c.scanExpiry(now)
+	c.expiryStale = false
+	c.expiryFrom = now
+	c.expiryCache = v
+	return v
+}
+
+// scanExpiry enumerates the register file for the earliest candidate
+// strictly after now.
+func (c *Channel) scanExpiry(now Cycle) Cycle {
 	next := NoEvent
-	t := c.spec.Timing
-	// Data-bus release: a RD becomes bus-legal at dataBusFree-CL, a WR
-	// at dataBusFree-CWL, each tRTRS later for a rank other than the
-	// bus's last user. All variants are enumerated — a single "earliest"
-	// candidate would be filtered out by the strict > now test while a
-	// later variant's flip is still ahead.
-	if v := c.dataBusFree - Cycle(t.CL); v > now && v < next {
-		next = v
+	add := func(t Cycle) {
+		if t > now && t < next {
+			next = t
+		}
 	}
-	if v := c.dataBusFree - Cycle(t.CWL); v > now && v < next {
-		next = v
-	}
+	add(c.dataBusFree - c.tt.cl)
+	add(c.dataBusFree - c.tt.cwl)
 	if len(c.ranks) > 1 {
-		if v := c.dataBusFree + Cycle(t.RTRS) - Cycle(t.CL); v > now && v < next {
-			next = v
-		}
-		if v := c.dataBusFree + Cycle(t.RTRS) - Cycle(t.CWL); v > now && v < next {
-			next = v
-		}
+		add(c.dataBusFree + c.tt.rtrs - c.tt.cl)
+		add(c.dataBusFree + c.tt.rtrs - c.tt.cwl)
 	}
-	rp := Cycle(t.RP)
+	rp := c.tt.rp
 	for i := range c.ranks {
 		r := &c.ranks[i]
-		if v := r.nextACT; v > now && v < next {
-			next = v
-		}
-		if v := r.nextRD; v > now && v < next {
-			next = v
-		}
-		if v := r.nextWR; v > now && v < next {
-			next = v
-		}
-		if v := r.nextREF; v > now && v < next {
-			next = v
-		}
-		if v := r.refreshUntil; v > now && v < next {
-			next = v
-		}
-		if r.actWindowLen == 4 {
-			if v := r.actWindow[0]; v > now && v < next {
-				next = v
-			}
-		}
+		add(r.nextACT)
+		add(r.nextRD)
+		add(r.nextWR)
+		add(r.nextREF)
+		add(r.refreshUntil)
 		for b := range r.banks {
 			bk := &r.banks[b]
-			if v := bk.nextACT; v > now && v < next {
-				next = v
+			if bk.maxReg <= now {
+				// Every register of this bank lies in the past: no
+				// candidate here (nextACT-tRP is bounded by nextACT).
+				continue
 			}
-			if v := bk.nextACT - rp; v > now && v < next {
-				next = v
-			}
-			if v := bk.nextPRE; v > now && v < next {
-				next = v
-			}
-			if v := bk.nextRD; v > now && v < next {
-				next = v
-			}
-			if v := bk.nextWR; v > now && v < next {
-				next = v
-			}
+			add(bk.nextACT)
+			add(bk.nextACT - rp)
+			add(bk.nextPRE)
+			add(bk.nextRD)
+			add(bk.nextWR)
 		}
 	}
 	return next

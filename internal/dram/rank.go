@@ -1,17 +1,30 @@
 package dram
 
-// rank tracks the rank-level DDR3 constraints:
+// rank tracks the rank-level DDR3 constraints with one next-allowed
+// register per command kind, each folded to the exact legality flip so
+// every rank check is a single comparison:
 //
-//	ACT -> ACT (different banks)  tRRD, and at most 4 ACTs per tFAW
-//	RD/WR -> RD/WR (any bank)     tCCD, plus WTR/RTW bus-turnaround
-//	REF                           all banks precharged; busy for tRFC
+//	nextACT  ACT -> ACT across banks: tRRD spacing, the tFAW sliding
+//	         window head (folded in whenever the window is full), and
+//	         tRFC refresh busy
+//	nextRD   RD/WR -> RD (any bank): tCCD, WTR turnaround, tRFC
+//	nextWR   RD/WR -> WR: tCCD, RTW turnaround, tRFC
+//	nextREF  REF spacing (tRFC of the previous REF); REF additionally
+//	         requires every bank precharged and past its own ACT window,
+//	         tracked by openBanks and the running maxBankNextACT
 type rank struct {
 	banks []bank
 
-	nextACT Cycle // earliest next ACT to any bank of this rank (tRRD/tFAW/tRFC)
+	nextACT Cycle // earliest next ACT to any bank of this rank
 	nextRD  Cycle // earliest next RD command to this rank
 	nextWR  Cycle // earliest next WR command to this rank
-	nextREF Cycle // earliest next REF (after tRFC of previous, tRC of ACTs...)
+	nextREF Cycle // earliest next REF (after tRFC of the previous)
+
+	// maxBankNextACT is the running maximum of the banks' nextACT
+	// registers. Bank registers only move forward, so maintaining the
+	// maximum at update time keeps REF legality (every bank past its
+	// precharge and activate windows) an O(1) comparison.
+	maxBankNextACT Cycle
 
 	// actWindow holds the issue times of the four most recent ACTs, for
 	// the tFAW sliding-window constraint. actWindowLen counts valid
@@ -58,66 +71,59 @@ func (r *rank) accountTo(now Cycle) {
 	r.lastEdge = now
 }
 
-func (r *rank) allPrecharged() bool {
-	for i := range r.banks {
-		if r.banks[i].state != BankPrecharged {
-			return false
-		}
-	}
-	return true
-}
+func (r *rank) allPrecharged() bool { return r.openBanks == 0 }
 
 func (r *rank) refreshing(now Cycle) bool { return now < r.refreshUntil }
 
-func (r *rank) canACT(now Cycle) bool {
-	if r.refreshing(now) || now < r.nextACT {
-		return false
-	}
-	if r.actWindowLen == 4 && now < r.actWindow[0] {
-		return false
-	}
-	return true
-}
+// canACT is a single comparison: tRRD, the tFAW window head, and tRFC
+// are all folded into nextACT at apply time.
+func (r *rank) canACT(now Cycle) bool { return now >= r.nextACT }
 
+// canREF: REF spacing plus "refresh activates rows internally": every
+// bank must be precharged and past its precharge (tRP) and activate
+// (tRC) windows, like an ACT would be. Both are O(1) reads thanks to
+// openBanks and the running maxBankNextACT.
 func (r *rank) canREF(now Cycle) bool {
-	if r.refreshing(now) || now < r.nextREF || !r.allPrecharged() {
-		return false
-	}
-	// Refresh activates rows internally: every bank must be past its
-	// precharge (tRP) and activate (tRC) windows, like an ACT would be.
-	for i := range r.banks {
-		if now < r.banks[i].nextACT {
-			return false
-		}
-	}
-	return true
+	return r.openBanks == 0 && now >= r.nextREF && now >= r.maxBankNextACT
 }
 
-func (r *rank) applyACT(now Cycle, t Timing) {
-	r.nextACT = maxCycle(r.nextACT, now+Cycle(t.RRD))
-	// Slide the tFAW window: the entry that falls out constrained us up
-	// to now; the new ACT's window expires at now+tFAW.
+// noteBankACT folds a bank's advanced nextACT register into the running
+// rank maximum. Call after every bank nextACT update (ACT and PRE).
+func (r *rank) noteBankACT(at Cycle) {
+	if at > r.maxBankNextACT {
+		r.maxBankNextACT = at
+	}
+}
+
+func (r *rank) applyACT(now Cycle, tt *timingTable) {
+	r.nextACT = maxCycle(r.nextACT, now+tt.rrd)
+	// Slide the tFAW window; once it is full, the oldest entry's expiry
+	// bounds the next ACT and is folded straight into nextACT, so the
+	// register is the exact legality flip.
 	if r.actWindowLen == 4 {
 		copy(r.actWindow[:], r.actWindow[1:])
-		r.actWindow[3] = now + Cycle(t.FAW)
+		r.actWindow[3] = now + tt.faw
 	} else {
-		r.actWindow[r.actWindowLen] = now + Cycle(t.FAW)
+		r.actWindow[r.actWindowLen] = now + tt.faw
 		r.actWindowLen++
+	}
+	if r.actWindowLen == 4 {
+		r.nextACT = maxCycle(r.nextACT, r.actWindow[0])
 	}
 }
 
-func (r *rank) applyRD(now Cycle, t Timing) {
-	r.nextRD = maxCycle(r.nextRD, now+Cycle(t.CCD))
-	r.nextWR = maxCycle(r.nextWR, now+Cycle(t.RTW))
+func (r *rank) applyRD(now Cycle, tt *timingTable) {
+	r.nextRD = maxCycle(r.nextRD, now+tt.ccd)
+	r.nextWR = maxCycle(r.nextWR, now+tt.rtw)
 }
 
-func (r *rank) applyWR(now Cycle, t Timing) {
-	r.nextWR = maxCycle(r.nextWR, now+Cycle(t.CCD))
-	r.nextRD = maxCycle(r.nextRD, now+Cycle(t.CWL+t.BL+t.WTR))
+func (r *rank) applyWR(now Cycle, tt *timingTable) {
+	r.nextWR = maxCycle(r.nextWR, now+tt.ccd)
+	r.nextRD = maxCycle(r.nextRD, now+tt.wrToRd)
 }
 
-func (r *rank) applyREF(now Cycle, t Timing) {
-	r.refreshUntil = now + Cycle(t.RFC)
+func (r *rank) applyREF(now Cycle, tt *timingTable) {
+	r.refreshUntil = now + tt.rfc
 	r.nextACT = maxCycle(r.nextACT, r.refreshUntil)
 	r.nextRD = maxCycle(r.nextRD, r.refreshUntil)
 	r.nextWR = maxCycle(r.nextWR, r.refreshUntil)

@@ -1,0 +1,61 @@
+package dram
+
+// timingTable holds the per-spec timing parameters precomputed into the
+// combined, Cycle-typed constants the command path applies at Issue
+// time. Deriving them once at channel construction keeps the per-command
+// register updates to pure additions and comparisons — no int→Cycle
+// conversions or parameter arithmetic on the hot path. The only
+// per-command variability left is the activation TimingClass (tRCD/tRAS
+// of the issuing ACT), which is read from the command itself.
+type timingTable struct {
+	rcd Cycle // spec tRCD (default class)
+	ras Cycle // spec tRAS (default class)
+	rp  Cycle
+	rc  Cycle
+
+	cl  Cycle
+	cwl Cycle
+	bl  Cycle
+
+	ccd Cycle
+	rrd Cycle
+	faw Cycle
+
+	rtp Cycle
+	rtw Cycle
+
+	rtrs Cycle
+	rfc  Cycle
+
+	rdBusHold Cycle // CL + BL: data-bus occupancy of one read burst
+	wrBusHold Cycle // CWL + BL
+	wrToPre   Cycle // CWL + BL + WR: write recovery before PRE
+	wrToRd    Cycle // CWL + BL + WTR: write-to-read turnaround
+
+	rcFromClass bool
+}
+
+// makeTimingTable precomputes the table from validated spec timing.
+func makeTimingTable(t Timing) timingTable {
+	return timingTable{
+		rcd:         Cycle(t.RCD),
+		ras:         Cycle(t.RAS),
+		rp:          Cycle(t.RP),
+		rc:          Cycle(t.RC),
+		cl:          Cycle(t.CL),
+		cwl:         Cycle(t.CWL),
+		bl:          Cycle(t.BL),
+		ccd:         Cycle(t.CCD),
+		rrd:         Cycle(t.RRD),
+		faw:         Cycle(t.FAW),
+		rtp:         Cycle(t.RTP),
+		rtw:         Cycle(t.RTW),
+		rtrs:        Cycle(t.RTRS),
+		rfc:         Cycle(t.RFC),
+		rdBusHold:   Cycle(t.CL + t.BL),
+		wrBusHold:   Cycle(t.CWL + t.BL),
+		wrToPre:     Cycle(t.CWL + t.BL + t.WR),
+		wrToRd:      Cycle(t.CWL + t.BL + t.WTR),
+		rcFromClass: t.RCFromClass,
+	}
+}

@@ -56,6 +56,29 @@ type BitSliceMapper struct {
 	shift  uint       // line-offset bits
 }
 
+// orderTokens maps the interleaving-order tokens to their fields. The
+// table is package-level and ordered: campaigns construct a mapper per
+// simulation, and rebuilding token/size maps on every call showed up as
+// pure allocation churn (see BenchmarkNewBitSliceMapper).
+var orderTokens = [...]struct {
+	tok   string
+	field mapField
+}{
+	{"Ro", fieldRow}, {"Ba", fieldBank}, {"Ra", fieldRank},
+	{"Co", fieldColumn}, {"Ch", fieldChannel},
+}
+
+// fieldSizes returns the geometry's field sizes indexed by mapField.
+func fieldSizes(geom dram.Geometry) [5]int {
+	var s [5]int
+	s[fieldChannel] = geom.Channels
+	s[fieldRank] = geom.Ranks
+	s[fieldBank] = geom.Banks
+	s[fieldRow] = geom.Rows
+	s[fieldColumn] = geom.Columns
+	return s
+}
+
 // NewBitSliceMapper builds a mapper for geom. order names the fields
 // MSB-first using the tokens Ro, Ba, Ra, Co, Ch; each must appear exactly
 // once.
@@ -63,24 +86,20 @@ func NewBitSliceMapper(geom dram.Geometry, order string) (*BitSliceMapper, error
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
-	tokens := map[string]mapField{
-		"Ro": fieldRow, "Ba": fieldBank, "Ra": fieldRank, "Co": fieldColumn, "Ch": fieldChannel,
-	}
-	sizes := map[mapField]int{
-		fieldChannel: geom.Channels,
-		fieldRank:    geom.Ranks,
-		fieldBank:    geom.Banks,
-		fieldRow:     geom.Rows,
-		fieldColumn:  geom.Columns,
-	}
-	var msbFirst []mapField
+	sizes := fieldSizes(geom)
+	var msbFirst [5]mapField
+	n := 0
 	rest := order
 	for rest != "" {
 		matched := false
-		for tok, f := range tokens {
-			if strings.HasPrefix(rest, tok) {
-				msbFirst = append(msbFirst, f)
-				rest = rest[len(tok):]
+		for _, e := range orderTokens {
+			if strings.HasPrefix(rest, e.tok) {
+				if n == 5 {
+					return nil, fmt.Errorf("memctrl: mapping order %q must name all five fields once", order)
+				}
+				msbFirst[n] = e.field
+				n++
+				rest = rest[len(e.tok):]
 				matched = true
 				break
 			}
@@ -89,12 +108,18 @@ func NewBitSliceMapper(geom dram.Geometry, order string) (*BitSliceMapper, error
 			return nil, fmt.Errorf("memctrl: bad mapping order %q at %q", order, rest)
 		}
 	}
-	if len(msbFirst) != 5 {
+	if n != 5 {
 		return nil, fmt.Errorf("memctrl: mapping order %q must name all five fields once", order)
 	}
-	seen := map[mapField]bool{}
-	m := &BitSliceMapper{geom: geom, order: order, shift: log2(uint64(geom.LineBytes))}
-	for i := len(msbFirst) - 1; i >= 0; i-- { // reverse: LSB-first
+	var seen [5]bool
+	m := &BitSliceMapper{
+		geom:   geom,
+		order:  order,
+		shift:  log2(uint64(geom.LineBytes)),
+		fields: make([]mapField, 0, 5),
+		bits:   make([]uint, 0, 5),
+	}
+	for i := 4; i >= 0; i-- { // reverse: LSB-first
 		f := msbFirst[i]
 		if seen[f] {
 			return nil, fmt.Errorf("memctrl: mapping order %q repeats a field", order)

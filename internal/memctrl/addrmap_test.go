@@ -98,3 +98,40 @@ func TestLog2(t *testing.T) {
 		}
 	}
 }
+
+// TestMapZeroAllocs pins the address-translation hot path allocation-
+// free: Map runs once per memory access across entire campaigns.
+func TestMapZeroAllocs(t *testing.T) {
+	m := MustMapper(dram.DDR31600(2).Geometry, "RoBaRaCoCh")
+	var sink Coord
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = m.Map(0xdeadbeef)
+	}); n != 0 {
+		t.Errorf("Map allocates %v times per call, want 0", n)
+	}
+	_ = sink
+}
+
+// BenchmarkMapperMap measures one address translation.
+func BenchmarkMapperMap(b *testing.B) {
+	m := MustMapper(dram.DDR31600(2).Geometry, "RoBaRaCoCh")
+	b.ReportAllocs()
+	var sink Coord
+	for i := 0; i < b.N; i++ {
+		sink = m.Map(uint64(i) * 64)
+	}
+	_ = sink
+}
+
+// BenchmarkNewBitSliceMapper measures mapper construction, paid once per
+// simulation during campaigns (the token/size tables are package-level,
+// not rebuilt per call).
+func BenchmarkNewBitSliceMapper(b *testing.B) {
+	g := dram.DDR31600(2).Geometry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBitSliceMapper(g, "RoBaRaCoCh"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

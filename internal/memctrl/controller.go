@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -149,13 +150,34 @@ type completion struct {
 // column (row-hit) commands first, then the oldest request's next
 // required command. Refresh has priority over everything; writes are
 // serviced in drain mode governed by queue watermarks.
+//
+// Requests are queued per (rank, bank); arrival sequence numbers
+// recover the global FCFS order. Each scheduling pass visits only the
+// banks with queued work (a bitmask per kind), takes each bank's single
+// candidate, and picks the oldest among the banks whose next-allowed
+// registers have expired — identical decisions to a flat-queue walk,
+// without touching requests that cannot make progress this cycle.
 type Controller struct {
 	cfg Config
 	ch  *dram.Channel
 
-	readQ  []*Request
-	writeQ []*Request
-	drain  bool
+	banks      []bankQ // per (rank, bank), index rank*banks+bank
+	readBanks  bankSet // banks with queued reads
+	writeBanks bankSet // banks with queued writes
+	nReads     int
+	nWrites    int
+	nextSeq    uint64 // next arrival sequence number
+
+	// unclassReads/unclassWrites hold requests whose row-buffer outcome
+	// has not been counted yet, in arrival order. The reference walk
+	// classified a request the first time the scheduler's queue scan
+	// reached it; these lists replay exactly that — each scheduling pass
+	// classifies the unclassified requests older than the pass's issue
+	// point against current bank state (see classifyHits/classifyRest).
+	unclassReads  []*Request
+	unclassWrites []*Request
+
+	drain bool
 
 	refresh []*refreshEngine // per rank
 
@@ -177,10 +199,40 @@ type Controller struct {
 	// nextWake is the event estimate computed on demand after the last
 	// Tick; needScan marks it stale (see NextEvent). Keeping the scan
 	// lazy means the reference stepper, which never asks, never pays
-	// for it.
+	// for it; keeping a still-future estimate across no-op ticks means
+	// the event engine rescans only after actual controller activity.
 	nextWake dram.Cycle
 	needScan bool
 	scanFrom dram.Cycle
+
+	// pendingSweep records that the reference stepper's next tick would
+	// be a pure classification sweep (nothing issuable, no completion or
+	// refresh due): the sweep is deferred until this controller's next
+	// Tick — bank state cannot change in between, so the outcome is
+	// identical — or canceled by an arrival, whose forced tick replays
+	// the stepper's walk (any issue it enables is younger than every
+	// deferred request, so the walk's cut still classifies them all).
+	// pendingSweepAt is the bus cycle of the stepper tick being stood in
+	// for, so a run ending before it can discard the sweep exactly when
+	// the stepper would never have performed it (see FinishSweeps).
+	pendingSweep   bool
+	pendingSweepAt dram.Cycle
+
+	// schedEpoch increments whenever the inputs of nextIssueTime can
+	// have changed: a command issued (registers, bank states, close
+	// intents) or a request arrived (queues, projected drain mode).
+	// Completion deliveries leave them untouched, so delivery ticks
+	// reuse the cached value.
+	schedEpoch     uint64
+	issueTimeEpoch uint64
+	issueTimeCache dram.Cycle
+
+	// eventDriven enables the wake-estimate bookkeeping (the exact
+	// next-issue-time computation and the classification sweep that
+	// lets the event engine skip pure-sweep cycles). The reference
+	// stepper never reads NextEvent, so it never pays for estimate
+	// work — the same principle that keeps the event scan lazy.
+	eventDriven bool
 
 	stats Stats
 	now   dram.Cycle
@@ -195,10 +247,14 @@ func NewController(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	nb := cfg.Spec.Geometry.BanksPerChannel()
 	c := &Controller{
 		cfg:         cfg,
 		ch:          ch,
-		closeIntent: make([]bool, cfg.Spec.Geometry.BanksPerChannel()),
+		banks:       make([]bankQ, nb),
+		readBanks:   newBankSet(nb),
+		writeBanks:  newBankSet(nb),
+		closeIntent: make([]bool, nb),
 	}
 	for r := 0; r < cfg.Spec.Geometry.Ranks; r++ {
 		c.refresh = append(c.refresh, newRefreshEngine(cfg.Spec, cfg.Channel, r))
@@ -220,37 +276,81 @@ func (c *Controller) ResetStats() { c.stats = Stats{} }
 func (c *Controller) Mechanism() core.Mechanism { return c.cfg.Mechanism }
 
 // QueuedReads returns the current read queue depth.
-func (c *Controller) QueuedReads() int { return len(c.readQ) }
+func (c *Controller) QueuedReads() int { return c.nReads }
 
 // QueuedWrites returns the current write queue depth.
-func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+func (c *Controller) QueuedWrites() int { return c.nWrites }
 
 // Pending reports whether any request is queued or awaiting completion.
 func (c *Controller) Pending() bool {
-	return len(c.readQ) > 0 || len(c.writeQ) > 0 || len(c.completions) > c.compHead
+	return c.nReads > 0 || c.nWrites > 0 || len(c.completions) > c.compHead
+}
+
+// bankIndex maps a request's coordinates to its bank queue index.
+func (c *Controller) bankIndex(coord Coord) int {
+	return coord.Rank*c.cfg.Spec.Geometry.Banks + coord.Bank
 }
 
 // EnqueueRead adds a read request; it reports false when the queue is
-// full (the caller must retry later).
+// full (the caller must retry later). The request's DRAM coordinates
+// must be in range for the spec (the address mapper guarantees this).
 func (c *Controller) EnqueueRead(req *Request) bool {
-	if len(c.readQ) >= c.cfg.ReadQueueCap {
+	if c.nReads >= c.cfg.ReadQueueCap {
 		return false
 	}
+	c.settleSweep()
 	req.Arrive = c.now
-	c.readQ = append(c.readQ, req)
+	req.seq = c.nextSeq
+	c.nextSeq++
+	idx := c.bankIndex(req.Coord)
+	c.banks[idx].reads.push(req)
+	c.readBanks.set(idx)
+	c.nReads++
+	c.unclassReads = append(c.unclassReads, req)
 	c.dirty = true
+	c.schedEpoch++
 	return true
 }
 
 // EnqueueWrite adds a write request; it reports false when full.
 func (c *Controller) EnqueueWrite(req *Request) bool {
-	if len(c.writeQ) >= c.cfg.WriteQueueCap {
+	if c.nWrites >= c.cfg.WriteQueueCap {
 		return false
 	}
+	c.settleSweep()
 	req.Arrive = c.now
-	c.writeQ = append(c.writeQ, req)
+	req.seq = c.nextSeq
+	c.nextSeq++
+	idx := c.bankIndex(req.Coord)
+	c.banks[idx].writes.push(req)
+	c.writeBanks.set(idx)
+	c.nWrites++
+	c.unclassWrites = append(c.unclassWrites, req)
 	c.dirty = true
+	c.schedEpoch++
 	return true
+}
+
+// settleSweep resolves a deferred classification sweep against an
+// arriving request. An arrival is first seen by the reference stepper's
+// walk at bus cycle now+1. If that is at or before the deferred sweep's
+// tick, the sweep as a separate action never happens in the reference —
+// its walk covers the old requests itself (an issue it enables is
+// younger than all of them, so the cut still classifies every old
+// open-row hit, and the FCFS pass or later ticks handle the rest
+// exactly as this engine's forced tick will): cancel. If the arrival
+// lands after the sweep's tick, the reference already swept, against
+// state that has not changed since: perform it now, before the new
+// request joins the lists.
+func (c *Controller) settleSweep() {
+	if !c.pendingSweep {
+		return
+	}
+	c.pendingSweep = false
+	if c.now >= c.pendingSweepAt {
+		c.sweepClassify(!nextDrain(c.drain, c.nReads, c.nWrites,
+			c.cfg.WriteHigh, c.cfg.WriteLow))
+	}
 }
 
 // SyncClock advances the controller's notion of "now" — the arrival
@@ -282,6 +382,22 @@ func (c *Controller) NextEvent() dram.Cycle {
 	return c.nextWake
 }
 
+// SetEventDriven declares that the caller schedules ticks through
+// NextEvent (the event-driven engine). It enables the exact
+// next-issue-time bookkeeping and the eager classification sweep that
+// let the engine skip cycles in which the reference stepper's walk only
+// classifies; a per-cycle (stepper) driver leaves it off and pays
+// nothing for estimates it never reads.
+func (c *Controller) SetEventDriven(v bool) { c.eventDriven = v }
+
+// NeedsTick reports whether a Tick at bus cycle bus could change state.
+// The event-driven engine consults it on executed cycles to skip
+// provably idle controller ticks; skipped ticks are exactly the ones
+// NextEvent's contract already declares no-ops.
+func (c *Controller) NeedsTick(bus dram.Cycle) bool {
+	return c.dirty || c.NextEvent() <= bus
+}
+
 // Tick advances the controller by one cycle: delivers finished reads,
 // then issues at most one command on the channel's command bus. It
 // reports whether any state changed (a completion delivered, a command
@@ -290,6 +406,16 @@ func (c *Controller) NextEvent() dram.Cycle {
 // which Tick refreshes as a side effect.
 func (c *Controller) Tick(now dram.Cycle) bool {
 	c.now = now
+	if c.pendingSweep {
+		// Stand in for the stepper's deferred classification sweep
+		// before anything else this tick can change: no arrival
+		// canceled it, so queues and bank state are exactly as that
+		// tick would have seen them.
+		c.pendingSweep = false
+		c.sweepClassify(!nextDrain(c.drain, c.nReads, c.nWrites,
+			c.cfg.WriteHigh, c.cfg.WriteLow))
+	}
+	arrived := c.dirty
 	c.dirty = false
 	c.cfg.Mechanism.Tick(now)
 	progressed := c.deliverCompletions(now)
@@ -303,52 +429,93 @@ func (c *Controller) Tick(now dram.Cycle) bool {
 	} else {
 		c.updateDrainMode()
 		switch {
-		case c.issueColumnHit(now):
-			issued = true
-		case c.cfg.RowPolicy == ClosedRow && c.issueCloseIntent(now):
-			issued = true
-		case c.issueForOldest(now):
-			issued = true
+		case c.issueTimeEpoch == c.schedEpoch+1 && c.issueTimeCache > now:
+			// The cached exact next-issue time is ahead and still valid
+			// (no issue or arrival since it was computed, and computing
+			// it implies the classification walks have already swept
+			// everything pending): nothing to schedule this cycle.
+			// Delivery-only ticks take this path.
+		default:
+			issued = c.runScheduler(now)
 		}
 		progressed = progressed || issued
 	}
-	// Only an issued command forces the very next cycle to run, and only
-	// while work remains queued: an issue mutates bank/bus state and
-	// cuts the scheduler walk short, so requests behind the issue point
-	// may be both classifiable and issuable at now+1 without any timing
-	// register showing it. When the issue drained the last request (and
-	// no close intent or due refresh is outstanding), nothing is
-	// shadowed: the next change is bounded by the ordinary event scan.
-	// Completion delivery and refresh-preparation stalls never force
-	// now+1 — they leave the scheduling state exactly as this tick's
-	// (completed or skipped) walk saw it. Fresh arrivals (dirty) always
+	if issued {
+		c.schedEpoch++
+	}
+	// Only an issued command can force the very next cycle to run, and
+	// only while work remains queued: an issue mutates bank/bus state
+	// and cuts the scheduler's pick short, so a request behind the issue
+	// point may already be issuable at now+1. The exact next-issue time,
+	// read off the per-bank registers, settles it: at or before now+1,
+	// the next cycle must execute; later, the only thing the reference
+	// stepper's intervening ticks do is classify — that sweep is
+	// performed here against the identical bank state, and the wake-up
+	// comes from the event scan. Completion delivery and
+	// refresh-preparation stalls never force now+1 — but they do
+	// invalidate the cached estimate. Fresh arrivals (dirty) always
 	// force now+1.
 	wake := c.dirty
 	if issued && !wake {
-		wake = len(c.readQ) > 0 || len(c.writeQ) > 0 || c.closeIntents > 0
-		if !wake {
-			for _, eng := range c.refresh {
-				if eng.pending {
-					wake = true
-					break
-				}
+		work := c.nReads > 0 || c.nWrites > 0 || c.closeIntents > 0
+		pendingRefresh := false
+		for _, eng := range c.refresh {
+			// A refresh due at now+1 blocks the stepper's next
+			// scheduling pass before it can classify: the eager sweep
+			// below would run against pre-refresh bank state while the
+			// stepper classifies only after the refresh's forced
+			// precharges. Execute the next cycle instead.
+			if eng.pending || now+1 >= eng.nextDue {
+				pendingRefresh = true
+				break
 			}
 		}
+		switch {
+		case !work && !pendingRefresh:
+		case !c.eventDriven || pendingRefresh:
+			// The stepper ticks every cycle regardless; a mid-stall
+			// refresh re-evaluates its preparation every cycle.
+			wake = true
+		case c.nextIssueTime() <= now+1:
+			wake = true
+		default:
+			// No command can issue at now+1: the stepper's next ticks
+			// only classify until the computed issue time. Defer that
+			// sweep to this controller's next tick (or cancel it on an
+			// arrival) and let the event scan place the wake-up.
+			c.pendingSweep = true
+			c.pendingSweepAt = now + 1
+		}
 	}
-	if wake {
+	switch {
+	case wake:
 		c.nextWake = now + 1
 		c.needScan = false
-	} else {
+	case progressed || arrived || c.needScan || c.nextWake <= now:
+		// The estimate is stale: state changed (an issue, a delivery, a
+		// refresh owning the channel), an arrival was consumed (the
+		// queues changed since the estimate was computed, which may have
+		// been while idle, without the timing-expiry bound), a scan was
+		// already owed, or the cached bound has been reached. Recompute
+		// lazily from this cycle.
 		c.needScan = true
 		c.scanFrom = now
+	default:
+		// Nothing happened and the cached estimate still lies in the
+		// future. Registers, queues and completions are exactly as the
+		// estimate saw them, so it remains a valid bound: keep it. This
+		// makes the no-op ticks the event engine cannot avoid (cycles
+		// executed for other components) O(1) for the controller.
 	}
 	return progressed
 }
 
 // nextEventScan computes NextEvent the slow way, after a tick in which
-// nothing happened: the next completion, refresh deadline, or — when
-// requests, close intents, or a pending refresh are waiting on DRAM
-// timing — the channel's earliest constraint expiry.
+// something happened (or the previous estimate expired): the next
+// completion, refresh deadline, the exact next-issue time read off the
+// bank registers, or — during a refresh-preparation stall — the
+// channel's earliest constraint expiry (the stall re-evaluates at every
+// register flip of the refreshing rank).
 func (c *Controller) nextEventScan(now dram.Cycle) dram.Cycle {
 	next := dram.NoEvent
 	add := func(t dram.Cycle) {
@@ -359,15 +526,22 @@ func (c *Controller) nextEventScan(now dram.Cycle) dram.Cycle {
 	if len(c.completions) > c.compHead {
 		add(c.completions[c.compHead].at)
 	}
-	busy := len(c.readQ) > 0 || len(c.writeQ) > 0 || c.closeIntents > 0
+	stalled := false
 	for _, eng := range c.refresh {
 		add(eng.nextDue)
 		if eng.pending {
-			busy = true
+			stalled = true
 		}
 	}
-	if busy {
+	if stalled {
+		// A due refresh owns the channel: normal scheduling is blocked
+		// and the preparation (forced precharges, then REF) advances at
+		// the next register expiry.
 		add(c.ch.NextTimingExpiry(now))
+		return next
+	}
+	if c.nReads > 0 || c.nWrites > 0 || c.closeIntents > 0 {
+		add(c.nextIssueTime())
 	}
 	return next
 }
@@ -450,65 +624,258 @@ func (c *Controller) serviceRefresh(now dram.Cycle) (busy, issued bool) {
 }
 
 func (c *Controller) updateDrainMode() {
+	c.drain = nextDrain(c.drain, c.nReads, c.nWrites, c.cfg.WriteHigh, c.cfg.WriteLow)
+}
+
+// nextDrain is updateDrainMode as a pure function, so the next cycle's
+// mode can be projected without mutating (see nextIssueTime).
+func nextDrain(cur bool, reads, writes, high, low int) bool {
 	switch {
-	case len(c.writeQ) >= c.cfg.WriteHigh:
-		c.drain = true
-	case c.drain && len(c.writeQ) <= c.cfg.WriteLow:
-		c.drain = false
-	case !c.drain && len(c.readQ) == 0 && len(c.writeQ) > 0:
+	case writes >= high:
+		return true
+	case cur && writes <= low:
+		return false
+	case !cur && reads == 0 && writes > 0:
 		// Opportunistic drain when there is nothing else to do.
-		c.drain = true
-	case c.drain && len(c.writeQ) == 0:
-		c.drain = false
+		return true
+	case cur && writes == 0:
+		return false
 	}
+	return cur
 }
 
-func (c *Controller) activeQueue() *[]*Request {
-	if c.drain {
-		return &c.writeQ
+// activeSet returns the bank bitmask of the queue kind being serviced.
+func (c *Controller) activeSet(isRead bool) *bankSet {
+	if isRead {
+		return &c.readBanks
 	}
-	return &c.readQ
+	return &c.writeBanks
 }
 
-// issueColumnHit performs the FR (first-ready) pass: the oldest request
-// whose row is open and whose column command is issuable. Rank-level
-// column gates (tCCD/turnaround, refresh, data bus) are hoisted out of
-// the walk: when a rank cannot accept any column this cycle, matching
-// requests are still classified (exactly as the per-request attempt
-// would) but the doomed per-command legality checks are skipped.
-func (c *Controller) issueColumnHit(now dram.Cycle) bool {
-	q := c.activeQueue()
-	// The active queue is homogeneous (reads outside drain mode, writes
-	// inside), so the per-rank column gate is computed once.
+// runScheduler performs one cycle of FR-FCFS scheduling: selection,
+// the classification the reference walk interleaves with it, and at
+// most one command issue. It reports whether a command issued.
+func (c *Controller) runScheduler(now dram.Cycle) bool {
+	issued := false
 	isRead := !c.drain
-	var ready [maxRanks]bool
-	for r := 0; r < c.cfg.Spec.Geometry.Ranks; r++ {
-		ready[r] = c.ch.RankColumnReady(r, isRead, now)
+	sel := c.schedule(isRead, now)
+	// The first-ready pass classifies the open-row hits up to its
+	// issue point whether or not it issues, exactly like the
+	// reference walk (which visited every request up to the cut).
+	cut := noSeq
+	if sel.hit != nil {
+		cut = sel.hit.seq
 	}
-	for i, req := range *q {
+	c.classifyHits(isRead, cut)
+	switch {
+	case sel.hit != nil:
+		c.issueColumnAt(sel.hit, sel.hitIdx, sel.hitPos, isRead, now)
+		issued = true
+	case c.cfg.RowPolicy == ClosedRow && c.issueCloseIntent(now):
+		issued = true
+	default:
+		// FCFS pass: classify conflicts and misses up to its issue
+		// point, then issue the pick if there is one.
+		cut = noSeq
+		if sel.old != nil {
+			cut = sel.old.seq
+		}
+		c.classifyRest(isRead, cut)
+		switch {
+		case sel.old == nil:
+		case sel.oldPre:
+			c.issuePrecharge(dram.Pre(sel.old.Coord.Rank, sel.old.Coord.Bank), sel.oldRow, now)
+			issued = true
+		default:
+			if !c.issueActivate(sel.old, now) {
+				panic("memctrl: selected activate became illegal")
+			}
+			issued = true
+		}
+	}
+	return issued
+}
+
+// sched is one cycle's FR-FCFS selection: the first-ready pick (the
+// oldest open-row hit whose column is issuable) and the FCFS pick (the
+// oldest request needing its bank's row changed whose command is
+// issuable), computed side-effect-free in a single pass over the banks
+// with queued work.
+type sched struct {
+	hit    *Request // first-ready pick, nil if none
+	hitIdx int
+	hitPos int
+	old    *Request // FCFS pick, nil if none
+	oldPre bool     // precharge (conflict) vs activate (miss)
+	oldRow int      // open row the precharge closes
+}
+
+// schedule runs both selection passes over the active banks in one
+// loop. Each bank contributes at most one candidate per pass — the
+// oldest open-row hit, and the oldest row-changer (or the queue head of
+// a closed bank) — and each pick is the minimum arrival sequence among
+// banks whose command is legal this cycle. Identical decisions to the
+// reference flat-queue walk: legality at a fixed cycle does not depend
+// on walk order, so first-legal-in-age-order equals min-seq-among-legal.
+// Rank-level gates (tCCD/turnaround/bus for columns, tRRD/tFAW/refresh
+// for activates) are evaluated once per touched rank and prune whole
+// banks.
+func (c *Controller) schedule(isRead bool, now dram.Cycle) sched {
+	set := c.activeSet(isRead)
+	geomBanks := c.cfg.Spec.Geometry.Banks
+	var colReady, colKnown, actReady, actKnown [maxRanks]bool
+	var out sched
+	hitSeq := noSeq
+	// First-ready pass: the oldest request on an open row whose column
+	// is issuable. The rank gate is checked before the bank's queue is
+	// touched — it is closed on most cycles between bursts.
+	for w, word := range set.words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			idx := w*64 + bit
+			rank := idx / geomBanks
+			bank := idx % geomBanks
+			if !colKnown[rank] {
+				colKnown[rank] = true
+				colReady[rank] = c.ch.RankColumnReady(rank, isRead, now)
+			}
+			if !colReady[rank] {
+				continue
+			}
+			row, open := c.ch.OpenRow(rank, bank)
+			if !open {
+				continue
+			}
+			req, pos := c.banks[idx].kind(isRead).oldestRowHit(row)
+			if req == nil || req.seq >= hitSeq {
+				continue
+			}
+			if c.ch.BankColumnIssuable(rank, bank, isRead, now) {
+				out.hit, hitSeq, out.hitIdx, out.hitPos = req, req.seq, idx, pos
+			}
+		}
+	}
+	if out.hit != nil {
+		return out
+	}
+	// FCFS pass, only when no column hit issues: the oldest request
+	// needing its bank's row changed.
+	oldSeq := noSeq
+	for w, word := range set.words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			idx := w*64 + bit
+			rank := idx / geomBanks
+			bank := idx % geomBanks
+			kq := c.banks[idx].kind(isRead)
+			row, open := c.ch.OpenRow(rank, bank)
+			if !open {
+				// Miss: the head request wants an ACT. ACT legality is
+				// row-independent, so only the head can be the pick.
+				cand := kq.q[0]
+				if cand.seq >= oldSeq {
+					continue
+				}
+				if !actKnown[rank] {
+					actKnown[rank] = true
+					actReady[rank] = c.ch.RankActReady(rank, now)
+				}
+				if actReady[rank] && c.ch.BankActIssuable(rank, bank, now) {
+					out.old, oldSeq, out.oldPre = cand, cand.seq, false
+				}
+				continue
+			}
+			// Conflict: close the row on behalf of the oldest request
+			// wanting a different one.
+			if cand := kq.oldestRowChanger(row); cand != nil && cand.seq < oldSeq {
+				if c.ch.PreIssuable(rank, bank, now) && c.preUseful(rank, bank, now) {
+					out.old, oldSeq, out.oldPre, out.oldRow = cand, cand.seq, true, row
+				}
+			}
+		}
+	}
+	return out
+}
+
+// classifyHits counts the open-row hits among the not-yet-classified
+// requests with arrival sequence <= cut, exactly as the reference
+// flat-queue walk did: it visited every queued request up to (and
+// including) the issue point each cycle, counting those whose row was
+// open. Non-hits stay unclassified — the walk's second pass (or a later
+// cycle) counts them.
+func (c *Controller) classifyHits(isRead bool, cut uint64) {
+	lp := &c.unclassReads
+	if !isRead {
+		lp = &c.unclassWrites
+	}
+	l := *lp
+	if len(l) == 0 || l[0].seq > cut {
+		return
+	}
+	out := l[:0]
+	i := 0
+	for ; i < len(l); i++ {
+		req := l[i]
+		if req.seq > cut {
+			break
+		}
 		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
-		if !open || row != req.Coord.Row {
+		if open && row == req.Coord.Row {
+			c.classify(req, row, open)
+			continue
+		}
+		out = append(out, req)
+	}
+	out = append(out, l[i:]...)
+	for j := len(out); j < len(l); j++ {
+		l[j] = nil
+	}
+	*lp = out
+}
+
+// classifyRest counts conflicts and misses among the not-yet-classified
+// requests with arrival sequence <= cut, mirroring the reference walk's
+// second (FCFS) pass. Open-row hits cannot appear here: this runs only
+// when the first-ready pass issued nothing, which classified every
+// current hit.
+func (c *Controller) classifyRest(isRead bool, cut uint64) {
+	lp := &c.unclassReads
+	if !isRead {
+		lp = &c.unclassWrites
+	}
+	l := *lp
+	if len(l) == 0 || l[0].seq > cut {
+		return
+	}
+	out := l[:0]
+	i := 0
+	for ; i < len(l); i++ {
+		req := l[i]
+		if req.seq > cut {
+			break
+		}
+		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
+		if open && row == req.Coord.Row {
+			out = append(out, req)
 			continue
 		}
 		c.classify(req, row, open)
-		if !ready[req.Coord.Rank] {
-			continue
-		}
-		if c.issueColumn(req, now) {
-			c.removeAt(q, i)
-			if c.cfg.RowPolicy == ClosedRow &&
-				!c.anyPendingFor(req.Coord.Rank, req.Coord.Bank, req.Coord.Row) {
-				c.markCloseIntent(req.Coord.Rank*c.cfg.Spec.Geometry.Banks + req.Coord.Bank)
-			}
-			return true
-		}
 	}
-	return false
+	out = append(out, l[i:]...)
+	for j := len(out); j < len(l); j++ {
+		l[j] = nil
+	}
+	*lp = out
 }
 
 // issueCloseIntent precharges banks the closed-row policy marked, unless
 // a queued request now wants the open row again.
 func (c *Controller) issueCloseIntent(now dram.Cycle) bool {
+	if c.closeIntents == 0 {
+		return false
+	}
 	for idx, want := range c.closeIntent {
 		if !want {
 			continue
@@ -534,50 +901,115 @@ func (c *Controller) issueCloseIntent(now dram.Cycle) bool {
 	return false
 }
 
+// nextIssueTime returns the exact earliest cycle at which the
+// scheduler could issue a command, read off the per-bank next-allowed
+// registers: for every bank with queued work of the (projected) active
+// kind, the ready time of its first-ready candidate (oldest open-row
+// hit) and its FCFS candidate (conflict precharge or miss activate),
+// plus any closed-row precharge intents. Exact because nothing the
+// computation depends on — queues, bank states, registers, drain mode —
+// can change before that cycle without an executed event (arrivals mark
+// the controller dirty, which overrides the estimate).
+func (c *Controller) nextIssueTime() dram.Cycle {
+	if c.issueTimeEpoch == c.schedEpoch+1 {
+		return c.issueTimeCache
+	}
+	v := c.computeNextIssueTime()
+	c.issueTimeEpoch = c.schedEpoch + 1
+	c.issueTimeCache = v
+	return v
+}
+
+func (c *Controller) computeNextIssueTime() dram.Cycle {
+	drain := nextDrain(c.drain, c.nReads, c.nWrites, c.cfg.WriteHigh, c.cfg.WriteLow)
+	isRead := !drain
+	set := c.activeSet(isRead)
+	geomBanks := c.cfg.Spec.Geometry.Banks
+	rp := dram.Cycle(c.cfg.Spec.Timing.RP)
+	at := dram.NoEvent
+	for w, word := range set.words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			idx := w*64 + bit
+			rank := idx / geomBanks
+			bank := idx % geomBanks
+			kq := c.banks[idx].kind(isRead)
+			row, open := c.ch.OpenRow(rank, bank)
+			if !open {
+				if t := c.ch.ActIssueAt(rank, bank); t < at {
+					at = t
+				}
+				continue
+			}
+			if hit, _ := kq.oldestRowHit(row); hit != nil {
+				if t := c.ch.ColumnIssueAt(rank, bank, isRead); t < at {
+					at = t
+				}
+			}
+			if kq.oldestRowChanger(row) != nil {
+				// Conflict precharge: legality plus the preUseful bound
+				// (a PRE earlier than tRP before the bank's ACT window
+				// cannot help).
+				t := c.ch.PreIssueAt(rank, bank)
+				if u := c.ch.EarliestActivate(rank, bank) - rp; u > t {
+					t = u
+				}
+				if t < at {
+					at = t
+				}
+			}
+		}
+	}
+	if c.cfg.RowPolicy == ClosedRow && c.closeIntents > 0 {
+		for idx, want := range c.closeIntent {
+			if !want {
+				continue
+			}
+			rank := idx / geomBanks
+			bank := idx % geomBanks
+			row, open := c.ch.OpenRow(rank, bank)
+			if !open || c.anyPendingFor(rank, bank, row) {
+				continue // will be cleared, not issued
+			}
+			t := c.ch.PreIssueAt(rank, bank)
+			if u := c.ch.EarliestActivate(rank, bank) - rp; u > t {
+				t = u
+			}
+			if t < at {
+				at = t
+			}
+		}
+	}
+	return at
+}
+
+// sweepClassify classifies every not-yet-classified request of the
+// given kind against current bank state. It stands in for the reference
+// stepper's next tick when that tick provably issues nothing: such a
+// tick's two walks classify the whole active queue (no issue point cuts
+// them short), and since no command issues in between, the bank states
+// they observe are identical to the current ones.
+func (c *Controller) sweepClassify(isRead bool) {
+	lp := &c.unclassReads
+	if !isRead {
+		lp = &c.unclassWrites
+	}
+	l := *lp
+	for i, req := range l {
+		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
+		c.classify(req, row, open)
+		l[i] = nil
+	}
+	*lp = l[:0]
+}
+
 // preUseful reports whether precharging (rank, bank) now can shorten the
 // next activation. Precharging earlier than tRP before the bank's
 // same-bank ACT bound only sacrifices potential row hits: the reopen
 // cannot start sooner anyway.
 func (c *Controller) preUseful(rank, bankID int, now dram.Cycle) bool {
 	return now+dram.Cycle(c.cfg.Spec.Timing.RP) >= c.ch.EarliestActivate(rank, bankID)
-}
-
-// issueForOldest performs the FCFS pass: walk requests oldest-first and
-// issue the first legal command that makes progress for one of them. It
-// reports whether a command was issued.
-func (c *Controller) issueForOldest(now dram.Cycle) bool {
-	q := c.activeQueue()
-	// Rank-level ACT readiness (tRRD, tFAW, refresh) is hoisted out of
-	// the walk: when false, every activate probe for that rank would
-	// fail, so the attempts are skipped (classification still runs).
-	var actReady [maxRanks]bool
-	for r := 0; r < c.cfg.Spec.Geometry.Ranks; r++ {
-		actReady[r] = c.ch.RankActReady(r, now)
-	}
-	for _, req := range *q {
-		row, open := c.ch.OpenRow(req.Coord.Rank, req.Coord.Bank)
-		switch {
-		case open && row == req.Coord.Row:
-			// Column command not ready yet (tRCD or bus); wait.
-			continue
-		case open:
-			// Conflict: close the aggressor row. If the PRE is not yet
-			// legal (tRAS still running), try younger requests.
-			c.classify(req, row, open)
-			pre := dram.Pre(req.Coord.Rank, req.Coord.Bank)
-			if c.ch.CanIssue(pre, now) && c.preUseful(req.Coord.Rank, req.Coord.Bank, now) {
-				c.issuePrecharge(pre, row, now)
-				return true
-			}
-			continue
-		default:
-			c.classify(req, 0, false)
-			if actReady[req.Coord.Rank] && c.issueActivate(req, now) {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // classify counts the row-buffer outcome of a request exactly once, at
@@ -628,52 +1060,61 @@ func (c *Controller) issuePrecharge(pre dram.Command, row int, now dram.Cycle) {
 	}
 }
 
-// issueColumn issues RD or WR for req if legal; on success the request is
-// considered served (reads complete after the data burst).
-func (c *Controller) issueColumn(req *Request, now dram.Cycle) bool {
+// issueColumnAt issues the RD/WR serving req (legality already checked
+// by the selection pass) and dequeues it.
+func (c *Controller) issueColumnAt(req *Request, idx, pos int, isRead bool, now dram.Cycle) {
 	if req.Kind == ReadReq {
-		cmd := dram.Read(req.Coord.Rank, req.Coord.Bank, req.Coord.Col)
-		if !c.ch.CanIssue(cmd, now) {
-			return false
-		}
-		c.ch.Issue(cmd, now)
+		c.ch.Issue(dram.Read(req.Coord.Rank, req.Coord.Bank, req.Coord.Col), now)
 		c.completions = append(c.completions, completion{at: c.ch.ReadDataAt(now), req: req})
 		c.stats.ReadsServed++
 	} else {
-		cmd := dram.Write(req.Coord.Rank, req.Coord.Bank, req.Coord.Col)
-		if !c.ch.CanIssue(cmd, now) {
-			return false
-		}
-		c.ch.Issue(cmd, now)
+		c.ch.Issue(dram.Write(req.Coord.Rank, req.Coord.Bank, req.Coord.Col), now)
 		c.stats.WritesServed++
 		if req.OnComplete != nil {
 			req.OnComplete(now)
 		}
 	}
-	return true
+	c.banks[idx].kind(isRead).remove(pos)
+	if isRead {
+		c.nReads--
+		if len(c.banks[idx].reads.q) == 0 {
+			c.readBanks.clear(idx)
+		}
+	} else {
+		c.nWrites--
+		if len(c.banks[idx].writes.q) == 0 {
+			c.writeBanks.clear(idx)
+		}
+	}
+	if c.cfg.RowPolicy == ClosedRow &&
+		!c.anyPendingFor(req.Coord.Rank, req.Coord.Bank, req.Coord.Row) {
+		c.markCloseIntent(idx)
+	}
 }
 
 // anyPendingFor reports whether any queued request targets (rank, bank,
-// row) — consulted by the closed-row policy.
+// row) — consulted by the closed-row policy. Only the one bank's queues
+// need scanning.
 func (c *Controller) anyPendingFor(rank, bankID, row int) bool {
-	for _, r := range c.readQ {
-		if r.Coord.Rank == rank && r.Coord.Bank == bankID && r.Coord.Row == row {
-			return true
-		}
-	}
-	for _, r := range c.writeQ {
-		if r.Coord.Rank == rank && r.Coord.Bank == bankID && r.Coord.Row == row {
-			return true
-		}
-	}
-	return false
+	bq := &c.banks[rank*c.cfg.Spec.Geometry.Banks+bankID]
+	return bq.reads.anyFor(row) || bq.writes.anyFor(row)
 }
 
-func (c *Controller) removeAt(q *[]*Request, i int) {
-	s := *q
-	copy(s[i:], s[i+1:])
-	s[len(s)-1] = nil
-	*q = s[:len(s)-1]
+// FinishSweeps applies a still-pending deferred classification sweep at
+// the end of a measurement window. lastBus is the last bus cycle the
+// reference stepper would have ticked (it ticks every bus cycle of the
+// window): a sweep deferred past it never happens in the reference
+// either and is discarded, keeping end-of-run classification counters
+// bit-identical.
+func (c *Controller) FinishSweeps(lastBus dram.Cycle) {
+	if !c.pendingSweep {
+		return
+	}
+	c.pendingSweep = false
+	if lastBus >= c.pendingSweepAt {
+		c.sweepClassify(!nextDrain(c.drain, c.nReads, c.nWrites,
+			c.cfg.WriteHigh, c.cfg.WriteLow))
+	}
 }
 
 // RefreshAge exposes the refresh engine's age for a row (tests, tools).

@@ -38,6 +38,10 @@ type Request struct {
 	// finishes (reads) or its WR command issues (writes).
 	OnComplete func(now dram.Cycle)
 
+	// seq is the controller-assigned arrival sequence number; FR-FCFS
+	// age order across the per-bank queues is recovered from it.
+	seq uint64
+
 	classified bool // row hit/miss/conflict already counted
 }
 
@@ -50,6 +54,7 @@ func (r *Request) Reset(kind RequestKind, addr uint64, coord Coord, coreID int) 
 	r.Coord = coord
 	r.CoreID = coreID
 	r.Arrive = 0
+	r.seq = 0
 	r.classified = false
 }
 

@@ -1,0 +1,57 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// BenchmarkControllerSchedule measures the controller's per-cycle
+// scheduling cost on a sustained random-row request stream: the queue
+// stays populated (row misses, conflicts, and hits mixed over all
+// banks), so every Tick runs the selection machinery — the path that
+// bounds simulator throughput on memory-intensive workloads.
+func BenchmarkControllerSchedule(b *testing.B) {
+	spec := dram.DDR31600(1)
+	ctrl, err := NewController(Config{
+		Spec:          spec,
+		Channel:       0,
+		ReadQueueCap:  64,
+		WriteQueueCap: 64,
+		RowPolicy:     OpenRow,
+		WriteHigh:     48,
+		WriteLow:      16,
+		Mechanism:     core.NewBaseline(spec.Timing.DefaultClass()),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := uint64(7)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	inFlight := 0
+	newReq := func() *Request {
+		req := &Request{
+			Kind:  ReadReq,
+			Coord: Coord{Bank: next(8), Row: next(64), Col: next(128)},
+		}
+		req.OnComplete = func(dram.Cycle) { inFlight-- }
+		return req
+	}
+	b.ResetTimer()
+	now := dram.Cycle(0)
+	for i := 0; i < b.N; i++ {
+		if inFlight < 24 {
+			if ctrl.EnqueueRead(newReq()) {
+				inFlight++
+			}
+		}
+		ctrl.Tick(now)
+		now++
+	}
+}

@@ -25,11 +25,13 @@ func tinyCfg(seed uint64) sim.Config {
 }
 
 // blockerCfg is a simulation long enough (hundreds of ms) to hold a
-// worker busy while a test stages queued jobs behind it.
+// worker busy while a test stages queued jobs behind it. Sized for the
+// event-driven engine's throughput — if engine speedups shrink it below
+// a few hundred ms, staging races on single-CPU runners come back.
 func blockerCfg() sim.Config {
 	cfg := sim.DefaultConfig("mcf")
 	cfg.WarmupInstructions = 10_000
-	cfg.RunInstructions = 8_000_000
+	cfg.RunInstructions = 32_000_000
 	cfg.Seed = 99
 	return cfg
 }

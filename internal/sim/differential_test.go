@@ -107,6 +107,39 @@ func TestDifferentialWorkloadMatrix(t *testing.T) {
 	}
 }
 
+// TestDifferentialLongHorizon runs a few memory-intensive configs far
+// past the short suite's budget. The short configs cross only one or
+// two refresh windows, which once let a one-cycle race slip through:
+// the event engine's eager classification sweep ran against
+// pre-refresh bank state when a refresh became due on the very next
+// cycle, drifting RowHits/RowMisses while every command stayed
+// identical. Dozens of refresh windows make that coincidence reliable
+// (the original reproducers were STREAMcopy seed 7 and tpch17 seed 1
+// at this scale).
+func TestDifferentialLongHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon differential skipped in -short mode")
+	}
+	cases := []struct {
+		workload string
+		seed     uint64
+	}{
+		{"STREAMcopy", 7},
+		{"tpch17", 1},
+		{"soplex", 3},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-seed%d", tc.workload, tc.seed), func(t *testing.T) {
+			cfg := DefaultConfig(tc.workload)
+			cfg.WarmupInstructions = 0
+			cfg.RunInstructions = 400_000
+			cfg.Seed = tc.seed
+			cfg.Mechanism = ChargeCache
+			assertEngineEquivalence(t, cfg)
+		})
+	}
+}
+
 // TestDifferentialChannelsAndPolicies covers the scheduling dimensions:
 // row policy × channel count (multi-channel exercises per-channel
 // mechanism instances and request interleaving), plus a multi-core mix

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// The engine benchmarks below run one representative workload config
+// end to end under each engine, so per-workload regressions show up
+// without the full campaign (cmd/benchrecord measures that). The
+// workloads bracket the spectrum: tpch6 is low-MPKI (the event engine's
+// best case), tpch17 and STREAMcopy are the memory-intensive tail that
+// bounds campaign throughput.
+func benchEngine(b *testing.B, workload string, stepper bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(workload)
+		cfg.WarmupInstructions = 0
+		cfg.RunInstructions = 300_000
+		cfg.Stepper = stepper
+		sys, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineEventSTREAMcopy(b *testing.B)   { benchEngine(b, "STREAMcopy", false) }
+func BenchmarkEngineStepperSTREAMcopy(b *testing.B) { benchEngine(b, "STREAMcopy", true) }
+func BenchmarkEngineEventTpch17(b *testing.B)       { benchEngine(b, "tpch17", false) }
+func BenchmarkEngineStepperTpch17(b *testing.B)     { benchEngine(b, "tpch17", true) }
+func BenchmarkEngineEventTpch6(b *testing.B)        { benchEngine(b, "tpch6", false) }
+func BenchmarkEngineStepperTpch6(b *testing.B)      { benchEngine(b, "tpch6", true) }
+
+// BenchmarkSystemNew measures simulation construction: campaigns build
+// one System per config, so construction cost dilutes both engines'
+// throughput equally (the circuit-model and Zipf-table caches keep it
+// off the numeric-integration path).
+func BenchmarkSystemNew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig("tpch6")
+		cfg.RunInstructions = 1
+		if _, err := New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/power"
@@ -241,6 +242,16 @@ func (s *System) runUntilStepper(target uint64, capCycles int64) ([]int64, bool)
 // every Result bit — is identical; skipped cycles are accounted into
 // the cores' cycle/stall counters in bulk (see cpu.Core.AdvanceIdle).
 func (s *System) runUntilEvents(target uint64, capCycles int64) ([]int64, bool) {
+	for _, ctrl := range s.ctrls {
+		ctrl.SetEventDriven(true)
+	}
+	if s.memCtrlWake == nil {
+		s.memCtrlWake = make([]int64, len(s.ctrls))
+	}
+	s.memDirty = true
+	if len(s.cores) == 1 && len(s.ctrls) == 1 {
+		return s.runUntilEventsSingle(target, capCycles)
+	}
 	n := len(s.cores)
 	doneAt := make([]int64, n)
 	remaining := n
@@ -262,11 +273,21 @@ func (s *System) runUntilEvents(target uint64, capCycles int64) ([]int64, bool) 
 		for _, c := range s.cores {
 			c.Tick()
 		}
-		s.llc.Tick(now)
+		// Component ticks are gated on their own event estimates: a tick
+		// strictly before a component's NextEvent is a no-op by the
+		// estimate's contract (the reference stepper still ticks every
+		// cycle), so executed cycles driven by one component skip the
+		// others' scheduling work entirely.
+		if s.llc.NextEvent() <= now {
+			s.llc.Tick(now)
+		}
 		if now%ratio == 0 {
 			bus := dram.Cycle(now / ratio)
 			for _, ctrl := range s.ctrls {
-				ctrl.Tick(bus)
+				if ctrl.NeedsTick(bus) {
+					ctrl.Tick(bus)
+					s.memDirty = true
+				}
 			}
 		}
 		s.nowCPU = now + 1
@@ -287,7 +308,113 @@ func (s *System) runUntilEvents(target uint64, capCycles int64) ([]int64, bool) 
 			doneAt[i] = s.nowCPU - start
 		}
 	}
+	s.finishSweeps(ratio)
 	return doneAt, saturated
+}
+
+// finishSweeps settles deferred classification sweeps at the end of a
+// measurement window: the stepper ticks every bus cycle of the window,
+// so a sweep deferred to a bus cycle inside it must still be counted,
+// and one deferred past it must not be.
+func (s *System) finishSweeps(ratio int64) {
+	if s.nowCPU == 0 {
+		return
+	}
+	lastBus := dram.Cycle((s.nowCPU - 1) / ratio)
+	for _, ctrl := range s.ctrls {
+		ctrl.FinishSweeps(lastBus)
+	}
+}
+
+// runUntilEventsSingle is runUntilEvents specialized for one core and
+// one controller — every single-core configuration, including the whole
+// benchmark campaign. Identical cycle-for-cycle behaviour; it only
+// strips the multi-component loops and scratch slices off the hot path.
+func (s *System) runUntilEventsSingle(target uint64, capCycles int64) ([]int64, bool) {
+	core := s.cores[0]
+	ctrl := s.ctrls[0]
+	start := s.nowCPU
+	ratio := int64(s.cfg.ClockRatio)
+	doneCPU := int64(0)
+	for s.nowCPU < capCycles {
+		now := s.nowCPU
+		s.execCycles++
+		if now > 0 {
+			ctrl.SyncClock(dram.Cycle((now - 1) / ratio))
+		}
+		core.Tick()
+		if s.llc.NextEvent() <= now {
+			s.llc.Tick(now)
+		}
+		if now%ratio == 0 {
+			bus := dram.Cycle(now / ratio)
+			if ctrl.NeedsTick(bus) {
+				ctrl.Tick(bus)
+				s.memDirty = true
+			}
+		}
+		s.nowCPU = now + 1
+		if core.Retired() >= target {
+			doneCPU = s.nowCPU - start
+			break
+		}
+		s.skipAheadSingle(target, capCycles, core, ctrl, ratio)
+	}
+	saturated := doneCPU == 0
+	if saturated {
+		doneCPU = s.nowCPU - start
+	}
+	s.finishSweeps(ratio)
+	return []int64{doneCPU}, saturated
+}
+
+// skipAheadSingle is skipAhead for the one-core, one-controller shape.
+func (s *System) skipAheadSingle(target uint64, capCycles int64, core *cpu.Core, ctrl *memctrl.Controller, ratio int64) {
+	now := s.nowCPU
+	bulk := capCycles - now
+	if bulk <= 0 {
+		return
+	}
+	if stamp := s.llc.Stamp(); s.memDirty || stamp != s.memStamp {
+		s.memStamp = stamp
+		s.memDirty = false
+		s.memLLCWake = s.llc.NextEvent()
+		s.memCtrlWake[0] = int64(ctrl.NextEvent())
+	}
+	if e := s.memLLCWake; e-now < bulk {
+		bulk = e - now
+		if bulk <= 0 {
+			return
+		}
+	}
+	if ev := s.memCtrlWake[0]; ev < int64(dram.NoEvent) {
+		w := ev * ratio
+		if w < now {
+			w = (now + ratio - 1) / ratio * ratio
+		}
+		if w-now < bulk {
+			bulk = w - now
+			if bulk <= 0 {
+				return
+			}
+		}
+	}
+	if bulk == 1 {
+		return
+	}
+	isBlocked, pure := core.SkipBudget(target, bulk)
+	if !isBlocked {
+		if pure <= 0 {
+			return
+		}
+		if pure < bulk {
+			bulk = pure
+		}
+		core.RunAhead(bulk)
+	} else {
+		core.AdvanceIdle(bulk)
+	}
+	s.nowCPU = now + bulk
 }
 
 // skipAhead jumps s.nowCPU past cycles that are provably no-ops for
@@ -303,18 +430,29 @@ func (s *System) skipAhead(target uint64, capCycles int64, blocked []bool) {
 	if bulk <= 0 {
 		return
 	}
-	// Timed horizons first: the LLC and controller estimates are cached
-	// or O(1), and bounding the jump early caps how far the cores'
-	// budget checks need to look.
-	if e := s.llc.NextEvent(); e-now < bulk {
+	// Timed horizons first: they cap how far the cores' budget checks
+	// need to look. The component estimates move only when the LLC was
+	// accessed or ticked (its stamp) or a controller ticked (memDirty) —
+	// enqueues always ride an LLC access — so executed cycles without
+	// memory activity reuse the horizon snapshot wholesale. A snapshot
+	// taken while a controller had fresh arrivals can only be earlier
+	// than the live estimate, which at worst wakes a no-op cycle.
+	if stamp := s.llc.Stamp(); s.memDirty || stamp != s.memStamp {
+		s.memStamp = stamp
+		s.memDirty = false
+		s.memLLCWake = s.llc.NextEvent()
+		for i, ctrl := range s.ctrls {
+			s.memCtrlWake[i] = int64(ctrl.NextEvent())
+		}
+	}
+	if e := s.memLLCWake; e-now < bulk {
 		bulk = e - now
 		if bulk <= 0 {
 			return
 		}
 	}
 	ratio := int64(s.cfg.ClockRatio)
-	for _, ctrl := range s.ctrls {
-		ev := int64(ctrl.NextEvent())
+	for _, ev := range s.memCtrlWake {
 		if ev >= int64(dram.NoEvent) {
 			continue
 		}
@@ -330,6 +468,30 @@ func (s *System) skipAhead(target uint64, capCycles int64, blocked []bool) {
 				return
 			}
 		}
+	}
+	if bulk == 1 {
+		// A one-cycle jump saves nothing: executing the cycle costs less
+		// than the per-core budget queries and bulk-advance calls, and
+		// executing a skippable cycle is always bit-identical (the skip
+		// is an optimization, never a requirement).
+		return
+	}
+	if len(s.cores) == 1 {
+		c := s.cores[0]
+		isBlocked, pure := c.SkipBudget(target, bulk)
+		if !isBlocked {
+			if pure <= 0 {
+				return
+			}
+			if pure < bulk {
+				bulk = pure
+			}
+			c.RunAhead(bulk)
+		} else {
+			c.AdvanceIdle(bulk)
+		}
+		s.nowCPU = now + bulk
+		return
 	}
 	for i, c := range s.cores {
 		isBlocked, pure := c.SkipBudget(target, bulk)

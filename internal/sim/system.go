@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/circuit"
@@ -14,6 +15,58 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// The circuit model's numeric integrations (the lowered timing class for
+// a caching duration, the NUAT age bins) are pure functions of the model
+// parameters and the spec, yet were re-derived for every System — a
+// couple of milliseconds of math.Exp/Pow per config that campaigns pay
+// hundreds of times with identical inputs. The caches below memoize
+// them; entries are immutable once stored, so concurrently constructed
+// Systems (the sweep worker pool) share them safely.
+var (
+	fastClassCache sync.Map // fastClassKey -> circuit.TimingRow
+	nuatBinsCache  sync.Map // nuatBinsKey -> []core.NUATBin (read-only)
+)
+
+type fastClassKey struct {
+	p    circuit.Params
+	spec dram.Spec
+	ms   float64
+}
+
+type nuatBinsKey struct {
+	p    circuit.Params
+	spec dram.Spec
+}
+
+// cachedTimingsFor memoizes model.TimingsFor.
+func cachedTimingsFor(model *circuit.Model, spec dram.Spec, ms float64) (circuit.TimingRow, error) {
+	key := fastClassKey{p: model.Params(), spec: spec, ms: ms}
+	if row, ok := fastClassCache.Load(key); ok {
+		return row.(circuit.TimingRow), nil
+	}
+	row, err := model.TimingsFor(spec, ms)
+	if err != nil {
+		return circuit.TimingRow{}, err
+	}
+	fastClassCache.Store(key, row)
+	return row, nil
+}
+
+// cachedNUATBins memoizes model.NUATBins for the default bin bounds
+// (the only bounds the simulator uses).
+func cachedNUATBins(model *circuit.Model, spec dram.Spec) ([]core.NUATBin, error) {
+	key := nuatBinsKey{p: model.Params(), spec: spec}
+	if bins, ok := nuatBinsCache.Load(key); ok {
+		return bins.([]core.NUATBin), nil
+	}
+	bins, err := model.NUATBins(spec, circuit.DefaultNUATBoundsMs)
+	if err != nil {
+		return nil, err
+	}
+	nuatBinsCache.Store(key, bins)
+	return bins, nil
+}
 
 // System is one assembled simulation instance. Build with New, run with
 // Run. A System is single-use: Run may be called once.
@@ -38,6 +91,14 @@ type System struct {
 	// event-driven engine skips the rest. Diagnostic for benchmarks
 	// (ExecutedCycles); always equals nowCPU under the stepper.
 	execCycles int64
+
+	// Memory-event horizon snapshot for skipAhead: the LLC and
+	// controller wake-ups, valid while the LLC stamp matches and no
+	// controller ticked (memDirty).
+	memStamp    uint64
+	memDirty    bool
+	memLLCWake  int64
+	memCtrlWake []int64
 }
 
 // ExecutedCycles reports how many cycles the engine executed component
@@ -89,7 +150,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	fastRow, err := model.TimingsFor(spec, cfg.CCDurationMs)
+	fastRow, err := cachedTimingsFor(model, spec, cfg.CCDurationMs)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +223,7 @@ func (s *System) buildMechanism(channel int, model *circuit.Model) (core.Mechani
 		})
 	}
 	newNUAT := func() (*core.NUAT, error) {
-		bins, err := model.NUATBins(s.spec, circuit.DefaultNUATBoundsMs)
+		bins, err := cachedNUATBins(model, s.spec)
 		if err != nil {
 			return nil, err
 		}

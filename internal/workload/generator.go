@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cpu"
 )
@@ -79,14 +80,37 @@ func NewGenerator(prof Profile, seed uint64, base, regionBytes uint64) (*Generat
 		if segs < 1 {
 			segs = 1
 		}
-		g.zipfCum = make([]float64, segs)
-		sum := 0.0
-		for i := 0; i < segs; i++ {
-			sum += 1.0 / math.Pow(float64(i+1), prof.ZipfS)
-			g.zipfCum[i] = sum
-		}
+		g.zipfCum = zipfTable(segs, prof.ZipfS)
 	}
 	return g, nil
+}
+
+// zipfTableCache shares the cumulative-popularity tables across
+// generators: the table is a pure function of (segments, exponent), its
+// construction costs tens of thousands of math.Pow calls, and campaigns
+// build hundreds of generators with identical parameters. Cached tables
+// are read-only (nextOffset only binary-searches them), so sharing
+// across concurrently running simulations is safe.
+var zipfTableCache sync.Map // zipfKey -> []float64
+
+type zipfKey struct {
+	segs int
+	s    float64
+}
+
+func zipfTable(segs int, s float64) []float64 {
+	key := zipfKey{segs: segs, s: s}
+	if t, ok := zipfTableCache.Load(key); ok {
+		return t.([]float64)
+	}
+	cum := make([]float64, segs)
+	sum := 0.0
+	for i := 0; i < segs; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cum[i] = sum
+	}
+	t, _ := zipfTableCache.LoadOrStore(key, cum)
+	return t.([]float64)
 }
 
 // Profile returns the generator's workload profile.

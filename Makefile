@@ -25,7 +25,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch ./internal/analysis
 	$(GO) test -race ./internal/sim -run 'TestDifferential'
 	$(GO) test -race ./internal/memctrl ./internal/dram
 
@@ -73,9 +73,27 @@ bench-simcore:
 # bench-check reruns the campaign without touching the committed file
 # and fails on a per-workload speedup below 1x or a >10% aggregate
 # configs_per_sec regression against the committed BENCH_simcore.json.
+# The zero-alloc gate first proves the perf-analyzer probe hooks stay
+# allocation-free on the simulation hot paths, disabled and enabled.
 .PHONY: bench-check
-bench-check:
+bench-check: zero-alloc-check
 	$(GO) run $(LDFLAGS) ./cmd/benchrecord -out /tmp/BENCH_simcore.fresh.json -compare BENCH_simcore.json
+
+# zero-alloc-check runs the testing.AllocsPerRun gates for the probe
+# hooks at every layer: DRAM command issue, ChargeCache operations, and
+# the analysis collector's steady state.
+.PHONY: zero-alloc-check
+zero-alloc-check:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/dram ./internal/core ./internal/analysis
+
+# dashboard opens the daemon's embedded live dashboard (start one with
+# `make serve` first).
+DASHBOARD_URL ?= http://localhost:8344/dashboard
+.PHONY: dashboard
+dashboard:
+	@echo "dashboard: $(DASHBOARD_URL)"
+	@xdg-open $(DASHBOARD_URL) 2>/dev/null || open $(DASHBOARD_URL) 2>/dev/null || \
+		echo "dashboard: open $(DASHBOARD_URL) in a browser"
 
 # golden-update deliberately rewrites the experiment-layer regression
 # snapshot after an intended change to reproduced paper numbers.

@@ -30,6 +30,7 @@ package ccsim
 import (
 	"context"
 
+	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -83,6 +84,13 @@ type (
 	// ChargeCacheMechanism is the concrete ChargeCache implementation,
 	// usable as a building block inside custom mechanisms.
 	ChargeCacheMechanism = core.ChargeCache
+	// AnalysisConfig switches on the opt-in perf analyzer
+	// (Config.Analysis): bounded epoch-bucketed timelines of per-bank
+	// DRAM commands, queue depths, row-buffer outcomes and ChargeCache
+	// events, surfaced as Result.Analysis.
+	AnalysisConfig = analysis.Config
+	// AnalysisReport is the perf analyzer's output (Result.Analysis).
+	AnalysisReport = analysis.Report
 )
 
 // Mechanisms under evaluation.

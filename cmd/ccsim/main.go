@@ -2,6 +2,11 @@
 // and prints their measurements: IPC, RMPKC, row-buffer behaviour,
 // ChargeCache hit rate and DRAM energy.
 //
+// -analysis switches on the opt-in perf analyzer: every run then also
+// prints bounded per-epoch timelines of row-buffer outcomes,
+// ChargeCache hit rates, refreshes and queue pressure per channel
+// (-analysis-epoch adjusts the bucket width in DRAM bus cycles).
+//
 // -mechanism accepts a comma-separated list; with more than one entry
 // the configs fan out across -workers goroutines through the sweep
 // engine and print as a comparison table. -results names a JSON cache
@@ -62,6 +67,8 @@ func main() {
 	unlimited := flag.Bool("unlimited", false, "unbounded ChargeCache")
 	seed := flag.Uint64("seed", 1, "workload generator seed")
 	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
+	analysisOn := flag.Bool("analysis", false, "enable the perf analyzer: per-epoch bank/queue/row-hit/ChargeCache timelines")
+	analysisEpoch := flag.Int("analysis-epoch", 0, "analyzer epoch width in DRAM bus cycles (0 = default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations when several mechanisms are given")
 	results := flag.String("results", "", "JSON results-cache file reused across invocations")
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
@@ -98,6 +105,9 @@ func main() {
 	base.CCUnlimited = *unlimited
 	base.Seed = *seed
 	base.TrackRLTL = *rltl
+	if *analysisOn || *analysisEpoch > 0 {
+		base.Analysis = &ccsim.AnalysisConfig{Enabled: true, EpochCycles: *analysisEpoch}
+	}
 
 	var jobs []ccsim.SweepJob
 	for _, m := range strings.Split(*mechanism, ",") {
@@ -186,9 +196,13 @@ func main() {
 	}
 	if len(res) == 1 {
 		report(res[0])
+		reportAnalysis(res[0])
 		return
 	}
 	compare(res)
+	for _, r := range res {
+		reportAnalysis(r)
+	}
 }
 
 // validateWorkers rejects non-positive worker counts up front. The
@@ -271,6 +285,54 @@ func report(res ccsim.Result) {
 			fmt.Printf("%gms=%.1f%% ", ms, 100*res.RLTL.Fractions[i])
 		}
 		fmt.Printf("| after-refresh(8ms)=%.1f%%\n", 100*res.RLTL.RefreshFraction)
+	}
+}
+
+// reportAnalysis renders the perf analyzer's epoch tables: run totals,
+// then a per-channel timeline with command mix, row-buffer outcomes,
+// ChargeCache hit rate and queue pressure per epoch. No-op when the
+// run carried no report (-analysis off).
+func reportAnalysis(res ccsim.Result) {
+	rep := res.Analysis
+	if rep == nil {
+		return
+	}
+	t := rep.Totals
+	fmt.Printf("\nanalysis (%v):  epoch = %d bus cycles, ring = %d epochs\n",
+		res.Config.Mechanism, rep.EpochCycles, rep.MaxEpochs)
+	fmt.Printf("  totals:     %d ACT (%d fast), %d PRE, %d RD, %d WR, %d REF, %d tFAW stall cycles\n",
+		t.ACT, t.FastACT, t.PRE, t.RD, t.WR, t.REF, t.FAWStallCycles)
+	fmt.Printf("  row buffer: %d hits / %d misses / %d conflicts (hit rate %.1f%%)\n",
+		t.RowHits, t.RowMisses, t.RowConflicts, 100*t.RowHitRate())
+	if t.CCLookups > 0 {
+		fmt.Printf("  chargecache: %d lookups, %d hits (%.1f%%), %d inserts, %d evictions, %d expiries\n",
+			t.CCLookups, t.CCHits, 100*t.CCHitRate(), t.CCInserts, t.CCEvictions, t.CCExpiries)
+	}
+	if t.QueueSamples > 0 {
+		fmt.Printf("  queue:      %.2f avg depth, %d peak (%d samples)\n",
+			float64(t.QueueDepthSum)/float64(t.QueueSamples), t.QueueDepthPeak, t.QueueSamples)
+	}
+	for _, ch := range rep.Channels {
+		fmt.Printf("  channel %d (%d bank timeline(s)", ch.Channel, len(ch.Banks))
+		if ch.DroppedEpochs > 0 {
+			fmt.Printf(", %d epochs evicted from the ring", ch.DroppedEpochs)
+		}
+		fmt.Printf("):\n")
+		fmt.Printf("    %8s %8s %8s %8s %8s %7s %7s %8s\n",
+			"epoch", "rowhit", "rowmiss", "rowconf", "hit%", "cc-hit%", "ref", "avg-q")
+		for _, e := range ch.Epochs {
+			ccHit := "-"
+			if e.CCLookups > 0 {
+				ccHit = fmt.Sprintf("%.1f", 100*float64(e.CCHits)/float64(e.CCLookups))
+			}
+			avgQ := "-"
+			if e.QueueSamples > 0 {
+				avgQ = fmt.Sprintf("%.2f", float64(e.ReadDepthSum+e.WriteDepthSum)/float64(e.QueueSamples))
+			}
+			fmt.Printf("    %8d %8d %8d %8d %7.1f%% %7s %7d %8s\n",
+				e.Epoch, e.RowHits, e.RowMisses, e.RowConflicts,
+				100*e.RowHitRate(), ccHit, e.REF, avgQ)
+		}
 	}
 }
 

@@ -6,8 +6,11 @@
 //
 // Endpoints (see the README for the full reference and curl examples):
 // POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/jobs/{id}/events (SSE),
-// DELETE /v1/jobs/{id}, GET /v1/results/{key}, GET /healthz,
-// GET /metrics.
+// DELETE /v1/jobs/{id}, GET /v1/results/{key}, GET /v1/analysis/{id}
+// (perf-analyzer report of a done job), GET /healthz, GET /metrics
+// (including fleet perf-analyzer aggregates), and GET /dashboard — an
+// embedded live HTML dashboard with campaign progress, throughput and
+// row-hit-rate sparklines.
 //
 // -peers b:8344,c:8344 makes this daemon front a fleet: each reachable
 // peer contributes its advertised worker capacity to this daemon's

@@ -1,0 +1,294 @@
+// Package analysis is the simulator's opt-in perf-analyzer: probe
+// implementations for the DRAM channel (per-bank command utilization,
+// tFAW stall attribution), the memory controller (queue-depth samples
+// and row-buffer-outcome timelines off the FR-FCFS selector), and the
+// ChargeCache (lookup/insert/expiry event traces), all folded into
+// bounded epoch-bucketed ring buffers.
+//
+// The layer is built to observe without perturbing: probes never touch
+// scheduler state, every event is bucketed by an engine-invariant cycle
+// (command issue time, request arrival, nominal IIC rollover), and the
+// differential suite runs bit-identically with analysis on or off. When
+// analysis is disabled the hot paths pay a single nil check per probe
+// site and allocate nothing (see zeroalloc tests in internal/sim).
+//
+// Memory is bounded up front: every timeline is a fixed-capacity ring
+// of epoch buckets preallocated at construction. Epochs beyond the
+// window evict the oldest buckets (counted in DroppedEpochs); events
+// older than the window fold into the oldest live bucket (Clamped).
+// Totals accumulate independently of the rings, so they stay exact even
+// after eviction.
+package analysis
+
+import "fmt"
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultEpochCycles is the timeline bucket width in DRAM bus
+	// cycles: 50k bus cycles is 62.5 µs at DDR3-1600, a few refresh
+	// intervals per bucket.
+	DefaultEpochCycles = 50_000
+	// DefaultMaxEpochs bounds each timeline ring; with the default
+	// epoch width a ring covers 12.8M bus cycles (64M CPU cycles).
+	DefaultMaxEpochs = 256
+)
+
+// Config enables and sizes the perf-analyzer for one simulation. The
+// zero value (and a nil *Config) means disabled; sim.Config carries it
+// as a pointer with omitempty so historical sweep-cache keys are
+// unaffected.
+type Config struct {
+	// Enabled turns the probes on.
+	Enabled bool
+
+	// EpochCycles is the timeline bucket width in DRAM bus cycles
+	// (0 = DefaultEpochCycles).
+	EpochCycles int `json:",omitempty"`
+
+	// MaxEpochs bounds every timeline ring buffer (0 =
+	// DefaultMaxEpochs). Memory per channel is
+	// O((ranks*banks + 1) * MaxEpochs) fixed-size buckets.
+	MaxEpochs int `json:",omitempty"`
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.EpochCycles < 0 {
+		return fmt.Errorf("analysis: EpochCycles must be >= 0, got %d", c.EpochCycles)
+	}
+	if c.MaxEpochs < 0 {
+		return fmt.Errorf("analysis: MaxEpochs must be >= 0, got %d", c.MaxEpochs)
+	}
+	return nil
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	if c.EpochCycles <= 0 {
+		c.EpochCycles = DefaultEpochCycles
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = DefaultMaxEpochs
+	}
+	return c
+}
+
+// BankEpoch is one (rank, bank) timeline bucket: command utilization,
+// row-buffer outcomes (bucketed by request arrival), and bank-queue
+// depth samples taken at enqueue.
+type BankEpoch struct {
+	Epoch uint64
+
+	ACT     uint64
+	FastACT uint64 // ACTs issued with a lowered timing class
+	PRE     uint64
+	RD      uint64
+	WR      uint64
+
+	// FAWStallCycles attributes tFAW pressure: for each ACT issued
+	// while the rank's four-activate window was full, the cycles the
+	// window head extended beyond the bank's own tRC/tRP readiness.
+	FAWStallCycles uint64
+
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+
+	QueueSamples   uint64
+	QueueDepthSum  uint64 // sum of (bank reads + bank writes) at sample
+	QueueDepthPeak uint64
+}
+
+// ChannelEpoch is one channel-level timeline bucket: refreshes,
+// channel-wide outcome and queue aggregates, and ChargeCache events.
+type ChannelEpoch struct {
+	Epoch uint64
+
+	REF uint64
+
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+
+	// ChargeCache (HCRAC) events; zero for non-ChargeCache mechanisms.
+	CCLookups   uint64
+	CCHits      uint64
+	CCInserts   uint64
+	CCEvictions uint64 // capacity replacements
+	CCExpiries  uint64 // timed invalidations (IIC/EC walk or exact expiry)
+
+	QueueSamples   uint64
+	ReadDepthSum   uint64 // controller read-queue depth at sample
+	WriteDepthSum  uint64
+	QueueDepthPeak uint64 // peak reads+writes at sample
+}
+
+// RowHitRate returns the epoch's row-buffer hit fraction.
+func (e ChannelEpoch) RowHitRate() float64 {
+	total := e.RowHits + e.RowMisses + e.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(e.RowHits) / float64(total)
+}
+
+// Totals aggregates every probe event of a run, independent of the ring
+// windows: sums over epochs equal the matching Totals field whenever no
+// epochs were dropped.
+type Totals struct {
+	ACT            uint64
+	FastACT        uint64
+	PRE            uint64
+	RD             uint64
+	WR             uint64
+	REF            uint64
+	FAWStallCycles uint64
+
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+
+	CCLookups   uint64
+	CCHits      uint64
+	CCInserts   uint64
+	CCEvictions uint64
+	CCExpiries  uint64
+
+	QueueSamples   uint64
+	QueueDepthSum  uint64
+	QueueDepthPeak uint64
+}
+
+// RowHitRate returns the run's overall row-buffer hit fraction.
+func (t Totals) RowHitRate() float64 {
+	total := t.RowHits + t.RowMisses + t.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(t.RowHits) / float64(total)
+}
+
+// CCHitRate returns the ChargeCache hit fraction over its lookups.
+func (t Totals) CCHitRate() float64 {
+	if t.CCLookups == 0 {
+		return 0
+	}
+	return float64(t.CCHits) / float64(t.CCLookups)
+}
+
+// BankReport is one bank's timeline in a Report.
+type BankReport struct {
+	Rank int
+	Bank int
+	// DroppedEpochs counts buckets evicted from the ring; Clamped
+	// counts events older than the ring window folded into its oldest
+	// bucket. Both zero when MaxEpochs covered the run.
+	DroppedEpochs uint64
+	Clamped       uint64 `json:",omitempty"`
+	Epochs        []BankEpoch
+}
+
+// ChannelReport is one channel's timelines in a Report.
+type ChannelReport struct {
+	Channel       int
+	DroppedEpochs uint64
+	Clamped       uint64 `json:",omitempty"`
+	Epochs        []ChannelEpoch
+	// Banks holds the per-(rank, bank) timelines that saw events,
+	// ordered by (rank, bank).
+	Banks []BankReport
+}
+
+// Report is the per-run analysis output, attached to sim.Result.
+type Report struct {
+	// EpochCycles and MaxEpochs echo the effective configuration.
+	EpochCycles int
+	MaxEpochs   int
+	Totals      Totals
+	Channels    []ChannelReport
+}
+
+// Collector owns one run's probe state: one ChannelCollector per
+// channel, all feeding shared totals. Collectors are single-threaded,
+// like the simulator that drives them.
+type Collector struct {
+	cfg    Config
+	totals Totals
+	chans  []*ChannelCollector
+}
+
+// NewCollector builds a collector for a system with the given channel
+// count and per-channel geometry. All ring buffers are preallocated
+// here; steady-state probe calls do not allocate.
+func NewCollector(cfg Config, channels, ranks, banks int) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{cfg: cfg}
+	for ch := 0; ch < channels; ch++ {
+		cc := &ChannelCollector{
+			channel:     ch,
+			banks:       banks,
+			epochCycles: uint64(cfg.EpochCycles),
+			totals:      &c.totals,
+			bankRings:   make([]ring[BankEpoch], ranks*banks),
+			chRing:      newRing[ChannelEpoch](cfg.MaxEpochs),
+		}
+		for i := range cc.bankRings {
+			cc.bankRings[i] = newRing[BankEpoch](cfg.MaxEpochs)
+		}
+		c.chans = append(c.chans, cc)
+	}
+	return c
+}
+
+// Channel returns channel ch's probe sink, to be installed on that
+// channel's controller, DRAM device and mechanism.
+func (c *Collector) Channel(ch int) *ChannelCollector { return c.chans[ch] }
+
+// Reset clears every timeline and the totals (after simulation warm-up)
+// without releasing the preallocated rings.
+func (c *Collector) Reset() {
+	c.totals = Totals{}
+	for _, cc := range c.chans {
+		cc.chRing.reset()
+		for i := range cc.bankRings {
+			cc.bankRings[i].reset()
+		}
+	}
+}
+
+// Report snapshots the collected timelines. Channels and banks are
+// emitted in index order; all-zero intermediate buckets are skipped.
+func (c *Collector) Report() *Report {
+	rep := &Report{
+		EpochCycles: c.cfg.EpochCycles,
+		MaxEpochs:   c.cfg.MaxEpochs,
+		Totals:      c.totals,
+	}
+	for _, cc := range c.chans {
+		chRep := ChannelReport{
+			Channel:       cc.channel,
+			DroppedEpochs: cc.chRing.dropped,
+			Clamped:       cc.chRing.clamped,
+			Epochs: snapshot(&cc.chRing, func(b *ChannelEpoch, e uint64) {
+				b.Epoch = e
+			}),
+		}
+		for i := range cc.bankRings {
+			r := &cc.bankRings[i]
+			if r.n == 0 {
+				continue
+			}
+			chRep.Banks = append(chRep.Banks, BankReport{
+				Rank:          i / cc.banks,
+				Bank:          i % cc.banks,
+				DroppedEpochs: r.dropped,
+				Clamped:       r.clamped,
+				Epochs: snapshot(r, func(b *BankEpoch, e uint64) {
+					b.Epoch = e
+				}),
+			})
+		}
+		rep.Channels = append(rep.Channels, chRep)
+	}
+	return rep
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+)
+
+func testCollector() *Collector {
+	return NewCollector(Config{Enabled: true, EpochCycles: 100, MaxEpochs: 8}, 2, 2, 4)
+}
+
+func defClass() dram.TimingClass { return dram.TimingClass{RCD: 11, RAS: 28} }
+
+// TestCollectorReport drives a small mixed event stream through channel
+// 0 and checks the report's structure and bucketing.
+func TestCollectorReport(t *testing.T) {
+	c := testCollector()
+	ch := c.Channel(0)
+
+	coord := memctrl.Coord{Channel: 0, Rank: 0, Bank: 1, Row: 5}
+	key := core.MakeRowKey(0, 1, 5)
+
+	// Epoch 0: an ACT (with tFAW stall and an HCRAC miss) + RD on
+	// (rank 0, bank 1), with a queue sample and a row hit.
+	ch.ObserveCommand(dram.Act(0, 1, 5, defClass()), 10, 7, false)
+	ch.ObserveLookup(key, false, 10)
+	ch.ObserveEnqueue(coord, true, 2, 1, 4, 3, 15)
+	ch.ObserveRowOutcome(coord, memctrl.RowHit, 15)
+	ch.ObserveCommand(dram.Read(0, 1, 0), 30, 0, false)
+	ch.ObserveInsert(key, false, 40)
+
+	// Epoch 2: a row conflict, an HCRAC hit and expiry, a fast ACT on
+	// (rank 1, bank 3) and a refresh.
+	ch.ObserveRowOutcome(coord, memctrl.RowConflict, 220)
+	ch.ObserveLookup(key, true, 230)
+	ch.ObserveCommand(dram.Act(1, 3, 9, defClass()), 250, 0, true)
+	ch.ObserveExpiry(key, 250)
+	ch.ObserveCommand(dram.Refresh(0), 260, 0, false)
+
+	rep := c.Report()
+	if rep.EpochCycles != 100 || rep.MaxEpochs != 8 {
+		t.Errorf("report config echo = %d/%d, want 100/8", rep.EpochCycles, rep.MaxEpochs)
+	}
+	if len(rep.Channels) != 2 {
+		t.Fatalf("report has %d channels, want 2", len(rep.Channels))
+	}
+	ch1 := rep.Channels[1]
+	if len(ch1.Epochs) != 0 || len(ch1.Banks) != 0 {
+		t.Errorf("idle channel 1 reported %d epochs, %d banks", len(ch1.Epochs), len(ch1.Banks))
+	}
+
+	ch0 := rep.Channels[0]
+	if len(ch0.Banks) != 2 {
+		t.Fatalf("channel 0 has %d bank timelines, want 2 (got %+v)", len(ch0.Banks), ch0.Banks)
+	}
+	b01 := ch0.Banks[0]
+	if b01.Rank != 0 || b01.Bank != 1 {
+		t.Fatalf("first bank timeline is (%d,%d), want (0,1)", b01.Rank, b01.Bank)
+	}
+	if len(b01.Epochs) != 2 {
+		t.Fatalf("bank (0,1) has %d epochs, want 2 (idle epoch 1 skipped): %+v", len(b01.Epochs), b01.Epochs)
+	}
+	e0 := b01.Epochs[0]
+	if e0.Epoch != 0 || e0.ACT != 1 || e0.RD != 1 || e0.FAWStallCycles != 7 ||
+		e0.RowHits != 1 || e0.QueueSamples != 1 || e0.QueueDepthSum != 3 || e0.QueueDepthPeak != 3 {
+		t.Errorf("bank (0,1) epoch 0 = %+v", e0)
+	}
+	if e2 := b01.Epochs[1]; e2.Epoch != 2 || e2.RowConflicts != 1 {
+		t.Errorf("bank (0,1) epoch 2 = %+v, want the conflict bucketed by arrival", e2)
+	}
+	b13 := ch0.Banks[1]
+	if b13.Rank != 1 || b13.Bank != 3 || len(b13.Epochs) != 1 ||
+		b13.Epochs[0].Epoch != 2 || b13.Epochs[0].FastACT != 1 {
+		t.Errorf("bank (1,3) = %+v, want one epoch-2 fast ACT", b13)
+	}
+
+	if len(ch0.Epochs) != 2 {
+		t.Fatalf("channel 0 has %d epochs, want 2 (idle epoch 1 skipped): %+v", len(ch0.Epochs), ch0.Epochs)
+	}
+	ce0 := ch0.Epochs[0]
+	if ce0.CCLookups != 1 || ce0.CCInserts != 1 || ce0.RowHits != 1 ||
+		ce0.QueueSamples != 1 || ce0.ReadDepthSum != 4 || ce0.WriteDepthSum != 3 || ce0.QueueDepthPeak != 7 {
+		t.Errorf("channel epoch 0 = %+v", ce0)
+	}
+	ce2 := ch0.Epochs[1]
+	if ce2.REF != 1 || ce2.CCHits != 1 || ce2.CCExpiries != 1 || ce2.RowConflicts != 1 {
+		t.Errorf("channel epoch 2 = %+v", ce2)
+	}
+
+	tot := rep.Totals
+	if tot.ACT != 2 || tot.FastACT != 1 || tot.RD != 1 || tot.REF != 1 ||
+		tot.FAWStallCycles != 7 || tot.RowHits != 1 || tot.RowConflicts != 1 ||
+		tot.CCLookups != 2 || tot.CCHits != 1 || tot.CCInserts != 1 || tot.CCExpiries != 1 ||
+		tot.QueueSamples != 1 || tot.QueueDepthSum != 7 || tot.QueueDepthPeak != 7 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if got := tot.RowHitRate(); got != 0.5 {
+		t.Errorf("RowHitRate = %g, want 0.5", got)
+	}
+	if got := tot.CCHitRate(); got != 0.5 {
+		t.Errorf("CCHitRate = %g, want 0.5", got)
+	}
+}
+
+// TestCollectorReset clears totals and timelines for reuse after
+// simulation warm-up.
+func TestCollectorReset(t *testing.T) {
+	c := testCollector()
+	ch := c.Channel(1)
+	ch.ObserveCommand(dram.Act(0, 0, 1, defClass()), 10, 0, false)
+	c.Reset()
+	rep := c.Report()
+	if rep.Totals != (Totals{}) {
+		t.Errorf("totals after reset = %+v", rep.Totals)
+	}
+	if got := rep.Channels[1]; len(got.Epochs) != 0 || len(got.Banks) != 0 {
+		t.Errorf("channel 1 after reset still reports %+v", got)
+	}
+	ch.ObserveCommand(dram.Act(0, 0, 1, defClass()), 910, 0, false)
+	rep = c.Report()
+	if rep.Totals.ACT != 1 || rep.Channels[1].Banks[0].Epochs[0].Epoch != 9 {
+		t.Errorf("post-reset event misreported: %+v", rep.Channels[1])
+	}
+}
+
+// TestCollectorZeroAllocSteadyState proves that no probe callback
+// allocates once the collector is constructed — the enabled-path cost is
+// ring-bucket arithmetic only.
+func TestCollectorZeroAllocSteadyState(t *testing.T) {
+	c := testCollector()
+	ch := c.Channel(0)
+	coord := memctrl.Coord{Rank: 1, Bank: 2, Row: 3}
+	key := core.MakeRowKey(1, 2, 3)
+	act := dram.Act(1, 2, 3, defClass())
+	now := dram.Cycle(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		ch.ObserveCommand(act, now, 1, true)
+		ch.ObserveEnqueue(coord, true, 1, 0, 1, 0, now)
+		ch.ObserveRowOutcome(coord, memctrl.RowMiss, now)
+		ch.ObserveLookup(key, false, now)
+		ch.ObserveInsert(key, true, now)
+		ch.ObserveExpiry(key, now)
+		now += 37 // drifts across epochs, exercising ring advances
+	})
+	if allocs != 0 {
+		t.Errorf("probe callbacks allocated %.1f times per round, want 0", allocs)
+	}
+}
+
+// TestConfigValidate rejects negative sizes and resolves defaults.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{EpochCycles: -1}).Validate(); err == nil {
+		t.Error("negative EpochCycles validated")
+	}
+	if err := (Config{MaxEpochs: -1}).Validate(); err == nil {
+		t.Error("negative MaxEpochs validated")
+	}
+	got := Config{Enabled: true}.withDefaults()
+	if got.EpochCycles != DefaultEpochCycles || got.MaxEpochs != DefaultMaxEpochs {
+		t.Errorf("withDefaults = %+v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// ring is a fixed-capacity window of consecutive epoch buckets. The
+// window follows the (mostly monotonic) event stream: a bucket for a
+// newer epoch than the window covers evicts the oldest buckets; an
+// event older than the window folds into the oldest live bucket. All
+// storage is allocated at construction — at() never allocates.
+//
+// Bucket assignment is deterministic in the event sequence alone, and
+// every probe event sequence is engine-invariant (see the package
+// comment), so rings — and the Reports built from them — compare
+// bit-identical between the event-driven engine and the stepper.
+type ring[T comparable] struct {
+	buckets []T // slot (head+i)%cap holds epoch first+i, for i < n
+	head    int
+	first   uint64
+	n       int
+	started bool
+	dropped uint64 // epochs evicted off the window's trailing edge
+	clamped uint64 // events folded into the oldest bucket
+}
+
+func newRing[T comparable](capacity int) ring[T] {
+	return ring[T]{buckets: make([]T, capacity)}
+}
+
+func (r *ring[T]) slot(i int) *T {
+	return &r.buckets[(r.head+i)%len(r.buckets)]
+}
+
+// at returns the bucket for epoch, materializing it (zeroing any
+// intermediate epochs) and advancing the window when needed.
+func (r *ring[T]) at(epoch uint64) *T {
+	var zero T
+	if !r.started {
+		r.started = true
+		r.first = epoch
+		r.n = 1
+		*r.slot(0) = zero
+		return r.slot(0)
+	}
+	if epoch < r.first {
+		r.clamped++
+		return r.slot(0)
+	}
+	delta := epoch - r.first
+	capN := uint64(len(r.buckets))
+	if delta < uint64(r.n) {
+		return r.slot(int(delta))
+	}
+	if delta >= capN {
+		drop := delta - capN + 1
+		if drop >= uint64(r.n) {
+			// The window jumped wholly past the live buckets (a long
+			// idle stretch): restart it at the new epoch rather than
+			// filling the ring with empty leading buckets.
+			r.dropped += uint64(r.n)
+			r.first = epoch
+			r.n = 1
+			*r.slot(0) = zero
+			return r.slot(0)
+		}
+		r.dropped += drop
+		r.head = (r.head + int(drop)) % len(r.buckets)
+		r.first += drop
+		r.n -= int(drop)
+		delta = epoch - r.first
+	}
+	for uint64(r.n) <= delta {
+		*r.slot(r.n) = zero
+		r.n++
+	}
+	return r.slot(int(delta))
+}
+
+// reset empties the ring without releasing its storage.
+func (r *ring[T]) reset() {
+	r.started = false
+	r.head = 0
+	r.first = 0
+	r.n = 0
+	r.dropped = 0
+	r.clamped = 0
+}
+
+// snapshot copies the live buckets in epoch order, skipping all-zero
+// intermediate buckets, and stamps each copy with its epoch number via
+// setEpoch (the stored buckets keep Epoch zero so the zero-skip
+// comparison stays valid).
+func snapshot[T comparable](r *ring[T], setEpoch func(*T, uint64)) []T {
+	var zero T
+	var out []T
+	for i := 0; i < r.n; i++ {
+		b := *r.slot(i)
+		if b == zero {
+			continue
+		}
+		setEpoch(&b, r.first+uint64(i))
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import "testing"
+
+type bucket struct {
+	Epoch uint64
+	N     uint64
+}
+
+func stamp(b *bucket, e uint64) { b.Epoch = e }
+
+// TestRingSequential fills consecutive epochs and snapshots them back.
+func TestRingSequential(t *testing.T) {
+	r := newRing[bucket](8)
+	for e := uint64(0); e < 4; e++ {
+		r.at(e).N = e + 1
+	}
+	got := snapshot(&r, stamp)
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d buckets, want 4", len(got))
+	}
+	for i, b := range got {
+		if b.Epoch != uint64(i) || b.N != uint64(i)+1 {
+			t.Errorf("bucket %d = %+v, want epoch %d n %d", i, b, i, i+1)
+		}
+	}
+	if r.dropped != 0 || r.clamped != 0 {
+		t.Errorf("dropped/clamped = %d/%d, want 0/0", r.dropped, r.clamped)
+	}
+}
+
+// TestRingGapSkipsZeroBuckets leaves a gap; the intermediate all-zero
+// buckets must be zero-filled in the window but absent from snapshots.
+func TestRingGapSkipsZeroBuckets(t *testing.T) {
+	r := newRing[bucket](8)
+	r.at(0).N = 1
+	r.at(5).N = 6
+	if r.n != 6 {
+		t.Errorf("window spans %d epochs, want 6", r.n)
+	}
+	got := snapshot(&r, stamp)
+	if len(got) != 2 || got[0].Epoch != 0 || got[1].Epoch != 5 {
+		t.Fatalf("snapshot = %+v, want epochs 0 and 5 only", got)
+	}
+}
+
+// TestRingEviction overflows the capacity and expects the oldest epochs
+// dropped, with old-epoch events clamped into the new oldest bucket.
+func TestRingEviction(t *testing.T) {
+	r := newRing[bucket](4)
+	for e := uint64(0); e < 6; e++ {
+		r.at(e).N = e + 1
+	}
+	if r.dropped != 2 || r.first != 2 {
+		t.Fatalf("dropped=%d first=%d, want 2/2", r.dropped, r.first)
+	}
+	// An event from evicted epoch 0 folds into the oldest live bucket.
+	r.at(0).N += 100
+	if r.clamped != 1 {
+		t.Errorf("clamped = %d, want 1", r.clamped)
+	}
+	got := snapshot(&r, stamp)
+	if len(got) != 4 || got[0].Epoch != 2 || got[0].N != 3+100 || got[3].Epoch != 5 {
+		t.Fatalf("snapshot = %+v, want epochs 2..5 with clamp folded into epoch 2", got)
+	}
+}
+
+// TestRingRestart jumps wholly past the window: the ring restarts at
+// the new epoch instead of zero-filling its way there.
+func TestRingRestart(t *testing.T) {
+	r := newRing[bucket](4)
+	r.at(0).N = 1
+	r.at(1).N = 2
+	r.at(1000).N = 3
+	if r.dropped != 2 || r.first != 1000 || r.n != 1 {
+		t.Fatalf("dropped=%d first=%d n=%d, want 2/1000/1", r.dropped, r.first, r.n)
+	}
+	got := snapshot(&r, stamp)
+	if len(got) != 1 || got[0].Epoch != 1000 || got[0].N != 3 {
+		t.Fatalf("snapshot = %+v, want single epoch-1000 bucket", got)
+	}
+}
+
+// TestRingReset empties the ring and restarts the window cleanly.
+func TestRingReset(t *testing.T) {
+	r := newRing[bucket](4)
+	for e := uint64(0); e < 6; e++ {
+		r.at(e).N = 1
+	}
+	r.reset()
+	if r.n != 0 || r.dropped != 0 || r.clamped != 0 {
+		t.Fatalf("reset left n=%d dropped=%d clamped=%d", r.n, r.dropped, r.clamped)
+	}
+	r.at(7).N = 9
+	got := snapshot(&r, stamp)
+	if len(got) != 1 || got[0].Epoch != 7 || got[0].N != 9 {
+		t.Fatalf("snapshot after reset = %+v, want single epoch-7 bucket", got)
+	}
+}
+
+// TestRingAtZeroAlloc proves the bucket path never allocates after
+// construction, including across evictions and clamps.
+func TestRingAtZeroAlloc(t *testing.T) {
+	r := newRing[bucket](4)
+	e := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.at(e).N++
+		r.at(e / 2).N++ // alternates live and clamped epochs
+		e++
+	})
+	if allocs != 0 {
+		t.Errorf("ring.at allocated %.1f times per call pair, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -189,6 +190,17 @@ func (c *Client) Result(ctx context.Context, key string) (sim.Result, error) {
 	var res sim.Result
 	err := c.do(ctx, http.MethodGet, "/v1/results/"+url.PathEscape(key), nil, &res)
 	return res, err
+}
+
+// Analysis fetches a done job's perf-analyzer report. The daemon
+// answers 404 (an *APIError here) when the job is unknown, not
+// finished yet, or ran with analysis disabled.
+func (c *Client) Analysis(ctx context.Context, id string) (*analysis.Report, error) {
+	var rep analysis.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/analysis/"+url.PathEscape(id), nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // Health fetches /healthz.

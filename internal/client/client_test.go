@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -170,6 +171,46 @@ func TestClientEndpoints(t *testing.T) {
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
 		t.Fatalf("unknown job error = %v, want APIError 404", err)
+	}
+}
+
+// TestClientAnalysis fetches a perf-analyzer report through the typed
+// wrapper and checks the 404 cases surface as APIErrors.
+func TestClientAnalysis(t *testing.T) {
+	c, _ := startDaemon(t, "")
+	cfg := tinyCfg("lbm", 44)
+	cfg.Analysis = &analysis.Config{Enabled: true}
+
+	sts, err := c.Submit(context.Background(), []server.JobSpec{{Label: "an", Config: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(context.Background(), sts[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Analysis(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result == nil || st.Result.Analysis == nil || rep.Totals != st.Result.Analysis.Totals {
+		t.Error("Analysis(id) differs from the job result's report")
+	}
+
+	var apiErr *APIError
+	if _, err := c.Analysis(context.Background(), "job-424242"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job analysis error = %v, want APIError 404", err)
+	}
+	// A done job that ran without analysis is also a 404.
+	plain, err := c.Submit(context.Background(), []server.JobSpec{{Config: tinyCfg("lbm", 45)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(context.Background(), plain[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analysis(context.Background(), plain[0].ID); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("analysis-less job error = %v, want APIError 404", err)
 	}
 }
 

@@ -95,7 +95,15 @@ type ChargeCache struct {
 	insertedAt []dram.Cycle
 	unlimited  map[RowKey]dram.Cycle
 
+	// rollovers counts completed invalidation intervals since
+	// construction; rollover j nominally lands at cycle j*interval, which
+	// is the engine-invariant stamp for lazy EC-walk expiries.
+	rollovers uint64
+
 	stats Stats
+
+	// probe, if set, receives lookup/insert/expiry events (see probe.go).
+	probe MechProbe
 }
 
 // NewChargeCache builds a ChargeCache; the config must validate.
@@ -139,11 +147,20 @@ func (cc *ChargeCache) OnActivate(key RowKey, now, _ dram.Cycle) dram.TimingClas
 		t, ok := cc.unlimited[key]
 		if ok && now-t <= cc.cfg.Duration {
 			cc.stats.Hits++
+			if cc.probe != nil {
+				cc.probe.ObserveLookup(key, true, now)
+			}
 			return cc.cfg.Fast
 		}
 		if ok {
 			delete(cc.unlimited, key)
 			cc.stats.Invalidations++
+			if cc.probe != nil {
+				cc.probe.ObserveExpiry(key, now)
+			}
+		}
+		if cc.probe != nil {
+			cc.probe.ObserveLookup(key, false, now)
 		}
 		return cc.cfg.Default
 	}
@@ -157,12 +174,22 @@ func (cc *ChargeCache) OnActivate(key RowKey, now, _ dram.Cycle) dram.TimingClas
 		if cc.cfg.Invalidation == ExactExpiry && now-cc.insertedAt[i] > cc.cfg.Duration {
 			cc.table.valid[i] = false
 			cc.stats.Invalidations++
+			if cc.probe != nil {
+				cc.probe.ObserveExpiry(key, now)
+				cc.probe.ObserveLookup(key, false, now)
+			}
 			return cc.cfg.Default
 		}
 		cc.table.tick++
 		cc.table.used[i] = cc.table.tick
 		cc.stats.Hits++
+		if cc.probe != nil {
+			cc.probe.ObserveLookup(key, true, now)
+		}
 		return cc.cfg.Fast
+	}
+	if cc.probe != nil {
+		cc.probe.ObserveLookup(key, false, now)
 	}
 	return cc.cfg.Default
 }
@@ -173,11 +200,15 @@ func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
 	cc.stats.Inserts++
 	if cc.cfg.Unlimited {
 		cc.unlimited[key] = now
+		if cc.probe != nil {
+			cc.probe.ObserveInsert(key, false, now)
+		}
 		return
 	}
 	if cc.cfg.Invalidation == ExactExpiry {
 		// Record the insertion time in the slot the key lands in.
-		if cc.table.insert(key) {
+		evicted := cc.table.insert(key)
+		if evicted {
 			cc.stats.Evictions++
 		}
 		base := cc.table.setIndex(key) * cc.cfg.Assoc
@@ -188,10 +219,17 @@ func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
 				break
 			}
 		}
+		if cc.probe != nil {
+			cc.probe.ObserveInsert(key, evicted, now)
+		}
 		return
 	}
-	if cc.table.insert(key) {
+	evicted := cc.table.insert(key)
+	if evicted {
 		cc.stats.Evictions++
+	}
+	if cc.probe != nil {
+		cc.probe.ObserveInsert(key, evicted, now)
 	}
 }
 
@@ -215,6 +253,12 @@ func (cc *ChargeCache) Tick(now dram.Cycle) {
 	cc.iic += elapsed
 	for cc.iic >= cc.interval {
 		cc.iic -= cc.interval
+		cc.rollovers++
+		if cc.probe != nil && cc.table.valid[cc.ec] {
+			// Stamp the expiry at its nominal rollover cycle, not the
+			// (engine-dependent) cycle the lazy walk caught up.
+			cc.probe.ObserveExpiry(cc.table.keys[cc.ec], cc.interval*dram.Cycle(cc.rollovers))
+		}
 		if cc.table.invalidateIndex(cc.ec) {
 			cc.stats.Invalidations++
 		}

@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/dram"
+
+// MechProbe receives per-event ChargeCache traces for the opt-in
+// perf-analyzer (internal/analysis). Implementations must only
+// observe; the mechanism's decisions do not depend on the probe.
+type MechProbe interface {
+	// ObserveLookup fires on every OnActivate lookup with its outcome.
+	ObserveLookup(key RowKey, hit bool, now dram.Cycle)
+
+	// ObserveInsert fires on every OnPrecharge insert; evicted marks a
+	// capacity replacement of a valid entry.
+	ObserveInsert(key RowKey, evicted bool, now dram.Cycle)
+
+	// ObserveExpiry fires when a timed invalidation clears a valid
+	// entry, at its nominal cycle: for the IIC/EC walk the rollover
+	// cycle (a multiple of the invalidation interval — the walk itself
+	// catches up lazily, so the call may arrive later, but the nominal
+	// cycle is identical between execution engines), for exact-expiry
+	// and unlimited tables the detecting lookup's cycle.
+	ObserveExpiry(key RowKey, at dram.Cycle)
+}
+
+// SetProbe installs p to trace this cache's events (nil removes it).
+func (cc *ChargeCache) SetProbe(p MechProbe) { cc.probe = p }
+
+// SetProbe installs p on the ChargeCache component (NUAT itself has no
+// event stream worth tracing — it is stateless per activation).
+func (m *ChargeCacheNUAT) SetProbe(p MechProbe) { m.cc.SetProbe(p) }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// mechEvent is one recorded probe callback.
+type mechEvent struct {
+	kind string // "lookup", "insert", "expiry"
+	key  RowKey
+	flag bool // hit (lookup) or evicted (insert)
+	at   dram.Cycle
+}
+
+type recMechProbe struct{ events []mechEvent }
+
+func (p *recMechProbe) ObserveLookup(key RowKey, hit bool, now dram.Cycle) {
+	p.events = append(p.events, mechEvent{"lookup", key, hit, now})
+}
+
+func (p *recMechProbe) ObserveInsert(key RowKey, evicted bool, now dram.Cycle) {
+	p.events = append(p.events, mechEvent{"insert", key, evicted, now})
+}
+
+func (p *recMechProbe) ObserveExpiry(key RowKey, at dram.Cycle) {
+	p.events = append(p.events, mechEvent{"expiry", key, false, at})
+}
+
+func probeCC(t *testing.T, cfg ChargeCacheConfig) (*ChargeCache, *recMechProbe) {
+	t.Helper()
+	cc, err := NewChargeCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &recMechProbe{}
+	cc.SetProbe(p)
+	return cc, p
+}
+
+func smallCCConfig() ChargeCacheConfig {
+	def := dram.TimingClass{RCD: 11, RAS: 28}
+	return ChargeCacheConfig{
+		Entries:  4,
+		Assoc:    2,
+		Duration: 100,
+		Fast:     dram.TimingClass{RCD: 7, RAS: 20},
+		Default:  def,
+	}
+}
+
+// TestProbeLookupInsert checks the basic miss → insert → hit event flow.
+func TestProbeLookupInsert(t *testing.T) {
+	cc, p := probeCC(t, smallCCConfig())
+	key := MakeRowKey(0, 1, 42)
+
+	cc.OnActivate(key, 10, 0)
+	cc.OnPrecharge(key, 20)
+	cc.OnActivate(key, 30, 0)
+
+	want := []mechEvent{
+		{"lookup", key, false, 10},
+		{"insert", key, false, 20},
+		{"lookup", key, true, 30},
+	}
+	if len(p.events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(p.events), p.events, len(want))
+	}
+	for i, w := range want {
+		if p.events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, p.events[i], w)
+		}
+	}
+}
+
+// TestProbeEviction fills one set past capacity and expects the insert
+// that displaces a valid entry to be flagged as an eviction.
+func TestProbeEviction(t *testing.T) {
+	cc, p := probeCC(t, smallCCConfig())
+	// Six distinct keys into a 4-entry table: at least two inserts must
+	// displace valid entries regardless of how the set hash spreads them.
+	for row := 0; row < 6; row++ {
+		cc.OnPrecharge(MakeRowKey(0, 0, row), dram.Cycle(row+1))
+	}
+
+	evictions := 0
+	for _, e := range p.events {
+		if e.kind == "insert" && e.flag {
+			evictions++
+		}
+	}
+	if want := int(cc.Stats().Evictions); evictions != want || want == 0 {
+		t.Errorf("probe saw %d evictions, stats say %d (want nonzero and equal)",
+			evictions, want)
+	}
+}
+
+// TestProbeIICExpiry advances the clock one full caching duration and
+// expects the lazy EC walk to report the expiry of a live entry at its
+// nominal rollover cycle — a multiple of the invalidation interval,
+// independent of when the walk caught up.
+func TestProbeIICExpiry(t *testing.T) {
+	cc, p := probeCC(t, smallCCConfig())
+	key := MakeRowKey(0, 0, 0)
+	cc.OnPrecharge(key, 0)
+
+	// interval = Duration/Entries = 25. One big lazy jump over several
+	// intervals must stamp each expiry at its own rollover cycle.
+	cc.Tick(10)
+	cc.Tick(120)
+
+	var expiries []mechEvent
+	for _, e := range p.events {
+		if e.kind == "expiry" {
+			expiries = append(expiries, e)
+		}
+	}
+	if len(expiries) != 1 {
+		t.Fatalf("got %d expiry events %v, want 1", len(expiries), p.events)
+	}
+	interval := cc.cfg.Duration / dram.Cycle(cc.cfg.Entries)
+	if expiries[0].at%interval != 0 {
+		t.Errorf("expiry at %d is not a rollover multiple of %d", expiries[0].at, interval)
+	}
+	if expiries[0].key != key {
+		t.Errorf("expiry key = %v, want %v", expiries[0].key, key)
+	}
+}
+
+// TestProbeExactExpiry checks the exact-expiry detection path: a lookup
+// past the caching duration reports expiry-then-miss at the lookup
+// cycle.
+func TestProbeExactExpiry(t *testing.T) {
+	cfg := smallCCConfig()
+	cfg.Invalidation = ExactExpiry
+	cc, p := probeCC(t, cfg)
+	key := MakeRowKey(0, 0, 7)
+
+	cc.OnPrecharge(key, 0)
+	cc.OnActivate(key, 150, 0) // duration is 100: stale
+
+	want := []mechEvent{
+		{"insert", key, false, 0},
+		{"expiry", key, false, 150},
+		{"lookup", key, false, 150},
+	}
+	if len(p.events) != len(want) {
+		t.Fatalf("got events %v, want %v", p.events, want)
+	}
+	for i, w := range want {
+		if p.events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, p.events[i], w)
+		}
+	}
+}
+
+// TestProbeUnlimitedExpiry checks the unbounded-table path likewise.
+func TestProbeUnlimitedExpiry(t *testing.T) {
+	cfg := smallCCConfig()
+	cfg.Unlimited = true
+	cc, p := probeCC(t, cfg)
+	key := MakeRowKey(0, 0, 9)
+
+	cc.OnPrecharge(key, 0)
+	cc.OnActivate(key, 50, 0)  // hit
+	cc.OnActivate(key, 200, 0) // stale: expiry + miss
+
+	want := []mechEvent{
+		{"insert", key, false, 0},
+		{"lookup", key, true, 50},
+		{"expiry", key, false, 200},
+		{"lookup", key, false, 200},
+	}
+	if len(p.events) != len(want) {
+		t.Fatalf("got events %v, want %v", p.events, want)
+	}
+	for i, w := range want {
+		if p.events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, p.events[i], w)
+		}
+	}
+}
+
+// TestChargeCacheZeroAllocWithoutProbe keeps the HCRAC hot path
+// allocation-free when no probe is installed.
+func TestChargeCacheZeroAllocWithoutProbe(t *testing.T) {
+	cc, err := NewChargeCache(smallCCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := MakeRowKey(0, 0, 3)
+	now := dram.Cycle(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		cc.OnPrecharge(key, now)
+		cc.OnActivate(key, now+10, 0)
+		cc.Tick(now + 20)
+		now += 30
+	})
+	if allocs != 0 {
+		t.Errorf("ChargeCache hot path allocated %.1f times per round, want 0", allocs)
+	}
+}

@@ -50,6 +50,10 @@ type Channel struct {
 
 	// tracer, if set, observes every issued command (see SetTracer).
 	tracer func(Command, Cycle)
+
+	// probe, if set, receives every issued command with perf-analyzer
+	// annotations (see SetProbe in probe.go).
+	probe CommandProbe
 }
 
 // SetTracer installs fn to observe every issued command (protocol
@@ -169,6 +173,9 @@ func (c *Channel) Issue(cmd Command, now Cycle) {
 	}
 	if c.tracer != nil {
 		c.tracer(cmd, now)
+	}
+	if c.probe != nil {
+		c.observe(cmd, now)
 	}
 	tt := &c.tt
 	r := &c.ranks[cmd.Rank]

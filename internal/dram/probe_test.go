@@ -1,0 +1,132 @@
+package dram
+
+import "testing"
+
+// recProbe records every observed command for assertions.
+type recProbe struct {
+	cmds   []Command
+	nows   []Cycle
+	stalls []Cycle
+	fasts  []bool
+}
+
+func (p *recProbe) ObserveCommand(cmd Command, now, fawStall Cycle, fast bool) {
+	p.cmds = append(p.cmds, cmd)
+	p.nows = append(p.nows, now)
+	p.stalls = append(p.stalls, fawStall)
+	p.fasts = append(p.fasts, fast)
+}
+
+// issueEarliest scans forward from cycle from and issues cmd at the
+// first legal cycle, returning it.
+func issueEarliest(t *testing.T, ch *Channel, cmd Command, from Cycle) Cycle {
+	t.Helper()
+	for c := from; c < from+10_000; c++ {
+		if ch.CanIssue(cmd, c) {
+			ch.Issue(cmd, c)
+			return c
+		}
+	}
+	t.Fatalf("command %v never became legal", cmd)
+	return 0
+}
+
+// TestProbeObservesCommands checks that every issued command reaches the
+// probe with its issue cycle and fast-class annotation.
+func TestProbeObservesCommands(t *testing.T) {
+	ch := mustChannel(t)
+	var p recProbe
+	ch.SetProbe(&p)
+	cls := ch.Spec().Timing.DefaultClass()
+
+	actAt := issueEarliest(t, ch, Act(0, 0, 3, cls), 0)
+	rdAt := issueEarliest(t, ch, Read(0, 0, 0), actAt)
+	fast := cls
+	fast.RCD -= 2
+	act2At := issueEarliest(t, ch, Act(0, 1, 5, fast), rdAt)
+
+	if len(p.cmds) != 3 {
+		t.Fatalf("probe saw %d commands, want 3", len(p.cmds))
+	}
+	if p.cmds[0].Kind != CmdACT || p.nows[0] != actAt || p.fasts[0] {
+		t.Errorf("cmd 0 = %v at %d fast=%v, want default-class ACT at %d",
+			p.cmds[0], p.nows[0], p.fasts[0], actAt)
+	}
+	if p.cmds[1].Kind != CmdRD || p.nows[1] != rdAt {
+		t.Errorf("cmd 1 = %v at %d, want RD at %d", p.cmds[1], p.nows[1], rdAt)
+	}
+	if p.cmds[2].Kind != CmdACT || p.nows[2] != act2At || !p.fasts[2] {
+		t.Errorf("cmd 2 = %v at %d fast=%v, want lowered-class ACT at %d",
+			p.cmds[2], p.nows[2], p.fasts[2], act2At)
+	}
+	ch.SetProbe(nil)
+	issueEarliest(t, ch, Act(0, 2, 1, cls), act2At)
+	if len(p.cmds) != 3 {
+		t.Errorf("probe saw a command after removal")
+	}
+}
+
+// TestProbeFAWStallAttribution drives four back-to-back activations so
+// the four-activate window is full, then activates a fifth, fresh bank:
+// its entire issue delay is tFAW pressure (the bank itself was ready at
+// cycle 0), which the probe must attribute exactly.
+func TestProbeFAWStallAttribution(t *testing.T) {
+	ch := mustChannel(t)
+	var p recProbe
+	ch.SetProbe(&p)
+	cls := ch.Spec().Timing.DefaultClass()
+
+	at := Cycle(0)
+	for b := 0; b < 4; b++ {
+		at = issueEarliest(t, ch, Act(0, b, 1, cls), at)
+	}
+	ready := ch.EarliestActivate(0, 4)
+	fifth := issueEarliest(t, ch, Act(0, 4, 1, cls), at)
+	if fifth <= at {
+		t.Fatalf("fifth ACT at %d not delayed past fourth at %d", fifth, at)
+	}
+
+	for i := 0; i < 4; i++ {
+		if p.stalls[i] != 0 {
+			t.Errorf("ACT %d stall = %d, want 0 (window not yet full)", i, p.stalls[i])
+		}
+	}
+	want := fifth - ready
+	if p.stalls[4] != want {
+		t.Errorf("fifth ACT stall = %d, want %d (issued at %d, bank ready at %d)",
+			p.stalls[4], want, fifth, ready)
+	}
+	if p.stalls[4] == 0 {
+		t.Errorf("tFAW did not bind on DDR3-1600 (FAW=%d RRD=%d)",
+			ch.Spec().Timing.FAW, ch.Spec().Timing.RRD)
+	}
+}
+
+// TestIssueZeroAlloc proves the probe hook keeps the command path
+// allocation-free, both disabled (one nil check) and with a
+// non-allocating probe installed.
+func TestIssueZeroAlloc(t *testing.T) {
+	run := func(t *testing.T, probe CommandProbe) {
+		t.Helper()
+		ch := mustChannel(t)
+		ch.SetProbe(probe)
+		cls := ch.Spec().Timing.DefaultClass()
+		tm := ch.Spec().Timing
+		now := Cycle(0)
+		allocs := testing.AllocsPerRun(200, func() {
+			ch.Issue(Act(0, 0, 1, cls), now)
+			ch.Issue(Pre(0, 0), now+Cycle(tm.RAS))
+			now += 1_000
+		})
+		if allocs != 0 {
+			t.Errorf("Issue allocated %.1f times per ACT+PRE pair, want 0", allocs)
+		}
+	}
+	t.Run("disabled", func(t *testing.T) { run(t, nil) })
+	t.Run("enabled", func(t *testing.T) { run(t, &countProbe{}) })
+}
+
+// countProbe is a minimal non-allocating probe.
+type countProbe struct{ n int }
+
+func (p *countProbe) ObserveCommand(Command, Cycle, Cycle, bool) { p.n++ }

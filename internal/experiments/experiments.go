@@ -267,7 +267,11 @@ func (s Scale) Fig7Single() ([]SpeedupRow, error) {
 		}
 		for j, mech := range evaluated {
 			res := group[1+j]
-			row.Speedup[mech] = stats.Speedup(res.PerCore[0].IPC, base.PerCore[0].IPC)
+			sp, err := stats.Speedup(res.PerCore[0].IPC, base.PerCore[0].IPC)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s baseline for %s: %w", name, mech, err)
+			}
+			row.Speedup[mech] = sp
 			row.EnergyReduction[mech] = 1 - res.Energy.Total()/base.Energy.Total()
 			if mech == sim.ChargeCache {
 				row.HitRate = res.HitRate()
@@ -319,7 +323,11 @@ func (s Scale) Fig7Eight() ([]SpeedupRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Speedup[mech] = stats.Speedup(ws, wsBase)
+			sp, err := stats.Speedup(ws, wsBase)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mix w%d baseline for %s: %w", i+1, mech, err)
+			}
+			row.Speedup[mech] = sp
 			row.EnergyReduction[mech] = 1 - res.Energy.Total()/base.Energy.Total()
 			if mech == sim.ChargeCache {
 				row.HitRate = res.HitRate()
@@ -432,7 +440,11 @@ func (s Scale) Fig9And10(eightCore bool, entries []int) ([]CapacityRow, error) {
 		for i := range configs {
 			res := results[pi*len(configs)+i]
 			hit = append(hit, res.HitRate())
-			speedup = append(speedup, relativePerf(res, bases[i]))
+			sp, err := relativePerf(res, bases[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig9 entries=%d: %w", n, err)
+			}
+			speedup = append(speedup, sp)
 		}
 		rows = append(rows, CapacityRow{
 			Entries:   n,
@@ -485,7 +497,11 @@ func (s Scale) Fig11(eightCore bool, durationsMs []float64) ([]DurationRow, erro
 		for i := range configs {
 			res := results[di*len(configs)+i]
 			hit = append(hit, res.HitRate())
-			speedup = append(speedup, relativePerf(res, bases[i]))
+			sp, err := relativePerf(res, bases[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig11 duration=%gms: %w", d, err)
+			}
+			speedup = append(speedup, sp)
 		}
 		rows = append(rows, DurationRow{
 			DurationMs: d,
@@ -526,6 +542,6 @@ func (s Scale) sweepBases(eightCore bool) ([]sim.Config, []sim.Result, error) {
 // ratio for one core, total-IPC ratio for many (equal weights — the
 // sweeps compare the same mix against itself, where total IPC and
 // weighted speedup move together).
-func relativePerf(res, base sim.Result) float64 {
+func relativePerf(res, base sim.Result) (float64, error) {
 	return stats.Speedup(stats.Sum(res.IPCs()), stats.Sum(base.IPCs()))
 }

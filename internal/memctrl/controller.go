@@ -41,6 +41,11 @@ type Config struct {
 
 	// Observer, if non-nil, receives ACT/PRE events.
 	Observer Observer
+
+	// Probe, if non-nil, receives perf-analyzer events (queue-depth
+	// samples, row-outcome classifications); see probe.go. The hot path
+	// pays one nil check per event when unset.
+	Probe Probe
 }
 
 // Validate reports configuration errors.
@@ -309,6 +314,11 @@ func (c *Controller) EnqueueRead(req *Request) bool {
 	c.unclassReads = append(c.unclassReads, req)
 	c.dirty = true
 	c.schedEpoch++
+	if c.cfg.Probe != nil {
+		bq := &c.banks[idx]
+		c.cfg.Probe.ObserveEnqueue(req.Coord, true,
+			len(bq.reads.q), len(bq.writes.q), c.nReads, c.nWrites, c.now)
+	}
 	return true
 }
 
@@ -328,6 +338,11 @@ func (c *Controller) EnqueueWrite(req *Request) bool {
 	c.unclassWrites = append(c.unclassWrites, req)
 	c.dirty = true
 	c.schedEpoch++
+	if c.cfg.Probe != nil {
+		bq := &c.banks[idx]
+		c.cfg.Probe.ObserveEnqueue(req.Coord, false,
+			len(bq.reads.q), len(bq.writes.q), c.nReads, c.nWrites, c.now)
+	}
 	return true
 }
 
@@ -1019,13 +1034,20 @@ func (c *Controller) classify(req *Request, openRow int, open bool) {
 		return
 	}
 	req.classified = true
+	var outcome RowOutcome
 	switch {
 	case open && openRow == req.Coord.Row:
 		c.stats.RowHits++
+		outcome = RowHit
 	case open:
 		c.stats.RowConflicts++
+		outcome = RowConflict
 	default:
 		c.stats.RowMisses++
+		outcome = RowMiss
+	}
+	if c.cfg.Probe != nil {
+		c.cfg.Probe.ObserveRowOutcome(req.Coord, outcome, req.Arrive)
 	}
 }
 

@@ -1,0 +1,48 @@
+package memctrl
+
+import "repro/internal/dram"
+
+// RowOutcome is the scheduler's row-buffer classification of a request,
+// counted exactly once per request (see Controller.classify).
+type RowOutcome uint8
+
+const (
+	// RowHit: the request found its row open.
+	RowHit RowOutcome = iota
+	// RowMiss: the request found the bank precharged.
+	RowMiss
+	// RowConflict: the request found another row open.
+	RowConflict
+)
+
+// String implements fmt.Stringer.
+func (o RowOutcome) String() string {
+	switch o {
+	case RowHit:
+		return "hit"
+	case RowMiss:
+		return "miss"
+	default:
+		return "conflict"
+	}
+}
+
+// Probe receives controller-level perf-analyzer events (internal/
+// analysis). Implementations must only observe — the controller's
+// scheduling decisions are independent of the probe's presence, which
+// the differential suite enforces by running analysis on and off.
+type Probe interface {
+	// ObserveEnqueue fires after a request joins its per-(rank, bank)
+	// queue: a queue-depth sample at the arrival cycle. bankReads and
+	// bankWrites are the target bank's queue depths after the push;
+	// reads and writes are the controller-wide depths. Arrival order
+	// and stamps are identical between the execution engines.
+	ObserveEnqueue(coord Coord, isRead bool, bankReads, bankWrites, reads, writes int, now dram.Cycle)
+
+	// ObserveRowOutcome fires when the scheduler classifies a request's
+	// row-buffer outcome. arrive is the request's arrival cycle — the
+	// engine-invariant bucket for outcome timelines (classification
+	// call time differs between engines; the outcome and arrival stamp
+	// do not).
+	ObserveRowOutcome(coord Coord, outcome RowOutcome, arrive dram.Cycle)
+}

@@ -1,0 +1,22 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the entire dashboard: one self-contained page with
+// inline CSS/JS and no external assets, so the daemon stays a single
+// binary. The page polls the same JSON endpoints the CLI uses
+// (/healthz, /metrics, /v1/jobs, /v1/analysis/{id}) every two seconds
+// and renders campaign progress, fleet throughput, and per-job
+// row-hit-rate sparklines from the perf-analyzer epoch timelines.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(dashboardHTML)
+}

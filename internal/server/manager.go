@@ -695,6 +695,9 @@ func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration,
 		default:
 			m.counters.simulations++
 		}
+		if res.Analysis != nil {
+			m.counters.accumulateAnalysisLocked(res.Analysis.Totals)
+		}
 		done := time.Now()
 		for _, j := range f.jobs {
 			if j.state.Terminal() {

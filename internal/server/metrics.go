@@ -1,5 +1,7 @@
 package server
 
+import "repro/internal/analysis"
+
 // counters aggregates the manager's operational numbers. All fields
 // are guarded by Manager.mu.
 type counters struct {
@@ -13,6 +15,33 @@ type counters struct {
 	remoteSims  uint64 // flights executed on peer daemons (-peers)
 	requeued    uint64 // flights handed back after a peer became unreachable
 	running     int    // flights currently simulating
+
+	// Fleet-wide perf-analyzer aggregates: the Totals of every completed
+	// flight whose config enabled analysis, plus how many such reports
+	// contributed. Event-exact sums (they bypass the bounded epoch
+	// rings), so the /metrics rates stay correct however long the runs.
+	analysisReports uint64
+	analysisTotals  analysis.Totals
+}
+
+// AnalysisMetrics is the fleet-wide perf-analyzer block of /metrics,
+// present once at least one analysis-enabled flight completed.
+type AnalysisMetrics struct {
+	// Reports counts completed flights that carried an analysis report.
+	Reports uint64 `json:"reports"`
+
+	RowHits      uint64  `json:"row_hits"`
+	RowMisses    uint64  `json:"row_misses"`
+	RowConflicts uint64  `json:"row_conflicts"`
+	RowHitRate   float64 `json:"row_hit_rate"`
+
+	CCLookups uint64  `json:"cc_lookups"`
+	CCHits    uint64  `json:"cc_hits"`
+	CCHitRate float64 `json:"cc_hit_rate"`
+
+	FAWStallCycles uint64 `json:"faw_stall_cycles"`
+	QueueSamples   uint64 `json:"queue_samples"`
+	QueueDepthSum  uint64 `json:"queue_depth_sum"`
 }
 
 // Metrics is the /metrics snapshot.
@@ -37,12 +66,17 @@ type Metrics struct {
 	JobsRequeued      uint64 `json:"jobs_requeued,omitempty"`
 	CacheHits         uint64 `json:"cache_hits"`
 	// CacheHitRate is cache-satisfied resolutions over all resolutions:
-	// cache_hits / (cache_hits + simulations_run). A resolution is a
-	// submission answered straight from the cache or a flight executed;
-	// deduped jobs join an existing flight's resolution and count in
-	// neither term.
+	// cache_hits / (cache_hits + simulations_run + remote_simulations).
+	// A resolution is a submission answered straight from the cache or a
+	// flight executed — locally (simulations_run) or on a peer daemon
+	// (remote_simulations); deduped jobs join an existing flight's
+	// resolution and count in no term.
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
+
+	// Analysis aggregates the perf-analyzer totals of every completed
+	// analysis-enabled flight; absent until one completes.
+	Analysis *AnalysisMetrics `json:"analysis,omitempty"`
 }
 
 // Metrics returns a consistent snapshot of the manager's counters.
@@ -71,5 +105,48 @@ func (m *Manager) Metrics() Metrics {
 	if m.cache != nil {
 		s.CacheEntries = m.cache.Len()
 	}
+	if m.counters.analysisReports > 0 {
+		tot := m.counters.analysisTotals
+		s.Analysis = &AnalysisMetrics{
+			Reports:        m.counters.analysisReports,
+			RowHits:        tot.RowHits,
+			RowMisses:      tot.RowMisses,
+			RowConflicts:   tot.RowConflicts,
+			RowHitRate:     tot.RowHitRate(),
+			CCLookups:      tot.CCLookups,
+			CCHits:         tot.CCHits,
+			CCHitRate:      tot.CCHitRate(),
+			FAWStallCycles: tot.FAWStallCycles,
+			QueueSamples:   tot.QueueSamples,
+			QueueDepthSum:  tot.QueueDepthSum,
+		}
+	}
 	return s
+}
+
+// accumulateAnalysisLocked folds one completed flight's analysis totals
+// into the fleet aggregates. Caller holds m.mu.
+func (c *counters) accumulateAnalysisLocked(t analysis.Totals) {
+	c.analysisReports++
+	a := &c.analysisTotals
+	a.ACT += t.ACT
+	a.FastACT += t.FastACT
+	a.PRE += t.PRE
+	a.RD += t.RD
+	a.WR += t.WR
+	a.REF += t.REF
+	a.FAWStallCycles += t.FAWStallCycles
+	a.RowHits += t.RowHits
+	a.RowMisses += t.RowMisses
+	a.RowConflicts += t.RowConflicts
+	a.CCLookups += t.CCLookups
+	a.CCHits += t.CCHits
+	a.CCInserts += t.CCInserts
+	a.CCEvictions += t.CCEvictions
+	a.CCExpiries += t.CCExpiries
+	a.QueueSamples += t.QueueSamples
+	a.QueueDepthSum += t.QueueDepthSum
+	if t.QueueDepthPeak > a.QueueDepthPeak {
+		a.QueueDepthPeak = t.QueueDepthPeak
+	}
 }

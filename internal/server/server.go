@@ -20,9 +20,14 @@ import (
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/results         list stored content-address keys
 //	GET    /v1/results/{key}   content-addressed result lookup
+//	GET    /v1/analysis/{id}   perf-analyzer report of a done job
+//	                           (alias: /analysis/{id})
 //	GET    /healthz            liveness + version (200 even while draining)
 //	GET    /readyz             readiness (503 while draining)
-//	GET    /metrics            queue/dedup/cache counters
+//	GET    /metrics            queue/dedup/cache counters + fleet
+//	                           perf-analyzer aggregates
+//	GET    /dashboard          embedded live HTML dashboard (campaign
+//	                           progress, throughput, row-hit sparklines)
 type Server struct {
 	manager *Manager
 	mux     *http.ServeMux
@@ -39,9 +44,12 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/results", s.handleResultIndex)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/analysis/{id}", s.handleAnalysis)
+	s.mux.HandleFunc("GET /analysis/{id}", s.handleAnalysis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	return s
 }
 
@@ -154,6 +162,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleAnalysis serves a done job's perf-analyzer report. 404 covers
+// every absence uniformly: unknown job, not finished yet, or a config
+// that never enabled analysis — the error text distinguishes them.
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !st.State.Terminal() {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("server: job %s is %s; analysis is available once it is done", st.ID, st.State))
+		return
+	}
+	if st.Result == nil || st.Result.Analysis == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("server: job %s carries no analysis report (submit with config.Analysis.Enabled)", st.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Result.Analysis)
 }
 
 // Health is the /healthz body. Workers and TraceRoot let fleet

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// analysisOn returns cfg with the perf-analyzer enabled at a bucket
+// width small enough to produce several epochs at differential scale,
+// and a ring large enough to never drop.
+func analysisOn(cfg Config) Config {
+	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: 2_000, MaxEpochs: 512}
+	return cfg
+}
+
+// TestDifferentialAnalysis extends the engine-equivalence guarantee to
+// the analysis timelines: with probes attached, both engines must
+// produce bit-identical Results including every epoch bucket. This is
+// the strongest statement that the probes observe engine-invariant
+// event streams.
+func TestDifferentialAnalysis(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"baseline", func(c *Config) { c.Mechanism = Baseline }},
+		{"chargecache", func(c *Config) { c.Mechanism = ChargeCache }},
+		{"cc-nuat", func(c *Config) { c.Mechanism = ChargeCacheNUAT }},
+		{"cc-exact-expiry", func(c *Config) {
+			c.Mechanism = ChargeCache
+			c.CCInvalidation = core.ExactExpiry
+			c.CCDurationMs = 0.05
+		}},
+		{"cc-unlimited", func(c *Config) {
+			c.Mechanism = ChargeCache
+			c.CCUnlimited = true
+			c.CCDurationMs = 0.05
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := analysisOn(diffScale(DefaultConfig("lbm")))
+			tc.mut(&cfg)
+			assertEngineEquivalence(t, cfg)
+		})
+	}
+	t.Run("multicore-2ch", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("multi-core analysis differential skipped in -short mode")
+		}
+		cfg := analysisOn(diffScale(DefaultConfig("lbm", "sjeng", "tpch17", "hmmer")))
+		cfg.Mechanism = ChargeCache
+		assertEngineEquivalence(t, cfg)
+	})
+}
+
+// TestAnalysisDoesNotPerturb runs the same config with analysis off and
+// on: every simulated quantity must be byte-identical, with the Report
+// and the Analysis config the only differences.
+func TestAnalysisDoesNotPerturb(t *testing.T) {
+	base := diffScale(DefaultConfig("libquantum"))
+	base.Mechanism = ChargeCache
+	off := runEngine(t, base, false)
+	on := runEngine(t, analysisOn(base), false)
+
+	if on.Analysis == nil {
+		t.Fatal("enabled run produced no analysis report")
+	}
+	on.Analysis = nil
+	on.Config.Analysis = nil
+	if a, b := canonical(t, off), canonical(t, on); a != b {
+		t.Errorf("analysis perturbed the simulation:\n off %s\n on  %s", a, b)
+	}
+}
+
+// TestAnalysisTotalsMatchStats cross-checks the probe totals against
+// the simulator's own counters, and the epoch sums against the totals
+// (the ring was sized to cover the whole run, so nothing may drop).
+func TestAnalysisTotalsMatchStats(t *testing.T) {
+	cfg := analysisOn(diffScale(DefaultConfig("lbm")))
+	cfg.Mechanism = ChargeCache
+	res := runEngine(t, cfg, false)
+	rep := res.Analysis
+	if rep == nil {
+		t.Fatal("no analysis report")
+	}
+
+	tot := rep.Totals
+	if tot.ACT != res.Counts.ACT || tot.FastACT != res.Counts.FastACT ||
+		tot.PRE != res.Counts.PRE || tot.RD != res.Counts.RD ||
+		tot.WR != res.Counts.WR || tot.REF != res.Counts.REF {
+		t.Errorf("command totals %+v disagree with channel counts %+v", tot, res.Counts)
+	}
+	if tot.RowHits != res.Controller.RowHits || tot.RowMisses != res.Controller.RowMisses ||
+		tot.RowConflicts != res.Controller.RowConflicts {
+		t.Errorf("row outcomes (%d/%d/%d) disagree with controller stats (%d/%d/%d)",
+			tot.RowHits, tot.RowMisses, tot.RowConflicts,
+			res.Controller.RowHits, res.Controller.RowMisses, res.Controller.RowConflicts)
+	}
+	if tot.CCLookups != res.Mechanism.Lookups || tot.CCHits != res.Mechanism.Hits ||
+		tot.CCInserts != res.Mechanism.Inserts || tot.CCEvictions != res.Mechanism.Evictions {
+		t.Errorf("ChargeCache totals (%d/%d/%d/%d) disagree with mechanism stats %+v",
+			tot.CCLookups, tot.CCHits, tot.CCInserts, tot.CCEvictions, res.Mechanism)
+	}
+	if want := res.Controller.ReadsServed + res.Controller.WritesServed; tot.QueueSamples < want {
+		t.Errorf("queue samples = %d, want >= %d served requests", tot.QueueSamples, want)
+	}
+
+	// Epoch sums must reproduce the totals exactly when nothing dropped.
+	var sum analysis.Totals
+	for _, ch := range rep.Channels {
+		if ch.DroppedEpochs != 0 || ch.Clamped != 0 {
+			t.Errorf("channel %d dropped %d epochs, clamped %d events", ch.Channel, ch.DroppedEpochs, ch.Clamped)
+		}
+		for _, e := range ch.Epochs {
+			sum.REF += e.REF
+			sum.CCLookups += e.CCLookups
+			sum.CCHits += e.CCHits
+			sum.CCInserts += e.CCInserts
+			sum.CCEvictions += e.CCEvictions
+			sum.CCExpiries += e.CCExpiries
+		}
+		for _, b := range ch.Banks {
+			if b.DroppedEpochs != 0 || b.Clamped != 0 {
+				t.Errorf("bank (%d,%d) dropped %d epochs, clamped %d events",
+					b.Rank, b.Bank, b.DroppedEpochs, b.Clamped)
+			}
+			for _, e := range b.Epochs {
+				sum.ACT += e.ACT
+				sum.FastACT += e.FastACT
+				sum.PRE += e.PRE
+				sum.RD += e.RD
+				sum.WR += e.WR
+				sum.FAWStallCycles += e.FAWStallCycles
+				sum.RowHits += e.RowHits
+				sum.RowMisses += e.RowMisses
+				sum.RowConflicts += e.RowConflicts
+			}
+		}
+	}
+	if sum.ACT != tot.ACT || sum.FastACT != tot.FastACT || sum.PRE != tot.PRE ||
+		sum.RD != tot.RD || sum.WR != tot.WR || sum.REF != tot.REF ||
+		sum.FAWStallCycles != tot.FAWStallCycles ||
+		sum.RowHits != tot.RowHits || sum.RowMisses != tot.RowMisses ||
+		sum.RowConflicts != tot.RowConflicts ||
+		sum.CCLookups != tot.CCLookups || sum.CCHits != tot.CCHits ||
+		sum.CCInserts != tot.CCInserts || sum.CCEvictions != tot.CCEvictions ||
+		sum.CCExpiries != tot.CCExpiries {
+		t.Errorf("epoch sums %+v disagree with totals %+v", sum, tot)
+	}
+}
+
+// TestAnalysisBoundedRings shrinks the ring far below the run length:
+// totals must stay exact (they bypass the rings) while the report
+// window stays within MaxEpochs and accounts for the evictions.
+func TestAnalysisBoundedRings(t *testing.T) {
+	cfg := diffScale(DefaultConfig("lbm"))
+	cfg.Mechanism = ChargeCache
+	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: 500, MaxEpochs: 4}
+	res := runEngine(t, cfg, false)
+	rep := res.Analysis
+	if rep == nil {
+		t.Fatal("no analysis report")
+	}
+	if rep.Totals.ACT != res.Counts.ACT || rep.Totals.RowHits != res.Controller.RowHits {
+		t.Errorf("bounded rings corrupted totals: %+v vs counts %+v / controller %+v",
+			rep.Totals, res.Counts, res.Controller)
+	}
+	dropped := uint64(0)
+	for _, ch := range rep.Channels {
+		if len(ch.Epochs) > 4 {
+			t.Errorf("channel %d reports %d epochs, ring capacity is 4", ch.Channel, len(ch.Epochs))
+		}
+		dropped += ch.DroppedEpochs
+		for _, b := range ch.Banks {
+			if len(b.Epochs) > 4 {
+				t.Errorf("bank (%d,%d) reports %d epochs, ring capacity is 4", b.Rank, b.Bank, len(b.Epochs))
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Error("run spanned many epochs but nothing was dropped; eviction untested")
+	}
+}
+
+// TestAnalysisReportSerializes round-trips the report through JSON (the
+// path the server and client use).
+func TestAnalysisReportSerializes(t *testing.T) {
+	cfg := analysisOn(diffScale(DefaultConfig("lbm")))
+	cfg.Mechanism = ChargeCache
+	res := runEngine(t, cfg, false)
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Analysis == nil || back.Analysis.Totals != res.Analysis.Totals {
+		t.Errorf("analysis report did not survive a JSON round trip")
+	}
+}
+
+// TestAnalysisValidation rejects bad analysis configs through
+// sim.Config.Validate.
+func TestAnalysisValidation(t *testing.T) {
+	cfg := DefaultConfig("lbm")
+	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: -5}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative EpochCycles passed sim config validation")
+	}
+}

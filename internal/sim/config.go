@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -130,6 +131,14 @@ type Config struct {
 	// historical sweep-cache keys.
 	Stepper bool `json:",omitempty"`
 
+	// Analysis, when non-nil with Enabled set, attaches the perf-analyzer
+	// probes (internal/analysis) and populates Result.Analysis with
+	// epoch-bucketed bank/queue/row-outcome/ChargeCache timelines.
+	// Pointer-with-omitempty so default configs keep their historical
+	// sweep-cache keys; the probes never change simulated behaviour (the
+	// differential suite runs with analysis on and off).
+	Analysis *analysis.Config `json:",omitempty"`
+
 	// CustomMechanism builds the per-channel mechanism when Mechanism is
 	// Custom. It receives the channel index, the device spec, and the
 	// lowered/default timing classes derived from the circuit model for
@@ -201,6 +210,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.LLC.Validate(); err != nil {
 		return err
+	}
+	if c.Analysis != nil {
+		if err := c.Analysis.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

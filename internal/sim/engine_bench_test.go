@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
 
 // The engine benchmarks below run one representative workload config
 // end to end under each engine, so per-workload regressions show up
@@ -9,11 +13,16 @@ import "testing"
 // best case), tpch17 and STREAMcopy are the memory-intensive tail that
 // bounds campaign throughput.
 func benchEngine(b *testing.B, workload string, stepper bool) {
+	benchEngineAnalysis(b, workload, stepper, nil)
+}
+
+func benchEngineAnalysis(b *testing.B, workload string, stepper bool, an *analysis.Config) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(workload)
 		cfg.WarmupInstructions = 0
 		cfg.RunInstructions = 300_000
 		cfg.Stepper = stepper
+		cfg.Analysis = an
 		sys, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -30,6 +39,19 @@ func BenchmarkEngineEventTpch17(b *testing.B)       { benchEngine(b, "tpch17", f
 func BenchmarkEngineStepperTpch17(b *testing.B)     { benchEngine(b, "tpch17", true) }
 func BenchmarkEngineEventTpch6(b *testing.B)        { benchEngine(b, "tpch6", false) }
 func BenchmarkEngineStepperTpch6(b *testing.B)      { benchEngine(b, "tpch6", true) }
+
+// The analysis-enabled variants measure the perf-analyzer's worst-case
+// overhead (memory-intensive workload, every probe firing). Compare
+// against BenchmarkEngineEventSTREAMcopy; the disabled path is the same
+// benchmark with Analysis nil, and the delta there must stay within
+// noise — the probe sites reduce to one nil check each.
+func BenchmarkEngineEventAnalysisSTREAMcopy(b *testing.B) {
+	benchEngineAnalysis(b, "STREAMcopy", false, &analysis.Config{Enabled: true})
+}
+
+func BenchmarkEngineEventAnalysisTpch17(b *testing.B) {
+	benchEngineAnalysis(b, "tpch17", false, &analysis.Config{Enabled: true})
+}
 
 // BenchmarkSystemNew measures simulation construction: campaigns build
 // one System per config, so construction cost dilutes both engines'

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -45,6 +46,10 @@ type Result struct {
 	Energy     power.DRAMEnergy   // aggregated over channels
 
 	RLTL *RLTLResult
+
+	// Analysis carries the perf-analyzer timelines when Config.Analysis
+	// enabled them (measured window only; warm-up is discarded).
+	Analysis *analysis.Report `json:",omitempty"`
 
 	// Saturated reports the run hit MaxCycles before every core reached
 	// its target (results then cover a truncated window).
@@ -159,6 +164,10 @@ func (s *System) Run() (Result, error) {
 		res.Energy.Background += e.Background
 	}
 	res.LLC = s.llc.Stats()
+
+	if s.collector != nil {
+		res.Analysis = s.collector.Report()
+	}
 
 	if s.rltl != nil {
 		rr := &RLTLResult{
@@ -528,5 +537,8 @@ func (s *System) resetAfterWarmup() {
 	}
 	if s.rltl != nil {
 		s.rltl.Reset()
+	}
+	if s.collector != nil {
+		s.collector.Reset()
 	}
 }

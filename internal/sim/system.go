@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -84,6 +85,10 @@ type System struct {
 	fastClass dram.TimingClass
 	addrMask  uint64
 
+	// collector gathers the opt-in perf-analyzer timelines; nil unless
+	// Config.Analysis enables them.
+	collector *analysis.Collector
+
 	nowCPU int64 // master clock, CPU cycles
 	ran    bool
 
@@ -156,6 +161,11 @@ func New(cfg Config) (*System, error) {
 	}
 	s.fastClass = fastRow.Class
 
+	if cfg.Analysis != nil && cfg.Analysis.Enabled {
+		s.collector = analysis.NewCollector(*cfg.Analysis, cfg.Channels,
+			spec.Geometry.Ranks, spec.Geometry.Banks)
+	}
+
 	for ch := 0; ch < cfg.Channels; ch++ {
 		mech, err := s.buildMechanism(ch, model)
 		if err != nil {
@@ -165,7 +175,7 @@ func New(cfg Config) (*System, error) {
 		if s.rltl != nil {
 			obs = s.rltl
 		}
-		ctrl, err := memctrl.NewController(memctrl.Config{
+		mcfg := memctrl.Config{
 			Spec:          spec,
 			Channel:       ch,
 			ReadQueueCap:  64,
@@ -175,9 +185,26 @@ func New(cfg Config) (*System, error) {
 			WriteLow:      16,
 			Mechanism:     mech,
 			Observer:      obs,
-		})
+		}
+		// Assign the probe interfaces only from a non-nil collector so
+		// the disabled path stays a nil-interface check, never a
+		// typed-nil call.
+		if s.collector != nil {
+			mcfg.Probe = s.collector.Channel(ch)
+		}
+		ctrl, err := memctrl.NewController(mcfg)
 		if err != nil {
 			return nil, err
+		}
+		if s.collector != nil {
+			probe := s.collector.Channel(ch)
+			ctrl.Channel().SetProbe(probe)
+			switch m := mech.(type) {
+			case *core.ChargeCache:
+				m.SetProbe(probe)
+			case *core.ChargeCacheNUAT:
+				m.SetProbe(probe)
+			}
 		}
 		s.ctrls = append(s.ctrls, ctrl)
 	}

@@ -22,12 +22,15 @@ func WeightedSpeedup(shared, alone []float64) (float64, error) {
 }
 
 // Speedup returns the relative improvement of value over baseline
-// (e.g. 0.086 for +8.6%).
-func Speedup(value, baseline float64) float64 {
+// (e.g. 0.086 for +8.6%). A zero baseline is an error: it means the
+// reference run measured nothing (an aborted or mis-scoped campaign),
+// and silently reporting 0 used to mask exactly that. An error keeps
+// the value JSON-serializable where NaN would not be.
+func Speedup(value, baseline float64) (float64, error) {
 	if baseline == 0 {
-		return 0
+		return 0, fmt.Errorf("stats: speedup baseline is zero (value %g)", value)
 	}
-	return value/baseline - 1
+	return value/baseline - 1, nil
 }
 
 // RMPKC returns row misses (activations) per kilo-cycle, the

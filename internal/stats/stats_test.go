@@ -125,11 +125,15 @@ func TestWeightedSpeedup(t *testing.T) {
 }
 
 func TestSpeedup(t *testing.T) {
-	if got := Speedup(1.086, 1.0); math.Abs(got-0.086) > 1e-12 {
-		t.Errorf("Speedup = %g", got)
+	got, err := Speedup(1.086, 1.0)
+	if err != nil || math.Abs(got-0.086) > 1e-12 {
+		t.Errorf("Speedup = %g, %v", got, err)
 	}
-	if Speedup(1, 0) != 0 {
-		t.Error("zero baseline not handled")
+	// A zero baseline means the reference run measured nothing; it must
+	// surface as an error, not a silent 0 (the old behaviour) or a NaN
+	// (which would break JSON-marshalled reports).
+	if _, err := Speedup(1, 0); err == nil {
+		t.Error("zero baseline accepted")
 	}
 }
 

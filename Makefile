@@ -86,6 +86,15 @@ bench-check: zero-alloc-check
 zero-alloc-check:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/dram ./internal/core ./internal/analysis
 
+# dashboard-smoke boots a scratch daemon headlessly and checks the
+# whole observability surface end to end: the embedded page (and its
+# script, via node when available), a phase-profiled run through
+# ccsim -server, the analysis report + SSE stream endpoints, and the
+# per-worker phase breakdown on /metrics.
+.PHONY: dashboard-smoke
+dashboard-smoke:
+	./scripts/dashboard_smoke.sh
+
 # dashboard opens the daemon's embedded live dashboard (start one with
 # `make serve` first).
 DASHBOARD_URL ?= http://localhost:8344/dashboard

@@ -91,6 +91,10 @@ type (
 	AnalysisConfig = analysis.Config
 	// AnalysisReport is the perf analyzer's output (Result.Analysis).
 	AnalysisReport = analysis.Report
+	// AnalysisPhaseReport is the sampled per-access phase attribution
+	// attached to an AnalysisReport when AnalysisConfig.PhaseProfile is
+	// set (AnalysisReport.Phases).
+	AnalysisPhaseReport = analysis.PhaseReport
 )
 
 // Mechanisms under evaluation.

@@ -6,6 +6,10 @@
 // prints bounded per-epoch timelines of row-buffer outcomes,
 // ChargeCache hit rates, refreshes and queue pressure per channel
 // (-analysis-epoch adjusts the bucket width in DRAM bus cycles).
+// -phase-profile additionally attributes sampled wall-clock time to the
+// phases of each access (LLC lookup, enqueue, scheduling, issue,
+// completion, callback) and prints the attribution table
+// (-phase-sample adjusts the sampling stride).
 //
 // -mechanism accepts a comma-separated list; with more than one entry
 // the configs fan out across -workers goroutines through the sweep
@@ -49,6 +53,7 @@ import (
 	ccsim "repro"
 	"repro/internal/client"
 	"repro/internal/dispatch"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/version"
@@ -69,6 +74,8 @@ func main() {
 	rltl := flag.Bool("rltl", false, "track row-level temporal locality")
 	analysisOn := flag.Bool("analysis", false, "enable the perf analyzer: per-epoch bank/queue/row-hit/ChargeCache timelines")
 	analysisEpoch := flag.Int("analysis-epoch", 0, "analyzer epoch width in DRAM bus cycles (0 = default)")
+	phaseProfile := flag.Bool("phase-profile", false, "with -analysis: sampled wall-clock attribution per access phase (llc-lookup .. callback)")
+	phaseSample := flag.Int("phase-sample", 0, "phase profiler sampling stride: time 1 in N crossings (0 = default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations when several mechanisms are given")
 	results := flag.String("results", "", "JSON results-cache file reused across invocations")
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
@@ -83,6 +90,9 @@ func main() {
 		return
 	}
 	if err := validateWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := validateAnalysisFlags(*analysisEpoch, *phaseSample); err != nil {
 		log.Fatal(err)
 	}
 	if *list {
@@ -105,8 +115,13 @@ func main() {
 	base.CCUnlimited = *unlimited
 	base.Seed = *seed
 	base.TrackRLTL = *rltl
-	if *analysisOn || *analysisEpoch > 0 {
-		base.Analysis = &ccsim.AnalysisConfig{Enabled: true, EpochCycles: *analysisEpoch}
+	if *analysisOn || *analysisEpoch > 0 || *phaseProfile {
+		base.Analysis = &ccsim.AnalysisConfig{
+			Enabled:           true,
+			EpochCycles:       *analysisEpoch,
+			PhaseProfile:      *phaseProfile,
+			PhaseSamplePeriod: *phaseSample,
+		}
 	}
 
 	var jobs []ccsim.SweepJob
@@ -203,6 +218,23 @@ func main() {
 	for _, r := range res {
 		reportAnalysis(r)
 	}
+}
+
+// validateAnalysisFlags rejects explicitly-set non-positive analyzer
+// knobs up front. The analysis layer would silently normalize them to
+// defaults, which turns a typo like `-analysis-epoch -100000` into an
+// unintended epoch width instead of an error; leaving the flags at
+// their zero defaults still means "use the default".
+func validateAnalysisFlags(epoch, sample int) error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["analysis-epoch"] && epoch <= 0 {
+		return fmt.Errorf("-analysis-epoch must be > 0, got %d (omit the flag for the default width)", epoch)
+	}
+	if set["phase-sample"] && sample <= 0 {
+		return fmt.Errorf("-phase-sample must be > 0, got %d (omit the flag for the default stride)", sample)
+	}
+	return nil
 }
 
 // validateWorkers rejects non-positive worker counts up front. The
@@ -333,6 +365,27 @@ func reportAnalysis(res ccsim.Result) {
 				e.Epoch, e.RowHits, e.RowMisses, e.RowConflicts,
 				100*e.RowHitRate(), ccHit, e.REF, avgQ)
 		}
+	}
+	reportPhases(rep.Phases)
+}
+
+// reportPhases renders the per-access phase-attribution table: every
+// phase's crossing count, how many the sampler timed, the mean sampled
+// wall-clock cost and its extrapolation over all crossings. No-op when
+// the run carried no profile (-phase-profile off).
+func reportPhases(ph *ccsim.AnalysisPhaseReport) {
+	if ph == nil {
+		return
+	}
+	fmt.Printf("  phases (1 in %d crossings timed):\n", ph.SamplePeriod)
+	fmt.Printf("    %-12s %12s %10s %10s %10s\n",
+		"phase", "calls", "samples", "avg-ns", "est-ms")
+	for p := prof.Phase(0); p < prof.NumPhases; p++ {
+		if ph.Calls[p] == 0 && ph.Totals[p].Samples == 0 {
+			continue
+		}
+		fmt.Printf("    %-12s %12d %10d %10.1f %10.3f\n",
+			p, ph.Calls[p], ph.Totals[p].Samples, ph.AvgNs(p), ph.EstimatedNs(p)/1e6)
 	}
 }
 

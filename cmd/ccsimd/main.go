@@ -7,10 +7,13 @@
 // Endpoints (see the README for the full reference and curl examples):
 // POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/jobs/{id}/events (SSE),
 // DELETE /v1/jobs/{id}, GET /v1/results/{key}, GET /v1/analysis/{id}
-// (perf-analyzer report of a done job), GET /healthz, GET /metrics
-// (including fleet perf-analyzer aggregates), and GET /dashboard — an
-// embedded live HTML dashboard with campaign progress, throughput and
-// row-hit-rate sparklines.
+// (perf-analyzer report of a done job, resolvable after restarts and
+// retention eviction through the durable job journal next to -results),
+// GET /v1/analysis/{id}/stream (live SSE per-epoch feed with
+// Last-Event-ID resume), GET /healthz, GET /metrics (including fleet
+// perf-analyzer aggregates and per-worker phase attribution), and
+// GET /dashboard — an embedded live HTML dashboard with campaign
+// progress, throughput and live row-hit-rate sparklines.
 //
 // -peers b:8344,c:8344 makes this daemon front a fleet: each reachable
 // peer contributes its advertised worker capacity to this daemon's

@@ -20,7 +20,7 @@
 // after eviction.
 package analysis
 
-import "fmt"
+import "repro/internal/prof"
 
 // Defaults for Config fields left zero.
 const (
@@ -41,34 +41,54 @@ type Config struct {
 	// Enabled turns the probes on.
 	Enabled bool
 
-	// EpochCycles is the timeline bucket width in DRAM bus cycles
-	// (0 = DefaultEpochCycles).
+	// EpochCycles is the timeline bucket width in DRAM bus cycles.
+	// Values <= 0 select DefaultEpochCycles.
 	EpochCycles int `json:",omitempty"`
 
-	// MaxEpochs bounds every timeline ring buffer (0 =
-	// DefaultMaxEpochs). Memory per channel is
+	// MaxEpochs bounds every timeline ring buffer; values <= 0
+	// select DefaultMaxEpochs. Memory per channel is
 	// O((ranks*banks + 1) * MaxEpochs) fixed-size buckets.
 	MaxEpochs int `json:",omitempty"`
+
+	// PhaseProfile turns on the per-access phase profiler: sampled
+	// wall-clock attribution across the LLC/controller/DRAM path
+	// (see internal/prof), reported per epoch in Report.Phases.
+	// It changes report content, so — unlike Stream — it is part of
+	// the serialized config and of sweep-cache keys.
+	PhaseProfile bool `json:",omitempty"`
+
+	// PhaseSamplePeriod is the profiler's sampling stride (one timed
+	// crossing per period calls; <= 0 = prof.DefaultSamplePeriod).
+	PhaseSamplePeriod int `json:",omitempty"`
+
+	// Stream, when non-nil, receives a delta batch each time the
+	// collector's epoch frontier advances, plus a final summary
+	// batch (see StreamBatch). Like sim.Config.CustomMechanism it is
+	// excluded from serialization: a config arriving over the wire
+	// always has it nil, and the daemon injects its own sink for the
+	// executions it runs. Streaming does not alter bucket contents,
+	// so results stay byte-identical with or without a sink.
+	Stream StreamSink `json:"-"`
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Out-of-range sizing knobs are
+// not errors: EpochCycles, MaxEpochs and PhaseSamplePeriod values <= 0
+// are normalized to their documented defaults when the collector is
+// built, so every Config is usable as given.
 func (c Config) Validate() error {
-	if c.EpochCycles < 0 {
-		return fmt.Errorf("analysis: EpochCycles must be >= 0, got %d", c.EpochCycles)
-	}
-	if c.MaxEpochs < 0 {
-		return fmt.Errorf("analysis: MaxEpochs must be >= 0, got %d", c.MaxEpochs)
-	}
 	return nil
 }
 
-// withDefaults resolves zero fields to their defaults.
+// withDefaults resolves out-of-range fields to their defaults.
 func (c Config) withDefaults() Config {
 	if c.EpochCycles <= 0 {
 		c.EpochCycles = DefaultEpochCycles
 	}
 	if c.MaxEpochs <= 0 {
 		c.MaxEpochs = DefaultMaxEpochs
+	}
+	if c.PhaseSamplePeriod <= 0 {
+		c.PhaseSamplePeriod = prof.DefaultSamplePeriod
 	}
 	return c
 }
@@ -185,7 +205,11 @@ type BankReport struct {
 	// bucket. Both zero when MaxEpochs covered the run.
 	DroppedEpochs uint64
 	Clamped       uint64 `json:",omitempty"`
-	Epochs        []BankEpoch
+	// FirstEpoch is the ring window's oldest retained epoch; stream
+	// consumers drop reconstructed buckets below it (only relevant
+	// when DroppedEpochs > 0).
+	FirstEpoch uint64 `json:",omitempty"`
+	Epochs     []BankEpoch
 }
 
 // ChannelReport is one channel's timelines in a Report.
@@ -193,6 +217,7 @@ type ChannelReport struct {
 	Channel       int
 	DroppedEpochs uint64
 	Clamped       uint64 `json:",omitempty"`
+	FirstEpoch    uint64 `json:",omitempty"`
 	Epochs        []ChannelEpoch
 	// Banks holds the per-(rank, bank) timelines that saw events,
 	// ordered by (rank, bank).
@@ -206,6 +231,11 @@ type Report struct {
 	MaxEpochs   int
 	Totals      Totals
 	Channels    []ChannelReport
+	// Phases is the per-access phase profile, present only when
+	// Config.PhaseProfile was set. Its wall-clock numbers are
+	// host-dependent: bit-identity comparisons (the differential
+	// suite, cache-key round trips) must strip it.
+	Phases *PhaseReport `json:",omitempty"`
 }
 
 // Collector owns one run's probe state: one ChannelCollector per
@@ -215,16 +245,30 @@ type Collector struct {
 	cfg    Config
 	totals Totals
 	chans  []*ChannelCollector
+
+	// Streaming state; stream is nil (and every per-event check a
+	// single branch) unless Config.Stream was set.
+	stream    StreamSink
+	seq       uint64
+	curEpoch  uint64
+	epochSeen bool
+
+	// Phase-profiler state; nil unless Config.PhaseProfile.
+	timer       *prof.Timer
+	phaseRing   *ring[PhaseEpoch]
+	phaseTotals [prof.NumPhases]PhaseCell
 }
 
 // NewCollector builds a collector for a system with the given channel
 // count and per-channel geometry. All ring buffers are preallocated
-// here; steady-state probe calls do not allocate.
+// here; steady-state probe calls do not allocate (the streaming flush
+// path may, but only when a sink is installed).
 func NewCollector(cfg Config, channels, ranks, banks int) *Collector {
 	cfg = cfg.withDefaults()
-	c := &Collector{cfg: cfg}
+	c := &Collector{cfg: cfg, stream: cfg.Stream}
 	for ch := 0; ch < channels; ch++ {
 		cc := &ChannelCollector{
+			coll:        c,
 			channel:     ch,
 			banks:       banks,
 			epochCycles: uint64(cfg.EpochCycles),
@@ -235,17 +279,38 @@ func NewCollector(cfg Config, channels, ranks, banks int) *Collector {
 		for i := range cc.bankRings {
 			cc.bankRings[i] = newRing[BankEpoch](cfg.MaxEpochs)
 		}
+		if c.stream != nil {
+			cc.chRing.trackDirty()
+			for i := range cc.bankRings {
+				cc.bankRings[i].trackDirty()
+			}
+		}
 		c.chans = append(c.chans, cc)
+	}
+	if cfg.PhaseProfile {
+		r := newRing[PhaseEpoch](cfg.MaxEpochs)
+		if c.stream != nil {
+			r.trackDirty()
+		}
+		c.phaseRing = &r
+		c.timer = prof.NewTimer(cfg.PhaseSamplePeriod, c.observePhase)
 	}
 	return c
 }
+
+// PhaseTimer returns the sampled phase timer to install on the
+// simulator's hook sites, or nil when phase profiling is off (a nil
+// *prof.Timer is valid and inert at every hook site).
+func (c *Collector) PhaseTimer() *prof.Timer { return c.timer }
 
 // Channel returns channel ch's probe sink, to be installed on that
 // channel's controller, DRAM device and mechanism.
 func (c *Collector) Channel(ch int) *ChannelCollector { return c.chans[ch] }
 
 // Reset clears every timeline and the totals (after simulation warm-up)
-// without releasing the preallocated rings.
+// without releasing the preallocated rings. A streaming sink is told to
+// discard what it has accumulated so far via a Reset batch, so warm-up
+// epochs never leak into reconstructed reports.
 func (c *Collector) Reset() {
 	c.totals = Totals{}
 	for _, cc := range c.chans {
@@ -254,11 +319,28 @@ func (c *Collector) Reset() {
 			cc.bankRings[i].reset()
 		}
 	}
+	if c.phaseRing != nil {
+		c.phaseRing.reset()
+		c.phaseTotals = [prof.NumPhases]PhaseCell{}
+		c.timer.ResetCalls()
+	}
+	c.epochSeen = false
+	c.curEpoch = 0
+	if c.stream != nil && c.seq > 0 {
+		c.seq++
+		c.stream(StreamBatch{Seq: c.seq, Reset: true})
+	}
 }
 
 // Report snapshots the collected timelines. Channels and banks are
 // emitted in index order; all-zero intermediate buckets are skipped.
+// When streaming, the remaining dirty buckets are flushed first and the
+// report itself goes out as a final Summary batch, so a consumer that
+// applied every batch holds exactly this report's epochs.
 func (c *Collector) Report() *Report {
+	if c.stream != nil {
+		c.flush()
+	}
 	rep := &Report{
 		EpochCycles: c.cfg.EpochCycles,
 		MaxEpochs:   c.cfg.MaxEpochs,
@@ -269,6 +351,7 @@ func (c *Collector) Report() *Report {
 			Channel:       cc.channel,
 			DroppedEpochs: cc.chRing.dropped,
 			Clamped:       cc.chRing.clamped,
+			FirstEpoch:    windowStart(&cc.chRing),
 			Epochs: snapshot(&cc.chRing, func(b *ChannelEpoch, e uint64) {
 				b.Epoch = e
 			}),
@@ -283,6 +366,7 @@ func (c *Collector) Report() *Report {
 				Bank:          i % cc.banks,
 				DroppedEpochs: r.dropped,
 				Clamped:       r.clamped,
+				FirstEpoch:    windowStart(r),
 				Epochs: snapshot(r, func(b *BankEpoch, e uint64) {
 					b.Epoch = e
 				}),
@@ -290,5 +374,35 @@ func (c *Collector) Report() *Report {
 		}
 		rep.Channels = append(rep.Channels, chRep)
 	}
+	if c.phaseRing != nil {
+		pr := &PhaseReport{
+			SamplePeriod:  c.timer.SamplePeriod(),
+			Totals:        c.phaseTotals,
+			DroppedEpochs: c.phaseRing.dropped,
+			Clamped:       c.phaseRing.clamped,
+			FirstEpoch:    windowStart(c.phaseRing),
+			Epochs: snapshot(c.phaseRing, func(b *PhaseEpoch, e uint64) {
+				b.Epoch = e
+			}),
+		}
+		for p := prof.Phase(0); p < prof.NumPhases; p++ {
+			pr.Calls[p] = c.timer.Calls(p)
+		}
+		rep.Phases = pr
+	}
+	if c.stream != nil {
+		c.seq++
+		c.stream(StreamBatch{Seq: c.seq, Summary: rep})
+	}
 	return rep
+}
+
+// windowStart is the ring's oldest retained epoch (0 when empty — only
+// meaningful alongside a nonzero DroppedEpochs, matching FirstEpoch's
+// omitempty serialization).
+func windowStart[T comparable](r *ring[T]) uint64 {
+	if r.n == 0 || r.dropped == 0 {
+		return 0
+	}
+	return r.first
 }

@@ -9,8 +9,11 @@ import (
 // ChannelCollector is one channel's probe sink. It implements
 // dram.CommandProbe, memctrl.Probe and core.MechProbe, so a single
 // value wires all three probe points of a channel. Every method is a
-// handful of ring-bucket increments; none allocates after construction.
+// handful of ring-bucket increments; none allocates after construction
+// (streaming flushes, triggered via noteEpoch, may allocate — but only
+// when a stream sink is installed).
 type ChannelCollector struct {
+	coll        *Collector
 	channel     int
 	banks       int // banks per rank
 	epochCycles uint64
@@ -31,8 +34,8 @@ func (cc *ChannelCollector) epoch(at dram.Cycle) uint64 {
 	return uint64(at) / cc.epochCycles
 }
 
-func (cc *ChannelCollector) bankAt(rank, bank int, at dram.Cycle) *BankEpoch {
-	return cc.bankRings[rank*cc.banks+bank].at(cc.epoch(at))
+func (cc *ChannelCollector) bankAt(rank, bank int, e uint64) *BankEpoch {
+	return cc.bankRings[rank*cc.banks+bank].at(e)
 }
 
 // ObserveCommand implements dram.CommandProbe: every issued command,
@@ -40,9 +43,11 @@ func (cc *ChannelCollector) bankAt(rank, bank int, at dram.Cycle) *BankEpoch {
 // nonzero only for ACTs held by a full tFAW window; fast marks a
 // lowered timing class.
 func (cc *ChannelCollector) ObserveCommand(cmd dram.Command, now, fawStall dram.Cycle, fast bool) {
+	e := cc.epoch(now)
+	cc.coll.noteEpoch(e)
 	switch cmd.Kind {
 	case dram.CmdACT:
-		b := cc.bankAt(cmd.Rank, cmd.Bank, now)
+		b := cc.bankAt(cmd.Rank, cmd.Bank, e)
 		b.ACT++
 		cc.totals.ACT++
 		if fast {
@@ -52,16 +57,16 @@ func (cc *ChannelCollector) ObserveCommand(cmd dram.Command, now, fawStall dram.
 		b.FAWStallCycles += uint64(fawStall)
 		cc.totals.FAWStallCycles += uint64(fawStall)
 	case dram.CmdPRE:
-		cc.bankAt(cmd.Rank, cmd.Bank, now).PRE++
+		cc.bankAt(cmd.Rank, cmd.Bank, e).PRE++
 		cc.totals.PRE++
 	case dram.CmdRD:
-		cc.bankAt(cmd.Rank, cmd.Bank, now).RD++
+		cc.bankAt(cmd.Rank, cmd.Bank, e).RD++
 		cc.totals.RD++
 	case dram.CmdWR:
-		cc.bankAt(cmd.Rank, cmd.Bank, now).WR++
+		cc.bankAt(cmd.Rank, cmd.Bank, e).WR++
 		cc.totals.WR++
 	case dram.CmdREF:
-		cc.chRing.at(cc.epoch(now)).REF++
+		cc.chRing.at(e).REF++
 		cc.totals.REF++
 	}
 }
@@ -70,7 +75,9 @@ func (cc *ChannelCollector) ObserveCommand(cmd dram.Command, now, fawStall dram.
 // request arrival (depths measured after the push), bucketed by the
 // arrival cycle.
 func (cc *ChannelCollector) ObserveEnqueue(coord memctrl.Coord, isRead bool, bankReads, bankWrites, reads, writes int, now dram.Cycle) {
-	b := cc.bankAt(coord.Rank, coord.Bank, now)
+	ep := cc.epoch(now)
+	cc.coll.noteEpoch(ep)
+	b := cc.bankAt(coord.Rank, coord.Bank, ep)
 	depth := uint64(bankReads + bankWrites)
 	b.QueueSamples++
 	b.QueueDepthSum += depth
@@ -78,7 +85,7 @@ func (cc *ChannelCollector) ObserveEnqueue(coord memctrl.Coord, isRead bool, ban
 		b.QueueDepthPeak = depth
 	}
 
-	e := cc.chRing.at(cc.epoch(now))
+	e := cc.chRing.at(ep)
 	total := uint64(reads + writes)
 	e.QueueSamples++
 	e.ReadDepthSum += uint64(reads)
@@ -97,10 +104,13 @@ func (cc *ChannelCollector) ObserveEnqueue(coord memctrl.Coord, isRead bool, ban
 // row-buffer classification of one request, bucketed by the request's
 // arrival cycle. Classification call time differs between the engines
 // (the event engine defers pure sweeps); the per-request outcome and
-// arrival stamp do not.
+// arrival stamp do not — which is also why the stream protocol is
+// last-write-wins rather than epoch-sealed (see stream.go).
 func (cc *ChannelCollector) ObserveRowOutcome(coord memctrl.Coord, outcome memctrl.RowOutcome, arrive dram.Cycle) {
-	b := cc.bankAt(coord.Rank, coord.Bank, arrive)
-	e := cc.chRing.at(cc.epoch(arrive))
+	ep := cc.epoch(arrive)
+	cc.coll.noteEpoch(ep)
+	b := cc.bankAt(coord.Rank, coord.Bank, ep)
+	e := cc.chRing.at(ep)
 	switch outcome {
 	case memctrl.RowHit:
 		b.RowHits++
@@ -119,7 +129,9 @@ func (cc *ChannelCollector) ObserveRowOutcome(coord memctrl.Coord, outcome memct
 
 // ObserveLookup implements core.MechProbe: one HCRAC lookup (per ACT).
 func (cc *ChannelCollector) ObserveLookup(key core.RowKey, hit bool, now dram.Cycle) {
-	e := cc.chRing.at(cc.epoch(now))
+	ep := cc.epoch(now)
+	cc.coll.noteEpoch(ep)
+	e := cc.chRing.at(ep)
 	e.CCLookups++
 	cc.totals.CCLookups++
 	if hit {
@@ -131,7 +143,9 @@ func (cc *ChannelCollector) ObserveLookup(key core.RowKey, hit bool, now dram.Cy
 // ObserveInsert implements core.MechProbe: one HCRAC insert (per PRE);
 // evicted marks a capacity replacement.
 func (cc *ChannelCollector) ObserveInsert(key core.RowKey, evicted bool, now dram.Cycle) {
-	e := cc.chRing.at(cc.epoch(now))
+	ep := cc.epoch(now)
+	cc.coll.noteEpoch(ep)
+	e := cc.chRing.at(ep)
 	e.CCInserts++
 	cc.totals.CCInserts++
 	if evicted {
@@ -145,6 +159,8 @@ func (cc *ChannelCollector) ObserveInsert(key core.RowKey, evicted bool, now dra
 // cycle (a multiple of the invalidation interval, engine-invariant by
 // construction), for exact expiry the detecting lookup's cycle.
 func (cc *ChannelCollector) ObserveExpiry(key core.RowKey, at dram.Cycle) {
-	cc.chRing.at(cc.epoch(at)).CCExpiries++
+	ep := cc.epoch(at)
+	cc.coll.noteEpoch(ep)
+	cc.chRing.at(ep).CCExpiries++
 	cc.totals.CCExpiries++
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/prof"
 )
 
 func testCollector() *Collector {
@@ -150,16 +151,43 @@ func TestCollectorZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
-// TestConfigValidate rejects negative sizes and resolves defaults.
+// TestConfigValidate accepts any sizing values — out-of-range knobs
+// normalize to the documented defaults instead of erroring.
 func TestConfigValidate(t *testing.T) {
-	if err := (Config{EpochCycles: -1}).Validate(); err == nil {
-		t.Error("negative EpochCycles validated")
+	for _, cfg := range []Config{
+		{},
+		{EpochCycles: -1},
+		{MaxEpochs: -1},
+		{PhaseSamplePeriod: -7},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
 	}
-	if err := (Config{MaxEpochs: -1}).Validate(); err == nil {
-		t.Error("negative MaxEpochs validated")
+	for _, cfg := range []Config{
+		{Enabled: true},
+		{Enabled: true, EpochCycles: -1, MaxEpochs: -9, PhaseSamplePeriod: -7},
+	} {
+		got := cfg.withDefaults()
+		if got.EpochCycles != DefaultEpochCycles || got.MaxEpochs != DefaultMaxEpochs || got.PhaseSamplePeriod != prof.DefaultSamplePeriod {
+			t.Errorf("withDefaults(%+v) = %+v", cfg, got)
+		}
 	}
-	got := Config{Enabled: true}.withDefaults()
-	if got.EpochCycles != DefaultEpochCycles || got.MaxEpochs != DefaultMaxEpochs {
-		t.Errorf("withDefaults = %+v", got)
+}
+
+// TestNegativeKnobsNormalize is the regression test for the collector
+// built from a config with nonpositive sizing knobs: it must come up
+// with default-sized rings rather than panicking or erroring.
+func TestNegativeKnobsNormalize(t *testing.T) {
+	c := NewCollector(Config{Enabled: true, EpochCycles: -3, MaxEpochs: -1}, 1, 1, 1)
+	ch := c.Channel(0)
+	ch.ObserveRowOutcome(memctrl.Coord{}, memctrl.RowHit, 12345)
+	rep := c.Report()
+	if rep.EpochCycles != DefaultEpochCycles || rep.MaxEpochs != DefaultMaxEpochs {
+		t.Fatalf("report echoes %d/%d, want defaults %d/%d",
+			rep.EpochCycles, rep.MaxEpochs, DefaultEpochCycles, DefaultMaxEpochs)
+	}
+	if rep.Totals.RowHits != 1 {
+		t.Fatalf("RowHits = %d, want 1", rep.Totals.RowHits)
 	}
 }

@@ -1,0 +1,67 @@
+package analysis
+
+import "repro/internal/prof"
+
+// PhaseCell is one phase's accumulated samples in an epoch or total:
+// how many crossings the sampler timed and their summed wall-clock
+// nanoseconds. Scale Ns by the report's SamplePeriod (and compare to
+// Calls) to estimate the phase's full-run cost.
+type PhaseCell struct {
+	Samples uint64 `json:",omitempty"`
+	Ns      uint64 `json:",omitempty"`
+}
+
+// PhaseEpoch is one epoch bucket of the phase profile, indexed by
+// prof.Phase.
+type PhaseEpoch struct {
+	Epoch uint64
+	Cells [prof.NumPhases]PhaseCell
+}
+
+// PhaseReport is the per-access phase profile attached to a Report when
+// Config.PhaseProfile is set. Calls counts every crossing (sampled or
+// not) and is deterministic for a given engine; Samples/Ns come from
+// the host's wall clock and are not — strip the whole PhaseReport
+// before any bit-identity comparison.
+type PhaseReport struct {
+	// SamplePeriod is the profiler's effective sampling stride.
+	SamplePeriod int
+	// Calls counts every crossing of each phase.
+	Calls [prof.NumPhases]uint64
+	// Totals accumulates sampled durations independent of the ring
+	// window, like Report.Totals.
+	Totals        [prof.NumPhases]PhaseCell
+	DroppedEpochs uint64 `json:",omitempty"`
+	Clamped       uint64 `json:",omitempty"`
+	FirstEpoch    uint64 `json:",omitempty"`
+	Epochs        []PhaseEpoch
+}
+
+// AvgNs returns phase p's mean sampled duration in nanoseconds.
+func (r *PhaseReport) AvgNs(p prof.Phase) float64 {
+	if r == nil || r.Totals[p].Samples == 0 {
+		return 0
+	}
+	return float64(r.Totals[p].Ns) / float64(r.Totals[p].Samples)
+}
+
+// EstimatedNs extrapolates phase p's full-run cost: mean sampled
+// duration times every crossing, sampled or not.
+func (r *PhaseReport) EstimatedNs(p prof.Phase) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.AvgNs(p) * float64(r.Calls[p])
+}
+
+// observePhase is the prof.Sink behind the collector's timer: it
+// buckets one sampled duration by the hook site's bus cycle.
+func (c *Collector) observePhase(p prof.Phase, ns, at int64) {
+	e := uint64(at) / uint64(c.cfg.EpochCycles)
+	c.noteEpoch(e)
+	b := c.phaseRing.at(e)
+	b.Cells[p].Samples++
+	b.Cells[p].Ns += uint64(ns)
+	c.phaseTotals[p].Samples++
+	c.phaseTotals[p].Ns += uint64(ns)
+}

@@ -1,5 +1,7 @@
 package analysis
 
+import "math/bits"
+
 // ring is a fixed-capacity window of consecutive epoch buckets. The
 // window follows the (mostly monotonic) event stream: a bucket for a
 // newer epoch than the window covers evicts the oldest buckets; an
@@ -18,6 +20,11 @@ type ring[T comparable] struct {
 	started bool
 	dropped uint64 // epochs evicted off the window's trailing edge
 	clamped uint64 // events folded into the oldest bucket
+
+	// dirty marks physical slots touched since the last stream flush,
+	// one bit per slot. nil (and all marking skipped) unless the
+	// collector streams; see trackDirty.
+	dirty []uint64
 }
 
 func newRing[T comparable](capacity int) ring[T] {
@@ -26,6 +33,20 @@ func newRing[T comparable](capacity int) ring[T] {
 
 func (r *ring[T]) slot(i int) *T {
 	return &r.buckets[(r.head+i)%len(r.buckets)]
+}
+
+// trackDirty enables per-slot dirty marking for delta streaming.
+func (r *ring[T]) trackDirty() {
+	r.dirty = make([]uint64, (len(r.buckets)+63)/64)
+}
+
+// mark flags the slot holding logical index i as dirty.
+func (r *ring[T]) mark(i int) {
+	if r.dirty == nil {
+		return
+	}
+	s := (r.head + i) % len(r.buckets)
+	r.dirty[s>>6] |= 1 << uint(s&63)
 }
 
 // at returns the bucket for epoch, materializing it (zeroing any
@@ -37,15 +58,18 @@ func (r *ring[T]) at(epoch uint64) *T {
 		r.first = epoch
 		r.n = 1
 		*r.slot(0) = zero
+		r.mark(0)
 		return r.slot(0)
 	}
 	if epoch < r.first {
 		r.clamped++
+		r.mark(0)
 		return r.slot(0)
 	}
 	delta := epoch - r.first
 	capN := uint64(len(r.buckets))
 	if delta < uint64(r.n) {
+		r.mark(int(delta))
 		return r.slot(int(delta))
 	}
 	if delta >= capN {
@@ -58,6 +82,7 @@ func (r *ring[T]) at(epoch uint64) *T {
 			r.first = epoch
 			r.n = 1
 			*r.slot(0) = zero
+			r.mark(0)
 			return r.slot(0)
 		}
 		r.dropped += drop
@@ -70,6 +95,7 @@ func (r *ring[T]) at(epoch uint64) *T {
 		*r.slot(r.n) = zero
 		r.n++
 	}
+	r.mark(int(delta))
 	return r.slot(int(delta))
 }
 
@@ -81,6 +107,50 @@ func (r *ring[T]) reset() {
 	r.n = 0
 	r.dropped = 0
 	r.clamped = 0
+	for i := range r.dirty {
+		r.dirty[i] = 0
+	}
+}
+
+// flushDirty visits every dirty, live, nonzero bucket in slot order,
+// clearing the dirty bits as it goes. Nonzero matters for the streaming
+// contract: bucket counters only ever increase while a bucket is live,
+// so consumers applying emitted buckets last-write-wins converge on the
+// ring's final contents, and all-zero buckets (which snapshot skips)
+// are simply never emitted. Stale bits — slots zeroed for intermediate
+// epochs or evicted from the window — are dropped silently.
+func flushDirty[T comparable](r *ring[T], emit func(epoch uint64, b T)) {
+	if r.dirty == nil {
+		return
+	}
+	var zero T
+	for w := range r.dirty {
+		word := r.dirty[w]
+		if word == 0 {
+			continue
+		}
+		r.dirty[w] = 0
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			s := w*64 + bit
+			if s >= len(r.buckets) {
+				continue
+			}
+			logical := s - r.head
+			if logical < 0 {
+				logical += len(r.buckets)
+			}
+			if logical >= r.n {
+				continue
+			}
+			b := r.buckets[s]
+			if b == zero {
+				continue
+			}
+			emit(r.first+uint64(logical), b)
+		}
+	}
 }
 
 // snapshot copies the live buckets in epoch order, skipping all-zero

@@ -105,7 +105,7 @@ func TestRingAtZeroAlloc(t *testing.T) {
 	e := uint64(0)
 	allocs := testing.AllocsPerRun(500, func() {
 		r.at(e).N++
-		r.at(e / 2).N++ // alternates live and clamped epochs
+		r.at(e/2).N++ // alternates live and clamped epochs
 		e++
 	})
 	if allocs != 0 {

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/prof"
+)
+
+// reconstructMatches replays batches and requires the rebuilt report to
+// marshal byte-identically to the collector's own.
+func reconstructMatches(t *testing.T, rep *Report, batches []StreamBatch) {
+	t.Helper()
+	got, err := ReconstructReport(batches)
+	if err != nil {
+		t.Fatalf("ReconstructReport: %v", err)
+	}
+	want, _ := json.Marshal(rep)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("reconstructed report differs\nwant %s\nhave %s", want, have)
+	}
+}
+
+// checkSeq requires batch sequence numbers 1..n with no gaps.
+func checkSeq(t *testing.T, batches []StreamBatch) {
+	t.Helper()
+	for i, b := range batches {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d, want %d", i, b.Seq, i+1)
+		}
+	}
+}
+
+// TestStreamReconstruction drives a mixed event stream — including
+// events landing in long-closed epochs, the shape the event engine's
+// deferred classification produces — and proves LWW reconstruction.
+func TestStreamReconstruction(t *testing.T) {
+	var batches []StreamBatch
+	cfg := Config{
+		Enabled: true, EpochCycles: 100, MaxEpochs: 8,
+		Stream: func(b StreamBatch) { batches = append(batches, b) },
+	}
+	c := NewCollector(cfg, 2, 2, 4)
+	ch := c.Channel(0)
+	coord := memctrl.Coord{Rank: 1, Bank: 2}
+	act := dram.Command{Kind: dram.CmdACT, Rank: 1, Bank: 2}
+
+	var now dram.Cycle
+	for i := 0; i < 50; i++ {
+		ch.ObserveCommand(act, now, 0, i%2 == 0)
+		ch.ObserveEnqueue(coord, true, 1, 0, 1, 0, now)
+		now += 37
+	}
+	// Deferred classification: outcomes for arrivals many epochs back,
+	// after the frontier has advanced past them.
+	for back := dram.Cycle(0); back < 300; back += 90 {
+		ch.ObserveRowOutcome(coord, memctrl.RowMiss, now-1-back)
+	}
+	// Second channel joins late.
+	c.Channel(1).ObserveCommand(dram.Command{Kind: dram.CmdREF}, now, 0, false)
+	if len(batches) == 0 {
+		t.Fatal("no batches streamed before Report")
+	}
+	rep := c.Report()
+	last := batches[len(batches)-1]
+	if last.Summary == nil {
+		t.Fatal("final batch carries no summary")
+	}
+	checkSeq(t, batches)
+	reconstructMatches(t, rep, batches)
+}
+
+// TestStreamResetDiscardsWarmup: batches emitted before Reset (the
+// warm-up phase) must not leak into the reconstruction.
+func TestStreamResetDiscardsWarmup(t *testing.T) {
+	var batches []StreamBatch
+	cfg := Config{
+		Enabled: true, EpochCycles: 100, MaxEpochs: 8,
+		Stream: func(b StreamBatch) { batches = append(batches, b) },
+	}
+	c := NewCollector(cfg, 1, 1, 1)
+	ch := c.Channel(0)
+	coord := memctrl.Coord{}
+	for now := dram.Cycle(0); now < 500; now += 50 {
+		ch.ObserveRowOutcome(coord, memctrl.RowConflict, now)
+	}
+	c.Reset() // end of warm-up
+	for now := dram.Cycle(500); now < 900; now += 50 {
+		ch.ObserveRowOutcome(coord, memctrl.RowHit, now)
+	}
+	rep := c.Report()
+	if rep.Totals.RowConflicts != 0 {
+		t.Fatalf("warm-up conflicts survived reset: %+v", rep.Totals)
+	}
+	checkSeq(t, batches)
+	reconstructMatches(t, rep, batches)
+}
+
+// TestStreamWindowEviction: epochs evicted from the ring window after
+// being streamed are trimmed by the summary's FirstEpoch on rebuild.
+func TestStreamWindowEviction(t *testing.T) {
+	var batches []StreamBatch
+	cfg := Config{
+		Enabled: true, EpochCycles: 10, MaxEpochs: 4,
+		Stream: func(b StreamBatch) { batches = append(batches, b) },
+	}
+	c := NewCollector(cfg, 1, 1, 1)
+	ch := c.Channel(0)
+	for now := dram.Cycle(0); now < 200; now += 10 {
+		ch.ObserveRowOutcome(memctrl.Coord{}, memctrl.RowMiss, now)
+	}
+	// One clamped event, older than the shrunken window.
+	ch.ObserveRowOutcome(memctrl.Coord{}, memctrl.RowMiss, 0)
+	rep := c.Report()
+	if rep.Channels[0].DroppedEpochs == 0 {
+		t.Fatal("test expected window eviction")
+	}
+	if rep.Channels[0].Clamped == 0 {
+		t.Fatal("test expected a clamped event")
+	}
+	checkSeq(t, batches)
+	reconstructMatches(t, rep, batches)
+}
+
+// TestStreamWithPhaseProfile streams phase-profile epochs alongside the
+// channel timelines and reconstructs both.
+func TestStreamWithPhaseProfile(t *testing.T) {
+	var batches []StreamBatch
+	cfg := Config{
+		Enabled: true, EpochCycles: 100, MaxEpochs: 16,
+		PhaseProfile: true, PhaseSamplePeriod: 1,
+		Stream: func(b StreamBatch) { batches = append(batches, b) },
+	}
+	c := NewCollector(cfg, 1, 1, 2)
+	tm := c.PhaseTimer()
+	if tm == nil {
+		t.Fatal("PhaseProfile set but no timer")
+	}
+	ch := c.Channel(0)
+	for now := dram.Cycle(0); now < 1000; now += 30 {
+		ch.ObserveRowOutcome(memctrl.Coord{}, memctrl.RowHit, now)
+		tm.End(prof.Select, tm.Begin(prof.Select), int64(now))
+		tm.End(prof.Issue, tm.Begin(prof.Issue), int64(now))
+	}
+	rep := c.Report()
+	if rep.Phases == nil {
+		t.Fatal("no phase report")
+	}
+	if got := rep.Phases.Calls[prof.Select]; got != 34 {
+		t.Fatalf("Select calls = %d, want 34", got)
+	}
+	if rep.Phases.Totals[prof.Select].Samples != 34 {
+		t.Fatalf("Select samples = %d, want 34 (period 1)", rep.Phases.Totals[prof.Select].Samples)
+	}
+	if len(rep.Phases.Epochs) == 0 {
+		t.Fatal("no phase epochs")
+	}
+	checkSeq(t, batches)
+	reconstructMatches(t, rep, batches)
+}
+
+// TestDeltasFromReport: the synthesized single-batch stream of a
+// finished report reconstructs exactly that report.
+func TestDeltasFromReport(t *testing.T) {
+	cfg := Config{Enabled: true, EpochCycles: 100, MaxEpochs: 8, PhaseProfile: true, PhaseSamplePeriod: 1}
+	c := NewCollector(cfg, 2, 1, 2)
+	ch := c.Channel(1)
+	for now := dram.Cycle(0); now < 700; now += 40 {
+		ch.ObserveRowOutcome(memctrl.Coord{Bank: 1}, memctrl.RowMiss, now)
+	}
+	tm := c.PhaseTimer()
+	tm.End(prof.Complete, tm.Begin(prof.Complete), 250)
+	rep := c.Report()
+	reconstructMatches(t, rep, []StreamBatch{DeltasFromReport(rep, 1)})
+}
+
+// TestStreamingOffCostsNothing: without a sink the collector keeps its
+// zero-allocation steady state (the main zero-alloc gate also covers
+// this; here we pin the noteEpoch/mark fast paths specifically).
+func TestStreamingOffCostsNothing(t *testing.T) {
+	c := NewCollector(Config{Enabled: true, EpochCycles: 100, MaxEpochs: 8}, 1, 1, 1)
+	ch := c.Channel(0)
+	var now dram.Cycle
+	allocs := testing.AllocsPerRun(2000, func() {
+		ch.ObserveRowOutcome(memctrl.Coord{}, memctrl.RowHit, now)
+		now += 37
+	})
+	if allocs != 0 {
+		t.Errorf("non-streaming probe path allocated %.1f per op, want 0", allocs)
+	}
+}

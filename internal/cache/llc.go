@@ -4,7 +4,11 @@
 // writeback path for dirty evictions.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/prof"
+)
 
 // Backend is the memory side of the cache (the memory controllers).
 // Both methods report false when the request cannot be accepted this
@@ -150,6 +154,23 @@ type LLC struct {
 	// memory-event horizon across executed cycles without memory
 	// activity.
 	stamp uint64
+
+	// profiler, if set, attributes sampled wall-clock time to Access
+	// (see SetProfiler); profDiv converts the LLC's CPU clock to the
+	// profiler's bus-cycle domain.
+	profiler *prof.Timer
+	profDiv  int64
+}
+
+// SetProfiler installs the sampled phase timer on Access (nil removes
+// it). clockDiv is the CPU-to-bus clock ratio: the LLC runs on the CPU
+// clock, while the profiler buckets samples by bus cycle.
+func (c *LLC) SetProfiler(t *prof.Timer, clockDiv int) {
+	c.profiler = t
+	c.profDiv = int64(clockDiv)
+	if c.profDiv < 1 {
+		c.profDiv = 1
+	}
 }
 
 // New builds an LLC; cfg must validate and backend must be non-nil.
@@ -256,6 +277,10 @@ func (c *LLC) findLine(line uint64) int {
 // data is available. Writes complete immediately from the core's
 // perspective (no callback).
 func (c *LLC) Access(now int64, addr uint64, isWrite bool, coreID int, onDone func()) AccessResult {
+	if c.profiler != nil {
+		pt := c.profiler.Begin(prof.LLCLookup)
+		defer c.profiler.End(prof.LLCLookup, pt, now/c.profDiv)
+	}
 	c.now = now
 	c.stamp++
 	line := c.lineAddr(addr)

@@ -5,6 +5,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -26,8 +27,9 @@ import (
 
 // Client talks to one ccsimd daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	stream *http.Client // no overall timeout: carries SSE streams
 
 	// PollInterval is the status-poll period of Wait and RunSweep
 	// (default 250ms).
@@ -51,8 +53,11 @@ func New(baseURL string) *Client {
 		base = "http://" + base
 	}
 	return &Client{
-		base:         base,
-		http:         &http.Client{Timeout: 2 * time.Minute},
+		base: base,
+		http: &http.Client{Timeout: 2 * time.Minute},
+		// SSE streams outlive any sensible overall timeout; ctx
+		// cancellation and server-side completion bound them instead.
+		stream:       &http.Client{},
 		PollInterval: 250 * time.Millisecond,
 	}
 }
@@ -201,6 +206,107 @@ func (c *Client) Analysis(ctx context.Context, id string) (*analysis.Report, err
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// StreamAnalysis follows a job's live analysis stream
+// (GET /v1/analysis/{id}/stream), invoking onBatch for every batch —
+// catch-up snapshot, live epoch deltas, final summary — until the
+// daemon signals completion. afterSeq resumes after an already
+// processed batch sequence (0 streams from the start). A connection
+// dropped mid-stream reconnects automatically with Last-Event-ID set
+// to the last delivered sequence, so onBatch sees no gaps: applying
+// every batch to an analysis.StreamAccumulator reconstructs the job's
+// final report byte-identically. A failed flight surfaces as the
+// stream's error frame, returned after the frames received so far.
+func (c *Client) StreamAnalysis(ctx context.Context, id string, afterSeq uint64, onBatch func(analysis.StreamBatch)) error {
+	last := afterSeq
+	for {
+		complete, progressed, err := c.streamAnalysisOnce(ctx, id, &last, onBatch)
+		if complete || (err != nil && !progressed) {
+			// Finished, or failed without receiving a single frame (a
+			// dead daemon is not retried; a dropped stream is).
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.pollInterval()):
+		}
+	}
+}
+
+// streamAnalysisOnce runs one SSE connection. It reports whether the
+// stream reached its done frame and whether any frame arrived (a
+// progressed-but-incomplete connection is retried by the caller with
+// the updated cursor).
+func (c *Client) streamAnalysisOnce(ctx context.Context, id string, last *uint64, onBatch func(analysis.StreamBatch)) (complete, progressed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/analysis/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return false, false, fmt.Errorf("client: building stream request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(*last))
+	}
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return false, false, fmt.Errorf("client: analysis stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode}
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(blob))
+		}
+		return false, false, fmt.Errorf("client: analysis stream %s: %w", id, apiErr)
+	}
+
+	var streamErr error
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "epochs", "summary":
+				var b analysis.StreamBatch
+				if err := json.Unmarshal([]byte(data), &b); err != nil {
+					return false, progressed, fmt.Errorf("client: decoding stream batch: %w", err)
+				}
+				progressed = true
+				*last = b.Seq
+				onBatch(b)
+			case "error":
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal([]byte(data), &e) == nil && e.Error != "" {
+					streamErr = fmt.Errorf("client: job %s analysis stream: %s", id, e.Error)
+				}
+			case "done":
+				return true, true, streamErr
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return false, progressed, fmt.Errorf("client: analysis stream %s interrupted: %w", id, err)
+	}
+	if ctx.Err() != nil {
+		return false, progressed, ctx.Err()
+	}
+	return false, progressed, nil
 }
 
 // Health fetches /healthz.

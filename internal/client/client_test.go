@@ -1,7 +1,9 @@
 package client
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -385,5 +387,84 @@ func TestRunSweepFailure(t *testing.T) {
 	}
 	if jerr.Index != 1 || jerr.Label != "bad" {
 		t.Errorf("JobError = index %d label %q, want 1/bad", jerr.Index, jerr.Label)
+	}
+}
+
+// TestStreamAnalysis is the client half of the live-telemetry proof:
+// StreamAnalysis delivers batches that an analysis.StreamAccumulator
+// folds into exactly the report Analysis(id) serves afterwards, both
+// when the subscription rides the live run and when it replays a
+// finished one; and afterSeq at the final cursor yields nothing new.
+func TestStreamAnalysis(t *testing.T) {
+	c, _ := startDaemon(t, "")
+	cfg := tinyCfg("lbm", 46)
+	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: 10_000, MaxEpochs: 1024, PhaseProfile: true}
+
+	sts, err := c.Submit(context.Background(), []server.JobSpec{{Label: "stream", Config: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sts[0].ID
+
+	// Stream concurrently with the run (whatever fraction of it this
+	// subscriber catches live, the snapshot frame covers the rest).
+	acc := analysis.NewStreamAccumulator()
+	var batches int
+	if err := c.StreamAnalysis(context.Background(), id, 0, func(b analysis.StreamBatch) {
+		acc.Apply(b)
+		batches++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if batches == 0 {
+		t.Fatal("stream delivered no batches")
+	}
+	got, err := acc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Analysis(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("streamed reconstruction differs from final report:\nstream: %s\nfinal:  %s", gotJSON, wantJSON)
+	}
+
+	// A fresh subscription to the finished job replays to the same bytes.
+	acc2 := analysis.NewStreamAccumulator()
+	if err := c.StreamAnalysis(context.Background(), id, 0, func(b analysis.StreamBatch) { acc2.Apply(b) }); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := acc2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2JSON, _ := json.Marshal(rep2); !bytes.Equal(rep2JSON, wantJSON) {
+		t.Error("terminal replay differs from final report")
+	}
+
+	// Resuming past the final sequence delivers no batches at all.
+	var extra int
+	if err := c.StreamAnalysis(context.Background(), id, acc2.Seq(), func(analysis.StreamBatch) { extra++ }); err != nil {
+		t.Fatal(err)
+	}
+	if extra != 0 {
+		t.Errorf("resume past the end delivered %d batches, want 0", extra)
+	}
+
+	// Streaming an analysis-less job fails with the endpoint's 404.
+	plain, err := c.Submit(context.Background(), []server.JobSpec{{Config: tinyCfg("lbm", 47)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(context.Background(), plain[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *APIError
+	if err := c.StreamAnalysis(context.Background(), plain[0].ID, 0, func(analysis.StreamBatch) {}); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("analysis-less stream error = %v, want APIError 404", err)
 	}
 }

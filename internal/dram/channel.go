@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/prof"
+)
 
 // CommandCounts tallies issued commands, for statistics and the energy
 // model. FastACT counts activations issued with a lowered timing class;
@@ -54,11 +58,19 @@ type Channel struct {
 	// probe, if set, receives every issued command with perf-analyzer
 	// annotations (see SetProbe in probe.go).
 	probe CommandProbe
+
+	// profiler, if set, attributes sampled wall-clock time to command
+	// issue (see SetProfiler).
+	profiler *prof.Timer
 }
 
 // SetTracer installs fn to observe every issued command (protocol
 // checking, logging). A nil fn removes the tracer.
 func (c *Channel) SetTracer(fn func(Command, Cycle)) { c.tracer = fn }
+
+// SetProfiler installs the sampled phase timer on Issue (nil removes
+// it). The disabled path costs one nil check per issued command.
+func (c *Channel) SetProfiler(t *prof.Timer) { c.profiler = t }
 
 // NewChannel builds a channel for the given spec. The spec must validate.
 func NewChannel(spec Spec) (*Channel, error) {
@@ -170,6 +182,10 @@ func (c *Channel) busFreeFor(start Cycle, rankID int) bool {
 func (c *Channel) Issue(cmd Command, now Cycle) {
 	if !c.CanIssue(cmd, now) {
 		panic(fmt.Sprintf("dram: illegal %v at cycle %d", cmd, now))
+	}
+	if c.profiler != nil {
+		pt := c.profiler.Begin(prof.Issue)
+		defer c.profiler.End(prof.Issue, pt, int64(now))
 	}
 	if c.tracer != nil {
 		c.tracer(cmd, now)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/prof"
 )
 
 // Observer receives row-level command events, used by the RLTL analysis
@@ -46,6 +47,13 @@ type Config struct {
 	// samples, row-outcome classifications); see probe.go. The hot path
 	// pays one nil check per event when unset.
 	Probe Probe
+
+	// Profiler, if non-nil, attributes sampled wall-clock time to the
+	// controller's phases (enqueue, FR-FCFS select, completion drain);
+	// see internal/prof. Like Probe, unset costs one nil check per
+	// crossing. Completion-drain time includes the nested request
+	// callbacks (they run inside the drain).
+	Profiler *prof.Timer
 }
 
 // Validate reports configuration errors.
@@ -303,6 +311,11 @@ func (c *Controller) EnqueueRead(req *Request) bool {
 	if c.nReads >= c.cfg.ReadQueueCap {
 		return false
 	}
+	var pt int64
+	if c.cfg.Profiler != nil {
+		pt = c.cfg.Profiler.Begin(prof.Enqueue)
+		defer c.cfg.Profiler.End(prof.Enqueue, pt, int64(c.now))
+	}
 	c.settleSweep()
 	req.Arrive = c.now
 	req.seq = c.nextSeq
@@ -326,6 +339,11 @@ func (c *Controller) EnqueueRead(req *Request) bool {
 func (c *Controller) EnqueueWrite(req *Request) bool {
 	if c.nWrites >= c.cfg.WriteQueueCap {
 		return false
+	}
+	var pt int64
+	if c.cfg.Profiler != nil {
+		pt = c.cfg.Profiler.Begin(prof.Enqueue)
+		defer c.cfg.Profiler.End(prof.Enqueue, pt, int64(c.now))
 	}
 	c.settleSweep()
 	req.Arrive = c.now
@@ -563,6 +581,10 @@ func (c *Controller) nextEventScan(now dram.Cycle) dram.Cycle {
 
 func (c *Controller) deliverCompletions(now dram.Cycle) bool {
 	delivered := false
+	if c.cfg.Profiler != nil && c.compHead < len(c.completions) && c.completions[c.compHead].at <= now {
+		pt := c.cfg.Profiler.Begin(prof.Complete)
+		defer c.cfg.Profiler.End(prof.Complete, pt, int64(now))
+	}
 	for c.compHead < len(c.completions) && c.completions[c.compHead].at <= now {
 		delivered = true
 		comp := c.completions[c.compHead]
@@ -673,7 +695,9 @@ func (c *Controller) activeSet(isRead bool) *bankSet {
 func (c *Controller) runScheduler(now dram.Cycle) bool {
 	issued := false
 	isRead := !c.drain
+	pt := c.cfg.Profiler.Begin(prof.Select)
 	sel := c.schedule(isRead, now)
+	c.cfg.Profiler.End(prof.Select, pt, int64(now))
 	// The first-ready pass classifies the open-row hits up to its
 	// issue point whether or not it issues, exactly like the
 	// reference walk (which visited every request up to the cut).

@@ -1,0 +1,143 @@
+// Package prof is the simulator's per-access phase profiler: a sampled
+// wall-clock timer that attributes host time to the coarse phases every
+// memory access passes through (LLC lookup, controller enqueue, FR-FCFS
+// select, DRAM command issue, completion drain, callback hop).
+//
+// It is a leaf package (standard library only) so the component layers
+// (cache, memctrl, dram, sim) can hold a *Timer without importing the
+// analysis package that consumes the samples — analysis imports those
+// layers for its probe interfaces, and a direct dependency would cycle.
+//
+// The profiler is opt-in and sampled: Begin counts every call but only
+// reads the clock on every period-th one, so the enabled path stays a
+// few increments per phase crossing and the disabled path (nil *Timer)
+// is a single branch. Wall-clock durations are host-dependent and NOT
+// deterministic — consumers must exclude them from bit-identity
+// comparisons (the differential suite strips the phase report).
+package prof
+
+import "time"
+
+// Phase identifies one segment of the per-access path.
+type Phase uint8
+
+const (
+	// LLCLookup covers cache.LLC.Access: tag match, MSHR search,
+	// miss allocation and writeback scheduling.
+	LLCLookup Phase = iota
+	// Enqueue covers memctrl enqueue: deferred-sweep settle, bank
+	// queue push and probe hooks.
+	Enqueue
+	// Select covers one FR-FCFS scheduling pass (the two-pass
+	// row-hit / oldest-first selection over the per-bank queues).
+	Select
+	// Issue covers dram.Channel.Issue: legality check, timing
+	// register updates and command counting.
+	Issue
+	// Complete covers the controller's completion drain, inclusive
+	// of the Callback hops it triggers (callbacks run nested inside
+	// the drain, so Complete time contains Callback time).
+	Complete
+	// Callback covers one request's OnComplete hop back into the
+	// core model (pool recycle, core wakeup).
+	Callback
+
+	// NumPhases is the number of profiled phases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"llc-lookup", "enqueue", "select", "issue", "complete", "callback",
+}
+
+// String returns the phase's table label.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// DefaultSamplePeriod is the sampling stride when a Timer is built with
+// period <= 0: one timed crossing per 64 calls keeps clock reads off
+// the hot path while converging quickly on steady-state shares.
+const DefaultSamplePeriod = 64
+
+// Sink receives one sampled phase duration. at is the component's
+// current cycle in whatever clock domain the caller registered (the
+// consumer buckets it into epochs); ns is the sampled wall-clock
+// duration in nanoseconds.
+type Sink func(p Phase, ns int64, at int64)
+
+// Timer is the sampled phase clock. One Timer is shared by every hook
+// site of a simulation; the simulator is single-threaded, so no
+// synchronization. A nil *Timer is valid and disables all methods.
+type Timer struct {
+	period uint64
+	calls  [NumPhases]uint64
+	base   time.Time
+	sink   Sink
+}
+
+// NewTimer builds a timer sampling one crossing in period (<= 0 =
+// DefaultSamplePeriod) per phase, forwarding samples to sink.
+func NewTimer(period int, sink Sink) *Timer {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	return &Timer{period: uint64(period), base: time.Now(), sink: sink}
+}
+
+// Begin records one crossing of phase p and, on sampled calls, returns
+// an opaque nonzero start token for End. Unsampled calls (and a nil
+// receiver) return 0, which End ignores.
+func (t *Timer) Begin(p Phase) int64 {
+	if t == nil {
+		return 0
+	}
+	t.calls[p]++
+	if t.period > 1 && t.calls[p]%t.period != 1 {
+		return 0
+	}
+	// +1 keeps the first sample's token distinguishable from the
+	// "unsampled" zero sentinel.
+	return int64(time.Since(t.base)) + 1
+}
+
+// End completes a sampled crossing started by Begin, forwarding the
+// measured duration and the caller's current cycle to the sink. start
+// == 0 (an unsampled Begin) is a no-op.
+func (t *Timer) End(p Phase, start int64, at int64) {
+	if t == nil || start == 0 {
+		return
+	}
+	ns := int64(time.Since(t.base)) + 1 - start
+	if ns < 0 {
+		ns = 0
+	}
+	t.sink(p, ns, at)
+}
+
+// ResetCalls zeroes the per-phase call counters (after simulation
+// warm-up) without disturbing the sampling clock.
+func (t *Timer) ResetCalls() {
+	if t != nil {
+		t.calls = [NumPhases]uint64{}
+	}
+}
+
+// Calls returns how many times phase p began (sampled or not).
+func (t *Timer) Calls(p Phase) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.calls[p]
+}
+
+// SamplePeriod returns the effective sampling stride.
+func (t *Timer) SamplePeriod() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.period)
+}

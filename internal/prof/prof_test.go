@@ -1,0 +1,87 @@
+package prof
+
+import "testing"
+
+func TestNilTimerIsInert(t *testing.T) {
+	var tm *Timer
+	if got := tm.Begin(Select); got != 0 {
+		t.Fatalf("nil Begin = %d, want 0", got)
+	}
+	tm.End(Select, 0, 10) // must not panic
+	if got := tm.Calls(Select); got != 0 {
+		t.Fatalf("nil Calls = %d, want 0", got)
+	}
+	if got := tm.SamplePeriod(); got != 0 {
+		t.Fatalf("nil SamplePeriod = %d, want 0", got)
+	}
+}
+
+func TestSamplingStride(t *testing.T) {
+	var samples int
+	tm := NewTimer(4, func(p Phase, ns, at int64) {
+		if p != Issue {
+			t.Fatalf("sink phase = %v, want Issue", p)
+		}
+		if ns < 0 {
+			t.Fatalf("negative sample %d", ns)
+		}
+		samples++
+	})
+	const calls = 17
+	for i := 0; i < calls; i++ {
+		start := tm.Begin(Issue)
+		tm.End(Issue, start, int64(i))
+	}
+	if got := tm.Calls(Issue); got != calls {
+		t.Fatalf("Calls = %d, want %d", got, calls)
+	}
+	// period 4 samples calls 1, 5, 9, 13, 17.
+	if want := 5; samples != want {
+		t.Fatalf("samples = %d, want %d", samples, want)
+	}
+}
+
+func TestPeriodOneSamplesEveryCall(t *testing.T) {
+	var samples int
+	tm := NewTimer(1, func(Phase, int64, int64) { samples++ })
+	for i := 0; i < 6; i++ {
+		tm.End(Callback, tm.Begin(Callback), 0)
+	}
+	if samples != 6 {
+		t.Fatalf("samples = %d, want 6", samples)
+	}
+}
+
+func TestDefaultPeriod(t *testing.T) {
+	tm := NewTimer(0, func(Phase, int64, int64) {})
+	if got := tm.SamplePeriod(); got != DefaultSamplePeriod {
+		t.Fatalf("SamplePeriod = %d, want %d", got, DefaultSamplePeriod)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		LLCLookup: "llc-lookup",
+		Enqueue:   "enqueue",
+		Select:    "select",
+		Issue:     "issue",
+		Complete:  "complete",
+		Callback:  "callback",
+		NumPhases: "unknown",
+	}
+	for p, s := range want {
+		if got := p.String(); got != s {
+			t.Fatalf("Phase(%d).String() = %q, want %q", p, got, s)
+		}
+	}
+}
+
+func TestZeroAllocTimer(t *testing.T) {
+	tm := NewTimer(8, func(Phase, int64, int64) {})
+	avg := testing.AllocsPerRun(1000, func() {
+		tm.End(Select, tm.Begin(Select), 42)
+	})
+	if avg != 0 {
+		t.Fatalf("timer path allocates %.1f per op, want 0", avg)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// jobJournal is the durable job index the manager keeps beside the
+// result cache (<cache path>.jobs). The cache stores results by content
+// address only; the journal remembers which job IDs resolved to which
+// keys, so after a restart (or after retention pruning evicts the job
+// table entry) GET /v1/analysis/{id} and the stream endpoint still
+// resolve an old job ID to its cached report, the fleet /metrics
+// aggregates are rebuilt from the cached reports, and freshly issued
+// IDs never collide with journaled ones.
+//
+// All methods are safe on a nil receiver (a manager without a cache has
+// no journal) and the file is written atomically (tmp + rename), so a
+// crash mid-write leaves the previous generation intact.
+type jobJournal struct {
+	mu    sync.Mutex
+	path  string
+	limit int // entries retained, oldest dropped first (<=0: unbounded)
+	byID  map[string]journalEntry
+	order []string // IDs oldest-first
+}
+
+// journalEntry records one terminal job.
+type journalEntry struct {
+	ID         string    `json:"id"`
+	Key        string    `json:"key,omitempty"` // content address of the config
+	Label      string    `json:"label,omitempty"`
+	State      JobState  `json:"state"`
+	Worker     string    `json:"worker,omitempty"` // "local", "cache", or a peer name
+	FinishedAt time.Time `json:"finished_at"`
+}
+
+// journalFile is the on-disk format.
+type journalFile struct {
+	Version int            `json:"version"`
+	Jobs    []journalEntry `json:"jobs"`
+}
+
+// openJournal loads the journal at path, starting empty when the file
+// does not exist. A file that no longer parses is quarantined to
+// path+".corrupt" — the bytes survive for inspection and the daemon
+// keeps running — rather than aborting startup or being overwritten.
+func openJournal(path string, limit int) *jobJournal {
+	l := &jobJournal{path: path, limit: limit, byID: map[string]journalEntry{}}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return l
+	}
+	var f journalFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		_ = os.Rename(path, path+".corrupt")
+		return l
+	}
+	for _, e := range f.Jobs {
+		if e.ID == "" {
+			continue
+		}
+		if _, dup := l.byID[e.ID]; !dup {
+			l.order = append(l.order, e.ID)
+		}
+		l.byID[e.ID] = e
+	}
+	return l
+}
+
+// record upserts the entries and persists the journal. Entries beyond
+// the retention limit are dropped oldest-first, mirroring the
+// manager's job-table pruning.
+func (l *jobJournal) record(entries ...journalEntry) {
+	if l == nil || len(entries) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		if e.ID == "" {
+			continue
+		}
+		if _, dup := l.byID[e.ID]; !dup {
+			l.order = append(l.order, e.ID)
+		}
+		l.byID[e.ID] = e
+	}
+	if drop := len(l.order) - l.limit; l.limit > 0 && drop > 0 {
+		for _, id := range l.order[:drop] {
+			delete(l.byID, id)
+		}
+		l.order = append([]string(nil), l.order[drop:]...)
+	}
+	l.writeLocked()
+}
+
+// writeLocked persists the current entries atomically. Write errors are
+// swallowed: the journal is an availability optimization, and a daemon
+// on a read-only disk should keep serving rather than crash.
+func (l *jobJournal) writeLocked() {
+	f := journalFile{Version: 1, Jobs: make([]journalEntry, 0, len(l.order))}
+	for _, id := range l.order {
+		f.Jobs = append(f.Jobs, l.byID[id])
+	}
+	blob, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, l.path)
+}
+
+// lookup returns the journaled entry for a job ID.
+func (l *jobJournal) lookup(id string) (journalEntry, bool) {
+	if l == nil {
+		return journalEntry{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.byID[id]
+	return e, ok
+}
+
+// entries returns a snapshot of every journaled entry, oldest first.
+func (l *jobJournal) entries() []journalEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]journalEntry, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.byID[id])
+	}
+	return out
+}
+
+// maxID returns the highest numeric job ID in the journal, so a
+// restarted manager resumes numbering above every ID it ever persisted
+// instead of reissuing them.
+func (l *jobJournal) maxID() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var max uint64
+	for id := range l.byID {
+		var n uint64
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -100,7 +100,8 @@ type job struct {
 	elapsed     time.Duration
 	result      *sim.Result
 
-	subs    map[int]chan JobStatus
+	events  []jobEvent // status history, the SSE resume source
+	subs    map[int]chan jobEvent
 	nextSub int
 }
 
@@ -116,6 +117,11 @@ type flight struct {
 	state  JobState // queued or running
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// stream, set when the config enables analysis, fans the flight's
+	// live epoch batches out to SSE subscribers and retains the final
+	// report for late ones.
+	stream *analysisBroker
 }
 
 // NoLocalWorkers as ManagerConfig.Workers makes the manager a pure
@@ -162,6 +168,10 @@ type ManagerConfig struct {
 // feeding the sweep engine.
 type Manager struct {
 	cache *sweep.Cache
+	// journal durably maps job IDs to cache keys (<cache path>.jobs) so
+	// analysis lookups and fleet metrics survive restarts and retention
+	// pruning. Nil without a cache.
+	journal *jobJournal
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -219,6 +229,17 @@ func NewManager(cfg ManagerConfig) *Manager {
 		flights:   map[string]*flight{},
 		queue:     make(chan *flight, depth),
 	}
+	if cfg.Cache != nil {
+		// The journal keeps a wider window than the job table: an entry is
+		// a one-line ID->key mapping, so retaining 8x the in-memory
+		// retention is cheap, and it is exactly the evicted jobs — the ones
+		// no longer in the table — whose IDs the journal must still resolve.
+		m.journal = openJournal(cfg.Cache.Path()+".jobs", 8*retention)
+		if max := m.journal.maxID(); max > m.nextID {
+			m.nextID = max
+		}
+		m.replayJournal()
+	}
 	m.slots = workers
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -236,6 +257,35 @@ func NewManager(cfg ManagerConfig) *Manager {
 		}
 	}
 	return m
+}
+
+// replayJournal rebuilds the fleet analysis aggregates from the
+// journaled jobs whose reports still live in the cache, so /metrics
+// reflects the daemon's history across restarts. One accumulation per
+// distinct key, mirroring the live rule of one per executed flight
+// (cache-hit submissions of the same config do not double-count).
+// Runs before the workers start, so no locking is needed.
+func (m *Manager) replayJournal() {
+	seen := map[string]bool{}
+	for _, e := range m.journal.entries() {
+		if e.State != StateDone || e.Key == "" || seen[e.Key] {
+			continue
+		}
+		seen[e.Key] = true
+		res, ok := m.cache.Lookup(e.Key)
+		if !ok || res.Analysis == nil {
+			continue
+		}
+		m.counters.accumulateAnalysisLocked(res.Analysis.Totals)
+		if e.Worker != "" {
+			ws := m.counters.worker(e.Worker)
+			ws.flights++
+			if e.Worker == "cache" {
+				ws.cacheHits++
+			}
+			ws.accumulate(res.Analysis)
+		}
+	}
 }
 
 // Cache returns the manager's persistent result store (may be nil).
@@ -273,6 +323,10 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 		// JSON, but guard anyway: they run as unique key-less flights.
 	}
 
+	// Journal writes do file I/O; this defer is registered before the
+	// unlock defer so it runs after the lock is released.
+	var recs []journalEntry
+	defer func() { m.journal.record(recs...) }()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -323,7 +377,7 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			label:       spec.Label,
 			key:         plans[i].key,
 			submittedAt: now,
-			subs:        map[int]chan JobStatus{},
+			subs:        map[int]chan jobEvent{},
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
@@ -337,6 +391,16 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			j.result = plans[i].cached
 			m.counters.completed++
 			m.counters.cacheHits++
+			// The "cache" slot counts service, not production: the report
+			// was accumulated when the producing flight finished, so no
+			// analysis accumulate here.
+			ws := m.counters.worker("cache")
+			ws.flights++
+			ws.cacheHits++
+			recs = append(recs, journalEntry{
+				ID: j.id, Key: j.key, Label: j.label,
+				State: StateDone, Worker: "cache", FinishedAt: now,
+			})
 		case plans[i].flight != nil:
 			m.attachLocked(j, plans[i].flight)
 		default:
@@ -357,6 +421,9 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 				ctx:    fctx,
 				cancel: fcancel,
 			}
+			if ac := spec.Config.Analysis; ac != nil && ac.Enabled {
+				f.stream = newAnalysisBroker()
+			}
 			j.state = StateQueued
 			j.flight = f
 			f.jobs = append(f.jobs, j)
@@ -365,6 +432,9 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			}
 			m.queue <- f // capacity pre-checked above
 		}
+		// Seed the event history with the submission snapshot, so SSE
+		// subscribers can replay the full lifecycle from sequence 1.
+		m.recordEventLocked(j, m.statusLocked(j, j.state.Terminal()))
 		statuses[i] = m.statusLocked(j, true)
 	}
 	m.pruneLocked()
@@ -570,10 +640,19 @@ func (m *Manager) startFlight(f *flight) bool {
 }
 
 // execFlightLocal runs a started flight through the sweep engine on
-// this machine and completes its jobs.
+// this machine and completes its jobs. When the flight carries a
+// stream broker, the analysis collector's live batches are routed into
+// it on the simulation goroutine; the cloned config keeps the content
+// address unchanged (Stream is excluded from the key).
 func (m *Manager) execFlightLocal(f *flight) {
+	cfg := f.cfg
+	if f.stream != nil && cfg.Analysis != nil {
+		ac := *cfg.Analysis
+		ac.Stream = f.stream.ingest
+		cfg.Analysis = &ac
+	}
 	var ev sweep.Event
-	results, err := sweep.Run(f.ctx, []sweep.Job{{Label: f.label, Config: f.cfg}}, sweep.Options{
+	results, err := sweep.Run(f.ctx, []sweep.Job{{Label: f.label, Config: cfg}}, sweep.Options{
 		Workers:  1,
 		Cache:    m.cache,
 		Progress: func(e sweep.Event) { ev = e },
@@ -582,7 +661,7 @@ func (m *Manager) execFlightLocal(f *flight) {
 	if err == nil {
 		res = results[0]
 	}
-	m.finishFlight(f, res, ev.Elapsed, ev.Cached, false, err)
+	m.finishFlight(f, "local", res, ev.Elapsed, ev.Cached, false, err)
 }
 
 // execFlightRemote runs a started flight on r. It returns false when
@@ -595,7 +674,7 @@ func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 	var remoteErr *RemoteJobError
 	switch {
 	case err == nil && st.Result == nil:
-		m.finishFlight(f, sim.Result{}, elapsed, false, true,
+		m.finishFlight(f, r.Name(), sim.Result{}, elapsed, false, true,
 			fmt.Errorf("server: peer %s finished job without a result", r.Name()))
 	case err == nil:
 		res := *st.Result
@@ -606,16 +685,16 @@ func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 			// so a trace rewritten mid-flight cannot fail a successful
 			// run (key-less flights skip caching, like the local path).
 			if perr := m.cache.PutKeyed(f.key, res); perr != nil {
-				m.finishFlight(f, sim.Result{}, elapsed, false, true, perr)
+				m.finishFlight(f, r.Name(), sim.Result{}, elapsed, false, true, perr)
 				return true
 			}
 		}
-		m.finishFlight(f, res, elapsed, st.Cached, true, nil)
+		m.finishFlight(f, r.Name(), res, elapsed, st.Cached, true, nil)
 	case errors.As(err, &remoteErr) || f.ctx.Err() != nil:
 		// The peer ran the job and the simulation failed (retrying
 		// elsewhere would fail identically), or our own flight was
 		// canceled: terminal either way.
-		m.finishFlight(f, sim.Result{}, elapsed, false, true, err)
+		m.finishFlight(f, r.Name(), sim.Result{}, elapsed, false, true, err)
 	case errors.Is(err, ErrIneligible):
 		// This peer must not run the job (e.g. it cannot see the
 		// config's trace files) but it is perfectly healthy: execute
@@ -664,13 +743,14 @@ func (m *Manager) retireSlot(f *flight) (last bool) {
 }
 
 // finishFlight completes every job attached to a started flight with
-// its outcome. cached marks results served from a cache (this daemon's
-// or the executing peer's); remote marks executions that happened on a
-// peer, counted separately because the peer's own counters record the
-// simulation.
-func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration, cached, remote bool, err error) {
+// its outcome. worker names the slot that resolved the flight ("local"
+// or a peer) for the journal and the per-worker metrics; cached marks
+// results served from a cache (this daemon's or the executing peer's);
+// remote marks executions that happened on a peer, counted separately
+// because the peer's own counters record the simulation.
+func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed time.Duration, cached, remote bool, err error) {
+	var recs []journalEntry
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.counters.running--
 	m.dropFlightLocked(f)
 	switch {
@@ -685,6 +765,10 @@ func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration,
 			j.elapsed = elapsed
 			m.counters.failed++
 			m.notifyLocked(j)
+			recs = append(recs, journalEntry{
+				ID: j.id, Key: j.key, Label: j.label,
+				State: StateFailed, Worker: worker, FinishedAt: j.finishedAt,
+			})
 		}
 	default:
 		switch {
@@ -698,6 +782,12 @@ func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration,
 		if res.Analysis != nil {
 			m.counters.accumulateAnalysisLocked(res.Analysis.Totals)
 		}
+		ws := m.counters.worker(worker)
+		ws.flights++
+		if cached {
+			ws.cacheHits++
+		}
+		ws.accumulate(res.Analysis)
 		done := time.Now()
 		for _, j := range f.jobs {
 			if j.state.Terminal() {
@@ -710,9 +800,20 @@ func (m *Manager) finishFlight(f *flight, res sim.Result, elapsed time.Duration,
 			j.result = &res
 			m.counters.completed++
 			m.notifyLocked(j)
+			recs = append(recs, journalEntry{
+				ID: j.id, Key: j.key, Label: j.label,
+				State: StateDone, Worker: worker, FinishedAt: done,
+			})
 		}
 	}
 	m.pruneLocked()
+	m.mu.Unlock()
+	// Broker seal and journal write happen outside m.mu: finish closes
+	// subscriber channels (its own lock) and record does file I/O.
+	if f.stream != nil {
+		f.stream.finish(res.Analysis, err)
+	}
+	m.journal.record(recs...)
 }
 
 // dropFlightLocked removes f from the dedup index so later identical

@@ -1,6 +1,11 @@
 package server
 
-import "repro/internal/analysis"
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/prof"
+)
 
 // counters aggregates the manager's operational numbers. All fields
 // are guarded by Manager.mu.
@@ -22,6 +27,51 @@ type counters struct {
 	// rings), so the /metrics rates stay correct however long the runs.
 	analysisReports uint64
 	analysisTotals  analysis.Totals
+
+	// perWorker breaks flight resolution down by executing slot:
+	// "local", "cache" (journal-replayed submission hits), or a peer
+	// name. Phase attribution aggregates the sampled PhaseProfile of
+	// every report the worker produced.
+	perWorker map[string]*workerStats
+}
+
+// workerStats is one execution slot's share of the fleet aggregates.
+type workerStats struct {
+	flights    uint64
+	cacheHits  uint64
+	reports    uint64 // completed flights carrying an analysis report
+	phaseCalls [prof.NumPhases]uint64
+	phaseCells [prof.NumPhases]analysis.PhaseCell
+}
+
+// worker returns (allocating on first use) the stats bucket for name.
+func (c *counters) worker(name string) *workerStats {
+	if c.perWorker == nil {
+		c.perWorker = map[string]*workerStats{}
+	}
+	ws := c.perWorker[name]
+	if ws == nil {
+		ws = &workerStats{}
+		c.perWorker[name] = ws
+	}
+	return ws
+}
+
+// accumulate folds one report's analysis (and, when profiled, phase
+// attribution) into the worker's share.
+func (ws *workerStats) accumulate(rep *analysis.Report) {
+	if rep == nil {
+		return
+	}
+	ws.reports++
+	if rep.Phases == nil {
+		return
+	}
+	for p := 0; p < int(prof.NumPhases); p++ {
+		ws.phaseCalls[p] += rep.Phases.Calls[p]
+		ws.phaseCells[p].Samples += rep.Phases.Totals[p].Samples
+		ws.phaseCells[p].Ns += rep.Phases.Totals[p].Ns
+	}
 }
 
 // AnalysisMetrics is the fleet-wide perf-analyzer block of /metrics,
@@ -77,6 +127,30 @@ type Metrics struct {
 	// Analysis aggregates the perf-analyzer totals of every completed
 	// analysis-enabled flight; absent until one completes.
 	Analysis *AnalysisMetrics `json:"analysis,omitempty"`
+
+	// Workers breaks flight resolution down per execution slot, with
+	// per-phase wall-clock attribution when the configs enabled
+	// PhaseProfile; absent until a flight completes (or is replayed
+	// from the journal at startup).
+	Workers []WorkerMetrics `json:"workers,omitempty"`
+}
+
+// PhaseMetrics is one profiled phase's share of a worker's wall clock.
+type PhaseMetrics struct {
+	Calls   uint64  `json:"calls"`
+	Samples uint64  `json:"samples"`
+	AvgNs   float64 `json:"avg_ns"`
+	// EstimatedMs extrapolates the sampled average over every call.
+	EstimatedMs float64 `json:"estimated_ms"`
+}
+
+// WorkerMetrics is the per-worker block of /metrics.
+type WorkerMetrics struct {
+	Name            string                  `json:"name"`
+	Flights         uint64                  `json:"flights"`
+	CacheHits       uint64                  `json:"cache_hits,omitempty"`
+	AnalysisReports uint64                  `json:"analysis_reports,omitempty"`
+	Phases          map[string]PhaseMetrics `json:"phases,omitempty"`
 }
 
 // Metrics returns a consistent snapshot of the manager's counters.
@@ -119,6 +193,38 @@ func (m *Manager) Metrics() Metrics {
 			FAWStallCycles: tot.FAWStallCycles,
 			QueueSamples:   tot.QueueSamples,
 			QueueDepthSum:  tot.QueueDepthSum,
+		}
+	}
+	if len(m.counters.perWorker) > 0 {
+		names := make([]string, 0, len(m.counters.perWorker))
+		for name := range m.counters.perWorker {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ws := m.counters.perWorker[name]
+			wm := WorkerMetrics{
+				Name:            name,
+				Flights:         ws.flights,
+				CacheHits:       ws.cacheHits,
+				AnalysisReports: ws.reports,
+			}
+			for p := 0; p < int(prof.NumPhases); p++ {
+				cell := ws.phaseCells[p]
+				if ws.phaseCalls[p] == 0 && cell.Samples == 0 {
+					continue
+				}
+				pm := PhaseMetrics{Calls: ws.phaseCalls[p], Samples: cell.Samples}
+				if cell.Samples > 0 {
+					pm.AvgNs = float64(cell.Ns) / float64(cell.Samples)
+					pm.EstimatedMs = pm.AvgNs * float64(ws.phaseCalls[p]) / 1e6
+				}
+				if wm.Phases == nil {
+					wm.Phases = map[string]PhaseMetrics{}
+				}
+				wm.Phases[prof.Phase(p).String()] = pm
+			}
+			s.Workers = append(s.Workers, wm)
 		}
 	}
 	return s

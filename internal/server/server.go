@@ -21,7 +21,11 @@ import (
 //	GET    /v1/results         list stored content-address keys
 //	GET    /v1/results/{key}   content-addressed result lookup
 //	GET    /v1/analysis/{id}   perf-analyzer report of a done job
-//	                           (alias: /analysis/{id})
+//	                           (alias: /analysis/{id}); evicted and
+//	                           pre-restart job IDs resolve through the
+//	                           durable job journal + result cache
+//	GET    /v1/analysis/{id}/stream  Server-Sent Events live epoch
+//	                           stream (Last-Event-ID resume)
 //	GET    /healthz            liveness + version (200 even while draining)
 //	GET    /readyz             readiness (503 while draining)
 //	GET    /metrics            queue/dedup/cache counters + fleet
@@ -46,6 +50,7 @@ func New(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/analysis/{id}", s.handleAnalysis)
 	s.mux.HandleFunc("GET /analysis/{id}", s.handleAnalysis)
+	s.mux.HandleFunc("GET /v1/analysis/{id}/stream", s.handleAnalysisStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -164,12 +169,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleAnalysis serves a done job's perf-analyzer report. 404 covers
-// every absence uniformly: unknown job, not finished yet, or a config
-// that never enabled analysis — the error text distinguishes them.
+// handleAnalysis serves a done job's perf-analyzer report. Job IDs the
+// manager no longer retains (restart, retention pruning) resolve
+// through the durable journal to the cached result. 404 covers every
+// remaining absence uniformly: unknown job, not finished yet, or a
+// config that never enabled analysis — the error text distinguishes
+// them.
 func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	st, err := s.manager.Job(r.PathValue("id"))
 	if err != nil {
+		if rep, ok := s.manager.AnalysisByJobID(r.PathValue("id")); ok {
+			writeJSON(w, http.StatusOK, rep)
+			return
+		}
 		writeError(w, http.StatusNotFound, err)
 		return
 	}

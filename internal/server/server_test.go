@@ -283,6 +283,7 @@ func TestHTTPAcceptance(t *testing.T) {
 
 // sseEvent is one parsed Server-Sent Event frame.
 type sseEvent struct {
+	id    string
 	event string
 	data  string
 }
@@ -300,6 +301,8 @@ func readSSE(t *testing.T, r io.Reader) []sseEvent {
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			cur.event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -385,8 +388,9 @@ func TestHTTPSSEStream(t *testing.T) {
 	pollDone(t, d, blocker.ID)
 }
 
-// TestHTTPSSETerminalJob streams a job that is already finished: one
-// terminal snapshot, then done.
+// TestHTTPSSETerminalJob streams a job that is already finished: the
+// full lifecycle replays from the event history (ids 1, 2, 3, ...),
+// ending in the terminal status with result, then done.
 func TestHTTPSSETerminalJob(t *testing.T) {
 	d := startDaemon(t, "", 2, 16)
 	id := submitHTTP(t, d, JobSpec{Config: tinyCfg(77)})[0].ID
@@ -398,17 +402,33 @@ func TestHTTPSSETerminalJob(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	events := readSSE(t, resp.Body)
-	// Exactly one status frame (the terminal snapshot, result
-	// included) then done — the final state must not be sent twice.
-	if len(events) != 2 || events[0].event != "status" || events[1].event != "done" {
-		t.Fatalf("terminal stream = %+v, want one status frame then done", events)
+	if len(events) < 2 || events[len(events)-1].event != "done" {
+		t.Fatalf("terminal stream = %+v, want status history then done", events)
+	}
+	for i, ev := range events[:len(events)-1] {
+		if ev.event != "status" || ev.id != fmt.Sprint(i+1) {
+			t.Fatalf("frame %d = %s id %q, want status id %d", i, ev.event, ev.id, i+1)
+		}
 	}
 	var st JobStatus
-	if err := json.Unmarshal([]byte(events[0].data), &st); err != nil {
+	if err := json.Unmarshal([]byte(events[len(events)-2].data), &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.State != StateDone || st.Result == nil {
-		t.Errorf("terminal snapshot = %s (result %v), want done with result", st.State, st.Result != nil)
+		t.Errorf("final replayed status = %s (result %v), want done with result", st.State, st.Result != nil)
+	}
+
+	// Resuming past the history replays nothing: just the done frame.
+	req, _ := http.NewRequest(http.MethodGet, d.url("/v1/jobs/"+id+"/events"), nil)
+	req.Header.Set("Last-Event-ID", events[len(events)-2].id)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail := readSSE(t, resp2.Body)
+	if len(tail) != 1 || tail[0].event != "done" {
+		t.Fatalf("resumed-past-end stream = %+v, want just done", tail)
 	}
 }
 

@@ -5,29 +5,54 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
-// Subscribe registers for a job's lifecycle events. It returns the
-// current status snapshot, a channel of subsequent statuses, and an
-// unsubscribe function. The channel is closed after the terminal event
-// (immediately when the job is already terminal). Slow consumers never
-// block the manager: events beyond the channel buffer are dropped, and
-// the SSE handler re-reads the final status after close so the
-// terminal state is always delivered.
-func (m *Manager) Subscribe(id string) (JobStatus, <-chan JobStatus, func(), error) {
+// jobEvent is one entry of a job's event history: a status snapshot
+// plus the sequence number SSE clients use as the Last-Event-ID resume
+// cursor. Sequences start at 1 with the submission snapshot and
+// increase by 1 per transition, so a reconnecting client replays
+// exactly the events it missed — no gaps, no duplicates.
+type jobEvent struct {
+	seq uint64
+	st  JobStatus
+}
+
+// recordEventLocked appends j's status st to its event history and
+// returns the stamped event. Callers hold m.mu.
+func (m *Manager) recordEventLocked(j *job, st JobStatus) jobEvent {
+	ev := jobEvent{seq: uint64(len(j.events)) + 1, st: st}
+	j.events = append(j.events, ev)
+	return ev
+}
+
+// Subscribe registers for a job's lifecycle events after sequence
+// afterSeq (0 replays everything). It returns the missed events, a
+// channel of subsequent ones, and an unsubscribe function. The channel
+// is closed after the terminal event (immediately when the job is
+// already terminal). Slow consumers never block the manager: events
+// beyond the channel buffer are dropped, and the SSE handler
+// resubscribes after close so the terminal state (and anything dropped
+// before it) is always delivered.
+func (m *Manager) Subscribe(id string, afterSeq uint64) ([]jobEvent, <-chan jobEvent, func(), error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return JobStatus{}, nil, nil, ErrUnknownJob
+		return nil, nil, nil, ErrUnknownJob
 	}
-	snap := m.statusLocked(j, true)
+	var replay []jobEvent
+	for _, ev := range j.events {
+		if ev.seq > afterSeq {
+			replay = append(replay, ev)
+		}
+	}
 	if j.state.Terminal() {
-		ch := make(chan JobStatus)
+		ch := make(chan jobEvent)
 		close(ch)
-		return snap, ch, func() {}, nil
+		return replay, ch, func() {}, nil
 	}
-	ch := make(chan JobStatus, 16)
+	ch := make(chan jobEvent, 16)
 	sub := j.nextSub
 	j.nextSub++
 	j.subs[sub] = ch
@@ -36,17 +61,18 @@ func (m *Manager) Subscribe(id string) (JobStatus, <-chan JobStatus, func(), err
 		defer m.mu.Unlock()
 		delete(j.subs, sub) // sends happen under mu, so no racing close
 	}
-	return snap, ch, cancel, nil
+	return replay, ch, cancel, nil
 }
 
-// notifyLocked fans j's current status out to its subscribers, closing
-// every channel when the state is terminal. Callers hold m.mu.
+// notifyLocked records j's current status in its event history and fans
+// it out to subscribers, closing every channel when the state is
+// terminal. Callers hold m.mu.
 func (m *Manager) notifyLocked(j *job) {
-	st := m.statusLocked(j, j.state.Terminal())
+	ev := m.recordEventLocked(j, m.statusLocked(j, j.state.Terminal()))
 	for _, ch := range j.subs {
 		select {
-		case ch <- st:
-		default: // slow consumer: drop; the close below still signals
+		case ch <- ev:
+		default: // slow consumer: drop; history replay covers the gap
 		}
 	}
 	if j.state.Terminal() {
@@ -64,11 +90,22 @@ func writeSSE(w io.Writer, event string, data []byte) error {
 	return err
 }
 
+// writeSSEID emits one Server-Sent Event frame carrying an event id,
+// the cursor browsers echo back in Last-Event-ID on reconnect.
+func writeSSEID(w io.Writer, id, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", id, event, data)
+	return err
+}
+
 // handleJobEvents streams a job's lifecycle over SSE: a status event
-// per transition (the current state first), then a final "done" event
-// once the job is terminal.
+// per transition (id: the event sequence), then a final "done" event
+// once the job is terminal. Last-Event-ID (or ?last_event_id=) resumes
+// after the given sequence, replaying missed transitions from the
+// job's event history.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	snap, ch, unsubscribe, err := s.manager.Subscribe(r.PathValue("id"))
+	id := r.PathValue("id")
+	last := lastEventID(r)
+	replay, ch, unsubscribe, err := s.manager.Subscribe(id, last)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -83,35 +120,41 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	send := func(event string, v any) bool {
-		blob, err := json.Marshal(v)
+	lastState := JobState("")
+	send := func(ev jobEvent) bool {
+		blob, err := json.Marshal(ev.st)
 		if err != nil {
 			return false
 		}
-		if err := writeSSE(w, event, blob); err != nil {
+		if err := writeSSEID(w, strconv.FormatUint(ev.seq, 10), "status", blob); err != nil {
 			return false
 		}
 		flusher.Flush()
+		last = ev.seq
+		lastState = ev.st.State
 		return true
 	}
-	if !send("status", snap) {
-		return
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
 	}
-	last := snap.State
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case st, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
-				// Channel closed on the terminal transition. If the
-				// terminal status was dropped (slow consumer) re-read
-				// and deliver the authoritative final state; when it
-				// already went out, don't repeat the full-result frame.
-				if !last.Terminal() {
-					if final, err := s.manager.Job(snap.ID); err == nil {
-						if !send("status", final) {
-							return
+				// Closed on the terminal transition. Replay anything a
+				// slow consumer dropped (including the terminal status
+				// itself) from the history, then signal completion.
+				if !lastState.Terminal() {
+					if missed, _, unsub, err := s.manager.Subscribe(id, last); err == nil {
+						unsub()
+						for _, ev := range missed {
+							if !send(ev) {
+								return
+							}
 						}
 					}
 				}
@@ -119,10 +162,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
-			if !send("status", st) {
+			if ev.seq <= last {
+				continue // already delivered via replay
+			}
+			if !send(ev) {
 				return
 			}
-			last = st.State
 		}
 	}
 }

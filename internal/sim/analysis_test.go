@@ -76,6 +76,55 @@ func TestAnalysisDoesNotPerturb(t *testing.T) {
 	}
 }
 
+// TestDifferentialStreamingAndPhases is the full-stack live-telemetry
+// guarantee: with a stream sink installed AND the phase profiler on,
+// (a) both engines still produce bit-identical results (phase profile
+// excluded — it is host wall-clock by design), and (b) for each engine,
+// replaying its streamed batches reconstructs its final report
+// byte-identically, including the phase epochs.
+func TestDifferentialStreamingAndPhases(t *testing.T) {
+	base := analysisOn(diffScale(DefaultConfig("lbm")))
+	base.Mechanism = ChargeCache
+	base.Analysis.PhaseProfile = true
+	base.Analysis.PhaseSamplePeriod = 4
+
+	run := func(stepper bool) (Result, []analysis.StreamBatch) {
+		cfg := base
+		ac := *base.Analysis
+		var batches []analysis.StreamBatch
+		ac.Stream = func(b analysis.StreamBatch) { batches = append(batches, b) }
+		cfg.Analysis = &ac
+		return runEngine(t, cfg, stepper), batches
+	}
+	evRes, evBatches := run(false)
+	stRes, stBatches := run(true)
+
+	if a, b := canonical(t, evRes), canonical(t, stRes); a != b {
+		t.Error("engines diverged with streaming and phase profiling enabled")
+	}
+	if evRes.Analysis.Phases == nil || evRes.Analysis.Phases.Calls[0] == 0 {
+		t.Error("phase profile missing or empty on the event engine")
+	}
+	for _, tc := range []struct {
+		name    string
+		res     Result
+		batches []analysis.StreamBatch
+	}{{"event", evRes, evBatches}, {"stepper", stRes, stBatches}} {
+		if len(tc.batches) < 2 {
+			t.Fatalf("%s: only %d stream batches", tc.name, len(tc.batches))
+		}
+		rec, err := analysis.ReconstructReport(tc.batches)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, _ := json.Marshal(tc.res.Analysis)
+		have, _ := json.Marshal(rec)
+		if string(want) != string(have) {
+			t.Errorf("%s: streamed reconstruction differs from final report", tc.name)
+		}
+	}
+}
+
 // TestAnalysisTotalsMatchStats cross-checks the probe totals against
 // the simulator's own counters, and the epoch sums against the totals
 // (the ring was sized to cover the whole run, so nothing may drop).
@@ -205,12 +254,27 @@ func TestAnalysisReportSerializes(t *testing.T) {
 	}
 }
 
-// TestAnalysisValidation rejects bad analysis configs through
-// sim.Config.Validate.
+// TestAnalysisValidation: out-of-range analysis sizing knobs are not
+// config errors — they normalize to documented defaults at collector
+// construction, so the full config still validates and runs.
 func TestAnalysisValidation(t *testing.T) {
 	cfg := DefaultConfig("lbm")
-	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: -5}
-	if err := cfg.Validate(); err == nil {
-		t.Error("negative EpochCycles passed sim config validation")
+	cfg.Analysis = &analysis.Config{Enabled: true, EpochCycles: -5, MaxEpochs: -2}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("negative analysis knobs should normalize, got validation error: %v", err)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Analysis == nil {
+		t.Fatal("no analysis report")
+	}
+	if res.Analysis.EpochCycles != analysis.DefaultEpochCycles || res.Analysis.MaxEpochs != analysis.DefaultMaxEpochs {
+		t.Errorf("report echoes %d/%d, want normalized defaults", res.Analysis.EpochCycles, res.Analysis.MaxEpochs)
 	}
 }

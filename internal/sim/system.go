@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/memctrl"
+	"repro/internal/prof"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -165,6 +166,12 @@ func New(cfg Config) (*System, error) {
 		s.collector = analysis.NewCollector(*cfg.Analysis, cfg.Channels,
 			spec.Geometry.Ranks, spec.Geometry.Banks)
 	}
+	// ptimer is nil unless Analysis.PhaseProfile was set; every hook
+	// site treats a nil timer as a single-branch no-op.
+	var ptimer *prof.Timer
+	if s.collector != nil {
+		ptimer = s.collector.PhaseTimer()
+	}
 
 	for ch := 0; ch < cfg.Channels; ch++ {
 		mech, err := s.buildMechanism(ch, model)
@@ -192,9 +199,13 @@ func New(cfg Config) (*System, error) {
 		if s.collector != nil {
 			mcfg.Probe = s.collector.Channel(ch)
 		}
+		mcfg.Profiler = ptimer
 		ctrl, err := memctrl.NewController(mcfg)
 		if err != nil {
 			return nil, err
+		}
+		if ptimer != nil {
+			ctrl.Channel().SetProfiler(ptimer)
 		}
 		if s.collector != nil {
 			probe := s.collector.Channel(ch)
@@ -209,9 +220,12 @@ func New(cfg Config) (*System, error) {
 		s.ctrls = append(s.ctrls, ctrl)
 	}
 
-	llc, err := cache.New(cfg.LLC, &memBackend{s: s})
+	llc, err := cache.New(cfg.LLC, &memBackend{s: s, timer: ptimer})
 	if err != nil {
 		return nil, err
+	}
+	if ptimer != nil {
+		llc.SetProfiler(ptimer, cfg.ClockRatio)
 	}
 	s.llc = llc
 
@@ -363,8 +377,9 @@ func (p *memPort) Store(addr uint64, coreID int) bool {
 // closure that forwards to the entry's per-use callback and then
 // returns the entry to the pool.
 type memBackend struct {
-	s    *System
-	free []*pooledReq
+	s     *System
+	free  []*pooledReq
+	timer *prof.Timer // nil unless phase profiling is on
 }
 
 // pooledReq is one recyclable request plus its per-use completion hook.
@@ -384,12 +399,19 @@ func (b *memBackend) get(kind memctrl.RequestKind, addr uint64, coord memctrl.Co
 	} else {
 		e = &pooledReq{}
 		entry := e
-		e.req.OnComplete = func(dram.Cycle) {
+		e.req.OnComplete = func(at dram.Cycle) {
+			var pt int64
+			if b.timer != nil {
+				pt = b.timer.Begin(prof.Callback)
+			}
 			if entry.onDone != nil {
 				entry.onDone()
 				entry.onDone = nil
 			}
 			b.free = append(b.free, entry)
+			if b.timer != nil {
+				b.timer.End(prof.Callback, pt, int64(at))
+			}
 		}
 	}
 	e.onDone = onDone

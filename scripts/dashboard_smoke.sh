@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Headless smoke test of the daemon's observability surface: boots a
+# scratch ccsimd, checks the embedded dashboard ships (with the live
+# EventSource wiring and the per-worker table), runs one phase-profiled
+# analysis job through ccsim -server, and drives the endpoints the
+# dashboard polls — /v1/analysis/{id}, its SSE stream, and /metrics
+# with the per-worker phase breakdown. No browser required; the
+# dashboard's script is syntax-checked with node when available.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-8397}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "dashboard-smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$TMP/ccsimd" ./cmd/ccsimd
+go build -o "$TMP/ccsim" ./cmd/ccsim
+
+"$TMP/ccsimd" -addr "127.0.0.1:${PORT}" -workers 2 \
+  -results "$TMP/results.json" >"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$TMP/daemon.log" >&2; fail "daemon died during startup"; }
+  sleep 0.1
+done
+curl -fsS "$BASE/readyz" >/dev/null || fail "daemon never became ready"
+
+# The dashboard page must ship with the live-telemetry wiring embedded.
+curl -fsS "$BASE/dashboard" >"$TMP/dashboard.html"
+grep -q '<title>ccsimd dashboard</title>' "$TMP/dashboard.html" || fail "dashboard page missing title"
+grep -q 'EventSource' "$TMP/dashboard.html" || fail "dashboard lacks the SSE live-sparkline wiring"
+grep -q 'id="workers"' "$TMP/dashboard.html" || fail "dashboard lacks the per-worker table"
+
+# Its script must at least parse.
+if command -v node >/dev/null 2>&1; then
+  sed -n '/<script>/,/<\/script>/p' "$TMP/dashboard.html" | sed '1d;$d' >"$TMP/dashboard.js"
+  node --check "$TMP/dashboard.js" || fail "dashboard script does not parse"
+fi
+
+# One phase-profiled analysis run through the daemon, via the CLI the
+# docs advertise.
+"$TMP/ccsim" -workloads lbm -mechanism chargecache \
+  -instructions 20000 -warmup 10000 \
+  -analysis -phase-profile -server "$BASE" >"$TMP/run.out" 2>&1 \
+  || { cat "$TMP/run.out" >&2; fail "ccsim -server run failed"; }
+grep -q 'phases (1 in' "$TMP/run.out" || fail "ccsim printed no phase table"
+
+id="$(curl -fsS "$BASE/v1/jobs" | grep -o '"id":"job-[0-9]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$id" ] || fail "no job visible on /v1/jobs"
+
+curl -fsS "$BASE/v1/analysis/$id" >"$TMP/analysis.json"
+grep -q '"Phases"' "$TMP/analysis.json" || fail "analysis report carries no phase profile"
+
+# The SSE stream a finished job replays: batches then a done frame.
+curl -fsS -N --max-time 10 "$BASE/v1/analysis/$id/stream" >"$TMP/stream.sse" || true
+grep -q '^event: ' "$TMP/stream.sse" || fail "analysis stream sent no frames"
+grep -q '^event: done' "$TMP/stream.sse" || fail "analysis stream never completed"
+
+# The per-worker phase breakdown the dashboard's workers table renders.
+curl -fsS "$BASE/metrics" >"$TMP/metrics.json"
+grep -q '"workers"' "$TMP/metrics.json" || fail "/metrics has no per-worker block"
+grep -q '"llc-lookup"' "$TMP/metrics.json" || fail "/metrics per-worker block has no phase attribution"
+
+kill "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "dashboard-smoke: OK"

@@ -25,9 +25,29 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch ./internal/analysis
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch ./internal/analysis ./internal/trace
 	$(GO) test -race ./internal/sim -run 'TestDifferential'
 	$(GO) test -race ./internal/memctrl ./internal/dram
+
+# fuzz-smoke runs a short coverage-guided fuzz session over the trace
+# reader (malformed lines, huge tokens, truncated files), pinning the
+# wrapped-error line attribution the daemon relies on when a 2 GB
+# trace has one bad line. Corpus finds land in internal/trace/testdata.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReader -fuzztime=20s -run '^$$' ./internal/trace
+
+# gateway-e2e runs the multi-tenant fault-injection suite headlessly
+# under the race detector: the 3-tenant / 3-daemon campaign with a peer
+# killed mid-flight, auth/429 storms, half-written SSE streams, and
+# journal corruption. On failure each test dumps its job journal and a
+# metrics snapshot into CCSIMD_FAULT_ARTIFACTS for upload.
+CCSIMD_FAULT_ARTIFACTS ?= $(CURDIR)/fault-artifacts
+.PHONY: gateway-e2e
+gateway-e2e:
+	CCSIMD_FAULT_ARTIFACTS=$(CCSIMD_FAULT_ARTIFACTS) $(GO) test -race -count=1 \
+		-run 'TestFleetFaultCampaign|TestGatewayAuthStorm|TestChaosClientStorms|TestSSETruncationHeals|TestJournalCorruptionRecovery|TestJournalProperty|TestMetricsTenantConcurrency' \
+		./internal/server
 
 # serve runs the simulation daemon locally with the version stamp.
 # Override flags with CCSIMD_FLAGS, e.g.

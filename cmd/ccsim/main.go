@@ -81,6 +81,7 @@ func main() {
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
 	serversList := flag.String("servers", "", "comma-separated ccsimd URLs: shard jobs across the fleet with capacity weighting and failover")
 	localSlots := flag.Int("local", 0, "in-process worker slots joining the -servers fleet (0 = none)")
+	token := flag.String("token", "", "bearer token for -server/-servers daemons with tenant auth (defaults to $CCSIM_TOKEN)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -151,6 +152,7 @@ func main() {
 		opts := dispatch.Options{
 			Endpoints:    dispatch.SplitEndpoints(*serversList),
 			LocalWorkers: *localSlots,
+			Token:        bearerToken(*token),
 		}
 		if *results != "" {
 			cache, cerr := ccsim.OpenSweepCache(*results)
@@ -188,7 +190,9 @@ func main() {
 		// jobs on the shared daemon instead of abandoning them.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		res, err = client.New(*serverURL).RunSweep(ctx, jobs, progress)
+		cli := client.New(*serverURL)
+		cli.Token = bearerToken(*token)
+		res, err = cli.RunSweep(ctx, jobs, progress)
 	default:
 		opts := ccsim.SweepOptions{Workers: *workers}
 		if *results != "" {
@@ -218,6 +222,16 @@ func main() {
 	for _, r := range res {
 		reportAnalysis(r)
 	}
+}
+
+// bearerToken resolves the daemon credential: the -token flag, falling
+// back to the CCSIM_TOKEN environment variable so credentials stay out
+// of shell history and process listings.
+func bearerToken(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	return os.Getenv("CCSIM_TOKEN")
 }
 
 // validateAnalysisFlags rejects explicitly-set non-positive analyzer

@@ -66,6 +66,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	retain := fs.Int("retain", 1024, "finished jobs kept queryable; older ones are evicted (results stay in the cache)")
 	results := fs.String("results", "ccsimd-results.json", "persistent JSON result cache; empty disables persistence")
 	peers := fs.String("peers", "", "comma-separated peer ccsimd URLs: this daemon fronts them, dispatching queued jobs to their worker pools")
+	peerToken := fs.String("peer-token", "", "bearer token sent to -peers daemons (defaults to $CCSIMD_PEER_TOKEN)")
+	tenants := fs.String("tenants", "", "tenant registry JSON file ({\"tenants\":[{\"name\":...,\"token\":...,\"weight\":...,...}]}); enables bearer-token auth, per-tenant quotas and fair-share scheduling")
+	hotResults := fs.Int("hot-results", 0, "hot in-memory LRU entries fronting the result cache (0 = 256)")
 	traceRoot := fs.String("trace-root", "", "advertise DIR as a trace directory shared with clients: trace-file configs under it are accepted")
 	grace := fs.Duration("grace", time.Minute, "graceful-shutdown budget for draining running jobs")
 	showVersion := fs.Bool("version", false, "print version and exit")
@@ -85,9 +88,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Tenant registry: -tenants file plus CCSIMD_TENANT_TOKENS
+	// ("name=token,name=token") overrides/additions, so quotas can live
+	// in a checked-in file and credentials in the environment. Both
+	// empty: open mode, the pre-gateway behavior.
+	registry, err := server.LoadRegistry(*tenants, os.Getenv("CCSIMD_TENANT_TOKENS"))
+	if err != nil {
+		fmt.Fprintf(stderr, "ccsimd: %v\n", err)
+		return 1
+	}
+	if registry != nil {
+		fmt.Fprintf(stderr, "ccsimd: tenant registry: %d tenant(s), bearer auth required on /v1\n", len(registry.TenantNames()))
+	}
+
+	if *peerToken == "" {
+		*peerToken = os.Getenv("CCSIMD_PEER_TOKEN")
+	}
 	var remotes []server.Remote
 	for _, p := range dispatch.SplitEndpoints(*peers) {
 		peer := client.New(p)
+		peer.Token = *peerToken
 		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		h, err := peer.Health(pctx)
 		cancel()
@@ -99,7 +119,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if slots < 1 {
 			slots = 1
 		}
-		remotes = append(remotes, client.NewPeer(p, slots))
+		pr := client.NewPeer(p, slots)
+		pr.Token = *peerToken
+		remotes = append(remotes, pr)
 		fmt.Fprintf(stderr, "ccsimd: peer %s: %d slot(s), version %s\n", peer.Base(), slots, h.Version)
 	}
 	if *workers == server.NoLocalWorkers && len(remotes) == 0 {
@@ -137,6 +159,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Cache:      cache,
 		Retention:  *retain,
 		Remotes:    remotes,
+		Tenants:    registry,
+		HotResults: *hotResults,
 		TraceRoot:  root,
 	})
 	httpSrv := &http.Server{Handler: server.New(manager)}

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/url"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,10 +36,24 @@ type Client struct {
 	// (default 250ms).
 	PollInterval time.Duration
 
+	// Token, when set, is sent as a bearer credential (Authorization:
+	// Bearer <token>) on every request — required against daemons with a
+	// tenant registry (ccsimd -tenants).
+	Token string
+
 	// rootMu guards the lazily probed trace-root advertisement.
 	rootMu    sync.Mutex
 	root      string
 	rootKnown bool
+}
+
+// SetTransport replaces the underlying HTTP transport of both the
+// request and streaming clients. Test support: fault-injection
+// harnesses wrap the default transport to drop, stall, or corrupt
+// traffic at the wire level.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.http.Transport = rt
+	c.stream.Transport = rt
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -246,6 +261,9 @@ func (c *Client) streamAnalysisOnce(ctx context.Context, id string, last *uint64
 		return false, false, fmt.Errorf("client: building stream request: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 	if *last > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprint(*last))
 	}
@@ -255,16 +273,7 @@ func (c *Client) streamAnalysisOnce(ctx context.Context, id string, last *uint64
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Status: resp.StatusCode}
-		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
-			apiErr.Message = e.Error
-		} else {
-			apiErr.Message = strings.TrimSpace(string(blob))
-		}
+		apiErr := decodeAPIError(resp)
 		return false, false, fmt.Errorf("client: analysis stream %s: %w", id, apiErr)
 	}
 
@@ -364,10 +373,10 @@ func (c *Client) RunJob(ctx context.Context, spec server.JobSpec) (server.JobSta
 		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
 			return server.JobStatus{}, err
 		}
-		select { // queue full: wait for capacity
+		select { // queue full or rate-limited: wait for capacity/tokens
 		case <-ctx.Done():
 			return server.JobStatus{}, ctx.Err()
-		case <-time.After(c.pollInterval()):
+		case <-time.After(c.backoff(err)):
 		}
 	}
 
@@ -487,14 +496,17 @@ func (c *Client) RunSweep(ctx context.Context, jobs []sweep.Job, progress func(s
 		if err != nil {
 			var apiErr *APIError
 			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
-				if size > 1 {
-					chunk = size / 2 // batch may exceed the queue: shrink
+				// A Retry-After hint means a rate limit, which shrinking
+				// cannot fix — only waiting can. Without one the queue is
+				// full: shrink the batch first, then wait for capacity.
+				if apiErr.RetryAfter == 0 && size > 1 {
+					chunk = size / 2
 					continue
 				}
-				select { // queue genuinely full: wait for capacity
+				select {
 				case <-ctx.Done():
 					return abort(-1, ctx.Err())
-				case <-time.After(c.pollInterval()):
+				case <-time.After(c.backoff(err)):
 				}
 				continue
 			}
@@ -642,23 +654,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		apiErr := &APIError{Status: resp.StatusCode}
-		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
-			apiErr.Message = e.Error
-		} else {
-			apiErr.Message = strings.TrimSpace(string(blob))
-		}
-		return fmt.Errorf("client: %s %s: %w", method, path, apiErr)
+		return fmt.Errorf("client: %s %s: %w", method, path, decodeAPIError(resp))
 	}
 	if out == nil {
 		return nil
@@ -673,9 +678,45 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the daemon's Retry-After hint on 429 responses
+	// (zero when absent): how long the tenant's token bucket needs to
+	// admit one more submission.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Message)
+}
+
+// decodeAPIError reads a non-2xx response into an *APIError, decoding
+// the {"error": ...} body and the Retry-After header when present.
+func decodeAPIError(resp *http.Response) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode}
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		apiErr.Message = e.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(blob))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// backoff picks the wait before retrying after err: the poll interval,
+// or the daemon's Retry-After hint when it asks for longer.
+func (c *Client) backoff(err error) time.Duration {
+	d := c.pollInterval()
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
 }

@@ -1,0 +1,181 @@
+// Package clienttest provides fault-injection support for testing the
+// ccsimd client/server stack: a ChaosTransport that wraps any
+// http.RoundTripper and deterministically drops connections, stalls
+// responses, truncates bodies mid-stream, or synthesizes status storms
+// (401/403/429) at the wire level — the failure modes a fleet client
+// must absorb without corrupting results.
+package clienttest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one fault to inject. The first matching rule with remaining
+// applications wins; exactly one of the fault fields should be set.
+type Rule struct {
+	// Name labels the rule in the injection counters.
+	Name string
+	// Match selects requests the rule applies to (nil matches all).
+	Match func(r *http.Request) bool
+	// Times bounds how often the rule fires (0 = unlimited).
+	Times int
+
+	// Drop fails the round trip outright, as if the connection died
+	// before a response arrived.
+	Drop bool
+	// Stall delays the round trip before forwarding. The request's
+	// context is honored, so a canceled caller is not held hostage.
+	Stall time.Duration
+	// TruncateBody forwards the request but cuts the response body
+	// after N bytes, simulating a half-written response/SSE stream
+	// followed by a dropped connection.
+	TruncateBody int64
+	// Status synthesizes a response with this code (plus Header/Body)
+	// without forwarding anything — 401/403/429 storms.
+	Status int
+	// Header decorates a synthesized Status response (e.g. Retry-After).
+	Header http.Header
+	// Body is the synthesized Status response body.
+	Body string
+
+	hits int
+}
+
+// ChaosTransport injects Rules into requests before delegating to Base.
+// Safe for concurrent use; rule application order and counts are
+// deterministic per matching request sequence.
+type ChaosTransport struct {
+	// Base handles non-faulted traffic (http.DefaultTransport when nil).
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+	count map[string]int
+}
+
+// NewChaosTransport wraps base (nil = http.DefaultTransport).
+func NewChaosTransport(base http.RoundTripper) *ChaosTransport {
+	return &ChaosTransport{Base: base, count: map[string]int{}}
+}
+
+// Add registers a rule. Rules are consulted in registration order.
+func (t *ChaosTransport) Add(r Rule) *ChaosTransport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, &r)
+	return t
+}
+
+// Clear removes every rule, keeping the injection counters.
+func (t *ChaosTransport) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = nil
+}
+
+// Injected returns how many times each named rule fired.
+func (t *ChaosTransport) Injected() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.count))
+	for k, v := range t.count {
+		out[k] = v
+	}
+	return out
+}
+
+// pick selects and consumes the first applicable rule for r.
+func (t *ChaosTransport) pick(r *http.Request) *Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rule := range t.rules {
+		if rule.Times > 0 && rule.hits >= rule.Times {
+			continue
+		}
+		if rule.Match != nil && !rule.Match(r) {
+			continue
+		}
+		rule.hits++
+		t.count[rule.Name]++
+		return rule
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	rule := t.pick(r)
+	if rule == nil {
+		return base.RoundTrip(r)
+	}
+	switch {
+	case rule.Drop:
+		return nil, fmt.Errorf("chaos(%s): connection dropped", rule.Name)
+	case rule.Status != 0:
+		resp := &http.Response{
+			StatusCode: rule.Status,
+			Status:     fmt.Sprintf("%d %s", rule.Status, http.StatusText(rule.Status)),
+			Proto:      r.Proto,
+			ProtoMajor: r.ProtoMajor,
+			ProtoMinor: r.ProtoMinor,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(rule.Body)),
+			Request:    r,
+		}
+		for k, vs := range rule.Header {
+			for _, v := range vs {
+				resp.Header.Add(k, v)
+			}
+		}
+		return resp, nil
+	case rule.Stall > 0:
+		select {
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		case <-time.After(rule.Stall):
+		}
+		return base.RoundTrip(r)
+	case rule.TruncateBody > 0:
+		resp, err := base.RoundTrip(r)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: rule.TruncateBody, name: rule.Name}
+		return resp, nil
+	default:
+		return base.RoundTrip(r)
+	}
+}
+
+// truncatedBody delivers the first remaining bytes of the wrapped body,
+// then fails like a connection cut mid-response.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+	name      string
+}
+
+// Read implements io.Reader.
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("chaos(%s): connection cut mid-body: %w", b.name, io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+// Close implements io.Closer.
+func (b *truncatedBody) Close() error { return b.rc.Close() }

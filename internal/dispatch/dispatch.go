@@ -72,6 +72,10 @@ type Options struct {
 	// clamp), for sharing a fleet politely.
 	MaxPerEndpoint int
 
+	// Token is the bearer credential sent to every endpoint — required
+	// against daemons with a tenant registry (ccsimd -tenants).
+	Token string
+
 	// Stats, when non-nil, is filled with campaign totals before Run
 	// returns.
 	Stats *Stats
@@ -251,6 +255,7 @@ func probe(ctx context.Context, opts Options) ([]*worker, []error) {
 		go func(i int, ep string) {
 			defer wg.Done()
 			cli := client.New(ep)
+			cli.Token = opts.Token
 			if opts.PollInterval > 0 {
 				cli.PollInterval = opts.PollInterval
 			}

@@ -33,6 +33,7 @@ type journalEntry struct {
 	ID         string    `json:"id"`
 	Key        string    `json:"key,omitempty"` // content address of the config
 	Label      string    `json:"label,omitempty"`
+	Tenant     string    `json:"tenant,omitempty"` // owning tenant ("" in open mode)
 	State      JobState  `json:"state"`
 	Worker     string    `json:"worker,omitempty"` // "local", "cache", or a peer name
 	FinishedAt time.Time `json:"finished_at"`

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// journalOracle is the in-memory model the property test checks the
+// real journal against: an ordered upsert map with oldest-first
+// eviction beyond limit — the semantics record() promises.
+type journalOracle struct {
+	limit int
+	byID  map[string]journalEntry
+	order []string
+}
+
+func newJournalOracle(limit int) *journalOracle {
+	return &journalOracle{limit: limit, byID: map[string]journalEntry{}}
+}
+
+func (o *journalOracle) record(entries ...journalEntry) {
+	for _, e := range entries {
+		if e.ID == "" {
+			continue
+		}
+		if _, dup := o.byID[e.ID]; !dup {
+			o.order = append(o.order, e.ID)
+		}
+		o.byID[e.ID] = e
+	}
+	if drop := len(o.order) - o.limit; o.limit > 0 && drop > 0 {
+		for _, id := range o.order[:drop] {
+			delete(o.byID, id)
+		}
+		o.order = append([]string(nil), o.order[drop:]...)
+	}
+}
+
+func (o *journalOracle) entries() []journalEntry {
+	out := make([]journalEntry, 0, len(o.order))
+	for _, id := range o.order {
+		out = append(out, o.byID[id])
+	}
+	return out
+}
+
+func (o *journalOracle) reset() {
+	o.byID = map[string]journalEntry{}
+	o.order = nil
+}
+
+// TestJournalProperty drives random append / upsert / restart /
+// corrupt-truncate sequences against the journal and an in-memory
+// oracle, asserting after every step that (1) the journal's view
+// matches the oracle exactly, (2) no journaled done-job maps to a key
+// missing from the "cache" (keys are registered before being recorded,
+// mirroring the manager's cache-write-then-journal ordering), and
+// (3) corruption is quarantined, never silently half-parsed.
+func TestJournalProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			path := filepath.Join(dir, "results.json.jobs")
+			limit := 1 + rng.Intn(12)
+
+			j := openJournal(path, limit)
+			oracle := newJournalOracle(limit)
+			cacheKeys := map[string]bool{} // stands in for sweep.Cache contents
+			nextID := 1
+
+			check := func(step int, op string) {
+				t.Helper()
+				got, want := j.entries(), oracle.entries()
+				if len(got) == 0 && len(want) == 0 {
+					// reflect.DeepEqual(nil, []journalEntry{}) is false;
+					// both empty is equal for our purposes.
+				} else if !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d (%s): journal diverged from oracle\n got: %+v\nwant: %+v", step, op, got, want)
+				}
+				for _, e := range got {
+					if e.State == StateDone && e.Key != "" && !cacheKeys[e.Key] {
+						t.Fatalf("step %d (%s): journal maps live job %s to missing cache key %s", step, op, e.ID, e.Key)
+					}
+				}
+				var wantMax uint64
+				for id := range oracle.byID {
+					var n uint64
+					if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > wantMax {
+						wantMax = n
+					}
+				}
+				if gotMax := j.maxID(); gotMax != wantMax {
+					t.Fatalf("step %d (%s): maxID = %d, oracle %d", step, op, gotMax, wantMax)
+				}
+			}
+
+			for step := 0; step < 120; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // append fresh entries (sometimes a batch)
+					n := 1 + rng.Intn(3)
+					batch := make([]journalEntry, 0, n)
+					for i := 0; i < n; i++ {
+						id := fmt.Sprintf("job-%d", nextID)
+						nextID++
+						e := journalEntry{
+							ID:         id,
+							State:      StateDone,
+							Worker:     "local",
+							Tenant:     []string{"", "alice", "bob"}[rng.Intn(3)],
+							FinishedAt: time.Unix(1700000000+int64(step), 0).UTC(),
+						}
+						switch rng.Intn(4) {
+						case 0:
+							e.State = StateFailed // failed jobs have no key
+						default:
+							e.Key = fmt.Sprintf("key-%d", rng.Intn(20))
+							cacheKeys[e.Key] = true // cache write precedes journaling
+						}
+						batch = append(batch, e)
+					}
+					j.record(batch...)
+					oracle.record(batch...)
+					check(step, "append")
+
+				case op < 7: // upsert an existing ID (terminal-state rewrite)
+					if len(oracle.order) == 0 {
+						continue
+					}
+					id := oracle.order[rng.Intn(len(oracle.order))]
+					e := oracle.byID[id]
+					e.State = StateCanceled
+					e.Key = ""
+					j.record(e)
+					oracle.record(e)
+					check(step, "upsert")
+
+				case op < 9: // restart: reload from disk
+					j = openJournal(path, limit)
+					check(step, "restart")
+
+				default: // corrupt: truncate or scribble, then restart
+					blob, err := os.ReadFile(path)
+					if err != nil {
+						continue // nothing persisted yet
+					}
+					os.Remove(path + ".corrupt")
+					if rng.Intn(2) == 0 && len(blob) > 1 {
+						blob = blob[:rng.Intn(len(blob))] // strict prefix
+					} else {
+						blob = append(blob, []byte("}{ not json")...)
+					}
+					if err := os.WriteFile(path, blob, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					j = openJournal(path, limit)
+					if _, err := os.Stat(path + ".corrupt"); err != nil {
+						t.Fatalf("step %d: corrupted journal not quarantined: %v", step, err)
+					}
+					if _, err := os.Stat(path); !os.IsNotExist(err) {
+						t.Fatalf("step %d: corrupted journal left in place (stat: %v)", step, err)
+					}
+					oracle.reset() // quarantine means a fresh, empty journal
+					check(step, "corrupt")
+				}
+			}
+		})
+	}
+}

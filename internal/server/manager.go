@@ -10,11 +10,17 @@
 //     beyond that submissions are rejected (ErrQueueFull), never
 //     silently buffered,
 //   - singleflight deduplication: identical configs (same sweep.Key)
-//     submitted concurrently by any number of clients run exactly one
-//     simulation, and every subscriber receives that one result,
+//     submitted concurrently by any number of clients — or tenants —
+//     run exactly one simulation, and every subscriber receives that
+//     one result,
 //   - content-addressed persistence: completed results land in the
-//     sweep.Cache, so a restarted daemon serves previously computed
-//     configs instantly and GET /v1/results/{key} works across runs,
+//     sweep.Cache (fronted by a hot in-memory LRU, see store.go), so a
+//     restarted daemon serves previously computed configs instantly
+//     and GET /v1/results/{key} works across runs,
+//   - multi-tenant fairness: with a tenant Registry configured,
+//     staging is weighted fair-share across tenants (schedq.go) with
+//     per-tenant queue/concurrency quotas; without one the manager
+//     degenerates to the original single-FIFO behavior exactly,
 //   - graceful shutdown: Drain stops intake, cancels still-queued
 //     jobs, and waits for running simulations to finish.
 package server
@@ -63,6 +69,13 @@ func (s JobState) Terminal() bool {
 type JobSpec struct {
 	Label  string     `json:"label,omitempty"`
 	Config sim.Config `json:"config"`
+	// Tenant attributes the job to a tenant other than the submitting
+	// principal. Honored only in open mode (no registry) or when the
+	// authenticated caller is a Gateway tenant — the mechanism by which
+	// a fleet front forwards the original caller's identity to its
+	// peers, keeping fleet-wide quotas and attribution correct.
+	// Excluded from sweep.Key: attribution never changes cache keys.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobStatus is the wire representation of one job's state. Result is
@@ -71,6 +84,7 @@ type JobSpec struct {
 type JobStatus struct {
 	ID          string      `json:"id"`
 	Label       string      `json:"label,omitempty"`
+	Tenant      string      `json:"tenant,omitempty"` // owning tenant ("" in open mode)
 	Key         string      `json:"key,omitempty"` // content address of the config
 	State       JobState    `json:"state"`
 	Cached      bool        `json:"cached,omitempty"`  // served from the persistent cache
@@ -88,6 +102,7 @@ type JobStatus struct {
 type job struct {
 	id          string
 	label       string
+	tenant      string // owning tenant name ("" = anonymous/open mode)
 	key         string
 	state       JobState
 	flight      *flight
@@ -117,6 +132,16 @@ type flight struct {
 	state  JobState // queued or running
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// tenant is the owner for scheduling and quota accounting: the
+	// tenant whose submission created the flight (attached tenants ride
+	// along without consuming their own concurrency). priority is the
+	// highest Priority among attached tenants — preemption must never
+	// cancel a flight a high-priority tenant is waiting on. seq orders
+	// arrivals for newest-first preemption.
+	tenant   string
+	priority int
+	seq      uint64
 
 	// stream, set when the config enables analysis, fans the flight's
 	// live epoch batches out to SSE subscribers and retains the final
@@ -154,6 +179,17 @@ type ManagerConfig struct {
 	// when the peer becomes unreachable.
 	Remotes []Remote
 
+	// Tenants, when non-nil, turns the manager into a multi-tenant
+	// gateway: submissions are attributed to tenants, staged by
+	// weighted fair share with per-tenant quotas, and surfaced
+	// per-tenant on /metrics. Nil is "open mode": every submission is
+	// anonymous and scheduling degenerates to the original single FIFO.
+	Tenants *Registry
+
+	// HotResults sizes the hot in-memory LRU fronting the persistent
+	// cache (<= 0 means 256). Ignored without a Cache.
+	HotResults int
+
 	// TraceRoot, when non-empty, is advertised on /healthz as a shared
 	// trace directory: clients may submit trace-file configs whose
 	// absolute paths live under it, because this daemon sees the same
@@ -168,6 +204,11 @@ type ManagerConfig struct {
 // feeding the sweep engine.
 type Manager struct {
 	cache *sweep.Cache
+	// store fronts the cache with a hot LRU (nil without a cache); all
+	// manager-side result lookups go through it.
+	store *resultStore
+	// registry is the tenant table (nil = open mode).
+	registry *Registry
 	// journal durably maps job IDs to cache keys (<cache path>.jobs) so
 	// analysis lookups and fleet metrics survive restarts and retention
 	// pruning. Nil without a cache.
@@ -182,15 +223,42 @@ type Manager struct {
 	traceRoot string
 
 	mu       sync.Mutex
+	qcond    *sync.Cond // workers wait here for startable flights
 	jobs     map[string]*job
 	order    []string           // job IDs in submission order
 	flights  map[string]*flight // key -> in-flight execution
-	queue    chan *flight
+	sched    *schedQueue        // per-tenant staging queues (schedq.go)
+	qclosed  bool               // set by Drain; workers exit once the queue empties
 	draining bool
 	nextID   uint64
 	slots    int // live worker goroutines, local + remote; remote slots retire on peer loss
 
 	counters counters
+	tstats   map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's share of the job counters, the
+// per-tenant block of /metrics. Guarded by Manager.mu.
+type tenantCounters struct {
+	submitted     uint64
+	completed     uint64
+	failed        uint64
+	canceled      uint64
+	deduped       uint64
+	cacheHits     uint64
+	preempted     uint64 // queued jobs canceled by higher-priority submissions
+	quotaRejected uint64 // submissions rejected by MaxQueued/MaxConcurrent quotas
+}
+
+// tenantCountersLocked returns (allocating on first use) name's
+// counter block. Caller holds m.mu.
+func (m *Manager) tenantCountersLocked(name string) *tenantCounters {
+	tc := m.tstats[name]
+	if tc == nil {
+		tc = &tenantCounters{}
+		m.tstats[name] = tc
+	}
+	return tc
 }
 
 // NewManager starts cfg.Workers local worker goroutines plus Slots()
@@ -220,6 +288,8 @@ func NewManager(cfg ManagerConfig) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cache:     cfg.Cache,
+		store:     newResultStore(cfg.Cache, cfg.HotResults),
+		registry:  cfg.Tenants,
 		retention: retention,
 		workers:   workers,
 		traceRoot: cfg.TraceRoot,
@@ -227,8 +297,10 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cancel:    cancel,
 		jobs:      map[string]*job{},
 		flights:   map[string]*flight{},
-		queue:     make(chan *flight, depth),
+		sched:     newSchedQueue(depth),
+		tstats:    map[string]*tenantCounters{},
 	}
+	m.qcond = sync.NewCond(&m.mu)
 	if cfg.Cache != nil {
 		// The journal keeps a wider window than the job table: an entry is
 		// a one-line ID->key mapping, so retaining 8x the in-memory
@@ -291,6 +363,15 @@ func (m *Manager) replayJournal() {
 // Cache returns the manager's persistent result store (may be nil).
 func (m *Manager) Cache() *sweep.Cache { return m.cache }
 
+// Registry returns the tenant registry (nil in open mode).
+func (m *Manager) Registry() *Registry { return m.registry }
+
+// LookupResult resolves a content-address key through the tiered
+// result store (hot LRU, then the persistent cache).
+func (m *Manager) LookupResult(key string) (sim.Result, bool) {
+	return m.store.Lookup(key)
+}
+
 // Workers returns the local simulation concurrency, advertised on
 // /healthz so fleet dispatchers can weight assignment by capacity.
 func (m *Manager) Workers() int { return m.workers }
@@ -299,16 +380,27 @@ func (m *Manager) Workers() int { return m.workers }
 // daemon has none).
 func (m *Manager) TraceRoot() string { return m.traceRoot }
 
-// Submit validates and enqueues a batch of jobs atomically: either
-// every spec is accepted (each getting a job ID) or none is. Identical
-// configs — within the batch or against jobs already queued/running —
-// share one simulation; configs already in the persistent cache
-// complete immediately without queueing.
+// Submit validates and enqueues a batch of jobs as the anonymous
+// caller — the open-mode entry point, byte-identical to the
+// pre-gateway behavior when no registry is configured.
 func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
+	return m.SubmitAs(Tenant{}, specs)
+}
+
+// SubmitAs validates and enqueues a batch of jobs atomically on behalf
+// of caller: either every spec is accepted (each getting a job ID) or
+// none is. Identical configs — within the batch or against jobs
+// already queued/running, across tenants — share one simulation;
+// configs already in the result store complete immediately without
+// queueing. Batches that would push the owning tenant past MaxQueued
+// fail with a QuotaError; batches overflowing the shared queue either
+// preempt queued lower-priority flights or fail ErrQueueFull.
+func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("server: empty submission")
 	}
 	keys := make([]string, len(specs))
+	owners := make([]Tenant, len(specs))
 	for i, spec := range specs {
 		if err := spec.Config.Validate(); err != nil {
 			return nil, fmt.Errorf("server: job %d: %w", i, err)
@@ -321,6 +413,15 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 		}
 		// Uncacheable (custom-mechanism) configs cannot arrive over
 		// JSON, but guard anyway: they run as unique key-less flights.
+
+		// Resolve the owning tenant: the caller, unless the spec names
+		// another tenant and the caller may speak for it (fleet fronts
+		// forwarding the original submitter, or open mode).
+		name := caller.Name
+		if spec.Tenant != "" && (caller.Gateway || m.registry == nil) {
+			name = spec.Tenant
+		}
+		owners[i] = m.registry.Lookup(name)
 	}
 
 	// Journal writes do file I/O; this defer is registered before the
@@ -334,7 +435,8 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 	}
 
 	// Count the fresh flights this batch needs, so a batch that would
-	// overflow the queue is rejected before any job is created.
+	// overflow the queue (or a tenant quota) is rejected before any job
+	// is created.
 	type plan struct {
 		key    string
 		cached *sim.Result
@@ -343,38 +445,86 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 	plans := make([]plan, len(specs))
 	fresh := 0
 	batchFlights := map[string]bool{}
+	queuedAdd := map[string]int{} // per-tenant jobs this batch would queue
 	for i := range specs {
 		key := keys[i]
 		plans[i].key = key
 		if key != "" {
-			if m.cache != nil {
-				if res, ok := m.cache.Lookup(key); ok {
-					plans[i].cached = &res
-					continue
-				}
+			if res, ok := m.store.Lookup(key); ok {
+				plans[i].cached = &res
+				continue
 			}
 			if f, ok := m.flights[key]; ok {
 				plans[i].flight = f
+				if f.state == StateQueued {
+					queuedAdd[owners[i].Name]++
+				}
 				continue
 			}
 			if batchFlights[key] {
+				queuedAdd[owners[i].Name]++
 				continue // attaches to a flight created earlier in this batch
 			}
 			batchFlights[key] = true
 		}
 		fresh++
+		queuedAdd[owners[i].Name]++
 	}
-	if len(m.queue)+fresh > cap(m.queue) {
-		return nil, ErrQueueFull
+
+	// Per-tenant MaxQueued quota: the tenant's jobs already waiting plus
+	// what this batch would add must fit.
+	for name, add := range queuedAdd {
+		owner := m.registry.Lookup(name)
+		if owner.MaxQueued <= 0 {
+			continue
+		}
+		waiting := 0
+		for _, j := range m.jobs {
+			if j.tenant == name && j.state == StateQueued {
+				waiting++
+			}
+		}
+		if waiting+add > owner.MaxQueued {
+			m.tenantCountersLocked(name).quotaRejected++
+			return nil, &QuotaError{Tenant: name, Quota: "queued", Limit: owner.MaxQueued}
+		}
+	}
+
+	if m.sched.total+fresh > m.sched.capacity {
+		// A higher-priority submission may make room by preempting
+		// queued (never running) flights of strictly lower classes.
+		prio, hasFresh := 0, false
+		for i := range specs {
+			if plans[i].cached == nil && plans[i].flight == nil {
+				if p := owners[i].Priority; !hasFresh || p < prio {
+					prio, hasFresh = p, true
+				}
+			}
+		}
+		need := m.sched.total + fresh - m.sched.capacity
+		victims := m.sched.preemptible(need, prio)
+		if victims == nil {
+			return nil, ErrQueueFull
+		}
+		for _, v := range victims {
+			m.tenantCountersLocked(v.tenant).preempted++
+			for _, j := range v.jobs {
+				if !j.state.Terminal() {
+					m.cancelJobLocked(j, "preempted by a higher-priority submission")
+				}
+			}
+		}
 	}
 
 	now := time.Now()
 	statuses := make([]JobStatus, len(specs))
 	for i, spec := range specs {
+		owner := owners[i]
 		m.nextID++
 		j := &job{
 			id:          fmt.Sprintf("job-%06d", m.nextID),
 			label:       spec.Label,
+			tenant:      owner.Name,
 			key:         plans[i].key,
 			submittedAt: now,
 			subs:        map[int]chan jobEvent{},
@@ -382,6 +532,11 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		m.counters.submitted++
+		var tc *tenantCounters
+		if owner.Name != "" {
+			tc = m.tenantCountersLocked(owner.Name)
+			tc.submitted++
+		}
 
 		switch {
 		case plans[i].cached != nil:
@@ -391,6 +546,10 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			j.result = plans[i].cached
 			m.counters.completed++
 			m.counters.cacheHits++
+			if tc != nil {
+				tc.completed++
+				tc.cacheHits++
+			}
 			// The "cache" slot counts service, not production: the report
 			// was accumulated when the producing flight finished, so no
 			// analysis accumulate here.
@@ -398,28 +557,30 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			ws.flights++
 			ws.cacheHits++
 			recs = append(recs, journalEntry{
-				ID: j.id, Key: j.key, Label: j.label,
+				ID: j.id, Key: j.key, Label: j.label, Tenant: j.tenant,
 				State: StateDone, Worker: "cache", FinishedAt: now,
 			})
 		case plans[i].flight != nil:
-			m.attachLocked(j, plans[i].flight)
+			m.attachLocked(j, plans[i].flight, owner)
 		default:
 			var f *flight
 			if j.key != "" {
 				f = m.flights[j.key] // flight created earlier in this batch
 			}
 			if f != nil {
-				m.attachLocked(j, f)
+				m.attachLocked(j, f, owner)
 				break
 			}
 			fctx, fcancel := context.WithCancel(m.ctx)
 			f = &flight{
-				key:    j.key,
-				label:  spec.Label,
-				cfg:    spec.Config,
-				state:  StateQueued,
-				ctx:    fctx,
-				cancel: fcancel,
+				key:      j.key,
+				label:    spec.Label,
+				cfg:      spec.Config,
+				state:    StateQueued,
+				ctx:      fctx,
+				cancel:   fcancel,
+				tenant:   owner.Name,
+				priority: owner.Priority,
 			}
 			if ac := spec.Config.Analysis; ac != nil && ac.Enabled {
 				f.stream = newAnalysisBroker()
@@ -430,7 +591,8 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 			if f.key != "" {
 				m.flights[f.key] = f
 			}
-			m.queue <- f // capacity pre-checked above
+			m.sched.push(f, owner) // capacity pre-checked above
+			m.qcond.Broadcast()
 		}
 		// Seed the event history with the submission snapshot, so SSE
 		// subscribers can replay the full lifecycle from sequence 1.
@@ -442,8 +604,11 @@ func (m *Manager) Submit(specs []JobSpec) ([]JobStatus, error) {
 }
 
 // attachLocked joins j to an existing flight: it will complete with the
-// flight's result without a simulation of its own.
-func (m *Manager) attachLocked(j *job, f *flight) {
+// flight's result without a simulation of its own. The flight's
+// preemption shield rises to the highest attached priority, so a
+// higher-class tenant's deduped wait is never undone by a preemption
+// aimed at the flight's original owner.
+func (m *Manager) attachLocked(j *job, f *flight, owner Tenant) {
 	j.deduped = true
 	j.flight = f
 	j.state = f.state // queued or running
@@ -452,6 +617,12 @@ func (m *Manager) attachLocked(j *job, f *flight) {
 	}
 	f.jobs = append(f.jobs, j)
 	m.counters.deduped++
+	if owner.Name != "" {
+		m.tenantCountersLocked(owner.Name).deduped++
+	}
+	if owner.Priority > f.priority {
+		f.priority = owner.Priority
+	}
 }
 
 // Job returns the status of one job, result included when done.
@@ -510,6 +681,93 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	return st, nil
 }
 
+// canSeeLocked reports whether caller may observe (or act on) j: in
+// open mode everyone sees everything; with a registry, tenants see only
+// their own jobs while Gateway principals (fleet fronts, operators)
+// see all.
+func (m *Manager) canSeeLocked(caller Tenant, j *job) bool {
+	return m.registry == nil || caller.Gateway || j.tenant == caller.Name
+}
+
+// JobAs is Job scoped to caller's visibility; another tenant's job
+// reads as unknown, never leaking its existence.
+func (m *Manager) JobAs(caller Tenant, id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || !m.canSeeLocked(caller, j) {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return m.statusLocked(j, true), nil
+}
+
+// JobsAs is Jobs scoped to caller's visibility.
+func (m *Manager) JobsAs(caller Tenant) []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; m.canSeeLocked(caller, j) {
+			out = append(out, m.statusLocked(j, false))
+		}
+	}
+	return out
+}
+
+// JobsByIDAs is JobsByID scoped to caller's visibility; invisible IDs
+// are omitted exactly like unknown ones.
+func (m *Manager) JobsByIDAs(caller Tenant, ids []string) []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok && m.canSeeLocked(caller, j) {
+			out = append(out, m.statusLocked(j, false))
+		}
+	}
+	return out
+}
+
+// jobVisibleAs reports whether caller may reference job id, consulting
+// the live table then the durable journal (for evicted and pre-restart
+// IDs). Unknown IDs read as visible — the downstream lookup 404s
+// uniformly, so invisibility and nonexistence are indistinguishable.
+func (m *Manager) jobVisibleAs(caller Tenant, id string) bool {
+	if m.registry == nil || caller.Gateway {
+		return true
+	}
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		vis := j.tenant == caller.Name
+		m.mu.Unlock()
+		return vis
+	}
+	m.mu.Unlock()
+	if e, ok := m.journal.lookup(id); ok {
+		// Pre-gateway journal generations carry no tenant; their results
+		// were produced in open mode and stay readable.
+		return e.Tenant == "" || e.Tenant == caller.Name
+	}
+	return true
+}
+
+// CancelAs is Cancel scoped to caller's visibility.
+func (m *Manager) CancelAs(caller Tenant, id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || !m.canSeeLocked(caller, j) {
+		return JobStatus{}, ErrUnknownJob
+	}
+	if j.state.Terminal() {
+		return m.statusLocked(j, true), nil
+	}
+	m.cancelJobLocked(j, "canceled by client")
+	st := m.statusLocked(j, true)
+	m.pruneLocked()
+	return st, nil
+}
+
 // cancelJobLocked finalizes one job as canceled and, when it was the
 // last live subscriber of a still-queued flight, drops the flight from
 // the dedup index (so later identical submissions start fresh instead
@@ -522,6 +780,9 @@ func (m *Manager) cancelJobLocked(j *job, reason string) {
 	j.err = errors.New(reason)
 	j.finishedAt = time.Now()
 	m.counters.canceled++
+	if j.tenant != "" {
+		m.tenantCountersLocked(j.tenant).canceled++
+	}
 	m.notifyLocked(j)
 	if f := j.flight; f != nil && f.state == StateQueued {
 		live := false
@@ -534,41 +795,45 @@ func (m *Manager) cancelJobLocked(j *job, reason string) {
 		if !live {
 			f.state = StateCanceled
 			m.dropFlightLocked(f)
-			if !m.draining {
-				m.compactQueueLocked()
-			}
+			// Drop the dead flight from its subqueue so the slot frees
+			// immediately instead of tombstoning the bounded queue until
+			// a worker skips it.
+			m.sched.remove(f)
 		}
 	}
 }
 
-// compactQueueLocked rewrites the queue channel without its dead
-// flights, so canceled submissions free their slots immediately
-// instead of tombstoning the bounded queue until a worker skips them.
-// Safe under m.mu: every send happens under the mutex, and each
-// iteration re-adds at most what it removed, so the non-blocking
-// operations never fail spuriously.
-func (m *Manager) compactQueueLocked() {
-	for n := len(m.queue); n > 0; n-- {
-		select {
-		case f := <-m.queue:
-			if f.state != StateCanceled {
-				m.queue <- f
-			}
-		default:
-			return // a worker raced us to the remaining entries
+// nextFlight blocks until the scheduler has a startable flight,
+// returning ok=false once Drain closed the queue and nothing startable
+// remains. Picking accounts one running slot to the flight's tenant,
+// released by finishFlight (or startFlight when the flight is dead).
+func (m *Manager) nextFlight() (*flight, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if f := m.sched.pick(); f != nil {
+			return f, true
 		}
+		if m.qclosed {
+			return nil, false
+		}
+		m.qcond.Wait()
 	}
 }
 
-// worker pulls flights until the queue is closed by Drain.
+// worker picks flights until Drain closes the queue.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for f := range m.queue {
+	for {
+		f, ok := m.nextFlight()
+		if !ok {
+			return
+		}
 		m.runFlight(f)
 	}
 }
 
-// remoteWorker is one execution slot on a peer daemon: it pulls flights
+// remoteWorker is one execution slot on a peer daemon: it picks flights
 // like a local worker but ships them to r. When the peer becomes
 // unreachable the slot retires — the in-flight flight is handed back to
 // the queue (or executed locally when it cannot be), and if this was
@@ -576,7 +841,11 @@ func (m *Manager) worker() {
 // so queued flights are never orphaned.
 func (m *Manager) remoteWorker(r Remote) {
 	defer m.wg.Done()
-	for f := range m.queue {
+	for {
+		f, ok := m.nextFlight()
+		if !ok {
+			return
+		}
 		if !m.startFlight(f) {
 			continue
 		}
@@ -584,7 +853,11 @@ func (m *Manager) remoteWorker(r Remote) {
 			continue
 		}
 		if last := m.retireSlot(f); last {
-			for f := range m.queue {
+			for {
+				f, ok := m.nextFlight()
+				if !ok {
+					return
+				}
 				m.runFlight(f)
 			}
 		}
@@ -621,6 +894,8 @@ func (m *Manager) startFlight(f *flight) bool {
 			}
 		}
 		m.dropFlightLocked(f)
+		m.sched.release(f) // the pick's running slot, never used
+		m.qcond.Broadcast()
 		m.pruneLocked()
 		m.mu.Unlock()
 		return false
@@ -660,6 +935,12 @@ func (m *Manager) execFlightLocal(f *flight) {
 	var res sim.Result
 	if err == nil {
 		res = results[0]
+		if f.key != "" {
+			// sweep.Run already wrote the cold tier; promote into the
+			// hot LRU so local completions are served hot just like
+			// remote ones (store.Put on the peer path).
+			m.store.promote(f.key, res)
+		}
 	}
 	m.finishFlight(f, "local", res, ev.Elapsed, ev.Cached, false, err)
 }
@@ -669,7 +950,10 @@ func (m *Manager) execFlightLocal(f *flight) {
 // running and the caller must hand it back via retireSlot.
 func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 	start := time.Now()
-	st, err := r.Run(f.ctx, JobSpec{Label: f.label, Config: f.cfg})
+	// Forward the owning tenant so the peer attributes the work (and its
+	// fleet-wide dedup and quotas) to the original caller, not to this
+	// forwarding daemon.
+	st, err := r.Run(f.ctx, JobSpec{Label: f.label, Config: f.cfg, Tenant: f.tenant})
 	elapsed := time.Since(start)
 	var remoteErr *RemoteJobError
 	switch {
@@ -678,13 +962,15 @@ func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 			fmt.Errorf("server: peer %s finished job without a result", r.Name()))
 	case err == nil:
 		res := *st.Result
-		if m.cache != nil && f.key != "" {
-			// Land the peer's result in this daemon's persistent cache
-			// so restarts (and identical submissions) serve it locally,
-			// under the key computed at submission — never re-digested,
-			// so a trace rewritten mid-flight cannot fail a successful
-			// run (key-less flights skip caching, like the local path).
-			if perr := m.cache.PutKeyed(f.key, res); perr != nil {
+		if f.key != "" {
+			// Land the peer's result in this daemon's result store (hot
+			// tier + persistent cache) so restarts and identical
+			// submissions serve it locally, under the key computed at
+			// submission — never re-digested, so a trace rewritten
+			// mid-flight cannot fail a successful run (key-less flights
+			// skip caching, like the local path; cacheless managers have
+			// a nil store and skip it too).
+			if perr := m.store.Put(f.key, res); perr != nil {
 				m.finishFlight(f, r.Name(), sim.Result{}, elapsed, false, true, perr)
 				return true
 			}
@@ -719,23 +1005,22 @@ func (m *Manager) retireSlot(f *flight) (last bool) {
 	m.mu.Lock()
 	m.slots--
 	last = m.slots == 0
-	if !last && !m.draining {
-		select {
-		case m.queue <- f:
-			// Hand-back visible to pollers/SSE as running -> queued.
-			f.state = StateQueued
-			for _, j := range f.jobs {
-				if j.state == StateRunning {
-					j.state = StateQueued
-					m.notifyLocked(j)
-				}
+	if !last && !m.draining && m.sched.total < m.sched.capacity {
+		// Hand-back visible to pollers/SSE as running -> queued.
+		f.state = StateQueued
+		for _, j := range f.jobs {
+			if j.state == StateRunning {
+				j.state = StateQueued
+				m.notifyLocked(j)
 			}
-			m.counters.running--
-			m.counters.requeued++
-			m.mu.Unlock()
-			return last
-		default:
 		}
+		m.counters.running--
+		m.counters.requeued++
+		m.sched.release(f) // re-picked later, re-accounted then
+		m.sched.push(f, m.registry.Lookup(f.tenant))
+		m.qcond.Broadcast()
+		m.mu.Unlock()
+		return last
 	}
 	m.mu.Unlock()
 	m.execFlightLocal(f)
@@ -753,6 +1038,10 @@ func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed
 	m.mu.Lock()
 	m.counters.running--
 	m.dropFlightLocked(f)
+	m.sched.release(f)
+	// A finished flight frees capacity and (for capped tenants) a
+	// concurrency slot; wake waiting workers to re-pick.
+	m.qcond.Broadcast()
 	switch {
 	case err != nil:
 		for _, j := range f.jobs {
@@ -764,9 +1053,12 @@ func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed
 			j.finishedAt = time.Now()
 			j.elapsed = elapsed
 			m.counters.failed++
+			if j.tenant != "" {
+				m.tenantCountersLocked(j.tenant).failed++
+			}
 			m.notifyLocked(j)
 			recs = append(recs, journalEntry{
-				ID: j.id, Key: j.key, Label: j.label,
+				ID: j.id, Key: j.key, Label: j.label, Tenant: j.tenant,
 				State: StateFailed, Worker: worker, FinishedAt: j.finishedAt,
 			})
 		}
@@ -799,9 +1091,12 @@ func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed
 			j.elapsed = elapsed
 			j.result = &res
 			m.counters.completed++
+			if j.tenant != "" {
+				m.tenantCountersLocked(j.tenant).completed++
+			}
 			m.notifyLocked(j)
 			recs = append(recs, journalEntry{
-				ID: j.id, Key: j.key, Label: j.label,
+				ID: j.id, Key: j.key, Label: j.label, Tenant: j.tenant,
 				State: StateDone, Worker: worker, FinishedAt: done,
 			})
 		}
@@ -866,7 +1161,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 				m.cancelJobLocked(j, "server shutting down")
 			}
 		}
-		close(m.queue) // Submit holds mu and checks draining, so no racing send
+		// SubmitAs holds mu and checks draining, so no racing push;
+		// workers exit nextFlight once nothing startable remains.
+		m.qclosed = true
+		m.qcond.Broadcast()
 	}
 	m.mu.Unlock()
 
@@ -890,6 +1188,7 @@ func (m *Manager) statusLocked(j *job, withResult bool) JobStatus {
 	st := JobStatus{
 		ID:          j.id,
 		Label:       j.label,
+		Tenant:      j.tenant,
 		Key:         j.key,
 		State:       j.state,
 		Cached:      j.cached,

@@ -133,6 +133,37 @@ type Metrics struct {
 	// PhaseProfile; absent until a flight completes (or is replayed
 	// from the journal at startup).
 	Workers []WorkerMetrics `json:"workers,omitempty"`
+
+	// Tenants breaks jobs and quota state down per tenant: every
+	// registered tenant plus any tenant that has submitted. Absent in
+	// open mode with no attributed submissions.
+	Tenants []TenantMetrics `json:"tenants,omitempty"`
+
+	// ResultStore reports the tiered result store's hot-tier traffic;
+	// absent on cacheless daemons.
+	ResultStore *StoreMetrics `json:"result_store,omitempty"`
+}
+
+// TenantMetrics is one tenant's block of /metrics: live gauges (queued,
+// running, token bucket) plus lifetime counters.
+type TenantMetrics struct {
+	Name    string `json:"name"`
+	Queued  int    `json:"queued"`  // flights waiting in the tenant's subqueue
+	Running int    `json:"running"` // flights the scheduler picked and not yet finished
+
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed,omitempty"`
+	Canceled      uint64 `json:"canceled,omitempty"`
+	Deduped       uint64 `json:"deduped,omitempty"`
+	CacheHits     uint64 `json:"cache_hits,omitempty"`
+	Preempted     uint64 `json:"preempted,omitempty"`
+	QuotaRejected uint64 `json:"quota_rejected,omitempty"`
+	RateLimited   uint64 `json:"rate_limited,omitempty"`
+
+	// RateTokens is the live token-bucket level, present only for
+	// rate-limited tenants. Never negative.
+	RateTokens *float64 `json:"rate_tokens,omitempty"`
 }
 
 // PhaseMetrics is one profiled phase's share of a worker's wall clock.
@@ -158,8 +189,8 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Metrics{
-		QueueDepth:        len(m.queue),
-		QueueCapacity:     cap(m.queue),
+		QueueDepth:        m.sched.total,
+		QueueCapacity:     m.sched.capacity,
 		Running:           m.counters.running,
 		Draining:          m.draining,
 		JobsSubmitted:     m.counters.submitted,
@@ -227,6 +258,50 @@ func (m *Manager) Metrics() Metrics {
 			s.Workers = append(s.Workers, wm)
 		}
 	}
+	// Per-tenant blocks: the union of registered tenants and tenants
+	// that have submitted (gateway-forwarded names may not be registered).
+	tset := map[string]bool{}
+	for _, name := range m.registry.TenantNames() {
+		tset[name] = true
+	}
+	for name := range m.tstats {
+		tset[name] = true
+	}
+	if len(tset) > 0 {
+		names := make([]string, 0, len(tset))
+		for name := range tset {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tc := m.tstats[name]
+			if tc == nil {
+				tc = &tenantCounters{}
+			}
+			tm := TenantMetrics{
+				Name:          name,
+				Queued:        m.sched.queuedFor(name),
+				Running:       m.sched.runningFor(name),
+				Submitted:     tc.submitted,
+				Completed:     tc.completed,
+				Failed:        tc.failed,
+				Canceled:      tc.canceled,
+				Deduped:       tc.deduped,
+				CacheHits:     tc.cacheHits,
+				Preempted:     tc.preempted,
+				QuotaRejected: tc.quotaRejected,
+			}
+			if tokens, limited, ok := m.registry.bucketState(name); ok {
+				tm.RateLimited = limited
+				if t := m.registry.Lookup(name); t.RatePerSec > 0 {
+					lvl := tokens
+					tm.RateTokens = &lvl
+				}
+			}
+			s.Tenants = append(s.Tenants, tm)
+		}
+	}
+	s.ResultStore = m.store.metrics()
 	return s
 }
 

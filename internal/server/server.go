@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,19 +41,23 @@ type Server struct {
 	started time.Time
 }
 
-// New wires the API around m.
+// New wires the API around m. With a tenant Registry configured on the
+// manager, every /v1/* and /analysis/* route requires a bearer token
+// (Authorization: Bearer <token>); /healthz, /readyz, /metrics, and
+// /dashboard stay open for probes and operators. Without a registry the
+// auth layer is a no-op and the API behaves exactly as before.
 func New(m *Manager) *Server {
 	s := &Server{manager: m, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /v1/results", s.handleResultIndex)
-	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	s.mux.HandleFunc("GET /v1/analysis/{id}", s.handleAnalysis)
-	s.mux.HandleFunc("GET /analysis/{id}", s.handleAnalysis)
-	s.mux.HandleFunc("GET /v1/analysis/{id}/stream", s.handleAnalysisStream)
+	s.mux.HandleFunc("POST /v1/jobs", s.authed(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.authed(s.handleListJobs))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.authed(s.handleJob))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.authed(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.authed(s.handleJobEvents))
+	s.mux.HandleFunc("GET /v1/results", s.authed(s.handleResultIndex))
+	s.mux.HandleFunc("GET /v1/results/{key}", s.authed(s.handleResult))
+	s.mux.HandleFunc("GET /v1/analysis/{id}", s.authed(s.handleAnalysis))
+	s.mux.HandleFunc("GET /analysis/{id}", s.authed(s.handleAnalysis))
+	s.mux.HandleFunc("GET /v1/analysis/{id}/stream", s.authed(s.handleAnalysisStream))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -61,6 +68,35 @@ func New(m *Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// tenantKey carries the authenticated Tenant in the request context.
+type tenantKey struct{}
+
+// caller returns the authenticated tenant of an authed request (the
+// zero Tenant in open mode).
+func caller(r *http.Request) Tenant {
+	t, _ := r.Context().Value(tenantKey{}).(Tenant)
+	return t
+}
+
+// authed authenticates the request against the manager's tenant
+// registry before invoking h. Open mode (nil registry) passes everyone
+// through as the anonymous tenant.
+func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.manager.Registry().Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			if errors.Is(err, ErrUnauthenticated) {
+				w.Header().Set("WWW-Authenticate", "Bearer")
+				writeError(w, http.StatusUnauthorized, err)
+				return
+			}
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, t)))
+	}
 }
 
 // SubmitRequest is the POST /v1/jobs body: either a batch under
@@ -77,6 +113,15 @@ type SubmitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t := caller(r)
+	// Rate limit before reading the body: an over-rate tenant costs one
+	// token-bucket check, not a JSON decode. Each POST spends one token
+	// regardless of batch size — batching is the encouraged fast path.
+	if ok, retryAfter := s.manager.Registry().AllowSubmit(t.Name); !ok {
+		qe := &QuotaError{Tenant: t.Name, Quota: "rate", RetryAfter: retryAfter}
+		writeQuotaError(w, qe)
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -92,8 +137,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = []JobSpec{req.JobSpec}
 	}
-	statuses, err := s.manager.Submit(specs)
+	statuses, err := s.manager.SubmitAs(t, specs)
 	if err != nil {
+		var qe *QuotaError
+		if errors.As(err, &qe) {
+			writeQuotaError(w, qe)
+			return
+		}
 		writeError(w, submitStatus(err), err)
 		return
 	}
@@ -112,19 +162,33 @@ func submitStatus(err error) int {
 	}
 }
 
+// writeQuotaError answers 429 with a Retry-After header when the quota
+// knows how long the caller must back off (rate limits do; queue-state
+// quotas clear on job completion, which has no deadline).
+func writeQuotaError(w http.ResponseWriter, qe *QuotaError) {
+	if qe.RetryAfter > 0 {
+		secs := int(math.Ceil(qe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, http.StatusTooManyRequests, qe)
+}
+
 // handleListJobs returns all retained jobs, or — with ?ids=a,b,c —
 // only the named ones (unknown/evicted IDs are silently omitted, so
 // pollers can detect eviction as absence).
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("ids"); raw != "" {
-		writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.JobsByID(strings.Split(raw, ","))})
+		writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.JobsByIDAs(caller(r), strings.Split(raw, ","))})
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.Jobs()})
+	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: s.manager.JobsAs(caller(r))})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	st, err := s.manager.Job(r.PathValue("id"))
+	st, err := s.manager.JobAs(caller(r), r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -133,7 +197,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := s.manager.Cancel(r.PathValue("id"))
+	st, err := s.manager.CancelAs(caller(r), r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -156,12 +220,13 @@ func (s *Server) handleResultIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	cache := s.manager.Cache()
-	if cache == nil {
+	if s.manager.Cache() == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("server: no persistent result cache configured"))
 		return
 	}
-	res, ok := cache.Lookup(r.PathValue("key"))
+	// Content-address lookups go through the tiered store: repeated
+	// fetches of a campaign's working set are served from the hot LRU.
+	res, ok := s.manager.LookupResult(r.PathValue("key"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("server: no result for key %s", r.PathValue("key")))
 		return
@@ -176,11 +241,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // config that never enabled analysis — the error text distinguishes
 // them.
 func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
-	st, err := s.manager.Job(r.PathValue("id"))
+	st, err := s.manager.JobAs(caller(r), r.PathValue("id"))
 	if err != nil {
-		if rep, ok := s.manager.AnalysisByJobID(r.PathValue("id")); ok {
-			writeJSON(w, http.StatusOK, rep)
-			return
+		if s.manager.jobVisibleAs(caller(r), r.PathValue("id")) {
+			if rep, ok := s.manager.AnalysisByJobID(r.PathValue("id")); ok {
+				writeJSON(w, http.StatusOK, rep)
+				return
+			}
 		}
 		writeError(w, http.StatusNotFound, err)
 		return

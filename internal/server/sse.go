@@ -104,6 +104,10 @@ func writeSSEID(w io.Writer, id, event string, data []byte) error {
 // job's event history.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !s.manager.jobVisibleAs(caller(r), id) {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
 	last := lastEventID(r)
 	replay, ch, unsubscribe, err := s.manager.Subscribe(id, last)
 	if err != nil {

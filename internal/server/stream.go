@@ -243,6 +243,10 @@ func lastEventID(r *http.Request) uint64 {
 // job's final report byte-identically.
 func (s *Server) handleAnalysisStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !s.manager.jobVisibleAs(caller(r), id) {
+		writeError(w, http.StatusNotFound, ErrUnknownJob)
+		return
+	}
 	lastSeq := lastEventID(r)
 	sub, err := s.manager.SubscribeAnalysis(id, lastSeq)
 	if err != nil {

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// FuzzReader throws arbitrary bytes at the trace reader and pins its
+// error contract: it never panics, every parse failure is wrapped as
+// "trace: line N" with N pointing at the offending 1-indexed line
+// (comments and blanks counted, so the number matches an editor), an
+// over-long token surfaces bufio.ErrTooLong with a position instead of
+// naked, and accepted records round-trip bit-exactly through Writer.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte("4 0x1234\n0 0x88 0x90\n"))
+	f.Add([]byte("# comment\n\n7 512\n"))
+	f.Add([]byte("-1 0x10\n"))
+	f.Add([]byte("2 0xzz\n"))
+	f.Add([]byte("1 2 3 4\n"))
+	f.Add([]byte("9999999999999999999999 0x1\n"))
+	f.Add([]byte("1 0x10 0x20")) // truncated: no trailing newline
+	f.Add([]byte("\xff\xfe garbage \x00\n1 0x4\n"))
+	f.Add(bytes.Repeat([]byte("8"), 2<<20)) // one token past the 1 MiB line cap
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var recs []cpu.TraceRecord
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				msg := err.Error()
+				var line int
+				if _, serr := fmt.Sscanf(msg, "trace: line %d:", &line); serr != nil {
+					t.Fatalf("error without line attribution: %v", err)
+				}
+				lines := bytes.Count(data, []byte("\n")) + 1
+				if line < 1 || line > lines {
+					t.Fatalf("error names line %d of %d: %v", line, lines, err)
+				}
+				if errors.Is(err, bufio.ErrTooLong) && maxTokenLen(data) <= 1024*1024 {
+					// The scanner cap must never be blamed on inputs
+					// whose lines all fit within it.
+					t.Fatalf("ErrTooLong on input with max line %d: %v", maxTokenLen(data), err)
+				}
+				break
+			}
+			recs = append(recs, rec)
+		}
+
+		// Accepted records must survive a write/re-read round trip.
+		if len(recs) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-write: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-written trace: %v\ntrace:\n%s", err, buf.String())
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip lost records: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
+
+// maxTokenLen returns the longest newline-delimited line in data.
+func maxTokenLen(data []byte) int {
+	max := 0
+	for _, ln := range bytes.Split(data, []byte("\n")) {
+		if len(ln) > max {
+			max = len(ln)
+		}
+	}
+	return max
+}
+
+// TestReaderErrorLineNumbers pins exact line attribution for the
+// malformed inputs the fuzzer's seeds cover, so a refactor that
+// miscounts comment or blank lines fails loudly rather than only under
+// -fuzz.
+func TestReaderErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  int
+	}{
+		{"first line", "bogus\n", 1},
+		{"after valid", "1 0x10\n2 0x20\nnope nope nope nope\n", 3},
+		{"comments counted", "# header\n\n# more\n-3 0x10\n", 4},
+		{"bad writeback", "1 0x10\n1 0x10 zzz\n", 2},
+		{"huge bubbles", "18446744073709551616 0x1\n", 1},
+		{"truncated file", "1 0x10\n2", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadAll(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("malformed trace accepted")
+			}
+			want := fmt.Sprintf("trace: line %d:", tc.line)
+			if !strings.HasPrefix(err.Error(), want) {
+				t.Fatalf("error = %q, want prefix %q", err, want)
+			}
+		})
+	}
+
+	// The over-long-line path: a 2 MiB single-token "line" overflows the
+	// scanner's 1 MiB cap and must name the line after the last good one.
+	big := "1 0x10\n" + strings.Repeat("9", 2<<20)
+	_, err := ReadAll(strings.NewReader(big))
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("huge token error = %v, want bufio.ErrTooLong", err)
+	}
+	if !strings.HasPrefix(err.Error(), "trace: line 2:") {
+		t.Fatalf("huge token error = %q, want line 2 attribution", err)
+	}
+}

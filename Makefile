@@ -5,11 +5,11 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X repro/internal/version.Version=$(VERSION)"
 
-# ci is the tier-1 gate: build, vet, tests, and a race pass over the
-# packages that run simulations concurrently (the sweep engine, the
+# ci is the tier-1 gate: build, vet, lint, tests, and a race pass over
+# the packages that run simulations concurrently (the sweep engine, the
 # figure drivers, and the daemon's job manager).
 .PHONY: ci
-ci: build vet test race
+ci: build vet lint test race
 
 .PHONY: build
 build:
@@ -19,15 +19,41 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's own analyzer suite (cmd/ccsimlint: engine
+# determinism, sweep cache-key completeness, lock discipline, zero-alloc
+# hot paths) plus staticcheck. Both run here and in the CI lint job;
+# neither installs anything into the module.
+.PHONY: lint
+lint: ccsimlint staticcheck
+
+.PHONY: ccsimlint
+ccsimlint:
+	$(GO) run $(LDFLAGS) ./cmd/ccsimlint ./...
+
+# staticcheck is pinned and fetched by the Go toolchain at run time, so
+# go.mod stays dependency-free. Offline environments (no module proxy)
+# skip it with a warning — the CI lint job always runs it for real.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+.PHONY: staticcheck
+staticcheck:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck: $(STATICCHECK) not available (offline?); skipped — the CI lint job runs it"; \
+	fi
+
+# test shuffles test order so inter-test state dependencies surface
+# locally instead of only under CI's shuffled runs.
 .PHONY: test
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 .PHONY: race
 race:
 	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/server ./internal/client ./internal/dispatch ./internal/analysis ./internal/trace
 	$(GO) test -race ./internal/sim -run 'TestDifferential'
 	$(GO) test -race ./internal/memctrl ./internal/dram
+	$(GO) test -race ./internal/cache ./internal/core ./internal/cpu ./internal/prof
 
 # fuzz-smoke runs a short coverage-guided fuzz session over the trace
 # reader (malformed lines, huge tokens, truncated files), pinning the
@@ -100,11 +126,13 @@ bench-check: zero-alloc-check
 	$(GO) run $(LDFLAGS) ./cmd/benchrecord -out /tmp/BENCH_simcore.fresh.json -compare BENCH_simcore.json
 
 # zero-alloc-check runs the testing.AllocsPerRun gates for the probe
-# hooks at every layer: DRAM command issue, ChargeCache operations, and
-# the analysis collector's steady state.
+# hooks at every layer: DRAM command issue, ChargeCache operations, the
+# analysis collector's steady state, and the phase timer. The same
+# functions carry //ccsim:zeroalloc, so `make lint` rejects allocating
+# constructs in them at analysis time too.
 .PHONY: zero-alloc-check
 zero-alloc-check:
-	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/dram ./internal/core ./internal/analysis
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/dram ./internal/core ./internal/analysis ./internal/prof
 
 # dashboard-smoke boots a scratch daemon headlessly and checks the
 # whole observability surface end to end: the embedded page (and its

@@ -1,0 +1,117 @@
+// Command ccsimlint runs the project's static analyzers (internal/lint)
+// over Go package patterns and exits nonzero on findings. It is the
+// compile-time half of invariants the test suite checks at runtime:
+// engine determinism (detcore), sweep.Key cache-key completeness
+// (keyfield), no blocking I/O under mutexes (lockio), and zero-alloc
+// hot paths (hotalloc).
+//
+// Usage:
+//
+//	ccsimlint [-list] [-only detcore,keyfield] [packages...]
+//
+// With no packages, ./... is linted. Deliberate exceptions are
+// annotated in the source as //lint:allow <analyzer> <reason>; the run
+// honors them and prints how many it honored, so exceptions stay
+// visible instead of silently accumulating.
+//
+// The suite is wired as `make lint` and the CI lint job. It is built
+// on the standard library alone (the module has no external
+// dependencies), mirroring the golang.org/x/tools/go/analysis API so
+// the analyzers can move onto a multichecker vettool wholesale if the
+// dependency policy ever changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccsimlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "ccsimlint", version.Version)
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "ccsimlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	sum, err := lint.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccsimlint: %v\n", err)
+		return 2
+	}
+
+	for _, d := range sum.Diagnostics {
+		fmt.Fprintln(stdout, d.String())
+	}
+	reportSuppressions(stderr, sum)
+	if len(sum.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "ccsimlint: %d finding(s) in %d package(s)\n", len(sum.Diagnostics), sum.Packages)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ccsimlint: clean (%d packages)\n", sum.Packages)
+	return 0
+}
+
+// reportSuppressions prints honored //lint:allow counts per analyzer,
+// keeping deliberate exceptions visible on every run.
+func reportSuppressions(stderr io.Writer, sum lint.Summary) {
+	counts := sum.SuppressedByAnalyzer()
+	if len(counts) == 0 {
+		return
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, counts[name]))
+	}
+	fmt.Fprintf(stderr, "ccsimlint: honored suppressions: %s\n", strings.Join(parts, " "))
+}

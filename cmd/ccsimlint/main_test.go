@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"detcore", "keyfield", "lockio", "hotalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestOwnPackageIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "clean") {
+		t.Errorf("stderr missing clean verdict: %s", errOut.String())
+	}
+}

@@ -30,10 +30,12 @@ var (
 	_ core.MechProbe    = (*ChannelCollector)(nil)
 )
 
+//ccsim:zeroalloc
 func (cc *ChannelCollector) epoch(at dram.Cycle) uint64 {
 	return uint64(at) / cc.epochCycles
 }
 
+//ccsim:zeroalloc
 func (cc *ChannelCollector) bankAt(rank, bank int, e uint64) *BankEpoch {
 	return cc.bankRings[rank*cc.banks+bank].at(e)
 }
@@ -42,6 +44,8 @@ func (cc *ChannelCollector) bankAt(rank, bank int, e uint64) *BankEpoch {
 // bucketed by issue cycle (bit-identical between engines). fawStall is
 // nonzero only for ACTs held by a full tFAW window; fast marks a
 // lowered timing class.
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveCommand(cmd dram.Command, now, fawStall dram.Cycle, fast bool) {
 	e := cc.epoch(now)
 	cc.coll.noteEpoch(e)
@@ -74,6 +78,8 @@ func (cc *ChannelCollector) ObserveCommand(cmd dram.Command, now, fawStall dram.
 // ObserveEnqueue implements memctrl.Probe: a queue-depth sample per
 // request arrival (depths measured after the push), bucketed by the
 // arrival cycle.
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveEnqueue(coord memctrl.Coord, isRead bool, bankReads, bankWrites, reads, writes int, now dram.Cycle) {
 	ep := cc.epoch(now)
 	cc.coll.noteEpoch(ep)
@@ -106,6 +112,8 @@ func (cc *ChannelCollector) ObserveEnqueue(coord memctrl.Coord, isRead bool, ban
 // (the event engine defers pure sweeps); the per-request outcome and
 // arrival stamp do not — which is also why the stream protocol is
 // last-write-wins rather than epoch-sealed (see stream.go).
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveRowOutcome(coord memctrl.Coord, outcome memctrl.RowOutcome, arrive dram.Cycle) {
 	ep := cc.epoch(arrive)
 	cc.coll.noteEpoch(ep)
@@ -128,6 +136,8 @@ func (cc *ChannelCollector) ObserveRowOutcome(coord memctrl.Coord, outcome memct
 }
 
 // ObserveLookup implements core.MechProbe: one HCRAC lookup (per ACT).
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveLookup(key core.RowKey, hit bool, now dram.Cycle) {
 	ep := cc.epoch(now)
 	cc.coll.noteEpoch(ep)
@@ -142,6 +152,8 @@ func (cc *ChannelCollector) ObserveLookup(key core.RowKey, hit bool, now dram.Cy
 
 // ObserveInsert implements core.MechProbe: one HCRAC insert (per PRE);
 // evicted marks a capacity replacement.
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveInsert(key core.RowKey, evicted bool, now dram.Cycle) {
 	ep := cc.epoch(now)
 	cc.coll.noteEpoch(ep)
@@ -158,6 +170,8 @@ func (cc *ChannelCollector) ObserveInsert(key core.RowKey, evicted bool, now dra
 // bucketed at its nominal cycle — for the IIC/EC walk the rollover
 // cycle (a multiple of the invalidation interval, engine-invariant by
 // construction), for exact expiry the detecting lookup's cycle.
+//
+//ccsim:zeroalloc
 func (cc *ChannelCollector) ObserveExpiry(key core.RowKey, at dram.Cycle) {
 	ep := cc.epoch(at)
 	cc.coll.noteEpoch(ep)

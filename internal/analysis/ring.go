@@ -31,6 +31,7 @@ func newRing[T comparable](capacity int) ring[T] {
 	return ring[T]{buckets: make([]T, capacity)}
 }
 
+//ccsim:zeroalloc
 func (r *ring[T]) slot(i int) *T {
 	return &r.buckets[(r.head+i)%len(r.buckets)]
 }
@@ -41,6 +42,8 @@ func (r *ring[T]) trackDirty() {
 }
 
 // mark flags the slot holding logical index i as dirty.
+//
+//ccsim:zeroalloc
 func (r *ring[T]) mark(i int) {
 	if r.dirty == nil {
 		return
@@ -51,6 +54,8 @@ func (r *ring[T]) mark(i int) {
 
 // at returns the bucket for epoch, materializing it (zeroing any
 // intermediate epochs) and advancing the window when needed.
+//
+//ccsim:zeroalloc
 func (r *ring[T]) at(epoch uint64) *T {
 	var zero T
 	if !r.started {

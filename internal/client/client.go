@@ -89,6 +89,7 @@ func (c *Client) TraceRoot(ctx context.Context) (string, error) {
 	if c.rootKnown {
 		return c.root, nil
 	}
+	//lint:allow lockio single-flight probe: rootMu exists to let exactly one caller hit /healthz while the rest wait for the cached answer; nothing else ever takes it
 	h, err := c.Health(ctx)
 	if err != nil {
 		return "", err

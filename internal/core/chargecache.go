@@ -141,6 +141,8 @@ func (cc *ChargeCache) Config() ChargeCacheConfig { return cc.cfg }
 
 // OnActivate implements Mechanism: HCRAC lookup; a hit returns the
 // lowered timing class.
+//
+//ccsim:zeroalloc
 func (cc *ChargeCache) OnActivate(key RowKey, now, _ dram.Cycle) dram.TimingClass {
 	cc.stats.Lookups++
 	if cc.cfg.Unlimited {
@@ -196,6 +198,8 @@ func (cc *ChargeCache) OnActivate(key RowKey, now, _ dram.Cycle) dram.TimingClas
 
 // OnPrecharge implements Mechanism: the just-closed row is highly charged
 // (the activation restored it), so insert its address.
+//
+//ccsim:zeroalloc
 func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
 	cc.stats.Inserts++
 	if cc.cfg.Unlimited {
@@ -240,6 +244,8 @@ func (cc *ChargeCache) OnPrecharge(key RowKey, now dram.Cycle) {
 // with no lookups or inserts inside the gap, the deferred walk
 // invalidates exactly the entries an every-cycle walk would have (see
 // lazy_expiry_test.go).
+//
+//ccsim:zeroalloc
 func (cc *ChargeCache) Tick(now dram.Cycle) {
 	if cc.cfg.Unlimited || cc.cfg.Invalidation != PeriodicIICEC {
 		cc.lastTick = now

@@ -123,6 +123,8 @@ func (c *Channel) AllBanksPrecharged(rankID int) bool {
 // case is a bounded number of register comparisons: refresh busy is
 // folded into the rank registers at REF issue, and the tFAW window head
 // into the rank ACT register at ACT issue.
+//
+//ccsim:zeroalloc
 func (c *Channel) CanIssue(cmd Command, now Cycle) bool {
 	if cmd.Rank < 0 || cmd.Rank >= len(c.ranks) {
 		return false
@@ -179,6 +181,8 @@ func (c *Channel) busFreeFor(start Cycle, rankID int) bool {
 // callers must gate with CanIssue (an illegal issue is a controller bug,
 // not a runtime condition). Each case advances exactly the registers the
 // command's timing arcs constrain.
+//
+//ccsim:zeroalloc
 func (c *Channel) Issue(cmd Command, now Cycle) {
 	if !c.CanIssue(cmd, now) {
 		panic(fmt.Sprintf("dram: illegal %v at cycle %d", cmd, now))

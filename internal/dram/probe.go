@@ -23,6 +23,8 @@ func (c *Channel) SetProbe(p CommandProbe) { c.probe = p }
 
 // observe fires the command probe with the pre-apply stall attribution
 // for ACTs. Called from Issue before any register is advanced.
+//
+//ccsim:zeroalloc
 func (c *Channel) observe(cmd Command, now Cycle) {
 	var stall Cycle
 	fast := false

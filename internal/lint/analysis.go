@@ -1,0 +1,120 @@
+// Package lint is ccsimlint: a suite of project-specific static
+// analyzers that enforce the simulator's cross-cutting invariants at
+// build time instead of trusting runtime tests to catch violations
+// after they ship:
+//
+//   - detcore: the deterministic simulation core must stay free of
+//     nondeterminism sources (wall clock, unseeded randomness,
+//     goroutines, order-sensitive map iteration). The differential
+//     suite can only catch such bugs probabilistically; this rejects
+//     them structurally.
+//   - keyfield: every field reachable from sim.Config either feeds the
+//     sweep.Key content-address digest or carries an explicit
+//     exclusion tag plus a `// key:` comment justifying it, so a new
+//     config knob can never silently serve stale cached results.
+//   - lockio: calls that can block on I/O (file writes, network,
+//     subprocesses — including the journal and result-cache paths)
+//     must not run while a sync.Mutex acquired in the same function is
+//     held.
+//   - hotalloc: functions annotated `//ccsim:zeroalloc` (the DRAM
+//     command issue, ChargeCache op, probe-collector and phase-timer
+//     hot paths gated by `make zero-alloc-check`) must not contain
+//     constructs that heap-allocate, turning the runtime AllocsPerRun
+//     gates into compile-time diagnostics with precise positions.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer with a Run func over a Pass) but is built on the
+// standard library alone — the module has zero external dependencies
+// and keeps it that way. Type information for imports comes from
+// compiler export data via `go list -export` (see load.go), exactly how
+// gopls-less vet drivers work. Deliberate exceptions are annotated in
+// the source as `//lint:allow <analyzer> <reason>` and are honored and
+// counted by the driver (see suppress.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, mirroring the x/tools analysis.Analyzer
+// surface the project would use if external dependencies were allowed.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description, shown by `ccsimlint -list`.
+	Doc string
+
+	// Match, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. A nil Match runs everywhere.
+	Match func(pkgPath string) bool
+
+	// Run inspects one type-checked package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned for editors (path:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+
+	// origAnalyzer carries the real analyzer name while a suppressed
+	// diagnostic travels through the combined stream (see run.go).
+	origAnalyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, then line, then column, so
+// output is deterministic regardless of analyzer or package order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// All returns the full ccsimlint analyzer suite in presentation order.
+func All() []*Analyzer {
+	return []*Analyzer{DetCore, KeyField, LockIO, HotAlloc}
+}

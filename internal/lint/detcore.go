@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detCorePackages is the deterministic simulation core: every package
+// whose behaviour must be bit-identical between the event-driven engine
+// and the reference stepper (the differential suite's contract). The
+// server/dispatch/sweep layers above are inherently concurrent and
+// wall-clock-aware; they are deliberately out of scope.
+var detCorePackages = map[string]bool{
+	"repro/internal/sim":     true,
+	"repro/internal/dram":    true,
+	"repro/internal/memctrl": true,
+	"repro/internal/core":    true,
+	"repro/internal/cpu":     true,
+	"repro/internal/cache":   true,
+}
+
+// DetCore rejects nondeterminism sources in the deterministic core:
+//
+//   - wall-clock reads (time.Now / Since / Until): simulated time is the
+//     only clock the core may observe;
+//   - package-level math/rand functions, whose global source is seeded
+//     per-process — randomness must flow through an explicitly seeded
+//     *rand.Rand (or the project's own deterministic rng);
+//   - `go` statements: the core is single-goroutine by design, and a
+//     data race between engines is exactly the bug class the
+//     differential suite can only catch probabilistically;
+//   - ranging over a map unless every statement in the loop body is an
+//     order-insensitive sink: commutative accumulation (+=, -=, *=,
+//     |=, &=, ^=, ++, --), delete, or appending to a slice that is
+//     subsequently sorted in the same function.
+//
+// Deliberate exceptions carry //lint:allow detcore <reason>.
+var DetCore = &Analyzer{
+	Name:  "detcore",
+	Doc:   "forbid nondeterminism sources (wall clock, unseeded rand, goroutines, order-sensitive map iteration) in the deterministic simulation core",
+	Match: func(path string) bool { return detCorePackages[path] },
+	Run:   runDetCore,
+}
+
+// NewDetCore builds a detcore instance scoped to the given package
+// paths (the production instance is DetCore; tests scope it to their
+// fixture package).
+func NewDetCore(paths ...string) *Analyzer {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	a := *DetCore
+	a.Match = func(path string) bool { return set[path] }
+	return &a
+}
+
+func runDetCore(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			enclosing, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDetCall(pass, n)
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "go statement in the deterministic core; the simulation must stay single-goroutine (annotate deliberate exceptions with //lint:allow detcore <reason>)")
+				case *ast.RangeStmt:
+					checkMapRange(pass, n, enclosing)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// randConstructors are math/rand and math/rand/v2 package-level
+// functions that build a generator rather than draw from the global
+// source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+// checkDetCall flags wall-clock reads and global-source randomness.
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core; simulated cycles are the only clock the core may read", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on an explicitly constructed *rand.Rand carry a seeded
+		// source and are fine, as are the constructors that build one;
+		// the remaining package-level functions draw from the per-process
+		// global source.
+		if randConstructors[fn.Name()] {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			pass.Reportf(call.Pos(), "%s.%s uses the global random source; use an explicitly seeded *rand.Rand (or internal/workload's deterministic rng)", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags map iteration whose body is not provably
+// order-insensitive.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, enclosing *ast.FuncDecl) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	for _, stmt := range rng.Body.List {
+		if target, ok := orderInsensitive(pass, stmt); !ok {
+			pass.Reportf(stmt.Pos(), "map iteration feeds an order-sensitive sink; only commutative accumulation, delete, or append-then-sort are deterministic (annotate deliberate exceptions with //lint:allow detcore <reason>)")
+		} else if target != nil && !sortedAfter(pass, enclosing, rng, target) {
+			pass.Reportf(stmt.Pos(), "slice appended from map iteration is never sorted in this function; iteration order leaks into %s", target.Name())
+		}
+	}
+}
+
+// orderInsensitive reports whether stmt is an order-insensitive map-loop
+// sink. When the statement is an append-accumulation it returns the
+// slice variable, which the caller must verify is sorted afterwards.
+func orderInsensitive(pass *Pass, stmt ast.Stmt) (appendTarget *types.Var, ok bool) {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return nil, true
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return nil, true
+		case token.ASSIGN:
+			// s = append(s, ...) accumulation; order-insensitive only if
+			// the result is sorted before use (caller checks).
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if call, isCall := s.Rhs[0].(*ast.CallExpr); isCall && isBuiltin(pass, call, "append") {
+					if lhs, isIdent := s.Lhs[0].(*ast.Ident); isIdent && len(call.Args) > 0 {
+						if arg, isIdent2 := call.Args[0].(*ast.Ident); isIdent2 && arg.Name == lhs.Name {
+							if v, isVar := pass.Info.Uses[lhs].(*types.Var); isVar {
+								return v, true
+							}
+							if v, isVar := pass.Info.Defs[lhs].(*types.Var); isVar {
+								return v, true
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall && isBuiltin(pass, call, "delete") {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// sortedAfter reports whether v is passed to a sort.*/slices.Sort* call
+// somewhere after rng inside the enclosing function.
+func sortedAfter(pass *Pass, enclosing *ast.FuncDecl, rng *ast.RangeStmt, v *types.Var) bool {
+	if enclosing == nil || enclosing.Body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rng.End() {
+			return !sorted
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// calleeFunc resolves the *types.Func a call invokes (method or
+// package-level function), or nil for builtins, conversions, and calls
+// of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

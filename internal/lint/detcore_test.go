@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetCore(t *testing.T) {
+	res := linttest.Run(t, lint.NewDetCore("detcore"), "testdata/src/detcore")
+	if got := len(res.Suppressed); got != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //lint:allow'd go statement)", got)
+	}
+	if a := res.Suppressed[0].Analyzer; a != "detcore" {
+		t.Fatalf("suppressed analyzer = %q, want detcore", a)
+	}
+}
+
+// TestDetCoreScope checks that the production instance is pinned to the
+// deterministic core and nothing else: the server/sweep layers are
+// concurrent and wall-clock-aware by design.
+func TestDetCoreScope(t *testing.T) {
+	in := []string{
+		"repro/internal/sim", "repro/internal/dram", "repro/internal/memctrl",
+		"repro/internal/core", "repro/internal/cpu", "repro/internal/cache",
+	}
+	out := []string{
+		"repro/internal/server", "repro/internal/sweep", "repro/internal/dispatch",
+		"repro/internal/prof", "repro/cmd/ccsim",
+	}
+	for _, p := range in {
+		if !lint.DetCore.Match(p) {
+			t.Errorf("detcore should cover %s", p)
+		}
+	}
+	for _, p := range out {
+		if lint.DetCore.Match(p) {
+			t.Errorf("detcore should not cover %s", p)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// zeroAllocMarker annotates a function whose body must stay free of
+// heap-allocating constructs. The runtime side of the contract is
+// `make zero-alloc-check` (testing.AllocsPerRun over the DRAM command
+// issue, ChargeCache op, probe-collector and phase-timer paths); this
+// analyzer turns the same contract into compile-time diagnostics with
+// precise positions, so a violation is rejected before a benchmark
+// ever runs.
+const zeroAllocMarker = "//ccsim:zeroalloc"
+
+// HotAlloc checks every function annotated //ccsim:zeroalloc for
+// constructs that heap-allocate or are very likely to:
+//
+//   - make, new, and composite literals of slice/map/chan type;
+//   - &T{...} literals (the address forces the value to escape unless
+//     the compiler proves otherwise — on these paths we do not gamble);
+//   - function literals (closure environments allocate when they
+//     capture by reference);
+//   - fmt.* calls (interface boxing plus formatting state), except
+//     when the result feeds directly into panic — a path legal
+//     simulations never take;
+//   - append (growth reallocates; hot paths use preallocated rings);
+//   - explicit conversions to interface types (boxing).
+//
+// The check is intraprocedural by design: the AllocsPerRun gates cover
+// whole call trees at runtime, the analyzer pins the constructs at the
+// exact source position inside every annotated function. Deliberate
+// exceptions carry //lint:allow hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //ccsim:zeroalloc must not contain heap-allocating constructs (make/new, escaping composite literals, closures, fmt, append, interface boxing)",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasZeroAllocMarker(fd) {
+				continue
+			}
+			checkZeroAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasZeroAllocMarker reports whether the function's doc comment carries
+// the //ccsim:zeroalloc directive.
+func hasZeroAllocMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), zeroAllocMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkZeroAlloc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Subtrees that only execute on the way into a panic are exempt:
+	// the simulator treats them as assertion failures, not hot-path
+	// work (e.g. panic(fmt.Sprintf(...)) guarding an illegal command).
+	inPanic := panicArgRanges(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if inPanic(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is //ccsim:zeroalloc but contains a function literal; closures allocate their environment", name)
+			return false
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(cl.Pos(), "%s is //ccsim:zeroalloc but takes the address of a composite literal; it escapes to the heap", name)
+				return false
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Reportf(n.Pos(), "%s is //ccsim:zeroalloc but builds a %s literal; it allocates backing storage", name, describeComposite(t))
+				}
+			}
+		case *ast.CallExpr:
+			checkZeroAllocCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func describeComposite(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return t.String()
+}
+
+func checkZeroAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	name := fd.Name.Name
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is //ccsim:zeroalloc but calls %s; it allocates", name, id.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "%s is //ccsim:zeroalloc but calls append; growth reallocates — use a preallocated buffer or ring", name)
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is //ccsim:zeroalloc but calls fmt.%s; formatting boxes its arguments and allocates", name, fn.Name())
+		return
+	}
+
+	// Explicit conversion to an interface type boxes the operand.
+	if len(call.Args) == 1 {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+				if argT := pass.Info.TypeOf(call.Args[0]); argT != nil {
+					if _, already := argT.Underlying().(*types.Interface); !already {
+						pass.Reportf(call.Pos(), "%s is //ccsim:zeroalloc but converts %s to interface %s; boxing allocates", name, argT, tv.Type)
+					}
+				}
+			}
+		}
+	}
+}
+
+// panicArgRanges returns a predicate reporting whether a node lies
+// inside the argument list of a panic call in fd.
+func panicArgRanges(pass *Pass, fd *ast.FuncDecl) func(ast.Node) bool {
+	type span struct{ lo, hi int }
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		for _, arg := range call.Args {
+			spans = append(spans, span{int(arg.Pos()), int(arg.End())})
+		}
+		return true
+	})
+	return func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, s := range spans {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	res := linttest.Run(t, lint.HotAlloc, "testdata/src/hotalloc")
+	if got := len(res.Suppressed); got != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //lint:allow'd warm-up allocation)", got)
+	}
+	if a := res.Suppressed[0].Analyzer; a != "hotalloc" {
+		t.Fatalf("suppressed analyzer = %q, want hotalloc", a)
+	}
+}

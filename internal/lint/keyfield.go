@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// KeyField guards the sweep.Key content-address contract: the result
+// cache keys a simulation by the canonical JSON of sim.Config, so every
+// field reachable from sim.Config must either
+//
+//   - marshal into the digest (no tag, or a plain rename), or
+//   - carry an explicit exclusion — `json:"-"` or an `omitempty`
+//     option — together with a `// key:` comment on the field
+//     justifying why cached results stay valid across changes to it
+//     (omitempty fields keep historical keys by aliasing their zero
+//     value with absence; json:"-" fields never feed the digest at
+//     all).
+//
+// Unexported fields never marshal, so they are the silent staleness
+// hazard the analyzer exists for: they also require a `// key:`
+// justification. Fields of unkeyable types (func, chan) must be
+// excluded with json:"-" or json.Marshal fails outright.
+//
+// Exclusion tags on structs defined in *other* packages are accepted
+// as-is (their justification lives with their declaration; export data
+// carries tags but not comments).
+var KeyField = NewKeyField("repro/internal/sim", "Config")
+
+// NewKeyField builds a keyfield instance rooted at rootType in package
+// rootPkg (the production instance is KeyField; tests root it at their
+// fixture package).
+func NewKeyField(rootPkg, rootType string) *Analyzer {
+	a := &Analyzer{
+		Name:  "keyfield",
+		Doc:   "every field reachable from " + rootPkg + "." + rootType + " must feed the sweep.Key digest or carry an explicit exclusion tag plus a `// key:` comment",
+		Match: func(path string) bool { return path == rootPkg },
+	}
+	a.Run = func(pass *Pass) error { return runKeyField(pass, rootType) }
+	return a
+}
+
+func runKeyField(pass *Pass, rootType string) error {
+	obj := pass.Pkg.Scope().Lookup(rootType)
+	if obj == nil {
+		pass.Reportf(pass.Files[0].Pos(), "root type %s not found in %s; the keyfield contract is unanchored", rootType, pass.Pkg.Path())
+		return nil
+	}
+
+	fields := astFieldIndex(pass)
+
+	seen := map[*types.Named]bool{}
+	var visitType func(t types.Type)
+	var visitStruct func(named *types.Named, st *types.Struct)
+
+	visitType = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			visitType(t.Elem())
+		case *types.Slice:
+			visitType(t.Elem())
+		case *types.Array:
+			visitType(t.Elem())
+		case *types.Map:
+			visitType(t.Key())
+			visitType(t.Elem())
+		case *types.Named:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				visitStruct(t, st)
+			}
+		}
+	}
+
+	visitStruct = func(named *types.Named, st *types.Struct) {
+		local := named.Obj().Pkg() == pass.Pkg
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			tag := reflect.StructTag(st.Tag(i))
+			jsonName, opts := parseJSONTag(tag.Get("json"))
+			excluded := jsonName == "-" || hasOption(opts, "omitempty")
+
+			if !field.Exported() {
+				// Never marshals: invisible to the digest.
+				if local && !keyComment(fields, named.Obj().Name(), field.Name()) {
+					pass.Reportf(fieldPos(pass, fields, named.Obj().Name(), field.Name()),
+						"unexported field %s.%s never feeds the sweep.Key digest; justify with a `// key:` comment or export it", named.Obj().Name(), field.Name())
+				}
+				continue
+			}
+
+			if !keyable(field.Type()) && jsonName != "-" {
+				if local {
+					pass.Reportf(fieldPos(pass, fields, named.Obj().Name(), field.Name()),
+						"field %s.%s has unkeyable type %s; it must carry json:\"-\" (json.Marshal would fail)", named.Obj().Name(), field.Name(), field.Type())
+				}
+				continue
+			}
+
+			if excluded {
+				if local && !keyComment(fields, named.Obj().Name(), field.Name()) {
+					pass.Reportf(fieldPos(pass, fields, named.Obj().Name(), field.Name()),
+						"field %s.%s is excluded from the sweep.Key digest (%s) without a `// key:` comment justifying cache-key stability", named.Obj().Name(), field.Name(), describeExclusion(jsonName, opts))
+				}
+				// Excluded content does not feed the digest; do not recurse.
+				// (omitempty fields feed it when non-zero, so their element
+				// types still matter.)
+				if jsonName == "-" {
+					continue
+				}
+			}
+			visitType(field.Type())
+		}
+	}
+
+	visitType(obj.Type())
+	return nil
+}
+
+// keyable reports whether json.Marshal can encode the type.
+func keyable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return false
+	case *types.Pointer:
+		return keyable(u.Elem())
+	case *types.Slice:
+		return keyable(u.Elem())
+	case *types.Array:
+		return keyable(u.Elem())
+	}
+	return true
+}
+
+// parseJSONTag splits a json struct tag into name and options.
+func parseJSONTag(tag string) (name string, opts []string) {
+	parts := strings.Split(tag, ",")
+	return parts[0], parts[1:]
+}
+
+func hasOption(opts []string, want string) bool {
+	for _, o := range opts {
+		if o == want {
+			return true
+		}
+	}
+	return false
+}
+
+func describeExclusion(jsonName string, opts []string) string {
+	if jsonName == "-" {
+		return `json:"-"`
+	}
+	return "omitempty"
+}
+
+// fieldKey indexes a struct field's AST node by (type name, field name).
+type fieldKey struct{ typeName, fieldName string }
+
+// astFieldIndex maps every named struct field declared in this package
+// to its AST node, so comment checks can read doc and line comments.
+func astFieldIndex(pass *Pass) map[fieldKey]*ast.Field {
+	out := map[fieldKey]*ast.Field{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						out[fieldKey{ts.Name.Name, name.Name}] = f
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// keyComment reports whether the field's doc or line comment contains a
+// `// key:` justification.
+func keyComment(fields map[fieldKey]*ast.Field, typeName, fieldName string) bool {
+	f, ok := fields[fieldKey{typeName, fieldName}]
+	if !ok {
+		return false
+	}
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+			if strings.HasPrefix(text, "key:") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldPos locates the field's declaration for the diagnostic, falling
+// back to the file start when the AST node is unavailable.
+func fieldPos(pass *Pass, fields map[fieldKey]*ast.Field, typeName, fieldName string) token.Pos {
+	if f, ok := fields[fieldKey{typeName, fieldName}]; ok {
+		return f.Pos()
+	}
+	return pass.Files[0].Pos()
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestKeyField(t *testing.T) {
+	res := linttest.Run(t, lint.NewKeyField("keyfield", "Config"), "testdata/src/keyfield")
+	if got := len(res.Suppressed); got != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //lint:allow'd omitempty field)", got)
+	}
+	if a := res.Suppressed[0].Analyzer; a != "keyfield" {
+		t.Fatalf("suppressed analyzer = %q, want keyfield", a)
+	}
+}
+
+// TestKeyFieldScope checks the production instance anchors at
+// sim.Config and runs only on the sim package.
+func TestKeyFieldScope(t *testing.T) {
+	if !lint.KeyField.Match("repro/internal/sim") {
+		t.Error("keyfield should cover repro/internal/sim")
+	}
+	if lint.KeyField.Match("repro/internal/sweep") {
+		t.Error("keyfield anchors at sim.Config; it should not run elsewhere")
+	}
+}

@@ -1,0 +1,183 @@
+// Package linttest is the project's analysistest equivalent: it runs
+// one analyzer over a golden-file fixture package and compares the
+// diagnostics against `// want "regexp"` comments in the fixture
+// source, exercising the same suppression pipeline the real driver
+// uses. Fixtures live under internal/lint/testdata/src/<analyzer>/.
+//
+// Grammar, mirroring x/tools analysistest:
+//
+//	code()        // want "substring or regexp matching the message"
+//	clean()       // (no comment: any diagnostic here fails the test)
+//
+// A fixture line carrying //lint:allow <analyzer> <reason> exercises
+// the suppression path: the diagnostic must be produced AND suppressed,
+// and Run returns the suppressed findings so tests can assert the
+// count.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Result reports what one fixture run produced beyond the matched
+// expectations.
+type Result struct {
+	// Suppressed are diagnostics silenced by //lint:allow directives in
+	// the fixture.
+	Suppressed []lint.Diagnostic
+}
+
+// Run applies the analyzer to the fixture package in dir (relative to
+// the caller's working directory, conventionally
+// "testdata/src/<name>") and fails the test on any mismatch between
+// produced diagnostics and // want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) Result {
+	t.Helper()
+
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	sum, err := lint.RunPackages([]*lint.Analyzer{a}, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	matchDiagnostics(t, a.Name, sum.Diagnostics, wants)
+	return Result{Suppressed: sum.Suppressed}
+}
+
+// want is one expectation: a diagnostic whose message matches rx on the
+// given file:line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses // want comments from the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := strings.ReplaceAll(m[1], `\"`, `"`)
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("linttest: bad want pattern %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// matchDiagnostics pairs diagnostics with expectations one-to-one.
+func matchDiagnostics(t *testing.T, analyzer string, diags []lint.Diagnostic, wants []*want) {
+	t.Helper()
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic: %s:%d: expected message matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// loadFixture parses and type-checks the fixture package in dir. The
+// package path is the directory's base name, so analyzers constructed
+// with that path (e.g. lint.NewKeyField("keyfield", "Config")) match.
+func loadFixture(dir string) (*lint.Package, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	return lint.CheckFixture(fset, filepath.Base(dir), files, stdExporter(imports))
+}
+
+// fixtureFiles lists the fixture's .go files, sorted.
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return names, nil
+}
+
+// stdExports resolves standard-library export data once per test
+// binary: `go list -export` produces (and caches) compiler export
+// files for whatever stdlib packages the fixtures import.
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+func stdExporter(imports map[string]bool) map[string]string {
+	stdOnce.Do(func() {
+		// Load the superset every fixture needs; one go list invocation
+		// amortized across all tests in the binary.
+		stdExports, stdErr = lint.ExportData(".",
+			"fmt", "math/rand", "net/http", "os", "os/exec", "sort", "strings", "sync", "time")
+	})
+	if stdErr != nil {
+		panic(fmt.Sprintf("linttest: loading stdlib export data: %v", stdErr))
+	}
+	return stdExports
+}

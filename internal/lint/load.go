@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir into fully
+// type-checked packages. It shells out to `go list -export -json -deps`
+// once: the go command resolves the build graph and produces compiler
+// export data for every dependency, and the loader then parses and
+// type-checks only the matched packages' own source — the same division
+// of labor a `go vet` driver uses. Test files are not loaded; the
+// invariants ccsimlint enforces live in production code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(entries))
+	var roots []listEntry
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if e.DepOnly {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", e.ImportPath, e.Error.Err)
+		}
+		roots = append(roots, e)
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var pkgs []*Package
+	for _, e := range roots {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, patterns ...string) ([]listEntry, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list failed: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// typecheck parses and type-checks one package from source, resolving
+// its imports through compiler export data.
+func typecheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect the first hard error below
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// newTypesInfo allocates the type-information maps the analyzers read.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// newExportImporter builds a types.Importer that serves import paths
+// from the export-data files `go list -export` produced.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &unsafeAwareImporter{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAwareImporter resolves "unsafe" to the canonical types.Unsafe
+// package (it has no export data) and everything else via gc export
+// data.
+type unsafeAwareImporter struct {
+	gc types.Importer
+}
+
+func (i *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}
+
+// ExportData resolves the named packages (and their dependencies) to
+// compiler export-data files via one `go list -export` invocation, for
+// callers that type-check sources outside the module graph (the
+// linttest fixture loader).
+func ExportData(dir string, pkgs ...string) (map[string]string, error) {
+	entries, err := goList(dir, pkgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFixture type-checks an already-parsed fixture package under the
+// given package path, resolving imports through the provided export
+// map. It exists for linttest; production loading goes through Load.
+func CheckFixture(fset *token.FileSet, path string, files []*ast.File, exports map[string]string) (*Package, error) {
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: newExportImporter(fset, exports),
+		Error:    func(error) {},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModuleRoot returns the directory of the main module containing dir,
+// so callers (the self-check test, the ccsimlint binary) can run the
+// suite over the whole tree regardless of the working directory.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: resolving module root: %v\n%s", err, stderr.String())
+	}
+	root := strings.TrimSpace(string(out))
+	if root == "" {
+		return "", fmt.Errorf("lint: no module found from %s", dir)
+	}
+	return root, nil
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestLockIO(t *testing.T) {
+	res := linttest.Run(t, lint.LockIO, "testdata/src/lockio")
+	if got := len(res.Suppressed); got != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //lint:allow'd dedicated write mutex)", got)
+	}
+	if a := res.Suppressed[0].Analyzer; a != "lockio" {
+		t.Fatalf("suppressed analyzer = %q, want lockio", a)
+	}
+}

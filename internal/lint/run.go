@@ -1,0 +1,102 @@
+package lint
+
+import "fmt"
+
+// Summary is the outcome of one lint run.
+type Summary struct {
+	// Diagnostics are the surviving (unsuppressed) findings, sorted by
+	// position. A clean tree has none.
+	Diagnostics []Diagnostic
+
+	// Suppressed are findings silenced by an in-source
+	// //lint:allow directive — honored, but counted and kept visible.
+	Suppressed []Diagnostic
+
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// SuppressedByAnalyzer tallies honored suppressions per analyzer.
+func (s Summary) SuppressedByAnalyzer() map[string]int {
+	out := map[string]int{}
+	for _, d := range s.Suppressed {
+		out[d.Analyzer]++
+	}
+	return out
+}
+
+// Run loads the packages matched by patterns (relative to dir) and
+// applies every analyzer, honoring //lint:allow suppressions.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (Summary, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return Summary{}, err
+	}
+	return RunPackages(analyzers, pkgs)
+}
+
+// RunPackages applies the analyzers to already-loaded packages.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) (Summary, error) {
+	var sum Summary
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sum.Packages++
+		diags, err := analyzePackage(analyzers, pkg)
+		if err != nil {
+			return Summary{}, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+
+	// Suppression directives are collected per package above and folded
+	// into the diagnostics stream by analyzePackage; the split happens
+	// there so directive positions and diagnostics share a FileSet.
+	var kept, suppressed []Diagnostic
+	for _, d := range all {
+		if d.Analyzer == suppressedMarker {
+			d.Analyzer = d.origAnalyzer
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sum.Diagnostics = kept
+	sum.Suppressed = suppressed
+	return sum, nil
+}
+
+// suppressedMarker tags suppressed diagnostics inside the combined
+// stream; origAnalyzer preserves the real analyzer name.
+const suppressedMarker = "\x00suppressed"
+
+// analyzePackage runs every applicable analyzer over one package and
+// applies the package's //lint:allow directives.
+func analyzePackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	dirs, malformed := collectAllows(pkg.Fset, pkg.Files)
+	kept, suppressed := applyAllows(diags, dirs)
+	out := append(kept, malformed...)
+	for _, d := range suppressed {
+		d.origAnalyzer = d.Analyzer
+		d.Analyzer = suppressedMarker
+		out = append(out, d)
+	}
+	return out, nil
+}

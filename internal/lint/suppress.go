@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression-comment grammar:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory — an exception without a recorded justification
+// is itself a finding. Honored suppressions are counted and surfaced in
+// the driver summary, so deliberate exceptions stay visible instead of
+// silently accumulating.
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed suppression comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// collectAllows extracts every //lint:allow directive in the files.
+// Malformed directives (missing analyzer or reason) are reported as
+// diagnostics under the pseudo-analyzer "lint" so they fail the run
+// rather than silently suppressing nothing.
+func collectAllows(fset *token.FileSet, files []*ast.File) ([]allowDirective, []Diagnostic) {
+	var dirs []allowDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				dirs = append(dirs, allowDirective{
+					analyzer: name,
+					reason:   reason,
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyAllows splits diagnostics into kept and suppressed. A diagnostic
+// is suppressed when a directive for its analyzer sits on the same line
+// or the line immediately above.
+func applyAllows(diags []Diagnostic, dirs []allowDirective) (kept []Diagnostic, suppressed []Diagnostic) {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]bool, len(dirs)*2)
+	for _, d := range dirs {
+		index[key{d.file, d.line, d.analyzer}] = true
+		index[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	for _, d := range diags {
+		if index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

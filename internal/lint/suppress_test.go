@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	//lint:allow detcore prefetch joins before simulation
+	_ = 1
+}
+
+func b() {
+	//lint:allow detcore
+	_ = 2
+}
+
+func c() {
+	_ = 3 //lint:allow lockio dedicated write mutex
+}
+`
+
+func TestCollectAllows(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs, malformed := collectAllows(fset, []*ast.File{f})
+
+	if len(dirs) != 2 {
+		t.Fatalf("directives = %d, want 2 (the reasonless one is malformed)", len(dirs))
+	}
+	if dirs[0].analyzer != "detcore" || !strings.Contains(dirs[0].reason, "prefetch") {
+		t.Errorf("first directive = %+v", dirs[0])
+	}
+	if dirs[1].analyzer != "lockio" {
+		t.Errorf("second directive = %+v", dirs[1])
+	}
+
+	if len(malformed) != 1 {
+		t.Fatalf("malformed = %d, want 1", len(malformed))
+	}
+	if malformed[0].Analyzer != "lint" || !strings.Contains(malformed[0].Message, "malformed suppression") {
+		t.Errorf("malformed diagnostic = %s", malformed[0])
+	}
+}
+
+func TestApplyAllows(t *testing.T) {
+	dirs := []allowDirective{
+		{analyzer: "detcore", reason: "r", file: "p.go", line: 4},
+		{analyzer: "lockio", reason: "r", file: "p.go", line: 14},
+	}
+	diags := []Diagnostic{
+		{Analyzer: "detcore", Pos: token.Position{Filename: "p.go", Line: 5}},  // line below directive: suppressed
+		{Analyzer: "detcore", Pos: token.Position{Filename: "p.go", Line: 6}},  // two lines below: kept
+		{Analyzer: "lockio", Pos: token.Position{Filename: "p.go", Line: 14}},  // same line: suppressed
+		{Analyzer: "hotalloc", Pos: token.Position{Filename: "p.go", Line: 5}}, // wrong analyzer: kept
+		{Analyzer: "detcore", Pos: token.Position{Filename: "q.go", Line: 5}},  // wrong file: kept
+	}
+	kept, suppressed := applyAllows(diags, dirs)
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed = %d, want 2", len(suppressed))
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept = %d, want 3", len(kept))
+	}
+}

@@ -1,0 +1,95 @@
+// Package detcore is the golden fixture for the detcore analyzer:
+// nondeterminism sources the deterministic simulation core must reject.
+package detcore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads host time: forbidden in the core.
+func wallClock() int64 {
+	t := time.Now()   // want "time.Now in the deterministic core"
+	_ = time.Since(t) // want "time.Since in the deterministic core"
+	return t.UnixNano()
+}
+
+// globalRand draws from the process-global source: forbidden.
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global random source"
+}
+
+// seededRand uses an explicitly seeded source: fine.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// spawn launches goroutines; the core is single-goroutine by design.
+func spawn(done chan struct{}) {
+	go func() { // want "go statement in the deterministic core"
+		close(done)
+	}()
+}
+
+// spawnAllowed is a deliberate, justified exception.
+func spawnAllowed(done chan struct{}) {
+	//lint:allow detcore construction-time prefetch, joined before simulation starts
+	go func() {
+		close(done)
+	}()
+}
+
+// orderSensitive leaks map iteration order into output: forbidden.
+func orderSensitive(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "map iteration feeds an order-sensitive sink"
+	}
+}
+
+// commutative accumulates order-insensitively: fine.
+func commutative(m map[string]int) int {
+	sum := 0
+	n := 0
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	_ = n
+	return sum
+}
+
+// appendThenSort collects keys and sorts them: fine.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendNoSort collects keys but never sorts: iteration order leaks.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted in this function"
+	}
+	return keys
+}
+
+// deleteEntries is an order-insensitive mutation: fine.
+func deleteEntries(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sliceRange is not a map: fine regardless of body.
+func sliceRange(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}

@@ -1,0 +1,89 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer:
+// heap-allocating constructs inside //ccsim:zeroalloc functions.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	buf [8]int
+	n   int
+}
+
+// step is a clean hot-path function: fixed backing array, no
+// allocation.
+//
+//ccsim:zeroalloc
+func (r *ring) step(v int) int {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+	return r.buf[0]
+}
+
+//ccsim:zeroalloc
+func badMake() []int {
+	return make([]int, 4) // want "calls make; it allocates"
+}
+
+//ccsim:zeroalloc
+func badNew() *ring {
+	return new(ring) // want "calls new; it allocates"
+}
+
+//ccsim:zeroalloc
+func badAppend(s []int, v int) []int {
+	return append(s, v) // want "calls append; growth reallocates"
+}
+
+//ccsim:zeroalloc
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want "builds a slice literal"
+}
+
+//ccsim:zeroalloc
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "builds a map literal"
+}
+
+//ccsim:zeroalloc
+func badEscape() *ring {
+	return &ring{} // want "takes the address of a composite literal"
+}
+
+//ccsim:zeroalloc
+func badClosure(v int) func() int {
+	return func() int { return v } // want "contains a function literal"
+}
+
+//ccsim:zeroalloc
+func badFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want "calls fmt.Sprintf; formatting boxes its arguments"
+}
+
+//ccsim:zeroalloc
+func badBox(v int) any {
+	return any(v) // want "converts int to interface"
+}
+
+// guarded panics on illegal input; formatting on the way into a panic
+// is an assertion failure, not hot-path work.
+//
+//ccsim:zeroalloc
+func guarded(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v
+}
+
+// warmup allocates once, deliberately, before the measured region.
+//
+//ccsim:zeroalloc
+func warmup() []int {
+	//lint:allow hotalloc one-time warm-up allocation before the measured steady state
+	return make([]int, 64)
+}
+
+// coldPath is unannotated: it may allocate freely.
+func coldPath() []int {
+	return append(make([]int, 0, 4), 1)
+}

@@ -1,0 +1,67 @@
+// Package keyfield is the golden fixture for the keyfield analyzer:
+// the Config type stands in for sim.Config, whose canonical JSON is
+// the sweep result cache's content address.
+package keyfield
+
+// Config is the fixture root (the analyzer is constructed with
+// NewKeyField("keyfield", "Config")).
+type Config struct {
+	// Workers feeds the digest: no tag needed.
+	Workers int
+
+	// Renamed still feeds the digest under another name: fine.
+	Renamed string `json:"renamed"`
+
+	// Stale is excluded without a recorded justification.
+	Stale bool `json:",omitempty"` // want "excluded from the sweep.Key digest .omitempty. without a"
+
+	// Justified is excluded with the justification the contract wants.
+	// key: pointer-with-omitempty so default configs keep their
+	// historical cache keys; non-nil values still feed the digest.
+	Justified *Nested `json:",omitempty"`
+
+	// Dropped never feeds the digest, with a recorded reason.
+	// key: debug-only toggle; results are bit-identical either way.
+	Dropped bool `json:"-"`
+
+	// Hook is unkeyable and must be excluded.
+	// key: arbitrary code cannot be content-addressed; Key() rejects
+	// configs that set it.
+	Hook func() `json:"-"`
+
+	// BadHook is unkeyable but not excluded: json.Marshal would fail.
+	BadHook func() // want "unkeyable type"
+
+	// hidden never marshals, silently bypassing the digest.
+	hidden int // want "unexported field Config.hidden never feeds the sweep.Key digest"
+
+	// seed never marshals either, but says why.
+	// key: derived from Workers at construction; never an input.
+	seed int64
+
+	// Sub pulls a nested struct into the reachable set.
+	Sub Nested
+
+	// Allowed is excluded without a comment but carries an explicit
+	// suppression (counted by the driver).
+	//lint:allow keyfield migration shim, removed once clients stop sending it
+	Allowed string `json:",omitempty"`
+}
+
+// Nested is reachable from Config, so its fields are under contract.
+type Nested struct {
+	Depth int
+
+	// Cached is excluded with no justification.
+	Cached string `json:"-"` // want "excluded from the sweep.Key digest"
+
+	// Scratch is justified.
+	// key: recomputed from Depth on load; never an input to simulation.
+	Scratch []byte `json:"-"`
+}
+
+// Unreachable is not reachable from Config: no contract applies.
+type Unreachable struct {
+	Whatever func()
+	secret   int
+}

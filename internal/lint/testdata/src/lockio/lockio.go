@@ -1,0 +1,87 @@
+// Package lockio is the golden fixture for the lockio analyzer:
+// blocking I/O performed while a mutex acquired in the same function is
+// held.
+package lockio
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	wmu  sync.Mutex
+	path string
+	data []byte
+}
+
+// flushUnderLock writes to disk inside the critical section: the exact
+// stall PR 7 fixed by hand in the job journal.
+func (s *store) flushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(s.path, s.data, 0o644) // want "calls os.WriteFile while s.mu is held"
+}
+
+// flushAfterUnlock snapshots under the lock and writes after releasing
+// it: the pattern the analyzer wants.
+func (s *store) flushAfterUnlock() error {
+	s.mu.Lock()
+	data := make([]byte, len(s.data))
+	copy(data, s.data)
+	s.mu.Unlock()
+	return os.WriteFile(s.path, data, 0o644)
+}
+
+// persist does I/O but takes no lock itself: clean here, but it taints
+// every same-package caller.
+func (s *store) persist() error {
+	return os.WriteFile(s.path, s.data, 0o644)
+}
+
+// checkpoint reaches the filesystem transitively through persist.
+func (s *store) checkpoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist() // want "calls persist, which calls os.WriteFile"
+}
+
+// fetch blocks on the network while holding the lock.
+func (s *store) fetch(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get(url) // want "calls http.Get while s.mu is held"
+}
+
+// readEnv touches only the environment: not a blocking sink.
+func (s *store) readEnv() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Getenv("CCSIM_HOME")
+}
+
+// deferredWriter returns a closure that does I/O. The literal runs
+// later, under whatever locks are held then, so it is not charged here.
+func (s *store) deferredWriter() func() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() error { return os.WriteFile(s.path, s.data, 0o644) }
+}
+
+// spawnPersist hands the tainted call to a goroutine: spawning does not
+// block the lock holder.
+func (s *store) spawnPersist() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.persist()
+}
+
+// write serializes snapshot writes; wmu exists only for that, so the
+// hold-while-writing is the point.
+func (s *store) write() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	//lint:allow lockio wmu is a dedicated write-serialization mutex; no request path ever holds it
+	return os.WriteFile(s.path, s.data, 0o644)
+}

@@ -91,6 +91,8 @@ func NewTimer(period int, sink Sink) *Timer {
 // Begin records one crossing of phase p and, on sampled calls, returns
 // an opaque nonzero start token for End. Unsampled calls (and a nil
 // receiver) return 0, which End ignores.
+//
+//ccsim:zeroalloc
 func (t *Timer) Begin(p Phase) int64 {
 	if t == nil {
 		return 0
@@ -107,6 +109,8 @@ func (t *Timer) Begin(p Phase) int64 {
 // End completes a sampled crossing started by Begin, forwarding the
 // measured duration and the caller's current cycle to the sink. start
 // == 0 (an unsampled Begin) is a no-op.
+//
+//ccsim:zeroalloc
 func (t *Timer) End(p Phase, start int64, at int64) {
 	if t == nil || start == 0 {
 		return

@@ -96,6 +96,7 @@ func (l *jobJournal) record(entries ...journalEntry) {
 		}
 		l.order = append([]string(nil), l.order[drop:]...)
 	}
+	//lint:allow lockio l.mu is the journal's own serialization mutex, never held by request paths; the manager journals outside Manager.mu precisely so a slow disk stalls only the journal (see PR 7)
 	l.writeLocked()
 }
 

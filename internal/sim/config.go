@@ -127,24 +127,27 @@ type Config struct {
 	// internal/sim/differential_test.go enforces it); the stepper is
 	// kept as the reference model and for debugging, at roughly an
 	// order of magnitude more wall clock on memory-bound configs.
-	// Serialized with omitempty so default configs keep their
-	// historical sweep-cache keys.
+	// key: omitempty aliases false with absence so default configs keep
+	// their historical sweep-cache keys; both engines are bit-identical,
+	// so the engine choice can never invalidate a cached Result.
 	Stepper bool `json:",omitempty"`
 
 	// Analysis, when non-nil with Enabled set, attaches the perf-analyzer
 	// probes (internal/analysis) and populates Result.Analysis with
 	// epoch-bucketed bank/queue/row-outcome/ChargeCache timelines.
-	// Pointer-with-omitempty so default configs keep their historical
-	// sweep-cache keys; the probes never change simulated behaviour (the
-	// differential suite runs with analysis on and off).
+	// key: pointer-with-omitempty so default configs keep their
+	// historical sweep-cache keys; the probes never change simulated
+	// behaviour (the differential suite runs with analysis on and off),
+	// and non-nil configs still feed the digest.
 	Analysis *analysis.Config `json:",omitempty"`
 
 	// CustomMechanism builds the per-channel mechanism when Mechanism is
 	// Custom. It receives the channel index, the device spec, and the
 	// lowered/default timing classes derived from the circuit model for
-	// the configured caching duration. Excluded from JSON so configs
-	// (and the Results embedding them) can be persisted; custom-mech
-	// configs are therefore not addressable by the sweep result cache.
+	// the configured caching duration.
+	// key: arbitrary code cannot be content-addressed; sweep.Key rejects
+	// configs that set it, so a custom mechanism can never serve a stale
+	// cached Result — such configs are simply not cacheable.
 	CustomMechanism func(channel int, spec dram.Spec, fast, def dram.TimingClass) (core.Mechanism, error) `json:"-"`
 }
 

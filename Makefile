@@ -70,9 +70,26 @@ fuzz-smoke:
 # metrics snapshot into CCSIMD_FAULT_ARTIFACTS for upload.
 CCSIMD_FAULT_ARTIFACTS ?= $(CURDIR)/fault-artifacts
 .PHONY: gateway-e2e
-gateway-e2e:
+gateway-e2e: soak
 	CCSIMD_FAULT_ARTIFACTS=$(CCSIMD_FAULT_ARTIFACTS) $(GO) test -race -count=1 \
 		-run 'TestFleetFaultCampaign|TestGatewayAuthStorm|TestChaosClientStorms|TestSSETruncationHeals|TestJournalCorruptionRecovery|TestJournalProperty|TestMetricsTenantConcurrency' \
+		./internal/server
+
+# soak is the self-healing acceptance campaign under the race detector:
+# a three-daemon fleet per seed where one peer crashes mid-submission
+# and a restarted incarnation rejoins through the circuit breaker, a
+# permanent straggler forces hedged execution, and a dead journal disk
+# degrades storage to memory-only without failing a single job — with
+# byte-identical results across four seeds. The deadline-propagation,
+# quarantine, and degraded-storage unit campaigns ride along. Failures
+# dump forensics into CCSIMD_FAULT_ARTIFACTS.
+.PHONY: soak
+soak:
+	CCSIMD_FAULT_ARTIFACTS=$(CCSIMD_FAULT_ARTIFACTS) $(GO) test -race -count=1 \
+		-run 'TestSelfHealingSoak|TestDispatchWorkerRejoinsMidCampaign|TestDispatchHedgesStragglers|TestDispatchPoisonQuarantine' \
+		./internal/dispatch
+	CCSIMD_FAULT_ARTIFACTS=$(CCSIMD_FAULT_ARTIFACTS) $(GO) test -race -count=1 \
+		-run 'TestManagerDeadline|TestSubmitDeadlineHeaderSheds|TestManagerHedgesStragglerPeer|TestManagerPoisonQuarantine|TestManagerStorageDegradedMode' \
 		./internal/server
 
 # serve runs the simulation daemon locally with the version stamp.

@@ -81,6 +81,10 @@ func main() {
 	serverURL := flag.String("server", "", "ccsimd daemon URL: run remotely on its shared queue instead of locally")
 	serversList := flag.String("servers", "", "comma-separated ccsimd URLs: shard jobs across the fleet with capacity weighting and failover")
 	localSlots := flag.Int("local", 0, "in-process worker slots joining the -servers fleet (0 = none)")
+	reprobe := flag.Duration("reprobe-interval", 0, "with -servers: how often an open endpoint circuit breaker grants a rejoin probe (0 = default 3s)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "with -servers: hedge a straggling attempt on a second endpoint after this long (0 = off unless -hedge-adaptive)")
+	hedgeAdaptive := flag.Bool("hedge-adaptive", false, "with -servers: derive the hedge threshold from observed attempt latencies (3x p95) instead of a fixed -hedge-after")
+	poison := flag.Int("poison-threshold", 0, "with -servers: quarantine a config after its execution kills this many workers (0 = default 3, negative = never)")
 	token := flag.String("token", "", "bearer token for -server/-servers daemons with tenant auth (defaults to $CCSIM_TOKEN)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -150,9 +154,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ccsim: -workers has no effect with -servers (endpoint capacity is probed); use -local N for in-process slots")
 		}
 		opts := dispatch.Options{
-			Endpoints:    dispatch.SplitEndpoints(*serversList),
-			LocalWorkers: *localSlots,
-			Token:        bearerToken(*token),
+			Endpoints:       dispatch.SplitEndpoints(*serversList),
+			LocalWorkers:    *localSlots,
+			Token:           bearerToken(*token),
+			ReprobeInterval: *reprobe,
+			HedgeAfter:      *hedgeAfter,
+			HedgeAdaptive:   *hedgeAdaptive,
+			PoisonThreshold: *poison,
 		}
 		if *results != "" {
 			cache, cerr := ccsim.OpenSweepCache(*results)
@@ -174,8 +182,9 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		res, err = dispatch.Run(ctx, jobs, opts)
-		fmt.Fprintf(os.Stderr, "ccsim: fleet: %d endpoint(s) + %d local slot(s), %d simulated, %d cached, %d deduped, %d retried, %d endpoint(s) lost\n",
-			stats.Endpoints, *localSlots, stats.Simulations, stats.CacheHits, stats.Deduped, stats.Retries, stats.DeadEndpoints)
+		fmt.Fprintf(os.Stderr, "ccsim: fleet: %d endpoint(s) + %d local slot(s), %d simulated, %d cached, %d deduped, %d retried, %d rejoined, %d/%d hedges won, %d quarantined, %d endpoint(s) lost\n",
+			stats.Endpoints, *localSlots, stats.Simulations, stats.CacheHits, stats.Deduped, stats.Retries,
+			stats.Rejoins, stats.HedgesWon, stats.HedgesLaunched, stats.Quarantined, stats.DeadEndpoints)
 	case *serverURL != "":
 		workersSet := false
 		flag.Visit(func(f *flag.Flag) { workersSet = workersSet || f.Name == "workers" })

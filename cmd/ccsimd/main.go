@@ -19,7 +19,12 @@
 // peer contributes its advertised worker capacity to this daemon's
 // pool, so clients keep talking to one address while jobs execute
 // across every machine. A peer that dies mid-job hands the job back to
-// the queue. -workers -1 turns the front into a pure dispatcher that
+// the queue; a crashed-then-restarted peer rejoins through its circuit
+// breaker, -hedge-after races a local backup against straggling peer
+// flights, -poison-threshold quarantines jobs that keep killing
+// workers, and result-cache/journal write failures degrade to
+// memory-only storage (see README "Resilience") instead of failing
+// jobs. -workers -1 turns the front into a pure dispatcher that
 // runs nothing locally. -trace-root DIR advertises a directory shared
 // with clients (and peers), enabling trace-file configs whose absolute
 // paths live under it.
@@ -70,6 +75,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	tenants := fs.String("tenants", "", "tenant registry JSON file ({\"tenants\":[{\"name\":...,\"token\":...,\"weight\":...,...}]}); enables bearer-token auth, per-tenant quotas and fair-share scheduling")
 	hotResults := fs.Int("hot-results", 0, "hot in-memory LRU entries fronting the result cache (0 = 256)")
 	traceRoot := fs.String("trace-root", "", "advertise DIR as a trace directory shared with clients: trace-file configs under it are accepted")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge a straggling peer flight with a local backup after this long (0 = off; needs local workers)")
+	poison := fs.Int("poison-threshold", 0, "quarantine a job after its execution kills this many workers (0 = default 3, negative = never)")
+	storageProbe := fs.Duration("storage-probe-interval", 0, "how often degraded (memory-only) storage re-probes the disk for automatic restore (0 = default 1s)")
 	grace := fs.Duration("grace", time.Minute, "graceful-shutdown budget for draining running jobs")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -154,14 +162,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	manager := server.NewManager(server.ManagerConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Cache:      cache,
-		Retention:  *retain,
-		Remotes:    remotes,
-		Tenants:    registry,
-		HotResults: *hotResults,
-		TraceRoot:  root,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		Cache:                cache,
+		Retention:            *retain,
+		Remotes:              remotes,
+		Tenants:              registry,
+		HotResults:           *hotResults,
+		TraceRoot:            root,
+		HedgeAfter:           *hedgeAfter,
+		PoisonThreshold:      *poison,
+		StorageProbeInterval: *storageProbe,
 	})
 	httpSrv := &http.Server{Handler: server.New(manager)}
 

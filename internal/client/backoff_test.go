@@ -1,0 +1,92 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffFullJitterBounds: retry waits are uniform full jitter in
+// (0, base·2^attempt], never zero, never above the exponential ceiling
+// for that attempt.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	c := New("http://example.invalid")
+	c.PollInterval = 10 * time.Millisecond
+	c.MaxBackoff = time.Second
+
+	for attempt := 0; attempt < 6; attempt++ {
+		ceil := c.PollInterval << uint(attempt)
+		if ceil > c.MaxBackoff {
+			ceil = c.MaxBackoff
+		}
+		for i := 0; i < 200; i++ {
+			d := c.backoff(attempt, nil)
+			if d <= 0 {
+				t.Fatalf("attempt %d: backoff %v <= 0", attempt, d)
+			}
+			if d > ceil {
+				t.Fatalf("attempt %d: backoff %v exceeds ceiling %v", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffCapsAtMaxBackoff: arbitrarily late attempts never exceed
+// MaxBackoff (and the default cap applies when unset).
+func TestBackoffCapsAtMaxBackoff(t *testing.T) {
+	c := New("http://example.invalid")
+	c.PollInterval = 50 * time.Millisecond
+	c.MaxBackoff = 200 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		if d := c.backoff(30, nil); d > 200*time.Millisecond {
+			t.Fatalf("backoff %v exceeds MaxBackoff", d)
+		}
+	}
+
+	c.MaxBackoff = 0 // default cap: 5s
+	for i := 0; i < 50; i++ {
+		if d := c.backoff(62, nil); d > 5*time.Second {
+			t.Fatalf("backoff %v exceeds the 5s default cap", d)
+		}
+	}
+}
+
+// TestBackoffJitters: the waits actually spread out instead of
+// retrying in lockstep — that is the point of full jitter.
+func TestBackoffJitters(t *testing.T) {
+	c := New("http://example.invalid")
+	c.PollInterval = 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[c.backoff(4, nil)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("50 backoff draws produced only %d distinct values; jitter looks broken", len(seen))
+	}
+}
+
+// TestBackoffHonorsRetryAfterFloor: when the daemon names the wait it
+// needs, the backoff never undercuts it — jitter is added on top, and
+// the exponential cap does not clip the server's floor.
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	c := New("http://example.invalid")
+	c.PollInterval = 10 * time.Millisecond
+	c.MaxBackoff = 50 * time.Millisecond
+
+	apiErr := &APIError{Status: 429, RetryAfter: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		d := c.backoff(0, apiErr)
+		if d < 2*time.Second {
+			t.Fatalf("backoff %v undercuts the Retry-After floor of 2s", d)
+		}
+		if d > 2*time.Second+c.PollInterval {
+			t.Fatalf("backoff %v exceeds floor + one base interval of jitter", d)
+		}
+	}
+
+	// An error without a hint changes nothing.
+	for i := 0; i < 50; i++ {
+		if d := c.backoff(0, &APIError{Status: 429}); d > c.PollInterval {
+			t.Fatalf("hint-less backoff %v exceeds the attempt-0 ceiling", d)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"path/filepath"
@@ -33,8 +34,13 @@ type Client struct {
 	stream *http.Client // no overall timeout: carries SSE streams
 
 	// PollInterval is the status-poll period of Wait and RunSweep
-	// (default 250ms).
+	// (default 250ms). It is also the base of the retry backoff.
 	PollInterval time.Duration
+
+	// MaxBackoff caps the exponential retry/reconnect backoff of
+	// RunJob, RunSweep, and StreamAnalysis (default 5s). The daemon's
+	// Retry-After hint is always honored as a floor, never clipped.
+	MaxBackoff time.Duration
 
 	// Token, when set, is sent as a bearer credential (Authorization:
 	// Bearer <token>) on every request — required against daemons with a
@@ -236,6 +242,7 @@ func (c *Client) Analysis(ctx context.Context, id string) (*analysis.Report, err
 // stream's error frame, returned after the frames received so far.
 func (c *Client) StreamAnalysis(ctx context.Context, id string, afterSeq uint64, onBatch func(analysis.StreamBatch)) error {
 	last := afterSeq
+	attempt := 0
 	for {
 		complete, progressed, err := c.streamAnalysisOnce(ctx, id, &last, onBatch)
 		if complete || (err != nil && !progressed) {
@@ -243,11 +250,15 @@ func (c *Client) StreamAnalysis(ctx context.Context, id string, afterSeq uint64,
 			// dead daemon is not retried; a dropped stream is).
 			return err
 		}
+		if progressed {
+			attempt = 0 // the stream is alive; reconnect promptly
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(c.pollInterval()):
+		case <-time.After(c.backoff(attempt, err)):
 		}
+		attempt++
 	}
 }
 
@@ -364,7 +375,7 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) 
 // from "the daemon is unreachable" (retryable).
 func (c *Client) RunJob(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
 	var sub server.JobStatus
-	for {
+	for attempt := 0; ; attempt++ {
 		sts, err := c.Submit(ctx, []server.JobSpec{spec})
 		if err == nil {
 			sub = sts[0]
@@ -377,7 +388,7 @@ func (c *Client) RunJob(ctx context.Context, spec server.JobSpec) (server.JobSta
 		select { // queue full or rate-limited: wait for capacity/tokens
 		case <-ctx.Done():
 			return server.JobStatus{}, ctx.Err()
-		case <-time.After(c.backoff(err)):
+		case <-time.After(c.backoff(attempt, err)):
 		}
 	}
 
@@ -401,6 +412,7 @@ func (c *Client) RunJob(ctx context.Context, spec server.JobSpec) (server.JobSta
 			JobID:    sub.ID,
 			State:    st.State,
 			Message:  st.Error,
+			Reason:   st.Reason,
 		}
 	}
 }
@@ -488,6 +500,7 @@ func (c *Client) RunSweep(ctx context.Context, jobs []sweep.Job, progress func(s
 	// bounded queue is full, so sweeps larger than the queue depth
 	// still complete: capacity frees as earlier chunks finish.
 	chunk := 16
+	attempt := 0
 	for start := 0; start < len(specs); {
 		size := chunk
 		if rest := len(specs) - start; size > rest {
@@ -507,12 +520,14 @@ func (c *Client) RunSweep(ctx context.Context, jobs []sweep.Job, progress func(s
 				select {
 				case <-ctx.Done():
 					return abort(-1, ctx.Err())
-				case <-time.After(c.backoff(err)):
+				case <-time.After(c.backoff(attempt, err)):
 				}
+				attempt++
 				continue
 			}
 			return abort(-1, err)
 		}
+		attempt = 0
 		for i, st := range sts {
 			pending[start+i] = st
 		}
@@ -658,6 +673,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
+	// Propagate the caller's deadline so the daemon can enforce it
+	// queue-side: a job that cannot start before the client gives up
+	// fails fast instead of occupying a scheduler slot.
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -679,6 +700,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 type APIError struct {
 	Status  int
 	Message string
+	// Code is the daemon's machine-readable error code when it sent one
+	// (e.g. server.ErrCodeDeadlineUnmeetable for admission-time load
+	// shedding); "" otherwise.
+	Code string
 	// RetryAfter is the daemon's Retry-After hint on 429 responses
 	// (zero when absent): how long the tenant's token bucket needs to
 	// admit one more submission.
@@ -697,9 +722,11 @@ func decodeAPIError(resp *http.Response) *APIError {
 	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var e struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
 		apiErr.Message = e.Error
+		apiErr.Code = e.Code
 	} else {
 		apiErr.Message = strings.TrimSpace(string(blob))
 	}
@@ -711,13 +738,37 @@ func decodeAPIError(resp *http.Response) *APIError {
 	return apiErr
 }
 
-// backoff picks the wait before retrying after err: the poll interval,
-// or the daemon's Retry-After hint when it asks for longer.
-func (c *Client) backoff(err error) time.Duration {
-	d := c.pollInterval()
+// backoff picks the wait before retry number attempt (0-based):
+// exponential with full jitter — uniform in (0, pollInterval·2^attempt],
+// capped at MaxBackoff — so a fleet of clients hammering a saturated
+// daemon decorrelates instead of retrying in lockstep. The daemon's
+// Retry-After hint is a floor: when the server names the wait it needs,
+// jitter is added on top of it, never subtracted.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base := c.pollInterval()
+	ceil := c.MaxBackoff
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	if ceil < base {
+		ceil = base
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	d = time.Duration(1 + rand.Int63n(int64(d))) // full jitter: (0, d]
 	var apiErr *APIError
-	if errors.As(err, &apiErr) && apiErr.RetryAfter > d {
-		d = apiErr.RetryAfter
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		// Retry-After is the server's admission estimate; retrying
+		// sooner is guaranteed to be rejected again.
+		floor := apiErr.RetryAfter
+		if d < floor {
+			d = floor + time.Duration(rand.Int63n(int64(base)+1))
+		}
 	}
 	return d
 }

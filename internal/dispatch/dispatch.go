@@ -17,15 +17,26 @@
 // probed up front and weighted by their advertised worker capacity
 // (each endpoint holds at most that many jobs in flight), identical
 // configs are singleflighted on sweep.Key so each distinct config
-// simulates exactly once fleet-wide, and a job whose worker dies or
-// times out is retried transparently on another endpoint — only a job
-// with no live worker left to run it fails the campaign.
+// simulates exactly once per campaign, and a job whose worker dies or
+// times out is retried transparently on another endpoint.
+//
+// The fleet self-heals. Each endpoint runs behind a circuit breaker
+// (see breaker.go): transport failures open it, and on an interval the
+// worker is re-probed with a real unit — a daemon that crashed and
+// restarted mid-campaign rejoins and receives new units. Straggling
+// units can be hedged: once an attempt outlives the straggler
+// threshold, a second attempt launches on another eligible worker and
+// the first result wins, without double-counting simulations. A unit
+// whose attempts keep killing workers is quarantined after
+// PoisonThreshold crashes instead of cascading through the fleet. Only
+// a unit with no live or recoverable worker left fails the campaign.
 package dispatch
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -76,32 +87,108 @@ type Options struct {
 	// against daemons with a tenant registry (ccsimd -tenants).
 	Token string
 
+	// ReprobeInterval is how long an open circuit breaker waits before
+	// re-probing its endpoint with a real unit (default 3s). Crashed
+	// daemons that restart within the campaign rejoin on this cadence.
+	ReprobeInterval time.Duration
+
+	// BreakerThreshold is the consecutive transport failures that open
+	// an endpoint's breaker (default 1 — one connection loss pulls the
+	// endpoint out of rotation until a probe succeeds).
+	BreakerThreshold int
+
+	// BreakerProbeLimit retires an endpoint permanently after that many
+	// consecutive failed re-probes (default 4; negative = keep probing
+	// for the whole campaign).
+	BreakerProbeLimit int
+
+	// HedgeAfter enables straggler hedging: an in-flight unit older
+	// than this is attempted a second time on another eligible worker,
+	// first result wins. 0 disables fixed-threshold hedging (see
+	// HedgeAdaptive).
+	HedgeAfter time.Duration
+
+	// HedgeAdaptive, when HedgeAfter is 0, derives the straggler
+	// threshold from the campaign itself: 3× the p95 of fresh unit
+	// latencies, once at least 8 units have completed.
+	HedgeAdaptive bool
+
+	// PoisonThreshold quarantines a unit after that many attempts that
+	// each ended in a worker-killing transport failure (default 3;
+	// negative = never quarantine).
+	PoisonThreshold int
+
 	// Stats, when non-nil, is filled with campaign totals before Run
 	// returns.
 	Stats *Stats
 }
 
+func (o Options) reprobeInterval() time.Duration {
+	if o.ReprobeInterval > 0 {
+		return o.ReprobeInterval
+	}
+	return 3 * time.Second
+}
+
+func (o Options) breakerThreshold() int {
+	if o.BreakerThreshold > 0 {
+		return o.BreakerThreshold
+	}
+	return 1
+}
+
+func (o Options) breakerProbeLimit() int {
+	if o.BreakerProbeLimit != 0 {
+		return o.BreakerProbeLimit
+	}
+	return 4
+}
+
+func (o Options) poisonThreshold() int {
+	if o.PoisonThreshold != 0 {
+		return o.PoisonThreshold
+	}
+	return 3
+}
+
 // Stats summarizes how a campaign used the fleet.
 type Stats struct {
-	Endpoints     int // endpoints that passed the health probe
-	DeadEndpoints int // endpoints that failed the probe or died mid-campaign
-	Slots         int // total in-flight capacity at start, local slots included
-	Simulations   int // distinct configs freshly simulated fleet-wide
-	CacheHits     int // jobs served from a cache (local or a daemon's)
-	Deduped       int // jobs that shared another identical job's simulation
-	Retries       int // assignments retried on another worker after a loss or timeout
+	Endpoints      int // endpoints that passed the probe and ended the campaign healthy
+	DeadEndpoints  int // endpoints that failed the probe or ended with a non-closed breaker
+	Slots          int // total in-flight capacity at start, local slots included
+	Simulations    int // distinct configs freshly simulated fleet-wide
+	CacheHits      int // jobs served from a cache (local or a daemon's)
+	Deduped        int // jobs that shared another identical job's simulation
+	Retries        int // assignments retried on another worker after a loss or timeout
+	Rejoins        int // circuit-breaker re-probes that brought an endpoint back
+	HedgesLaunched int // second attempts started for straggling units
+	HedgesWon      int // hedged attempts that beat the original
+	Quarantined    int // units failed for killing PoisonThreshold workers
 }
 
 // unit is one distinct simulation: all input jobs sharing a sweep.Key
-// collapse onto it (singleflight), and exactly one worker holds it at
-// a time.
+// collapse onto it (singleflight). At most two attempts run at a time
+// (the original and one hedge), and exactly one terminal outcome wins.
 type unit struct {
 	key     string // content address; "" for uncacheable configs
 	job     sweep.Job
-	indices []int        // input positions served by this unit
-	tried   map[int]bool // worker IDs that lost or timed out on this unit
-	err     error        // terminal failure
-	done    bool
+	indices []int // input positions served by this unit
+
+	tried      map[int]bool // workers that lost/timed out on it; cleared when a worker rejoins
+	ineligible map[int]bool // workers that rejected it as ineligible — permanent, unlike tried
+
+	holders map[int]bool               // workers with an attempt in flight
+	cancels map[int]context.CancelFunc // per-attempt cancels, for first-result-wins
+
+	attempts    int       // attempts currently in flight
+	crashes     int       // attempts that ended in a worker-killing transport failure
+	hedged      bool      // a hedge attempt was launched (at most one per unit)
+	hedgeWorker int       // worker that launched the hedge
+	queued      bool      // sitting in dispatcher.pending
+	lastClaim   time.Time // when the newest attempt was claimed
+
+	err  error // terminal failure
+	done bool
 }
 
 // hasTraces reports whether the unit's config replays trace files.
@@ -125,7 +212,7 @@ type worker struct {
 	cli       *client.Client // nil for the local pool
 	traceRoot string
 	slots     int
-	dead      bool // guarded by dispatcher.mu
+	breaker   breaker // guarded by dispatcher.mu
 }
 
 // Run executes jobs across the fleet described by opts and returns
@@ -168,16 +255,20 @@ func Run(ctx context.Context, jobs []sweep.Job, opts Options) ([]sim.Result, err
 	if err := d.checkTraceEligibility(units); err != nil {
 		return nil, err
 	}
-	d.pending = units
+	d.units = units
+	d.pending = append(d.pending, units...)
+	for _, u := range units {
+		u.queued = true
+	}
 	d.outstanding = len(units)
 
 	// Wake blocked workers when the caller cancels.
-	probeDone := make(chan struct{})
-	defer close(probeDone)
+	runDone := make(chan struct{})
+	defer close(runDone)
 	go func() {
 		select {
 		case <-ctx.Done():
-		case <-probeDone:
+		case <-runDone:
 		}
 		d.mu.Lock()
 		d.cond.Broadcast()
@@ -195,6 +286,17 @@ func Run(ctx context.Context, jobs []sweep.Job, opts Options) ([]sim.Result, err
 		}
 	}
 	wg.Wait()
+
+	// An endpoint that ends the campaign with a non-closed breaker died
+	// mid-campaign (and never rejoined): report it dead.
+	d.mu.Lock()
+	for _, w := range d.workers {
+		if w.cli != nil && w.breaker.state != breakerClosed {
+			stats.Endpoints--
+			stats.DeadEndpoints++
+		}
+	}
+	d.mu.Unlock()
 
 	// Mirror sweep.Run: the recorded failure with the lowest input
 	// index wins; an external cancellation with no recorded failure
@@ -229,9 +331,11 @@ type dispatcher struct {
 
 	mu          sync.Mutex
 	cond        *sync.Cond
+	units       []*unit
 	pending     []*unit
 	outstanding int // units not yet terminal
 	failed      bool
+	latencies   []time.Duration // fresh unit latencies, for the adaptive hedge threshold
 
 	progMu sync.Mutex
 	done   int // finished input jobs; guarded by progMu
@@ -298,6 +402,11 @@ func probe(ctx context.Context, opts Options) ([]*worker, []error) {
 	}
 	for i, w := range workers {
 		w.id = i
+		w.breaker = breaker{
+			threshold:  opts.breakerThreshold(),
+			reprobe:    opts.reprobeInterval(),
+			probeLimit: opts.breakerProbeLimit(),
+		}
 	}
 	return workers, errs
 }
@@ -316,7 +425,15 @@ func (d *dispatcher) buildUnits() []*unit {
 				continue
 			}
 		}
-		u := &unit{key: key, job: job, indices: []int{i}, tried: map[int]bool{}}
+		u := &unit{
+			key:        key,
+			job:        job,
+			indices:    []int{i},
+			tried:      map[int]bool{},
+			ineligible: map[int]bool{},
+			holders:    map[int]bool{},
+			cancels:    map[int]context.CancelFunc{},
+		}
 		units = append(units, u)
 		if key != "" {
 			byKey[key] = u
@@ -382,42 +499,168 @@ func eligibleErr(u *unit, w *worker) error {
 }
 
 // serve is one worker slot's loop: claim the next eligible unit,
-// execute it, repeat until the campaign ends or the worker dies.
+// execute it, repeat until the campaign ends or the worker's breaker
+// goes permanently dead.
 func (d *dispatcher) serve(w *worker) {
 	for {
-		u := d.next(w)
+		u, probe := d.next(w)
 		if u == nil {
 			return
 		}
-		if !d.execute(w, u) {
+		if !d.execute(w, u, probe) {
 			return
 		}
 	}
 }
 
-// next blocks until an eligible pending unit exists (claiming it) or
-// the campaign is over for this worker (nil).
-func (d *dispatcher) next(w *worker) *unit {
+// next blocks until w may take work — a pending unit, or a straggling
+// in-flight unit worth hedging — and claims it. probe marks the claim
+// as the worker's half-open re-probe. Returns nil when the campaign is
+// over for this worker.
+func (d *dispatcher) next(w *worker) (u *unit, probe bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if d.ctx.Err() != nil || d.failed || w.dead || d.outstanding == 0 {
-			return nil
+		if d.ctx.Err() != nil || d.failed || d.outstanding == 0 || w.breaker.state == breakerDead {
+			return nil, false
 		}
-		for i, u := range d.pending {
-			if u.tried[w.id] || eligibleErr(u, w) != nil {
-				continue
+		ok, probeAttempt := w.breaker.allow(time.Now())
+		if ok {
+			if probeAttempt {
+				// The re-probe runs a real unit. Give this worker a
+				// fresh slate: tried marks recorded against its dead
+				// incarnation no longer apply.
+				d.clearTriedLocked(w)
 			}
-			d.pending = append(d.pending[:i], d.pending[i+1:]...)
-			return u
+			for i, p := range d.pending {
+				if p.tried[w.id] || p.ineligible[w.id] || eligibleErr(p, w) != nil {
+					continue
+				}
+				d.pending = append(d.pending[:i], d.pending[i+1:]...)
+				p.queued = false
+				d.claimLocked(w, p)
+				return p, probeAttempt
+			}
+			if h := d.hedgeCandidateLocked(w); h != nil {
+				d.stats.HedgesLaunched++
+				h.hedged = true
+				h.hedgeWorker = w.id
+				d.claimLocked(w, h)
+				return h, probeAttempt
+			}
+			if probeAttempt {
+				// Nothing claimable: release the probe slot so a later
+				// wake-up can retry it.
+				w.breaker.probing = false
+			}
+		} else if w.breaker.state == breakerOpen {
+			// Wake this slot when the re-probe window opens.
+			d.scheduleWake(time.Until(w.breaker.openedAt.Add(w.breaker.reprobe)))
 		}
 		d.cond.Wait()
 	}
 }
 
-// execute runs one claimed unit on w. It returns false when the worker
-// died (transport failure) and the slot must retire.
-func (d *dispatcher) execute(w *worker, u *unit) bool {
+// claimLocked books an attempt of u on w and, when hedging is on, arms
+// a wake-up at the straggler threshold so idle slots re-evaluate.
+func (d *dispatcher) claimLocked(w *worker, u *unit) {
+	u.attempts++
+	u.holders[w.id] = true
+	u.lastClaim = time.Now()
+	if thr, ok := d.hedgeThresholdLocked(); ok && !u.hedged {
+		d.scheduleWake(thr + time.Millisecond)
+	}
+}
+
+// scheduleWake broadcasts the dispatcher condition after delay, waking
+// slots parked in next() for time-based transitions (breaker re-probe
+// windows, hedge thresholds).
+func (d *dispatcher) scheduleWake(delay time.Duration) {
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	time.AfterFunc(delay, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+}
+
+// hedgeCandidateLocked picks the oldest straggling in-flight unit w
+// could usefully run a second attempt of, or nil.
+func (d *dispatcher) hedgeCandidateLocked(w *worker) *unit {
+	thr, ok := d.hedgeThresholdLocked()
+	if !ok {
+		return nil
+	}
+	now := time.Now()
+	var best *unit
+	for _, u := range d.units {
+		if u.done || u.queued || u.attempts != 1 || u.hedged {
+			continue
+		}
+		if u.holders[w.id] || u.tried[w.id] || u.ineligible[w.id] || eligibleErr(u, w) != nil {
+			continue
+		}
+		if now.Sub(u.lastClaim) < thr {
+			continue
+		}
+		if best == nil || u.lastClaim.Before(best.lastClaim) {
+			best = u
+		}
+	}
+	return best
+}
+
+// hedgeThresholdLocked resolves the straggler threshold: the fixed
+// HedgeAfter, or (HedgeAdaptive) 3× the p95 of fresh unit latencies
+// once enough samples exist.
+func (d *dispatcher) hedgeThresholdLocked() (time.Duration, bool) {
+	if d.opts.HedgeAfter > 0 {
+		return d.opts.HedgeAfter, true
+	}
+	if !d.opts.HedgeAdaptive {
+		return 0, false
+	}
+	thr, ok := adaptiveHedgeThreshold(d.latencies)
+	return thr, ok
+}
+
+// adaptiveHedgeThreshold derives a straggler cutoff from observed
+// fresh-simulation latencies: 3× p95 with a 250ms floor, defined only
+// once hedgeMinSamples latencies exist.
+func adaptiveHedgeThreshold(latencies []time.Duration) (time.Duration, bool) {
+	const hedgeMinSamples = 8
+	if len(latencies) < hedgeMinSamples {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[(len(sorted)*95+99)/100-1]
+	thr := 3 * p95
+	if thr < 250*time.Millisecond {
+		thr = 250 * time.Millisecond
+	}
+	return thr, true
+}
+
+// execute runs one claimed attempt of u on w. It returns false when the
+// slot must retire (campaign cancelled or breaker permanently dead).
+func (d *dispatcher) execute(w *worker, u *unit, probe bool) bool {
+	actx, acancel := context.WithCancel(d.ctx)
+	defer acancel()
+	d.mu.Lock()
+	if u.done {
+		// The unit resolved between claim and start (hedge partner won).
+		d.endAttemptLocked(w, u)
+		d.mu.Unlock()
+		return true
+	}
+	if w.cli != nil {
+		u.cancels[w.id] = acancel
+	}
+	d.mu.Unlock()
+
 	start := time.Now()
 	var (
 		res    sim.Result
@@ -432,14 +675,13 @@ func (d *dispatcher) execute(w *worker, u *unit) bool {
 			err = nerr
 		}
 	} else {
-		actx := d.ctx
-		cancel := func() {}
+		jctx, jcancel := actx, func() {}
 		if d.opts.JobTimeout > 0 {
-			actx, cancel = context.WithTimeout(d.ctx, d.opts.JobTimeout)
+			jctx, jcancel = context.WithTimeout(actx, d.opts.JobTimeout)
 		}
 		var st server.JobStatus
-		st, err = w.cli.RunJob(actx, server.JobSpec{Label: u.job.Label, Config: u.job.Config})
-		cancel()
+		st, err = w.cli.RunJob(jctx, server.JobSpec{Label: u.job.Label, Config: u.job.Config})
+		jcancel()
 		if err == nil {
 			if st.Result == nil {
 				err = fmt.Errorf("dispatch: %s finished job without a result", w.name)
@@ -450,23 +692,68 @@ func (d *dispatcher) execute(w *worker, u *unit) bool {
 	}
 	elapsed := time.Since(start)
 
+	// An attempt cancelled because its hedge partner already landed the
+	// unit is not evidence about this worker: discard it quietly.
+	if err != nil && d.ctx.Err() == nil {
+		d.mu.Lock()
+		lost := u.done
+		if lost {
+			d.endAttemptLocked(w, u)
+		}
+		d.mu.Unlock()
+		if lost {
+			return w.cli == nil || !d.breakerDead(w)
+		}
+	}
+
 	switch {
 	case err == nil:
-		d.complete(u, res, cached, elapsed)
+		d.breakerOK(w)
+		d.complete(w, u, res, cached, elapsed)
 		return true
-	case isPermanent(w, err):
-		d.fail(u, err, elapsed)
+	case isPermanent(w, err) && !isDeadlineFailure(err):
+		d.breakerOK(w)
+		d.fail(w, u, err, elapsed)
 		return true
 	case d.ctx.Err() != nil:
-		d.abandon(u)
+		d.abandon(w, u)
 		return false
 	default:
-		// The worker died or the attempt timed out: retry the unit on
-		// another worker. A plain timeout (or an eligibility rejection
-		// the pre-check somehow missed) keeps the endpoint alive — one
-		// slow or unrunnable job is not evidence the daemon is gone.
-		markDead := !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, server.ErrIneligible)
-		return d.retry(w, u, err, markDead)
+		// The worker died, the attempt timed out, or the daemon shed the
+		// job for an unmeetable deadline: retry the unit on another
+		// worker. Timeouts and deadline sheds keep the breaker closed —
+		// one slow or over-committed daemon is not evidence it is gone.
+		return d.retry(w, u, err, probe)
+	}
+}
+
+// breakerDead reports (under the lock) whether w is permanently gone.
+func (d *dispatcher) breakerDead(w *worker) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return w.breaker.state == breakerDead
+}
+
+// breakerOK records a transport-healthy attempt outcome. When it closes
+// a previously open breaker, the worker has rejoined: its stale tried
+// marks are already cleared (the probe grant did it) and every parked
+// slot re-evaluates.
+func (d *dispatcher) breakerOK(w *worker) {
+	d.mu.Lock()
+	if w.breaker.success() {
+		d.stats.Rejoins++
+		d.clearTriedLocked(w)
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// clearTriedLocked forgets every tried mark recorded against w — used
+// when w rejoins, since the marks indict a previous incarnation of the
+// daemon. Ineligibility marks persist: trace roots don't resurrect.
+func (d *dispatcher) clearTriedLocked(w *worker) {
+	for _, u := range d.units {
+		delete(u.tried, w.id)
 	}
 }
 
@@ -486,24 +773,65 @@ func isPermanent(w *worker, err error) bool {
 	return errors.As(err, &apiErr) && apiErr.Status == 400
 }
 
-// complete lands one unit's result: cache write-back first (a failing
-// write fails the unit, mirroring sweep.Run), then results and events
-// for every input index it serves.
-func (d *dispatcher) complete(u *unit, res sim.Result, cached bool, elapsed time.Duration) {
+// isDeadlineFailure classifies outcomes caused by deadline enforcement
+// somewhere downstream — the daemon failed the job queue-side (reason
+// "deadline") or shed it at admission. They are retryable on a less
+// loaded worker and say nothing about transport health.
+func isDeadlineFailure(err error) bool {
+	var remoteErr *server.RemoteJobError
+	if errors.As(err, &remoteErr) && remoteErr.Reason == server.ReasonDeadline {
+		return true
+	}
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == server.ErrCodeDeadlineUnmeetable
+}
+
+// endAttemptLocked books the end of w's attempt on u.
+func (d *dispatcher) endAttemptLocked(w *worker, u *unit) {
+	if u.holders[w.id] {
+		u.attempts--
+	}
+	delete(u.holders, w.id)
+	delete(u.cancels, w.id)
+}
+
+// complete lands one attempt's result. The first terminal attempt wins:
+// it writes the cache, fills results, and counts stats exactly once; a
+// hedge partner finishing later is discarded.
+func (d *dispatcher) complete(w *worker, u *unit, res sim.Result, cached bool, elapsed time.Duration) {
+	d.mu.Lock()
+	if u.done {
+		d.endAttemptLocked(w, u)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
 	if d.opts.Cache != nil && u.key != "" {
 		if err := d.opts.Cache.PutKeyed(u.key, res); err != nil {
-			d.fail(u, err, elapsed)
+			d.fail(w, u, err, elapsed)
 			return
 		}
 	}
-	d.fill(u, res)
 	d.mu.Lock()
+	d.endAttemptLocked(w, u)
+	if u.done {
+		d.mu.Unlock()
+		return
+	}
 	u.done = true
+	if u.hedged && u.hedgeWorker == w.id {
+		d.stats.HedgesWon++
+	}
+	for _, cancel := range u.cancels {
+		cancel()
+	}
+	d.fill(u, res)
 	d.outstanding--
 	if cached {
 		d.stats.CacheHits++
 	} else {
 		d.stats.Simulations++
+		d.latencies = append(d.latencies, elapsed)
 	}
 	d.stats.Deduped += len(u.indices) - 1
 	d.cond.Broadcast()
@@ -514,10 +842,18 @@ func (d *dispatcher) complete(u *unit, res sim.Result, cached bool, elapsed time
 // fail records a terminal unit failure and stops further dispatch
 // (first-error cancellation; in-flight units still finish and record
 // their results, exactly like sweep.Run).
-func (d *dispatcher) fail(u *unit, err error, elapsed time.Duration) {
+func (d *dispatcher) fail(w *worker, u *unit, err error, elapsed time.Duration) {
 	d.mu.Lock()
+	d.endAttemptLocked(w, u)
+	if u.done {
+		d.mu.Unlock()
+		return
+	}
 	u.err = err
 	u.done = true
+	for _, cancel := range u.cancels {
+		cancel()
+	}
 	d.outstanding--
 	d.failed = true
 	d.cond.Broadcast()
@@ -525,69 +861,129 @@ func (d *dispatcher) fail(u *unit, err error, elapsed time.Duration) {
 	d.report(u, sim.Result{}, false, false, elapsed, err)
 }
 
-// abandon drops a unit whose attempt died with the campaign context:
-// nobody will retry it, and Run reports ctx.Err().
-func (d *dispatcher) abandon(u *unit) {
+// abandon drops an attempt that died with the campaign context: nobody
+// will retry it, and Run reports ctx.Err().
+func (d *dispatcher) abandon(w *worker, u *unit) {
 	d.mu.Lock()
-	d.outstanding--
+	d.endAttemptLocked(w, u)
+	if !u.done {
+		u.done = true
+		d.outstanding--
+	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
 }
 
-// retry hands a unit back after w lost it. The worker is marked dead
-// on transport failures (all its slots retire); the unit either
-// requeues for the remaining candidates or, when none is left, fails
-// the campaign with the underlying error. Returns whether this slot
-// may keep serving.
-func (d *dispatcher) retry(w *worker, u *unit, err error, markDead bool) bool {
+// retry hands a unit back after w lost it. Transport failures feed the
+// worker's circuit breaker (and the unit's crash count, for poison
+// quarantine); eligibility rejections are recorded separately and do
+// not consume the unit's per-worker tried budget. The unit either
+// requeues for the remaining candidates, stays with a live hedge
+// partner, or — when no live or recoverable worker is left — fails the
+// campaign. Returns whether this slot may keep serving.
+func (d *dispatcher) retry(w *worker, u *unit, err error, probe bool) bool {
+	ineligible := errors.Is(err, server.ErrIneligible)
+	timeoutish := errors.Is(err, context.DeadlineExceeded) || isDeadlineFailure(err)
+	transport := !ineligible && !timeoutish
+
 	d.mu.Lock()
-	u.tried[w.id] = true
+	d.endAttemptLocked(w, u)
 	d.stats.Retries++
-	if markDead && !w.dead {
-		w.dead = true
-		d.stats.DeadEndpoints++
-		d.stats.Endpoints--
+	if ineligible {
+		u.ineligible[w.id] = true
+	} else {
+		u.tried[w.id] = true
 	}
-	// Fail every unit — this one and pending ones — that no live
-	// worker can take anymore, so campaigns never hang on a shrinking
-	// fleet.
+	if transport {
+		u.crashes++
+		w.breaker.failure(time.Now())
+	} else if probe && w.cli != nil {
+		// A re-probe that timed out or was shed did not prove the
+		// worker healthy; send the breaker back to open rather than
+		// wedging half-open forever.
+		w.breaker.failure(time.Now())
+	}
+	if w.breaker.state == breakerOpen {
+		d.scheduleWake(w.breaker.reprobe + time.Millisecond)
+	}
+
+	var failedUnits []*unit
+	quarantine := d.opts.poisonThreshold()
+	if !u.done && quarantine > 0 && u.crashes >= quarantine {
+		d.stats.Quarantined++
+		u.err = fmt.Errorf("dispatch: job %q quarantined: %d consecutive attempts each killed their worker (last: %v)", u.job.Label, u.crashes, err)
+		d.terminateLocked(u)
+		failedUnits = append(failedUnits, u)
+	}
+
+	// Fail every unit — this one and pending ones — that no live or
+	// recoverable worker can take anymore, so campaigns never hang on a
+	// shrinking fleet.
 	requeue := d.pending[:0]
 	for _, p := range d.pending {
 		if d.hasCandidateLocked(p) {
 			requeue = append(requeue, p)
 			continue
 		}
+		p.queued = false
 		p.err = fmt.Errorf("dispatch: no live worker left for %q (last endpoint lost: %v)", p.job.Label, err)
-		p.done = true
-		d.outstanding--
-		d.failed = true
+		d.terminateLocked(p)
 	}
 	d.pending = requeue
-	if d.hasCandidateLocked(u) {
-		d.pending = append(d.pending, u)
-	} else {
-		u.err = fmt.Errorf("dispatch: job %q failed on every live worker: %w", u.job.Label, err)
-		u.done = true
-		d.outstanding--
-		d.failed = true
+	if !u.done {
+		switch {
+		case u.attempts > 0:
+			// A hedge partner still runs this unit; its outcome decides.
+		case d.hasCandidateLocked(u):
+			if !u.queued {
+				u.queued = true
+				d.pending = append(d.pending, u)
+			}
+		default:
+			u.err = fmt.Errorf("dispatch: job %q failed on every live worker: %w", u.job.Label, err)
+			d.terminateLocked(u)
+			failedUnits = append(failedUnits, u)
+		}
 	}
-	alive := !w.dead
+	alive := w.breaker.state != breakerDead
 	d.cond.Broadcast()
 	d.mu.Unlock()
+	for _, fu := range failedUnits {
+		d.report(fu, sim.Result{}, false, false, 0, fu.err)
+	}
 	return alive
 }
 
-// hasCandidateLocked reports whether any live worker can still take u.
+// terminateLocked marks u terminally failed and cancels any attempt
+// still in flight.
+func (d *dispatcher) terminateLocked(u *unit) {
+	u.done = true
+	for _, cancel := range u.cancels {
+		cancel()
+	}
+	d.outstanding--
+	d.failed = true
+}
+
+// hasCandidateLocked reports whether any worker can still take u. An
+// open (but not dead) breaker counts: its daemon may rejoin, and the
+// unit's tried mark against it is cleared on the re-probe.
 func (d *dispatcher) hasCandidateLocked(u *unit) bool {
 	for _, w := range d.workers {
-		if !w.dead && !u.tried[w.id] && eligibleErr(u, w) == nil {
-			return true
+		if w.breaker.state == breakerDead || u.ineligible[w.id] || eligibleErr(u, w) != nil {
+			continue
 		}
+		if u.tried[w.id] && w.breaker.state == breakerClosed {
+			continue
+		}
+		return true
 	}
 	return false
 }
 
-// fill writes one result into every input slot the unit serves.
+// fill writes one result into every input slot the unit serves. Called
+// with dispatcher.mu held when attempts may race (hedges), so exactly
+// one attempt writes.
 func (d *dispatcher) fill(u *unit, res sim.Result) {
 	for _, idx := range u.indices {
 		d.results[idx] = res

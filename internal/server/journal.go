@@ -26,7 +26,23 @@ type jobJournal struct {
 	limit int // entries retained, oldest dropped first (<=0: unbounded)
 	byID  map[string]journalEntry
 	order []string // IDs oldest-first
+
+	// Degraded-mode state: after a disk write fails the journal flips to
+	// memory-only — record keeps upserting the in-memory index (so ID
+	// resolution and numbering stay correct for the life of the process)
+	// and the disk is retried once per probeEvery window. The file is a
+	// complete snapshot, so the first probe that lands restores every
+	// entry accumulated while degraded.
+	degraded   bool
+	writeErrs  uint64
+	restores   uint64
+	lastProbe  time.Time
+	probeEvery time.Duration // 0 = defaultStorageProbe
 }
+
+// defaultStorageProbe spaces restore probes while a journal or cache is
+// degraded.
+const defaultStorageProbe = time.Second
 
 // journalEntry records one terminal job.
 type journalEntry struct {
@@ -100,10 +116,16 @@ func (l *jobJournal) record(entries ...journalEntry) {
 	l.writeLocked()
 }
 
-// writeLocked persists the current entries atomically. Write errors are
-// swallowed: the journal is an availability optimization, and a daemon
-// on a read-only disk should keep serving rather than crash.
+// writeLocked persists the current entries atomically. Write errors
+// never fail the caller: the journal is an availability optimization,
+// and a daemon on a full or read-only disk should keep serving rather
+// than crash — it degrades to memory-only (health reports it, /readyz
+// warns) and probes the disk once per probe window until a write lands.
 func (l *jobJournal) writeLocked() {
+	now := time.Now()
+	if l.degraded && now.Sub(l.lastProbe) < l.probeInterval() {
+		return // memory-only: skip the disk until the next probe window
+	}
 	f := journalFile{Version: 1, Jobs: make([]journalEntry, 0, len(l.order))}
 	for _, id := range l.order {
 		f.Jobs = append(f.Jobs, l.byID[id])
@@ -114,9 +136,58 @@ func (l *jobJournal) writeLocked() {
 	}
 	tmp := l.path + ".tmp"
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		l.noteWriteErrorLocked(now)
 		return
 	}
-	_ = os.Rename(tmp, l.path)
+	if err := os.Rename(tmp, l.path); err != nil {
+		l.noteWriteErrorLocked(now)
+		return
+	}
+	if l.degraded {
+		l.degraded = false
+		l.restores++
+	}
+}
+
+// noteWriteErrorLocked records a failed disk write and (re)enters
+// degraded memory-only mode. Caller holds l.mu.
+func (l *jobJournal) noteWriteErrorLocked(now time.Time) {
+	l.writeErrs++
+	l.degraded = true
+	l.lastProbe = now
+}
+
+// probeInterval returns the configured restore-probe spacing.
+func (l *jobJournal) probeInterval() time.Duration {
+	if l.probeEvery > 0 {
+		return l.probeEvery
+	}
+	return defaultStorageProbe
+}
+
+// setStorageProbeInterval overrides how often a degraded journal probes
+// the disk for recovery (default one second).
+func (l *jobJournal) setStorageProbeInterval(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	l.probeEvery = d
+}
+
+// health reports the journal's degraded-mode state. Nil-safe: a
+// journal-less manager reports healthy.
+func (l *jobJournal) health() (degraded bool, writeErrs, restores uint64) {
+	if l == nil {
+		return false, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded, l.writeErrs, l.restores
 }
 
 // lookup returns the journaled entry for a job ID.

@@ -46,6 +46,14 @@ var (
 	ErrDraining = errors.New("server: shutting down, not accepting jobs")
 	// ErrUnknownJob reports a job ID the manager has never issued (404).
 	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrDeadlineExceeded fails a job whose propagated deadline expired
+	// while it was still queued — it fails fast instead of occupying a
+	// scheduler slot it can no longer use.
+	ErrDeadlineExceeded = errors.New("server: job deadline exceeded")
+	// ErrQuarantined fails a poison job: one whose execution killed
+	// PoisonThreshold successive workers. Resubmissions of the same
+	// config fail fast instead of cascading through the fleet.
+	ErrQuarantined = errors.New("server: job quarantined")
 )
 
 // JobState is the lifecycle position of one job.
@@ -76,6 +84,15 @@ type JobSpec struct {
 	// peers, keeping fleet-wide quotas and attribution correct.
 	// Excluded from sweep.Key: attribution never changes cache keys.
 	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMs, when positive, is the job's absolute deadline in
+	// milliseconds since the Unix epoch. The manager enforces it
+	// queue-side: a job still queued past its deadline fails fast with
+	// Reason "deadline", and a submission whose deadline the estimated
+	// queue drain already exceeds is shed at admission. Normally filled
+	// from the X-Ccsimd-Deadline-Ms header (the client's context
+	// deadline); excluded from sweep.Key like Tenant — urgency never
+	// changes content addresses.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // JobStatus is the wire representation of one job's state. Result is
@@ -90,6 +107,10 @@ type JobStatus struct {
 	Cached      bool        `json:"cached,omitempty"`  // served from the persistent cache
 	Deduped     bool        `json:"deduped,omitempty"` // attached to another job's in-flight run
 	Error       string      `json:"error,omitempty"`
+	// Reason is the machine-readable cause of a terminal failure
+	// (ReasonDeadline, ReasonQuarantined) so fleet schedulers classify
+	// failures without parsing Error strings.
+	Reason      string      `json:"reason,omitempty"`
 	SubmittedAt time.Time   `json:"submitted_at"`
 	StartedAt   *time.Time  `json:"started_at,omitempty"`
 	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
@@ -109,6 +130,8 @@ type job struct {
 	cached      bool
 	deduped     bool
 	err         error
+	reason      string    // machine-readable failure cause (ReasonDeadline, ...)
+	deadline    time.Time // queue-side enforcement bound; zero = none
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
@@ -142,6 +165,12 @@ type flight struct {
 	tenant   string
 	priority int
 	seq      uint64
+
+	// handbacks counts how many successive workers this flight's
+	// execution has killed (each retireSlot hand-back increments it).
+	// At ManagerConfig.PoisonThreshold the flight is quarantined instead
+	// of requeued, so one poison job cannot cascade through the fleet.
+	handbacks int
 
 	// stream, set when the config enables analysis, fans the flight's
 	// live epoch batches out to SSE subscribers and retains the final
@@ -198,6 +227,22 @@ type ManagerConfig struct {
 	// otherwise open the paths on its own filesystem, failing or,
 	// worse, silently reading a different file.
 	TraceRoot string
+
+	// HedgeAfter, when positive, hedges straggler remote flights: a
+	// flight a peer has been running for longer than this launches a
+	// local backup execution, first result wins. Safe because the
+	// fleet-wide singleflight on sweep.Key guarantees at most one
+	// *counted* simulation per config — the losing attempt is canceled
+	// and never finishes the flight. Zero disables hedging.
+	HedgeAfter time.Duration
+	// PoisonThreshold quarantines a flight after its execution killed
+	// this many successive workers (0 means 3; negative disables
+	// quarantine entirely).
+	PoisonThreshold int
+	// StorageProbeInterval overrides how often degraded (memory-only)
+	// storage probes the disk for recovery; <= 0 keeps the one-second
+	// default.
+	StorageProbeInterval time.Duration
 }
 
 // Manager owns the job table, the dedup index, and the worker pool
@@ -218,9 +263,11 @@ type Manager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	retention int
-	workers   int // local worker goroutines
-	traceRoot string
+	retention  int
+	workers    int // local worker goroutines
+	traceRoot  string
+	hedgeAfter time.Duration // straggler threshold for remote flights (0 = no hedging)
+	poison     int           // successive worker kills before quarantine (<=0 = never)
 
 	mu       sync.Mutex
 	qcond    *sync.Cond // workers wait here for startable flights
@@ -232,6 +279,15 @@ type Manager struct {
 	draining bool
 	nextID   uint64
 	slots    int // live worker goroutines, local + remote; remote slots retire on peer loss
+
+	// quarantined maps content-address keys of poison jobs to the
+	// human-readable quarantine cause; resubmissions fail fast.
+	quarantined map[string]string
+	// avgFlightNs is an EWMA of fresh (non-cached) flight durations,
+	// the basis of admission-time deadline shedding: a submission whose
+	// deadline the estimated queue drain exceeds is rejected instead of
+	// occupying a slot it cannot use.
+	avgFlightNs float64
 
 	counters counters
 	tstats   map[string]*tenantCounters
@@ -285,28 +341,41 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if retention <= 0 {
 		retention = 1024
 	}
+	poison := cfg.PoisonThreshold
+	if poison == 0 {
+		poison = 3
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cache:     cfg.Cache,
-		store:     newResultStore(cfg.Cache, cfg.HotResults),
-		registry:  cfg.Tenants,
-		retention: retention,
-		workers:   workers,
-		traceRoot: cfg.TraceRoot,
-		ctx:       ctx,
-		cancel:    cancel,
-		jobs:      map[string]*job{},
-		flights:   map[string]*flight{},
-		sched:     newSchedQueue(depth),
-		tstats:    map[string]*tenantCounters{},
+		cache:       cfg.Cache,
+		store:       newResultStore(cfg.Cache, cfg.HotResults),
+		registry:    cfg.Tenants,
+		retention:   retention,
+		workers:     workers,
+		traceRoot:   cfg.TraceRoot,
+		hedgeAfter:  cfg.HedgeAfter,
+		poison:      poison,
+		ctx:         ctx,
+		cancel:      cancel,
+		jobs:        map[string]*job{},
+		flights:     map[string]*flight{},
+		sched:       newSchedQueue(depth),
+		tstats:      map[string]*tenantCounters{},
+		quarantined: map[string]string{},
 	}
 	m.qcond = sync.NewCond(&m.mu)
 	if cfg.Cache != nil {
+		if cfg.StorageProbeInterval > 0 {
+			cfg.Cache.SetStorageProbeInterval(cfg.StorageProbeInterval)
+		}
 		// The journal keeps a wider window than the job table: an entry is
 		// a one-line ID->key mapping, so retaining 8x the in-memory
 		// retention is cheap, and it is exactly the evicted jobs — the ones
 		// no longer in the table — whose IDs the journal must still resolve.
 		m.journal = openJournal(cfg.Cache.Path()+".jobs", 8*retention)
+		if cfg.StorageProbeInterval > 0 {
+			m.journal.setStorageProbeInterval(cfg.StorageProbeInterval)
+		}
 		if max := m.journal.maxID(); max > m.nextID {
 			m.nextID = max
 		}
@@ -328,6 +397,10 @@ func NewManager(cfg ManagerConfig) *Manager {
 			go m.remoteWorker(r)
 		}
 	}
+	// The deadline sweeper fails queued jobs whose deadline passed. Not
+	// in m.wg: it lives on m.ctx, which Drain cancels after the workers
+	// finish.
+	go m.expireLoop()
 	return m
 }
 
@@ -380,6 +453,21 @@ func (m *Manager) Workers() int { return m.workers }
 // daemon has none).
 func (m *Manager) TraceRoot() string { return m.traceRoot }
 
+// StorageDegraded reports whether any durable tier (result cache, job
+// journal) is currently running memory-only after disk write failures.
+// Surfaced as a /readyz warning and the storage_degraded metric; the
+// daemon keeps serving — results and job state stay correct in memory
+// and the disk is re-probed automatically.
+func (m *Manager) StorageDegraded() bool {
+	if m.cache != nil {
+		if degraded, _, _ := m.cache.StorageHealth(); degraded {
+			return true
+		}
+	}
+	degraded, _, _ := m.journal.health()
+	return degraded
+}
+
 // Submit validates and enqueues a batch of jobs as the anonymous
 // caller — the open-mode entry point, byte-identical to the
 // pre-gateway behavior when no registry is configured.
@@ -401,9 +489,13 @@ func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) 
 	}
 	keys := make([]string, len(specs))
 	owners := make([]Tenant, len(specs))
+	deadlines := make([]time.Time, len(specs))
 	for i, spec := range specs {
 		if err := spec.Config.Validate(); err != nil {
 			return nil, fmt.Errorf("server: job %d: %w", i, err)
+		}
+		if spec.DeadlineMs > 0 {
+			deadlines[i] = time.UnixMilli(spec.DeadlineMs)
 		}
 		// Hash outside the lock: keys are a pure function of the spec,
 		// and marshal+SHA-256 per config would otherwise stall every
@@ -433,6 +525,13 @@ func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) 
 	if m.draining {
 		return nil, ErrDraining
 	}
+	// Poison quarantine: a config that killed PoisonThreshold successive
+	// workers fails fast on resubmission instead of cascading again.
+	for i, key := range keys {
+		if cause, ok := m.quarantined[key]; ok && key != "" {
+			return nil, fmt.Errorf("server: job %d: %w (%s)", i, ErrQuarantined, cause)
+		}
+	}
 
 	// Count the fresh flights this batch needs, so a batch that would
 	// overflow the queue (or a tenant quota) is rejected before any job
@@ -441,6 +540,7 @@ func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) 
 		key    string
 		cached *sim.Result
 		flight *flight // existing flight to attach to
+		fresh  bool    // creates a new flight (queue capacity consumer)
 	}
 	plans := make([]plan, len(specs))
 	fresh := 0
@@ -467,8 +567,24 @@ func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) 
 			}
 			batchFlights[key] = true
 		}
+		plans[i].fresh = true
 		fresh++
 		queuedAdd[owners[i].Name]++
+	}
+
+	// Admission-time load shedding: a fresh submission whose deadline
+	// the estimated queue drain already exceeds (or has already passed)
+	// would only waste a scheduler slot — reject it now so the client
+	// retries a less loaded worker while there is still time.
+	est := m.drainEstimateLocked(fresh)
+	for i := range specs {
+		if !plans[i].fresh || deadlines[i].IsZero() {
+			continue
+		}
+		if wait := time.Until(deadlines[i]); wait <= 0 || (est > 0 && wait < est) {
+			m.counters.deadlineShed++
+			return nil, &DeadlineError{JobIndex: i, Wait: wait, Estimate: est}
+		}
 	}
 
 	// Per-tenant MaxQueued quota: the tenant's jobs already waiting plus
@@ -526,6 +642,7 @@ func (m *Manager) SubmitAs(caller Tenant, specs []JobSpec) ([]JobStatus, error) 
 			label:       spec.Label,
 			tenant:      owner.Name,
 			key:         plans[i].key,
+			deadline:    deadlines[i],
 			submittedAt: now,
 			subs:        map[int]chan jobEvent{},
 		}
@@ -803,6 +920,127 @@ func (m *Manager) cancelJobLocked(j *job, reason string) {
 	}
 }
 
+// DeadlineError rejects a submission at admission because its deadline
+// cannot be met: either it already passed, or the estimated queue drain
+// time exceeds it. The handler layer maps it to 503 with the structured
+// code ErrCodeDeadlineUnmeetable, so clients distinguish "this worker
+// is too loaded" (retry elsewhere) from a permanent rejection.
+type DeadlineError struct {
+	JobIndex int           // position in the submitted batch
+	Wait     time.Duration // time left until the deadline (<= 0: passed)
+	Estimate time.Duration // estimated queue drain at admission (0: unknown)
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	if e.Wait <= 0 {
+		return fmt.Sprintf("server: job %d: deadline already expired at submission", e.JobIndex)
+	}
+	return fmt.Sprintf("server: job %d: deadline unmeetable: estimated queue drain %v exceeds the %v left before the deadline",
+		e.JobIndex, e.Estimate.Round(time.Millisecond), e.Wait.Round(time.Millisecond))
+}
+
+// drainEstimateLocked estimates how long the queue (plus fresh incoming
+// flights) takes to drain, from the EWMA of fresh flight durations and
+// the live slot count. Zero until enough history exists. Caller holds
+// m.mu.
+func (m *Manager) drainEstimateLocked(fresh int) time.Duration {
+	if m.avgFlightNs <= 0 || m.slots <= 0 {
+		return 0
+	}
+	backlog := m.sched.total + fresh + m.counters.running
+	return time.Duration(float64(backlog) * m.avgFlightNs / float64(m.slots))
+}
+
+// expireLoop periodically fails queued jobs whose deadline passed, so
+// they stop occupying scheduler slots they can no longer use. Running
+// jobs are left alone — a single simulation cannot be interrupted, and
+// its result is still worth caching.
+func (m *Manager) expireLoop() {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case now := <-t.C:
+			m.expireQueued(now)
+		}
+	}
+}
+
+// expireQueued fails every queued job whose deadline passed, dropping
+// flights left with no live subscribers from the queue entirely.
+func (m *Manager) expireQueued(now time.Time) {
+	var recs []journalEntry
+	m.mu.Lock()
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j.state != StateQueued || j.deadline.IsZero() || now.Before(j.deadline) {
+			continue
+		}
+		recs = append(recs, m.failJobLocked(j, fmt.Errorf("%w: expired after %v queued", ErrDeadlineExceeded, now.Sub(j.submittedAt).Round(time.Millisecond)), ReasonDeadline))
+		if f := j.flight; f != nil && f.state == StateQueued {
+			live := false
+			for _, other := range f.jobs {
+				if !other.state.Terminal() {
+					live = true
+					break
+				}
+			}
+			if !live {
+				f.state = StateCanceled
+				m.dropFlightLocked(f)
+				m.sched.remove(f)
+			}
+		}
+	}
+	if len(recs) > 0 {
+		m.pruneLocked()
+	}
+	m.mu.Unlock()
+	m.journal.record(recs...)
+}
+
+// failJobLocked finalizes one job as failed with a machine-readable
+// reason and returns its journal entry. The caller owns any flight
+// cleanup. Caller holds m.mu.
+func (m *Manager) failJobLocked(j *job, err error, reason string) journalEntry {
+	j.state = StateFailed
+	j.err = err
+	j.reason = reason
+	j.finishedAt = time.Now()
+	m.counters.failed++
+	if reason == ReasonDeadline {
+		m.counters.deadlineExpired++
+	}
+	if j.tenant != "" {
+		m.tenantCountersLocked(j.tenant).failed++
+	}
+	m.notifyLocked(j)
+	return journalEntry{
+		ID: j.id, Key: j.key, Label: j.label, Tenant: j.tenant,
+		State: StateFailed, FinishedAt: j.finishedAt,
+	}
+}
+
+// failureReason maps a flight error to the machine-readable Reason
+// carried on JobStatus ("" for unclassified failures).
+func failureReason(err error) string {
+	var remoteErr *RemoteJobError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadlineExceeded):
+		return ReasonDeadline
+	case errors.Is(err, ErrQuarantined):
+		return ReasonQuarantined
+	case errors.As(err, &remoteErr):
+		return remoteErr.Reason // propagate the peer's classification
+	}
+	return ""
+}
+
 // nextFlight blocks until the scheduler has a startable flight,
 // returning ok=false once Drain closed the queue and nothing startable
 // remains. Picking accounts one running slot to the flight's tenant,
@@ -849,19 +1087,27 @@ func (m *Manager) remoteWorker(r Remote) {
 		if !m.startFlight(f) {
 			continue
 		}
-		if m.execFlightRemote(r, f) {
+		switch m.execFlightRemote(r, f) {
+		case flightSettled:
 			continue
-		}
-		if last := m.retireSlot(f); last {
-			for {
-				f, ok := m.nextFlight()
-				if !ok {
-					return
-				}
-				m.runFlight(f)
+		case peerLostSettled:
+			// A hedge finished the flight after the peer vanished: retire
+			// the slot without a hand-back.
+			if last := m.dropSlot(); !last {
+				return
+			}
+		case peerLost:
+			if last := m.retireSlot(f); !last {
+				return
 			}
 		}
-		return
+		for {
+			f, ok := m.nextFlight()
+			if !ok {
+				return
+			}
+			m.runFlight(f)
+		}
 	}
 }
 
@@ -877,7 +1123,20 @@ func (m *Manager) runFlight(f *flight) {
 // should execute; a flight whose subscribers all canceled while it was
 // queued (or whose context died) is finalized instead.
 func (m *Manager) startFlight(f *flight) bool {
+	// Journal writes do file I/O; registered before the lock so it runs
+	// after the explicit unlocks below.
+	var recs []journalEntry
+	defer func() { m.journal.record(recs...) }()
 	m.mu.Lock()
+	// Deadline enforcement at the last queue-side moment: subscribers
+	// whose deadline passed while the flight waited fail fast instead of
+	// riding a simulation they can no longer use.
+	now := time.Now()
+	for _, j := range f.jobs {
+		if !j.state.Terminal() && !j.deadline.IsZero() && now.After(j.deadline) {
+			recs = append(recs, m.failJobLocked(j, fmt.Errorf("%w: expired before the simulation could start", ErrDeadlineExceeded), ReasonDeadline))
+		}
+	}
 	live := 0
 	for _, j := range f.jobs {
 		if !j.state.Terminal() {
@@ -902,7 +1161,7 @@ func (m *Manager) startFlight(f *flight) bool {
 	}
 	f.state = StateRunning
 	m.counters.running++
-	now := time.Now()
+	now = time.Now()
 	for _, j := range f.jobs {
 		if j.state == StateQueued {
 			j.state = StateRunning
@@ -914,14 +1173,18 @@ func (m *Manager) startFlight(f *flight) bool {
 	return true
 }
 
-// execFlightLocal runs a started flight through the sweep engine on
-// this machine and completes its jobs. When the flight carries a
-// stream broker, the analysis collector's live batches are routed into
-// it on the simulation goroutine; the cloned config keeps the content
-// address unchanged (Stream is excluded from the key).
-func (m *Manager) execFlightLocal(f *flight) {
+// simulateFlight runs a started flight through the sweep engine on this
+// machine, without finishing it — the caller decides what the outcome
+// means (the normal local path finishes the flight with it; a hedge
+// only wins if the remote attempt has not already finished). When the
+// flight carries a stream broker and hedge is false, the analysis
+// collector's live batches are routed into it on the simulation
+// goroutine; the cloned config keeps the content address unchanged
+// (Stream is excluded from the key). Hedge runs skip the broker so a
+// losing backup never races the winner's stream seal.
+func (m *Manager) simulateFlight(f *flight, hedge bool) (sim.Result, sweep.Event, error) {
 	cfg := f.cfg
-	if f.stream != nil && cfg.Analysis != nil {
+	if !hedge && f.stream != nil && cfg.Analysis != nil {
 		ac := *cfg.Analysis
 		ac.Stream = f.stream.ingest
 		cfg.Analysis = &ac
@@ -942,19 +1205,156 @@ func (m *Manager) execFlightLocal(f *flight) {
 			m.store.promote(f.key, res)
 		}
 	}
+	return res, ev, err
+}
+
+// execFlightLocal runs a started flight locally, start to finish.
+func (m *Manager) execFlightLocal(f *flight) {
+	res, ev, err := m.simulateFlight(f, false)
 	m.finishFlight(f, "local", res, ev.Elapsed, ev.Cached, false, err)
 }
 
-// execFlightRemote runs a started flight on r. It returns false when
-// the peer is unreachable (transport error): the flight is still
-// running and the caller must hand it back via retireSlot.
-func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
+// remoteVerdict is the outcome of one remote flight execution.
+type remoteVerdict int
+
+const (
+	// flightSettled: the flight reached a terminal state (on the peer, or
+	// locally via the ineligible fallback or a winning hedge while the
+	// peer stayed healthy); the slot keeps serving the peer.
+	flightSettled remoteVerdict = iota
+	// peerLost: transport failure with the flight still running; the
+	// caller hands it back via retireSlot.
+	peerLost
+	// peerLostSettled: the transport died but a hedge finished the
+	// flight; the slot retires without a hand-back.
+	peerLostSettled
+)
+
+// remoteSpec builds the JobSpec forwarded to a peer: the owning tenant
+// (so the peer attributes work — and its fleet-wide dedup and quotas —
+// to the original caller, not to this forwarding daemon) and the widest
+// deadline shared by every live subscriber. The deadline is forwarded
+// only when every live subscriber has one: a peer must never fail a
+// flight early while a deadline-less subscriber is still waiting on it.
+func (m *Manager) remoteSpec(f *flight) JobSpec {
+	spec := JobSpec{Label: f.label, Config: f.cfg, Tenant: f.tenant}
+	m.mu.Lock()
+	latest, all := time.Time{}, true
+	for _, j := range f.jobs {
+		if j.state.Terminal() {
+			continue
+		}
+		if j.deadline.IsZero() {
+			all = false
+			break
+		}
+		if j.deadline.After(latest) {
+			latest = j.deadline
+		}
+	}
+	m.mu.Unlock()
+	if all && !latest.IsZero() {
+		spec.DeadlineMs = latest.UnixMilli()
+	}
+	return spec
+}
+
+// execFlightRemote runs a started flight on r, hedging stragglers with
+// a local backup when the manager was configured with HedgeAfter.
+func (m *Manager) execFlightRemote(r Remote, f *flight) remoteVerdict {
+	if m.hedgeAfter > 0 {
+		return m.execFlightHedged(r, f)
+	}
 	start := time.Now()
-	// Forward the owning tenant so the peer attributes the work (and its
-	// fleet-wide dedup and quotas) to the original caller, not to this
-	// forwarding daemon.
-	st, err := r.Run(f.ctx, JobSpec{Label: f.label, Config: f.cfg, Tenant: f.tenant})
-	elapsed := time.Since(start)
+	st, err := r.Run(f.ctx, m.remoteSpec(f))
+	if m.settleRemote(r, f, st, err, time.Since(start), false) {
+		return flightSettled
+	}
+	return peerLost
+}
+
+// execFlightHedged races the peer against a local backup: the remote
+// attempt starts immediately, and if it is still running after
+// hedgeAfter a local execution launches too — first finished result
+// wins and cancels the loser, so hedges never double-finish a flight
+// (and never double-count SimulationsRun: only the winner reaches
+// finishFlight).
+func (m *Manager) execFlightHedged(r Remote, f *flight) remoteVerdict {
+	type remoteOut struct {
+		st  JobStatus
+		err error
+	}
+	type localOut struct {
+		res sim.Result
+		ev  sweep.Event
+		err error
+	}
+	start := time.Now()
+	rctx, rcancel := context.WithCancel(f.ctx)
+	defer rcancel()
+	rch := make(chan remoteOut, 1)
+	spec := m.remoteSpec(f)
+	go func() {
+		st, err := r.Run(rctx, spec)
+		rch <- remoteOut{st, err}
+	}()
+	var lch chan localOut // nil until the hedge launches; nil in select blocks forever
+	timer := time.NewTimer(m.hedgeAfter)
+	defer timer.Stop()
+	for {
+		select {
+		case o := <-rch:
+			elapsed := time.Since(start)
+			hedged := lch != nil
+			if m.settleRemote(r, f, o.st, o.err, elapsed, hedged) {
+				return flightSettled
+			}
+			if !hedged {
+				return peerLost
+			}
+			// The peer is gone (or became ineligible) but the hedge is
+			// already simulating this flight locally: let it finish —
+			// handing the flight back would run it a third time.
+			lo := <-lch
+			m.finishFlight(f, "local", lo.res, lo.ev.Elapsed, lo.ev.Cached, false, lo.err)
+			m.mu.Lock()
+			m.counters.hedgesWon++
+			m.mu.Unlock()
+			if errors.Is(o.err, ErrIneligible) {
+				return flightSettled // the peer is healthy; keep its slot
+			}
+			return peerLostSettled
+		case <-timer.C:
+			if lch != nil {
+				continue
+			}
+			lch = make(chan localOut, 1)
+			m.mu.Lock()
+			m.counters.hedgesLaunched++
+			m.mu.Unlock()
+			go func() {
+				res, ev, err := m.simulateFlight(f, true)
+				lch <- localOut{res, ev, err}
+			}()
+		case lo := <-lch:
+			// The local backup beat the straggling peer: cancel the remote
+			// attempt and finish with the local result.
+			rcancel()
+			m.finishFlight(f, "local", lo.res, lo.ev.Elapsed, lo.ev.Cached, false, lo.err)
+			m.mu.Lock()
+			m.counters.hedgesWon++
+			m.mu.Unlock()
+			return flightSettled
+		}
+	}
+}
+
+// settleRemote applies one remote outcome to the flight. It reports
+// true when the flight reached a terminal state; false means a
+// transport failure (the peer is unreachable — the caller retires the
+// slot or falls back to a running hedge) or, when hedged, an
+// ineligibility verdict the running hedge will resolve.
+func (m *Manager) settleRemote(r Remote, f *flight, st JobStatus, err error, elapsed time.Duration, hedged bool) bool {
 	var remoteErr *RemoteJobError
 	switch {
 	case err == nil && st.Result == nil:
@@ -969,7 +1369,7 @@ func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 			// submission — never re-digested, so a trace rewritten
 			// mid-flight cannot fail a successful run (key-less flights
 			// skip caching, like the local path; cacheless managers have
-			// a nil store and skip it too).
+			// a nil store; a degraded cache absorbs the write in memory).
 			if perr := m.store.Put(f.key, res); perr != nil {
 				m.finishFlight(f, r.Name(), sim.Result{}, elapsed, false, true, perr)
 				return true
@@ -986,7 +1386,11 @@ func (m *Manager) execFlightRemote(r Remote, f *flight) bool {
 		// config's trace files) but it is perfectly healthy: execute
 		// the flight on this goroutine instead — requeueing would
 		// livelock a fleet whose every peer is ineligible, and failing
-		// would punish a job local execution can still satisfy.
+		// would punish a job local execution can still satisfy. With a
+		// hedge already running, that local execution exists: defer to it.
+		if hedged {
+			return false
+		}
 		m.execFlightLocal(f)
 	default:
 		return false
@@ -1005,6 +1409,21 @@ func (m *Manager) retireSlot(f *flight) (last bool) {
 	m.mu.Lock()
 	m.slots--
 	last = m.slots == 0
+	// Poison quarantine: a flight whose execution has now killed
+	// m.poison successive workers is the common cause, not the victim.
+	// Fail and quarantine it instead of handing it to yet another
+	// worker.
+	f.handbacks++
+	if m.poison > 0 && f.handbacks >= m.poison {
+		m.counters.quarantined++
+		if f.key != "" {
+			m.quarantined[f.key] = fmt.Sprintf("killed %d successive workers", f.handbacks)
+		}
+		m.mu.Unlock()
+		m.finishFlight(f, "quarantine", sim.Result{}, 0, false, true,
+			fmt.Errorf("%w: execution killed %d successive workers", ErrQuarantined, f.handbacks))
+		return last
+	}
 	if !last && !m.draining && m.sched.total < m.sched.capacity {
 		// Hand-back visible to pollers/SSE as running -> queued.
 		f.state = StateQueued
@@ -1027,6 +1446,17 @@ func (m *Manager) retireSlot(f *flight) (last bool) {
 	return last
 }
 
+// dropSlot removes a retiring worker from the live-slot count without a
+// flight hand-back (the flight already settled). Returns true when this
+// was the last live slot.
+func (m *Manager) dropSlot() (last bool) {
+	m.mu.Lock()
+	m.slots--
+	last = m.slots == 0
+	m.mu.Unlock()
+	return last
+}
+
 // finishFlight completes every job attached to a started flight with
 // its outcome. worker names the slot that resolved the flight ("local"
 // or a peer) for the journal and the per-worker metrics; cached marks
@@ -1044,12 +1474,14 @@ func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed
 	m.qcond.Broadcast()
 	switch {
 	case err != nil:
+		reason := failureReason(err)
 		for _, j := range f.jobs {
 			if j.state.Terminal() {
 				continue
 			}
 			j.state = StateFailed
 			j.err = err
+			j.reason = reason
 			j.finishedAt = time.Now()
 			j.elapsed = elapsed
 			m.counters.failed++
@@ -1070,6 +1502,16 @@ func (m *Manager) finishFlight(f *flight, worker string, res sim.Result, elapsed
 			m.counters.remoteSims++
 		default:
 			m.counters.simulations++
+		}
+		if !cached && elapsed > 0 {
+			// Fresh execution: fold its duration into the drain-estimate
+			// EWMA that admission-time deadline shedding consults.
+			const alpha = 0.3
+			if m.avgFlightNs == 0 {
+				m.avgFlightNs = float64(elapsed)
+			} else {
+				m.avgFlightNs += alpha * (float64(elapsed) - m.avgFlightNs)
+			}
 		}
 		if res.Analysis != nil {
 			m.counters.accumulateAnalysisLocked(res.Analysis.Totals)
@@ -1198,6 +1640,7 @@ func (m *Manager) statusLocked(j *job, withResult bool) JobStatus {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
+		st.Reason = j.reason
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

@@ -21,6 +21,14 @@ type counters struct {
 	requeued    uint64 // flights handed back after a peer became unreachable
 	running     int    // flights currently simulating
 
+	// Resilience counters (PR 10): hedged straggler flights, queue-side
+	// deadline enforcement, and poison-job quarantine.
+	hedgesLaunched  uint64 // local backup executions started for straggler remote flights
+	hedgesWon       uint64 // flights the backup finished first (or salvaged after peer loss)
+	quarantined     uint64 // flights failed after killing PoisonThreshold successive workers
+	deadlineExpired uint64 // queued jobs failed because their deadline passed
+	deadlineShed    uint64 // submissions rejected at admission as deadline-unmeetable
+
 	// Fleet-wide perf-analyzer aggregates: the Totals of every completed
 	// flight whose config enabled analysis, plus how many such reports
 	// contributed. Event-exact sums (they bypass the bounded epoch
@@ -142,6 +150,41 @@ type Metrics struct {
 	// ResultStore reports the tiered result store's hot-tier traffic;
 	// absent on cacheless daemons.
 	ResultStore *StoreMetrics `json:"result_store,omitempty"`
+
+	// Resilience block (PR 10). HedgesLaunched/HedgesWon count straggler
+	// flights raced against a local backup; hedges never double-count
+	// SimulationsRun because only the winning attempt finishes the
+	// flight.
+	HedgesLaunched uint64 `json:"hedges_launched,omitempty"`
+	HedgesWon      uint64 `json:"hedges_won,omitempty"`
+	// PoisonQuarantined counts flights failed after killing
+	// PoisonThreshold successive workers; resubmissions fail fast.
+	PoisonQuarantined uint64 `json:"poison_quarantined,omitempty"`
+	// DeadlineExpired counts queued jobs failed fast after their
+	// propagated deadline passed; DeadlineShed counts submissions
+	// rejected at admission because the estimated queue drain already
+	// exceeded their deadline.
+	DeadlineExpired uint64 `json:"deadline_expired,omitempty"`
+	DeadlineShed    uint64 `json:"deadline_shed,omitempty"`
+
+	// StorageDegraded is true while any durable tier (result cache, job
+	// journal) runs memory-only after disk write failures; Storage
+	// carries the per-tier detail. Absent on cacheless daemons.
+	StorageDegraded bool            `json:"storage_degraded,omitempty"`
+	Storage         *StorageMetrics `json:"storage,omitempty"`
+}
+
+// StorageMetrics is the degraded-mode storage block of /metrics: the
+// per-tier memory-only state, how many disk writes failed, and how many
+// times a probe restored write-through.
+type StorageMetrics struct {
+	CacheDegraded    bool   `json:"cache_degraded"`
+	CacheWriteErrors uint64 `json:"cache_write_errors,omitempty"`
+	CacheRestores    uint64 `json:"cache_restores,omitempty"`
+
+	JournalDegraded    bool   `json:"journal_degraded"`
+	JournalWriteErrors uint64 `json:"journal_write_errors,omitempty"`
+	JournalRestores    uint64 `json:"journal_restores,omitempty"`
 }
 
 // TenantMetrics is one tenant's block of /metrics: live gauges (queued,
@@ -203,6 +246,11 @@ func (m *Manager) Metrics() Metrics {
 		RemoteSimulations: m.counters.remoteSims,
 		JobsRequeued:      m.counters.requeued,
 		CacheHits:         m.counters.cacheHits,
+		HedgesLaunched:    m.counters.hedgesLaunched,
+		HedgesWon:         m.counters.hedgesWon,
+		PoisonQuarantined: m.counters.quarantined,
+		DeadlineExpired:   m.counters.deadlineExpired,
+		DeadlineShed:      m.counters.deadlineShed,
 	}
 	if total := s.CacheHits + s.SimulationsRun + s.RemoteSimulations; total > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(total)
@@ -302,6 +350,13 @@ func (m *Manager) Metrics() Metrics {
 		}
 	}
 	s.ResultStore = m.store.metrics()
+	if m.cache != nil {
+		sm := &StorageMetrics{}
+		sm.CacheDegraded, sm.CacheWriteErrors, sm.CacheRestores = m.cache.StorageHealth()
+		sm.JournalDegraded, sm.JournalWriteErrors, sm.JournalRestores = m.journal.health()
+		s.Storage = sm
+		s.StorageDegraded = sm.CacheDegraded || sm.JournalDegraded
+	}
 	return s
 }
 

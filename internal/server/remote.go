@@ -14,6 +14,30 @@ import (
 // from a transport failure (the worker is gone).
 var ErrIneligible = errors.New("job not executable on this daemon")
 
+// Machine-readable failure reasons carried on JobStatus.Reason (and
+// through RemoteJobError.Reason), so fleet schedulers classify terminal
+// failures without parsing error strings.
+const (
+	// ReasonDeadline: the job's propagated deadline expired before it
+	// could finish — retryable on a less loaded worker, not evidence the
+	// simulation or the daemon is broken.
+	ReasonDeadline = "deadline"
+	// ReasonQuarantined: the job was poison-quarantined after killing
+	// successive workers; resubmitting it fails fast.
+	ReasonQuarantined = "quarantined"
+)
+
+// ErrCodeDeadlineUnmeetable is the structured error code of an
+// admission-time load shed: the daemon's estimated queue drain time
+// already exceeds the submission's deadline, so accepting the job would
+// only waste a scheduler slot.
+const ErrCodeDeadlineUnmeetable = "deadline_unmeetable"
+
+// DeadlineHeader carries a request's absolute deadline (milliseconds
+// since the Unix epoch) from client to daemon, letting the manager
+// enforce the caller's context deadline queue-side.
+const DeadlineHeader = "X-Ccsimd-Deadline-Ms"
+
 // Remote is an execution backend that runs one job off-process — in
 // practice a peer ccsimd daemon reached through internal/client's Peer
 // adapter (the interface lives here, not in the client package, so the
@@ -49,6 +73,7 @@ type RemoteJobError struct {
 	JobID    string   // the daemon's job ID
 	State    JobState // failed or canceled
 	Message  string   // the daemon's error string
+	Reason   string   // machine-readable cause (ReasonDeadline, ReasonQuarantined, or "")
 }
 
 // Error implements error.

@@ -137,11 +137,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = []JobSpec{req.JobSpec}
 	}
+	// Deadline propagation: the client stamps its context deadline on
+	// the request; specs without an explicit deadline inherit it, so the
+	// manager can enforce the caller's timeout queue-side (fail fast,
+	// shed unmeetable load) instead of simulating for a caller that has
+	// already given up.
+	if raw := r.Header.Get(DeadlineHeader); raw != "" {
+		if ms, perr := strconv.ParseInt(raw, 10, 64); perr == nil && ms > 0 {
+			for i := range specs {
+				if specs[i].DeadlineMs == 0 {
+					specs[i].DeadlineMs = ms
+				}
+			}
+		}
+	}
 	statuses, err := s.manager.SubmitAs(t, specs)
 	if err != nil {
 		var qe *QuotaError
 		if errors.As(err, &qe) {
 			writeQuotaError(w, qe)
+			return
+		}
+		var de *DeadlineError
+		if errors.As(err, &de) {
+			// 503 + structured code: the load is unmeetable *here* — a
+			// fleet dispatcher should try a less loaded peer, not mark
+			// this daemon dead or retry the same queue.
+			writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeDeadlineUnmeetable, err)
 			return
 		}
 		writeError(w, submitStatus(err), err)
@@ -278,6 +300,11 @@ type Health struct {
 	// its clients: trace-file configs whose absolute paths live under
 	// it resolve to the same bytes on both sides.
 	TraceRoot string `json:"trace_root,omitempty"`
+	// Storage is "degraded" while the result cache or job journal runs
+	// memory-only after disk write failures — a warning, not an outage:
+	// the daemon keeps completing jobs and re-probes the disk. /readyz
+	// still answers 200 so load balancers keep routing here.
+	Storage string `json:"storage,omitempty"`
 }
 
 // health builds the shared /healthz//readyz body.
@@ -291,6 +318,9 @@ func (s *Server) health() Health {
 	}
 	if s.manager.Metrics().Draining {
 		h.Status = "draining"
+	}
+	if s.manager.StorageDegraded() {
+		h.Storage = "degraded"
 	}
 	return h
 }
@@ -321,9 +351,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.manager.Metrics())
 }
 
-// apiError is the JSON error body of every non-2xx response.
+// apiError is the JSON error body of every non-2xx response. Code,
+// when present, is a stable machine-readable classifier (e.g.
+// ErrCodeDeadlineUnmeetable) so clients branch on it instead of
+// parsing the human-readable message.
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -334,4 +368,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// writeErrorCode is writeError with a structured error code attached.
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
 }
